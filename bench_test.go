@@ -1,0 +1,408 @@
+package gospaces
+
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// figure/table (reporting the figure's headline series as custom metrics)
+// plus ablation benchmarks for the design decisions called out in
+// DESIGN.md §4. Every figure benchmark runs the full framework —
+// master, lookup, space, code server, workers, and (for the adaptation
+// figures) the SNMP-driven network management module — on the virtual
+// clock, so b.N iterations are deterministic.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/cluster"
+	"gospaces/internal/core"
+	"gospaces/internal/experiments"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+func reportScalability(b *testing.B, pts []experiments.ScalabilityPoint) {
+	b.Helper()
+	first, last := pts[0], pts[len(pts)-1]
+	b.ReportMetric(float64(first.ParallelTime.Milliseconds()), "ms-parallel-1w")
+	b.ReportMetric(float64(last.ParallelTime.Milliseconds()), "ms-parallel-max-w")
+	b.ReportMetric(float64(first.ParallelTime)/float64(last.ParallelTime), "speedup-max-w")
+	b.ReportMetric(float64(last.TaskPlanningTime.Milliseconds()), "ms-planning-max-w")
+	b.ReportMetric(float64(last.TaskAggregationTime.Milliseconds()), "ms-aggregation-max-w")
+}
+
+// BenchmarkFig6OptionPricingScalability regenerates Figure 6: option
+// pricing on 1–13 × 300 MHz workers.
+func BenchmarkFig6OptionPricingScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig6OptionPricing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScalability(b, pts)
+	}
+}
+
+// BenchmarkFig7RayTracingScalability regenerates Figure 7: ray tracing on
+// 1–5 × 800 MHz workers.
+func BenchmarkFig7RayTracingScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig7RayTracing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScalability(b, pts)
+	}
+}
+
+// BenchmarkFig8PrefetchScalability regenerates Figure 8: page-rank
+// pre-fetching on 1–5 × 800 MHz workers.
+func BenchmarkFig8PrefetchScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig8Prefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportScalability(b, pts)
+	}
+}
+
+func benchAdaptation(b *testing.B, f func() (experiments.AdaptationResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxClient, maxWorker time.Duration
+		for _, ev := range res.Events {
+			if ev.Err != nil {
+				continue
+			}
+			if ct := ev.Record.ClientTime(); ct > maxClient {
+				maxClient = ct
+			}
+			if wt := ev.Record.WorkerTime(); wt > maxWorker {
+				maxWorker = wt
+			}
+		}
+		b.ReportMetric(float64(len(res.Events)), "signals")
+		b.ReportMetric(float64(maxClient.Microseconds())/1000, "ms-max-client-signal")
+		b.ReportMetric(float64(maxWorker.Microseconds())/1000, "ms-max-worker-signal")
+		b.ReportMetric(float64(res.Run.Metrics.ParallelTime.Milliseconds()), "ms-parallel")
+	}
+}
+
+// BenchmarkFig9AdaptationOptionPricing regenerates Figure 9 (a+b).
+func BenchmarkFig9AdaptationOptionPricing(b *testing.B) {
+	benchAdaptation(b, experiments.Fig9AdaptationOptionPricing)
+}
+
+// BenchmarkFig10AdaptationRayTracing regenerates Figure 10 (a+b).
+func BenchmarkFig10AdaptationRayTracing(b *testing.B) {
+	benchAdaptation(b, experiments.Fig10AdaptationRayTracing)
+}
+
+// BenchmarkFig11AdaptationPrefetch regenerates Figure 11 (a+b).
+func BenchmarkFig11AdaptationPrefetch(b *testing.B) {
+	benchAdaptation(b, experiments.Fig11AdaptationPrefetch)
+}
+
+// BenchmarkExp3DynamicLoad regenerates §5.2.3: option pricing with 0%,
+// 25% and 50% of workers loaded.
+func BenchmarkExp3DynamicLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.DynamicWorkerBehavior(experiments.OptionPricing)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[0].TotalParallel.Milliseconds()), "ms-parallel-0pct")
+		b.ReportMetric(float64(pts[1].TotalParallel.Milliseconds()), "ms-parallel-25pct")
+		b.ReportMetric(float64(pts[2].TotalParallel.Milliseconds()), "ms-parallel-50pct")
+	}
+}
+
+// BenchmarkTable2Classification regenerates Table 2 (derived from the
+// three scalability sweeps).
+func BenchmarkTable2Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f6, err := experiments.Fig6OptionPricing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f7, err := experiments.Fig7RayTracing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f8, err := experiments.Fig8Prefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if experiments.Table2(f6, f7, f8) == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkIntrusiveness measures the local user's slowdown with and
+// without adaptation — the repository's quantitative extension of the
+// paper's non-intrusiveness claim.
+func BenchmarkIntrusiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Intrusiveness()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Slowdown(), "x-user-slowdown-adaptive")
+		b.ReportMetric(results[1].Slowdown(), "x-user-slowdown-aggressive")
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §4) ---
+
+type benchEntry struct {
+	Job  string
+	ID   int
+	Data []float64
+}
+
+// BenchmarkAblationMatchCache compares the cached reflective matcher
+// against the uncached reference matcher.
+func BenchmarkAblationMatchCache(b *testing.B) {
+	tmpl := benchEntry{Job: "bench"}
+	cand := benchEntry{Job: "bench", ID: 42, Data: []float64{1, 2, 3}}
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := tuplespace.Match(tmpl, cand); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, err := tuplespace.MatchUncached(tmpl, cand); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPauseVsStop quantifies the reconfiguration cost the
+// Pause state saves versus Stop for a transient load burst (DESIGN.md
+// decision 5): the run is identical except that the rule base either
+// keeps the worker program resident (pause band) or tears it down.
+func BenchmarkAblationPauseVsStop(b *testing.B) {
+	run := func(transientLoad float64) time.Duration {
+		clk := vclock.NewVirtual(time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC))
+		fw := core.New(clk, core.Config{
+			Workers:      cluster.Uniform(1, 1.0),
+			Monitoring:   true,
+			PollInterval: 500 * time.Millisecond,
+		})
+		cfg := montecarlo.DefaultJobConfig()
+		cfg.TotalSims = 3000
+		cfg.WorkPerSubtask = 300 * time.Millisecond
+		cfg.PlanningCostPerTask = 10 * time.Millisecond
+		job := montecarlo.NewJob(cfg)
+		node := fw.Cluster.Nodes[0]
+		script := func(*core.Framework) {
+			// Three transient bursts of background load.
+			for i := 0; i < 3; i++ {
+				clk.Sleep(3 * time.Second)
+				node.Machine.SetConstSource("burst", transientLoad)
+				clk.Sleep(2 * time.Second)
+				node.Machine.ClearSource("burst")
+			}
+		}
+		var res core.Result
+		var err error
+		clk.Run(func() { res, err = fw.Run(job, script) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Metrics.ParallelTime
+	}
+	for i := 0; i < b.N; i++ {
+		pause := run(35) // pause band: program stays resident
+		stop := run(75)  // stop band: every burst costs a reload
+		b.ReportMetric(float64(pause.Milliseconds()), "ms-parallel-pause-band")
+		b.ReportMetric(float64(stop.Milliseconds()), "ms-parallel-stop-band")
+	}
+}
+
+// BenchmarkAblationNetworkModel quantifies how the simulated LAN's cost
+// model affects a run versus a free loopback network — the JavaSpaces
+// serialization overhead the paper's planning times embody.
+func BenchmarkAblationNetworkModel(b *testing.B) {
+	run := func(model transport.Model) time.Duration {
+		clk := vclock.NewVirtual(time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC))
+		fw := core.New(clk, core.Config{Workers: cluster.Uniform(4, 1.0), Model: &model})
+		cfg := montecarlo.DefaultJobConfig()
+		cfg.TotalSims = 2000
+		job := montecarlo.NewJob(cfg)
+		var res core.Result
+		var err error
+		clk.Run(func() { res, err = fw.Run(job, nil) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Metrics.ParallelTime
+	}
+	for i := 0; i < b.N; i++ {
+		lan := run(transport.LAN2001())
+		loop := run(transport.Loopback())
+		b.ReportMetric(float64(lan.Milliseconds()), "ms-parallel-lan2001")
+		b.ReportMetric(float64(loop.Milliseconds()), "ms-parallel-loopback")
+	}
+}
+
+// BenchmarkAblationMonitoringOverhead measures what the network
+// management module itself costs an undisturbed run — the paper's second
+// experiment asks exactly this ("the costs of adapting to system state").
+func BenchmarkAblationMonitoringOverhead(b *testing.B) {
+	run := func(monitoring bool) time.Duration {
+		clk := vclock.NewVirtual(time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC))
+		fw := core.New(clk, core.Config{
+			Workers:      cluster.Uniform(4, 1.0),
+			Monitoring:   monitoring,
+			PollInterval: 500 * time.Millisecond,
+		})
+		cfg := montecarlo.DefaultJobConfig()
+		cfg.TotalSims = 2000
+		cfg.PlanningCostPerTask = 20 * time.Millisecond
+		job := montecarlo.NewJob(cfg)
+		var res core.Result
+		var err error
+		clk.Run(func() { res, err = fw.Run(job, nil) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Metrics.ParallelTime
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(true)
+		without := run(false)
+		b.ReportMetric(float64(with.Milliseconds()), "ms-parallel-monitored")
+		b.ReportMetric(float64(without.Milliseconds()), "ms-parallel-unmonitored")
+	}
+}
+
+// BenchmarkAblationTrapVsPoll measures the Stop-signal reaction latency
+// after a load burst, with polling alone versus trap-driven monitoring
+// (the event-driven extension of the paper's SNMP polling).
+func BenchmarkAblationTrapVsPoll(b *testing.B) {
+	measure := func(trapDriven bool) time.Duration {
+		clk := vclock.NewVirtual(time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC))
+		fw := core.New(clk, core.Config{
+			Workers:      cluster.Uniform(1, 1.0),
+			Monitoring:   true,
+			PollInterval: 2 * time.Second,
+			TrapDriven:   trapDriven,
+			TrapInterval: 50 * time.Millisecond,
+		})
+		cfg := montecarlo.DefaultJobConfig()
+		cfg.TotalSims = 3000
+		cfg.WorkPerSubtask = 300 * time.Millisecond
+		cfg.PlanningCostPerTask = 10 * time.Millisecond
+		job := montecarlo.NewJob(cfg)
+		node := fw.Cluster.Nodes[0]
+		var loadStart time.Time
+		script := func(*core.Framework) {
+			clk.Sleep(5 * time.Second)
+			loadStart = clk.Now()
+			node.Sim2.Start()
+			clk.Sleep(10 * time.Second)
+			node.Sim2.Stop()
+		}
+		var res core.Result
+		var err error
+		clk.Run(func() { res, err = fw.Run(job, script) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range res.Events {
+			if ev.Err == nil && ev.Signal.String() == "Stop" {
+				return ev.At.Sub(loadStart)
+			}
+		}
+		b.Fatal("no Stop observed")
+		return 0
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(measure(false).Milliseconds()), "ms-react-poll")
+		b.ReportMetric(float64(measure(true).Milliseconds()), "ms-react-trap")
+	}
+}
+
+type indexedBenchEntry struct {
+	Job  string `space:"index"`
+	ID   int
+	Data []float64
+}
+
+// BenchmarkAblationFieldIndex compares template lookups against a space
+// holding many entries of one type under many distinct key values, with
+// and without the `space:"index"` field tag (DESIGN.md decision: indexed
+// buckets vs full type scans).
+func BenchmarkAblationFieldIndex(b *testing.B) {
+	const entries, groups = 5000, 100
+	b.Run("indexed", func(b *testing.B) {
+		s := tuplespace.New(vclock.NewReal())
+		for i := 0; i < entries; i++ {
+			if _, err := s.Write(indexedBenchEntry{Job: jobName(i % groups), ID: i}, nil, tuplespace.Forever); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ReadIfExists(indexedBenchEntry{Job: jobName(i % groups)}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unindexed", func(b *testing.B) {
+		s := tuplespace.New(vclock.NewReal())
+		for i := 0; i < entries; i++ {
+			if _, err := s.Write(benchEntry{Job: jobName(i % groups), ID: i}, nil, tuplespace.Forever); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ReadIfExists(benchEntry{Job: jobName(i % groups)}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func jobName(i int) string { return "job-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+// BenchmarkSpaceThroughput measures raw local tuple-space operation rates
+// (the substrate the whole framework stands on). Each sub-benchmark gets
+// a fresh space so accumulated entries from one do not distort another.
+func BenchmarkSpaceThroughput(b *testing.B) {
+	clk := vclock.NewReal()
+	b.Run("write", func(b *testing.B) {
+		s := tuplespace.New(clk)
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Write(benchEntry{Job: "w", ID: i}, nil, tuplespace.Forever); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-take", func(b *testing.B) {
+		s := tuplespace.New(clk)
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Write(benchEntry{Job: "wt", ID: i}, nil, tuplespace.Forever); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Take(benchEntry{Job: "wt"}, nil, time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Command expt regenerates the paper's tables and figures on the
+// simulated cluster. Each figure prints as an aligned table of the same
+// series the paper plots.
+//
+// Usage:
+//
+//	expt -run fig6      # scalability, option pricing (Figure 6)
+//	expt -run fig7      # scalability, ray tracing (Figure 7)
+//	expt -run fig8      # scalability, pre-fetching (Figure 8)
+//	expt -run fig9      # adaptation, option pricing (Figure 9 a+b)
+//	expt -run fig10     # adaptation, ray tracing (Figure 10 a+b)
+//	expt -run fig11     # adaptation, pre-fetching (Figure 11 a+b)
+//	expt -run exp3           # dynamic worker behaviour (§5.2.3)
+//	expt -run table2         # application classification (Table 2)
+//	expt -run intrusiveness  # extension: adaptive vs aggressive cycle stealing
+//	expt -run granularity    # extension: task granularity vs intrusion under churn
+//	expt -run all            # everything, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gospaces/internal/experiments"
+	"gospaces/internal/metrics"
+)
+
+var formatCSV bool
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, all")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	formatCSV = *format == "csv"
+	if err := dispatch(*run); err != nil {
+		fmt.Fprintln(os.Stderr, "expt:", err)
+		os.Exit(1)
+	}
+}
+
+// render prints a table in the selected format.
+func render(t *metrics.Table) {
+	if formatCSV {
+		fmt.Println("#", t.Title)
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t)
+}
+
+func dispatch(run string) error {
+	switch run {
+	case "fig6":
+		return scalability("Figure 6 — Scalability Analysis, Option Pricing (13 x 300 MHz workers)", experiments.Fig6OptionPricing)
+	case "fig7":
+		return scalability("Figure 7 — Scalability Analysis, Ray Tracing (5 x 800 MHz workers)", experiments.Fig7RayTracing)
+	case "fig8":
+		return scalability("Figure 8 — Scalability Analysis, Web Page Pre-fetching (5 x 800 MHz workers)", experiments.Fig8Prefetch)
+	case "fig9":
+		return adaptation("Figure 9", experiments.Fig9AdaptationOptionPricing)
+	case "fig10":
+		return adaptation("Figure 10", experiments.Fig10AdaptationRayTracing)
+	case "fig11":
+		return adaptation("Figure 11", experiments.Fig11AdaptationPrefetch)
+	case "exp3":
+		return exp3()
+	case "table2":
+		return table2()
+	case "intrusiveness":
+		return intrusiveness()
+	case "granularity":
+		return granularity()
+	case "all":
+		for _, r := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "intrusiveness", "granularity"} {
+			if err := dispatch(r); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+}
+
+func scalability(title string, f func() ([]experiments.ScalabilityPoint, error)) error {
+	pts, err := f()
+	if err != nil {
+		return err
+	}
+	render(experiments.ScalabilityTable(title, pts))
+	return nil
+}
+
+func adaptation(fig string, f func() (experiments.AdaptationResult, error)) error {
+	res, err := f()
+	if err != nil {
+		return err
+	}
+	render(res.TraceTable(fmt.Sprintf("%s(a) — Worker CPU Usage, %s", fig, res.App)))
+	fmt.Println()
+	render(res.SignalTable(fmt.Sprintf("%s(b) — Worker Reaction Times, %s", fig, res.App)))
+	return nil
+}
+
+func exp3() error {
+	for _, app := range []experiments.AppName{
+		experiments.OptionPricing, experiments.RayTracing, experiments.Prefetching,
+	} {
+		pts, err := experiments.DynamicWorkerBehavior(app)
+		if err != nil {
+			return err
+		}
+		render(experiments.DynamicTable(
+			fmt.Sprintf("Experiment 3 — Dynamic Worker Behaviour under Varying Load, %s", app), pts))
+		fmt.Println()
+	}
+	return nil
+}
+
+func intrusiveness() error {
+	results, err := experiments.Intrusiveness()
+	if err != nil {
+		return err
+	}
+	render(experiments.IntrusivenessTable(results))
+	return nil
+}
+
+func granularity() error {
+	pts, err := experiments.Granularity()
+	if err != nil {
+		return err
+	}
+	render(experiments.GranularityTable(pts))
+	return nil
+}
+
+func table2() error {
+	fig6, err := experiments.Fig6OptionPricing()
+	if err != nil {
+		return err
+	}
+	fig7, err := experiments.Fig7RayTracing()
+	if err != nil {
+		return err
+	}
+	fig8, err := experiments.Fig8Prefetch()
+	if err != nil {
+		return err
+	}
+	render(experiments.Table2(fig6, fig7, fig8))
+	return nil
+}

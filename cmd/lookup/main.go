@@ -1,0 +1,38 @@
+// Command lookup runs the Jini-style lookup (discovery) service over TCP.
+// Masters register the JavaSpaces service here; workers and the network
+// management module find services by attribute lookup.
+//
+// Usage:
+//
+//	lookup -addr 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"gospaces/internal/discovery"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	flag.Parse()
+
+	srv := transport.NewServer()
+	discovery.NewService(discovery.NewRegistry(vclock.NewReal()), srv)
+	l, err := transport.ListenTCP(*addr, srv)
+	if err != nil {
+		log.Fatalf("lookup: %v", err)
+	}
+	log.Printf("lookup: serving on %s", l.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("lookup: shutting down")
+	_ = l.Close()
+}

@@ -1,0 +1,135 @@
+// Command master runs the master module over TCP: it hosts the JavaSpaces
+// service and the code server, registers them with the lookup service,
+// plans the chosen application's tasks, and aggregates results produced
+// by however many workers join the federation.
+//
+// Usage:
+//
+//	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/apps/pagerank"
+	"gospaces/internal/apps/raytrace"
+	"gospaces/internal/discovery"
+	"gospaces/internal/master"
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7002", "listen address for the space/code services")
+	lookupAddr := flag.String("lookup", "127.0.0.1:7001", "lookup service address")
+	jobName := flag.String("job", "montecarlo", "application to run: montecarlo, raytrace, pagerank")
+	timeout := flag.Duration("result-timeout", 10*time.Minute, "per-result collection timeout")
+	journal := flag.String("journal", "", "path for the persistent space journal (empty = in-memory space)")
+	sims := flag.Int("sims", 0, "override the option-pricing simulation count (montecarlo only; 0 = paper's 10000)")
+	flag.Parse()
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *sims); err != nil {
+		log.Fatalf("master: %v", err)
+	}
+}
+
+func buildJob(name string, sims int) (master.Job, func(), error) {
+	switch name {
+	case "montecarlo":
+		cfg := montecarlo.DefaultJobConfig()
+		if sims > 0 {
+			cfg.TotalSims = sims
+		}
+		job := montecarlo.NewJob(cfg)
+		return job, func() {
+			price, err := job.Answer()
+			if err != nil {
+				log.Printf("master: answer: %v", err)
+				return
+			}
+			fmt.Printf("option price bracket: low %.4f (±%.4f)  high %.4f (±%.4f)  mid %.4f\n",
+				price.Low, price.LowErr, price.High, price.HighErr, price.Midpoint())
+		}, nil
+	case "raytrace":
+		job := raytrace.NewJob(raytrace.DefaultJobConfig())
+		return job, func() {
+			_, complete := job.Image()
+			fmt.Printf("render complete: %v\n", complete)
+		}, nil
+	case "pagerank":
+		job := pagerank.NewJob(pagerank.DefaultJobConfig())
+		return job, func() {
+			ranks := job.Ranks()
+			fmt.Printf("computed %d page ranks\n", len(ranks))
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown job %q", name)
+	}
+}
+
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath string, sims int) error {
+	clk := vclock.NewReal()
+	job, report, err := buildJob(jobName, sims)
+	if err != nil {
+		return err
+	}
+
+	// Host the space and code services; a journal path selects the
+	// persistent mode.
+	local := space.NewLocal(clk)
+	if journalPath != "" {
+		var err error
+		local, err = space.NewLocalJournaled(clk, journalPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("master: persistent space journal at %s", journalPath)
+	}
+	srv := transport.NewServer()
+	space.NewService(local, srv)
+	cs := nodeconfig.NewCodeServer()
+	cs.Publish(job.Bundle())
+	cs.Bind(srv)
+	l, err := transport.ListenTCP(addr, srv)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	log.Printf("master: space + code server on %s", l.Addr())
+
+	// Join the lookup federation.
+	lc, err := transport.DialTCP(lookupAddr)
+	if err != nil {
+		return fmt.Errorf("dial lookup: %w", err)
+	}
+	defer lc.Close()
+	client := discovery.NewClient(lc)
+	regID, err := client.Register(discovery.ServiceItem{
+		Name:       "javaspace",
+		Address:    l.Addr(),
+		Attributes: map[string]string{"type": "javaspace", "job": jobName},
+	}, time.Minute)
+	if err != nil {
+		return fmt.Errorf("register with lookup: %w", err)
+	}
+	ka := discovery.NewKeepAlive(client, clk, regID, time.Minute)
+	go ka.Run()
+	defer ka.Stop()
+	log.Printf("master: registered javaspace with lookup at %s", lookupAddr)
+
+	m := master.New(master.Config{Clock: clk, Space: local, ResultTimeout: resultTimeout})
+	log.Printf("master: running job %q", jobName)
+	rm, err := m.RunJob(job)
+	if err != nil {
+		return err
+	}
+	log.Printf("master: done — tasks=%d planning=%v aggregation=%v parallel=%v",
+		rm.Tasks, rm.TaskPlanningTime, rm.TaskAggregationTime, rm.ParallelTime)
+	report()
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command worker runs one worker node over TCP: it discovers the
+// JavaSpaces service through the lookup service, downloads the worker
+// program from the master's code server, serves an SNMP agent over UDP
+// for the network management module, exposes the rule-base signal
+// endpoint, and registers itself with the lookup service so the network
+// manager can find it.
+//
+// The node's system state is modelled by sysmon (this repository's
+// simulated-cluster substitution for real host agents); the -loadsim1 and
+// -loadsim2 flags start the paper's synthetic load generators locally.
+//
+// Usage:
+//
+//	worker -name node01 -lookup 127.0.0.1:7001 -job montecarlo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"gospaces/internal/discovery"
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/snmp"
+	"gospaces/internal/space"
+	"gospaces/internal/sysmon"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+	"gospaces/internal/worker"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/apps/pagerank"
+	"gospaces/internal/apps/raytrace"
+)
+
+func main() {
+	name := flag.String("name", "node01", "worker node name")
+	lookupAddr := flag.String("lookup", "127.0.0.1:7001", "lookup service address")
+	jobName := flag.String("job", "montecarlo", "program bundle to execute")
+	sigAddr := flag.String("signal", "127.0.0.1:0", "TCP listen address for the signal endpoint")
+	snmpAddr := flag.String("snmp", "127.0.0.1:0", "UDP listen address for the SNMP agent")
+	speed := flag.Float64("speed", 1.0, "relative node speed (1.0 = 800 MHz reference)")
+	autostart := flag.Bool("autostart", false, "start without waiting for a rule-base Start signal")
+	sim1 := flag.Bool("loadsim1", false, "run load simulator 1 (30-50% CPU)")
+	sim2 := flag.Bool("loadsim2", false, "run load simulator 2 (100% CPU)")
+	flag.Parse()
+	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2); err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+}
+
+func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool) error {
+	tmpl, err := taskTemplate(jobName)
+	if err != nil {
+		return err
+	}
+	clk := vclock.NewReal()
+	machine := sysmon.NewMachine(clk, name, speed)
+	if sim1 {
+		sysmon.NewLoadSimulator1(machine).Start()
+	}
+	if sim2 {
+		sysmon.NewLoadSimulator2(machine).Start()
+	}
+
+	// Discover the space through the lookup service.
+	lc, err := transport.DialTCP(lookupAddr)
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	client := discovery.NewClient(lc)
+	item, err := client.Await(map[string]string{"type": "javaspace"}, 30, func() { clk.Sleep(time.Second) })
+	if err != nil {
+		return err
+	}
+	log.Printf("worker %s: found javaspace at %s", name, item.Address)
+
+	spaceConn, err := transport.DialTCP(item.Address)
+	if err != nil {
+		return err
+	}
+	defer spaceConn.Close()
+	codeConn, err := transport.DialTCP(item.Address)
+	if err != nil {
+		return err
+	}
+	defer codeConn.Close()
+
+	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{Clock: clk, Machine: machine, Node: name}, codeConn)
+	w := worker.New(worker.Config{
+		Node:         name,
+		Clock:        clk,
+		Machine:      machine,
+		Space:        space.NewProxy(spaceConn),
+		Engine:       engine,
+		Program:      jobName,
+		TaskTemplate: tmpl,
+		TxnTTL:       2 * time.Minute,
+	})
+
+	// Signal endpoint (the SNMP-client side of the rule-base protocol).
+	sigSrv := transport.NewServer()
+	w.Bind(sigSrv)
+	sigL, err := transport.ListenTCP(sigAddr, sigSrv)
+	if err != nil {
+		return err
+	}
+	defer sigL.Close()
+
+	// SNMP agent over UDP.
+	mib := snmp.NewMIB()
+	mib.Register(snmp.OIDSysName, func() snmp.Value { return snmp.OctetString(name) })
+	mib.Register(snmp.OIDHrProcessorLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.RecordSample().Usage + 0.5))
+	})
+	mib.Register(snmp.OIDBackgroundLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.BackgroundLoad() + 0.5))
+	})
+	agent, err := snmp.ListenUDP(snmpAddr, snmp.NewAgent("public", mib))
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	log.Printf("worker %s: signal endpoint %s, SNMP agent %s", name, sigL.Addr(), agent.Addr())
+
+	// Register with the lookup service so the network manager finds us,
+	// and keep the lease renewed while we live.
+	regID, err := client.Register(discovery.ServiceItem{
+		Name:    name,
+		Address: sigL.Addr(),
+		Attributes: map[string]string{
+			"type": "worker",
+			"snmp": agent.Addr(),
+			"node": name,
+		},
+	}, time.Minute)
+	if err != nil {
+		return err
+	}
+	ka := discovery.NewKeepAlive(client, clk, regID, time.Minute)
+	go ka.Run()
+	defer ka.Stop()
+
+	if autostart {
+		w.AutoStart()
+	}
+	go w.Run()
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Printf("worker %s: shutting down (%d tasks done)", name, w.Stats().TasksDone)
+	w.Shutdown()
+	return nil
+}
+
+// taskTemplate maps a job name to its task template; importing the app
+// packages also registers their program factories with nodeconfig.
+func taskTemplate(jobName string) (tuplespace.Entry, error) {
+	switch jobName {
+	case montecarlo.JobName:
+		return montecarlo.Task{Job: montecarlo.JobName}, nil
+	case raytrace.JobName:
+		return raytrace.Task{Job: raytrace.JobName}, nil
+	case pagerank.JobName:
+		return pagerank.Task{Job: pagerank.JobName}, nil
+	}
+	return nil, fmt.Errorf("worker: unknown job %q", jobName)
+}

@@ -1,0 +1,13 @@
+// Package gospaces is a from-scratch Go reproduction of "A Framework for
+// Adaptive Cluster Computing using JavaSpaces" (Batheja & Parashar, IEEE
+// CLUSTER 2001): a JavaSpaces/Linda tuple space, a Jini-style lookup
+// service, an SNMP monitoring substrate, and on top of them an adaptive,
+// opportunistic master–worker framework that steals idle cycles from
+// cluster nodes without intruding on their local users.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure. The
+// benchmarks in bench_test.go regenerate each figure; the runnable
+// programs live under cmd/ and examples/.
+package gospaces

@@ -1,0 +1,3 @@
+module gospaces
+
+go 1.22

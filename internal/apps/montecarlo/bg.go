@@ -1,0 +1,194 @@
+// Package montecarlo implements the paper's stock-option pricing
+// application (§5.1.1): Monte Carlo pricing of American-style options with
+// the Broadie–Glasserman random-tree algorithm, which produces a biased-
+// high and a biased-low estimator that together bracket the true price.
+// Each framework task runs one estimator kind over a batch of simulated
+// trees, exactly matching the paper's decomposition: 10 000 simulations →
+// 50 tasks of 100 simulations, each split into a high and a low iteration
+// → 100 subtasks.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OptionType selects call or put payoff.
+type OptionType int
+
+// Option types.
+const (
+	Call OptionType = iota
+	Put
+)
+
+// String names the option type.
+func (t OptionType) String() string {
+	if t == Call {
+		return "call"
+	}
+	return "put"
+}
+
+// Params defines the option and the random-tree shape.
+type Params struct {
+	Type   OptionType
+	S0     float64 // spot price
+	Strike float64
+	Rate   float64 // risk-free rate (annualized)
+	Sigma  float64 // volatility (annualized)
+	T      float64 // time to expiration (years)
+	// Branch is the random tree's branching factor b; Depth its number
+	// of exercise dates d. Cost per simulated tree is Θ(b^d).
+	Branch int
+	Depth  int
+}
+
+// DefaultParams prices an at-the-money American put on the paper's scale.
+func DefaultParams() Params {
+	return Params{
+		Type:   Put,
+		S0:     100,
+		Strike: 100,
+		Rate:   0.05,
+		Sigma:  0.2,
+		T:      1.0,
+		Branch: 4,
+		Depth:  3,
+	}
+}
+
+func (p Params) validate() error {
+	if p.S0 <= 0 || p.Strike <= 0 || p.Sigma <= 0 || p.T <= 0 {
+		return fmt.Errorf("montecarlo: non-positive parameter in %+v", p)
+	}
+	if p.Branch < 2 || p.Depth < 1 {
+		return fmt.Errorf("montecarlo: tree shape b=%d d=%d invalid", p.Branch, p.Depth)
+	}
+	return nil
+}
+
+// payoff is the immediate-exercise value at spot s.
+func (p Params) payoff(s float64) float64 {
+	switch p.Type {
+	case Call:
+		return math.Max(0, s-p.Strike)
+	default:
+		return math.Max(0, p.Strike-s)
+	}
+}
+
+// child draws one risk-neutral GBM step of length dt from spot s.
+func (p Params) child(rng *rand.Rand, s, dt float64) float64 {
+	z := rng.NormFloat64()
+	return s * math.Exp((p.Rate-0.5*p.Sigma*p.Sigma)*dt+p.Sigma*math.Sqrt(dt)*z)
+}
+
+// Estimate is one estimator's batched outcome.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	Sims   int
+}
+
+// EstimateHigh runs sims independent random trees and returns the
+// biased-high estimator Θ: at each interior node the holder exercises if
+// immediate payoff beats the discounted average of the children's values.
+func EstimateHigh(p Params, sims int, seed int64) (Estimate, error) {
+	return estimate(p, sims, seed, true)
+}
+
+// EstimateLow runs sims independent random trees and returns the
+// biased-low estimator θ, which avoids the high estimator's look-ahead
+// bias with the leave-one-out construction: the exercise decision at a
+// node is made using all children but one, and the value is taken from
+// the held-out child.
+func EstimateLow(p Params, sims int, seed int64) (Estimate, error) {
+	return estimate(p, sims, seed, false)
+}
+
+func estimate(p Params, sims int, seed int64, high bool) (Estimate, error) {
+	if err := p.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if sims <= 0 {
+		return Estimate{}, fmt.Errorf("montecarlo: sims = %d", sims)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dt := p.T / float64(p.Depth)
+	disc := math.Exp(-p.Rate * dt)
+	var sum, sumSq float64
+	for i := 0; i < sims; i++ {
+		var v float64
+		if high {
+			v = highNode(p, rng, p.S0, p.Depth, dt, disc)
+		} else {
+			v = lowNode(p, rng, p.S0, p.Depth, dt, disc)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(sims)
+	mean := sum / n
+	variance := math.Max(0, sumSq/n-mean*mean)
+	return Estimate{Mean: mean, StdErr: math.Sqrt(variance / n), Sims: sims}, nil
+}
+
+// highNode computes the high estimator at a node with `left` exercise
+// dates remaining.
+func highNode(p Params, rng *rand.Rand, s float64, left int, dt, disc float64) float64 {
+	if left == 0 {
+		return p.payoff(s)
+	}
+	var sum float64
+	for j := 0; j < p.Branch; j++ {
+		sum += highNode(p, rng, p.child(rng, s, dt), left-1, dt, disc)
+	}
+	cont := disc * sum / float64(p.Branch)
+	return math.Max(p.payoff(s), cont)
+}
+
+// lowNode computes the low estimator at a node with `left` exercise dates
+// remaining, using Broadie–Glasserman's leave-one-out decision rule.
+func lowNode(p Params, rng *rand.Rand, s float64, left int, dt, disc float64) float64 {
+	if left == 0 {
+		return p.payoff(s)
+	}
+	b := p.Branch
+	vals := make([]float64, b)
+	var total float64
+	for j := 0; j < b; j++ {
+		vals[j] = lowNode(p, rng, p.child(rng, s, dt), left-1, dt, disc)
+		total += vals[j]
+	}
+	h := p.payoff(s)
+	var sum float64
+	for j := 0; j < b; j++ {
+		// Continuation estimate from the other b-1 children.
+		contMinusJ := disc * (total - vals[j]) / float64(b-1)
+		if h >= contMinusJ {
+			sum += h
+		} else {
+			sum += disc * vals[j]
+		}
+	}
+	return sum / float64(b)
+}
+
+// BlackScholes returns the European option price under the same dynamics,
+// used as a reference in tests: for a call on a non-dividend stock the
+// American price equals the European one, so the high/low estimators must
+// bracket it.
+func BlackScholes(p Params) float64 {
+	d1 := (math.Log(p.S0/p.Strike) + (p.Rate+0.5*p.Sigma*p.Sigma)*p.T) / (p.Sigma * math.Sqrt(p.T))
+	d2 := d1 - p.Sigma*math.Sqrt(p.T)
+	switch p.Type {
+	case Call:
+		return p.S0*normCDF(d1) - p.Strike*math.Exp(-p.Rate*p.T)*normCDF(d2)
+	default:
+		return p.Strike*math.Exp(-p.Rate*p.T)*normCDF(-d2) - p.S0*normCDF(-d1)
+	}
+}
+
+func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }

@@ -1,0 +1,192 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+func execCtx() nodeconfig.ExecContext {
+	return nodeconfig.ExecContext{Clock: vclock.NewReal(), Node: "test"}
+}
+
+func TestHighLowBracketBlackScholesCall(t *testing.T) {
+	// For a call on a non-dividend stock, early exercise is never
+	// optimal, so the American price equals Black–Scholes; the BG
+	// estimators must bracket it (within Monte-Carlo error).
+	p := Params{Type: Call, S0: 100, Strike: 100, Rate: 0.05, Sigma: 0.2, T: 1, Branch: 6, Depth: 3}
+	bs := BlackScholes(p)
+	hi, err := EstimateHigh(p, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := EstimateLow(p, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Mean+4*hi.StdErr < bs {
+		t.Fatalf("high estimator %.4f±%.4f below BS %.4f", hi.Mean, hi.StdErr, bs)
+	}
+	if lo.Mean-4*lo.StdErr > bs {
+		t.Fatalf("low estimator %.4f±%.4f above BS %.4f", lo.Mean, lo.StdErr, bs)
+	}
+	if hi.Mean < lo.Mean-4*(hi.StdErr+lo.StdErr) {
+		t.Fatalf("high %.4f below low %.4f", hi.Mean, lo.Mean)
+	}
+}
+
+func TestAmericanPutAtLeastEuropean(t *testing.T) {
+	p := DefaultParams() // put
+	bs := BlackScholes(p)
+	hi, err := EstimateHigh(p, 3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The American put is worth at least the European put.
+	if hi.Mean+4*hi.StdErr < bs {
+		t.Fatalf("American-put high estimate %.4f±%.4f below European %.4f", hi.Mean, hi.StdErr, bs)
+	}
+}
+
+func TestEstimatorsDeterministicInSeed(t *testing.T) {
+	p := DefaultParams()
+	a, _ := EstimateHigh(p, 200, 99)
+	b, _ := EstimateHigh(p, 200, 99)
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+	c, _ := EstimateHigh(p, 200, 100)
+	if a == c {
+		t.Fatal("different seeds gave identical estimates")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := EstimateHigh(Params{}, 10, 1); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	p := DefaultParams()
+	if _, err := EstimateLow(p, 0, 1); err == nil {
+		t.Fatal("zero sims accepted")
+	}
+	p.Branch = 1
+	if _, err := EstimateHigh(p, 10, 1); err == nil {
+		t.Fatal("branch=1 accepted")
+	}
+}
+
+func TestPropPayoffNonNegative(t *testing.T) {
+	p := DefaultParams()
+	f := func(s float64) bool {
+		s = math.Abs(s)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return true
+		}
+		return p.payoff(s) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Canonical textbook value: S=100 K=100 r=5% σ=20% T=1 call ≈ 10.4506.
+	p := Params{Type: Call, S0: 100, Strike: 100, Rate: 0.05, Sigma: 0.2, T: 1}
+	if got := BlackScholes(p); math.Abs(got-10.4506) > 0.001 {
+		t.Fatalf("BS call = %.4f, want 10.4506", got)
+	}
+	put := p
+	put.Type = Put
+	// Put-call parity: C - P = S - K·e^{-rT}.
+	if diff := BlackScholes(p) - BlackScholes(put) - (100 - 100*math.Exp(-0.05)); math.Abs(diff) > 1e-9 {
+		t.Fatalf("put-call parity violated by %g", diff)
+	}
+}
+
+func TestJobPlanMatchesPaperDecomposition(t *testing.T) {
+	j := NewJob(DefaultJobConfig()) // 10 000 sims, 100 per task
+	var tasks []Task
+	if err := j.Plan(func(e tuplespace.Entry) error {
+		tasks = append(tasks, e.(Task))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 100 {
+		t.Fatalf("planned %d subtasks, want 100 (50 tasks × high/low)", len(tasks))
+	}
+	high, low := 0, 0
+	seeds := map[int64]bool{}
+	for _, task := range tasks {
+		switch task.Kind {
+		case "high":
+			high++
+		case "low":
+			low++
+		}
+		if task.Sims != 100 {
+			t.Fatalf("task sims = %d", task.Sims)
+		}
+		if seeds[task.Seed] {
+			t.Fatalf("duplicate seed %d", task.Seed)
+		}
+		seeds[task.Seed] = true
+	}
+	if high != 50 || low != 50 {
+		t.Fatalf("high=%d low=%d, want 50/50", high, low)
+	}
+}
+
+func TestJobAggregateAndAnswer(t *testing.T) {
+	cfg := DefaultJobConfig()
+	cfg.TotalSims = 400
+	cfg.SimsPerTask = 100
+	j := NewJob(cfg)
+	var tasks []Task
+	_ = j.Plan(func(e tuplespace.Entry) error { tasks = append(tasks, e.(Task)); return nil })
+	prog := &program{}
+	for _, task := range tasks {
+		res, err := prog.Execute(execCtx(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Aggregate(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	price, err := j.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if price.Sims != 400 {
+		t.Fatalf("sims = %d, want 400 (200 high + 200 low)", price.Sims)
+	}
+	if price.High <= 0 || price.Low <= 0 || price.Midpoint() <= 0 {
+		t.Fatalf("degenerate price %+v", price)
+	}
+	// The bracket must be ordered within Monte-Carlo noise.
+	if price.High < price.Low-4*(price.HighErr+price.LowErr) {
+		t.Fatalf("bracket inverted: %+v", price)
+	}
+}
+
+func TestJobAnswerIncompleteFails(t *testing.T) {
+	j := NewJob(DefaultJobConfig())
+	if _, err := j.Answer(); err == nil {
+		t.Fatal("Answer with no results succeeded")
+	}
+}
+
+func TestProgramRejectsWrongEntries(t *testing.T) {
+	prog := &program{}
+	if _, err := prog.Execute(execCtx(), Result{}); err == nil {
+		t.Fatal("Result accepted as task")
+	}
+	if _, err := prog.Execute(execCtx(), Task{ID: 1, Kind: "sideways", Sims: 1, Params: DefaultParams()}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}

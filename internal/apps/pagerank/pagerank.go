@@ -1,0 +1,148 @@
+// Package pagerank implements the paper's web page pre-fetching
+// application (§5.1.3): the link structure of a web page cluster is
+// parsed into a stochastic matrix (entry ij = 1/n when page i is one of
+// page j's n successors), page ranks are computed by parallel iterative
+// eigenvector computation — the matrix is divided into row strips, one
+// framework task per strip, with inter-iteration dependencies resolved at
+// the master — and the highest-ranked linked pages are selected for
+// pre-fetching into the server cache.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed link graph over pages 0..N-1.
+type Graph struct {
+	N     int
+	Links [][]int // Links[j] = successors of page j
+}
+
+// SyntheticCluster generates a web-page-cluster-like graph: a few hub
+// pages (index, category pages) that everything links to, and power-law-ish
+// out-degrees. Deterministic in seed.
+func SyntheticCluster(n int, seed int64) Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := Graph{N: n, Links: make([][]int, n)}
+	hubs := n / 50
+	if hubs < 1 {
+		hubs = 1
+	}
+	for j := 0; j < n; j++ {
+		out := 1 + rng.Intn(8)
+		seen := map[int]bool{}
+		for k := 0; k < out; k++ {
+			var dst int
+			if rng.Float64() < 0.3 {
+				dst = rng.Intn(hubs) // link to a hub
+			} else {
+				dst = rng.Intn(n)
+			}
+			if dst != j && !seen[dst] {
+				seen[dst] = true
+				g.Links[j] = append(g.Links[j], dst)
+			}
+		}
+		sort.Ints(g.Links[j])
+	}
+	return g
+}
+
+// Stochastic builds the paper's matrix: column j holds 1/n at each of
+// page j's n successors. Dangling pages (no out-links) are treated as
+// linking to every page uniformly, keeping the matrix stochastic.
+func (g Graph) Stochastic() [][]float64 {
+	m := make([][]float64, g.N)
+	for i := range m {
+		m[i] = make([]float64, g.N)
+	}
+	for j := 0; j < g.N; j++ {
+		succ := g.Links[j]
+		if len(succ) == 0 {
+			u := 1.0 / float64(g.N)
+			for i := 0; i < g.N; i++ {
+				m[i][j] = u
+			}
+			continue
+		}
+		w := 1.0 / float64(len(succ))
+		for _, i := range succ {
+			m[i][j] = w
+		}
+	}
+	return m
+}
+
+// MultiplyRows computes rows [r0, r1) of damping*M·x + (1-damping)/N,
+// the strip-of-rows unit of work one task performs.
+func MultiplyRows(m [][]float64, x []float64, r0, r1 int, damping float64) ([]float64, error) {
+	n := len(x)
+	if r0 < 0 || r1 > len(m) || r0 >= r1 {
+		return nil, fmt.Errorf("pagerank: bad row strip [%d,%d)", r0, r1)
+	}
+	out := make([]float64, r1-r0)
+	base := (1 - damping) / float64(n)
+	for i := r0; i < r1; i++ {
+		row := m[i]
+		if len(row) != n {
+			return nil, fmt.Errorf("pagerank: row %d has %d cols, want %d", i, len(row), n)
+		}
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i-r0] = damping*sum + base
+	}
+	return out, nil
+}
+
+// PowerIterate runs the full serial computation — the single-node
+// reference the distributed runs are checked against.
+func PowerIterate(m [][]float64, damping float64, iters int) []float64 {
+	n := len(m)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / float64(n)
+	}
+	for k := 0; k < iters; k++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j, v := range m[i] {
+				sum += v * x[j]
+			}
+			next[i] = damping*sum + base
+		}
+		x = next
+	}
+	return x
+}
+
+// L1Diff returns the L1 distance between two vectors.
+func L1Diff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// Prefetch returns the top-k successors of page cur ranked by score —
+// the pages the server should pre-fetch into its cache, per the paper's
+// premise that the next request likely follows a link to an important
+// page.
+func Prefetch(g Graph, scores []float64, cur, k int) []int {
+	if cur < 0 || cur >= g.N {
+		return nil
+	}
+	succ := append([]int(nil), g.Links[cur]...)
+	sort.SliceStable(succ, func(a, b int) bool { return scores[succ[a]] > scores[succ[b]] })
+	if k > len(succ) {
+		k = len(succ)
+	}
+	return succ[:k]
+}

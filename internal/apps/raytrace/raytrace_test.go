@@ -1,0 +1,196 @@
+package raytrace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+func execCtx() nodeconfig.ExecContext {
+	return nodeconfig.ExecContext{Clock: vclock.NewReal(), Node: "test"}
+}
+
+func TestSphereIntersection(t *testing.T) {
+	s := Sphere{Center: Vec{0, 0, 5}, Radius: 1}
+	if h, ok := s.intersect(Vec{0, 0, 0}, Vec{0, 0, 1}); !ok || math.Abs(h.t-4) > 1e-9 {
+		t.Fatalf("head-on hit: ok=%v t=%v", ok, h.t)
+	}
+	if _, ok := s.intersect(Vec{0, 0, 0}, Vec{0, 1, 0}); ok {
+		t.Fatal("perpendicular ray hit the sphere")
+	}
+	// Ray starting inside exits through the far surface.
+	if h, ok := s.intersect(Vec{0, 0, 5}, Vec{0, 0, 1}); !ok || math.Abs(h.t-1) > 1e-9 {
+		t.Fatalf("inside hit: ok=%v t=%v", ok, h.t)
+	}
+	// Sphere behind the origin is not hit.
+	if _, ok := s.intersect(Vec{0, 0, 10}, Vec{0, 0, 1}); ok {
+		t.Fatal("sphere behind ray origin hit")
+	}
+}
+
+func TestPlaneIntersection(t *testing.T) {
+	p := Plane{Point: Vec{0, -1, 0}, Normal: Vec{0, 1, 0}}
+	if h, ok := p.intersect(Vec{0, 0, 0}, Vec{0, -1, 0}); !ok || math.Abs(h.t-1) > 1e-9 {
+		t.Fatalf("downward ray: ok=%v t=%v", ok, h.t)
+	}
+	if _, ok := p.intersect(Vec{0, 0, 0}, Vec{1, 0, 0}); ok {
+		t.Fatal("parallel ray hit plane")
+	}
+	// Normal faces against the incoming ray.
+	if h, _ := p.intersect(Vec{0, 0, 0}, Vec{0, -1, 0}); h.normal.Y <= 0 {
+		t.Fatalf("normal %v should face the ray", h.normal)
+	}
+}
+
+func TestReflectPreservesLength(t *testing.T) {
+	f := func(dx, dy, dz float64) bool {
+		d := Vec{dx, dy, dz}
+		if math.IsNaN(d.Len()) || math.IsInf(d.Len(), 0) || d.Len() == 0 {
+			return true
+		}
+		d = d.Norm()
+		r := Reflect(d, Vec{0, 1, 0})
+		return math.Abs(r.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripsComposeToFullRender(t *testing.T) {
+	sc := DefaultScene()
+	const w, h = 60, 40
+	full, err := sc.RenderStrip(w, h, 0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render in 5 strips of 12 and splice.
+	composed := make([]byte, len(full))
+	for x := 0; x < w; x += 12 {
+		strip, err := sc.RenderStrip(w, h, x, x+12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < h; y++ {
+			copy(composed[(y*w+x)*3:(y*w+x+12)*3], strip[y*12*3:(y+1)*12*3])
+		}
+	}
+	if !bytes.Equal(full, composed) {
+		t.Fatal("strip composition differs from full render")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	sc := DefaultScene()
+	a, _ := sc.RenderStrip(32, 32, 0, 32)
+	b, _ := sc.RenderStrip(32, 32, 0, 32)
+	if !bytes.Equal(a, b) {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestRenderHasContent(t *testing.T) {
+	sc := DefaultScene()
+	img, err := sc.RenderStrip(64, 64, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[[3]byte]bool{}
+	for i := 0; i+2 < len(img); i += 3 {
+		distinct[[3]byte{img[i], img[i+1], img[i+2]}] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("image has only %d distinct colors; scene/shading broken", len(distinct))
+	}
+}
+
+func TestRenderStripValidation(t *testing.T) {
+	sc := DefaultScene()
+	bad := [][4]int{{0, 10, 5, 5}, {0, 10, -1, 3}, {0, 10, 3, 11}, {-1, 10, 0, 5}, {10, 0, 0, 5}}
+	for _, b := range bad {
+		if _, err := sc.RenderStrip(b[0], b[1], b[2], b[3]); err == nil {
+			t.Fatalf("RenderStrip(%v) succeeded", b)
+		}
+	}
+}
+
+func TestJobPlanMatchesPaperDecomposition(t *testing.T) {
+	j := NewJob(DefaultJobConfig()) // 600×600 in 25-wide strips
+	var tasks []Task
+	if err := j.Plan(func(e tuplespace.Entry) error {
+		tasks = append(tasks, e.(Task))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 24 {
+		t.Fatalf("planned %d tasks, want 24", len(tasks))
+	}
+	covered := make([]bool, 600)
+	for _, task := range tasks {
+		if task.X1-task.X0 != 25 || task.W != 600 || task.H != 600 {
+			t.Fatalf("bad task %+v", task)
+		}
+		for x := task.X0; x < task.X1; x++ {
+			if covered[x] {
+				t.Fatalf("column %d covered twice", x)
+			}
+			covered[x] = true
+		}
+	}
+	for x, ok := range covered {
+		if !ok {
+			t.Fatalf("column %d never covered", x)
+		}
+	}
+}
+
+func TestJobEndToEndComposition(t *testing.T) {
+	cfg := DefaultJobConfig()
+	cfg.Width, cfg.Height, cfg.StripWidth = 80, 60, 16
+	cfg.WorkPerPixel = 0
+	j := NewJob(cfg)
+	var tasks []Task
+	_ = j.Plan(func(e tuplespace.Entry) error { tasks = append(tasks, e.(Task)); return nil })
+	prog := &program{scene: cfg.Scene}
+	for _, task := range tasks {
+		res, err := prog.Execute(execCtx(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Aggregate(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, complete := j.Image()
+	if !complete {
+		t.Fatal("image incomplete after all strips aggregated")
+	}
+	want, _ := cfg.Scene.RenderStrip(80, 60, 0, 80)
+	if !bytes.Equal(img, want) {
+		t.Fatal("distributed image differs from serial render")
+	}
+	var buf bytes.Buffer
+	j.WritePPM(&buf)
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n80 60\n255\n")) {
+		t.Fatalf("PPM header wrong: %q", buf.Bytes()[:20])
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	j := NewJob(DefaultJobConfig())
+	if err := j.Aggregate(Result{Job: JobName, ID: 1, X0: 0, X1: 25, Pixels: []byte{1, 2}}); err == nil {
+		t.Fatal("short pixel buffer accepted")
+	}
+	if err := j.Aggregate(Result{Job: JobName, ID: 1, X0: 590, X1: 620}); err == nil {
+		t.Fatal("out-of-range strip accepted")
+	}
+	if err := j.Aggregate(Task{}); err == nil {
+		t.Fatal("wrong entry type accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Package cluster assembles simulated heterogeneous clusters: each node
+// gets a sysmon.Machine with a relative CPU speed, an SNMP agent exposing
+// its load, the two load simulators of the paper's experiments, and an RPC
+// server on the in-process network where the worker's signal endpoint is
+// later bound. The canned topologies reproduce the paper's testbeds: five
+// 800 MHz Pentium III nodes, and thirteen 300 MHz nodes (the master is an
+// 800 MHz node in both, §5).
+package cluster
+
+import (
+	"fmt"
+
+	"gospaces/internal/snmp"
+	"gospaces/internal/sysmon"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+)
+
+// NodeSpec declares one worker node.
+type NodeSpec struct {
+	Name  string
+	Speed float64 // relative to the 800 MHz reference node
+}
+
+// Speeds of the paper's two node classes, relative to the 800 MHz P-III.
+const (
+	Speed800MHz = 1.0
+	Speed300MHz = 300.0 / 800.0
+)
+
+// FivePC returns the paper's 5-node 800 MHz cluster.
+func FivePC() []NodeSpec { return uniform(5, Speed800MHz) }
+
+// ThirteenPC returns the paper's 13-node 300 MHz cluster.
+func ThirteenPC() []NodeSpec { return uniform(13, Speed300MHz) }
+
+// Uniform returns n identical nodes at the given speed.
+func Uniform(n int, speed float64) []NodeSpec { return uniform(n, speed) }
+
+func uniform(n int, speed float64) []NodeSpec {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = NodeSpec{Name: fmt.Sprintf("node%02d", i+1), Speed: speed}
+	}
+	return specs
+}
+
+// Node is one assembled worker node.
+type Node struct {
+	Name    string
+	Machine *sysmon.Machine
+	Agent   *snmp.Agent
+	MIB     *snmp.MIB
+	Server  *transport.Server
+	Addr    string
+	Sim1    *sysmon.LoadSimulator // 30–50 % traffic-shaped load
+	Sim2    *sysmon.LoadSimulator // 100 % load
+}
+
+// Cluster is an assembled simulated cluster.
+type Cluster struct {
+	Clock         vclock.Clock
+	Net           *transport.Network
+	Nodes         []*Node
+	MasterMachine *sysmon.Machine
+	MasterAddr    string
+	MasterServer  *transport.Server
+	Community     string
+}
+
+// New assembles a cluster on clock with the given network model, a
+// 1.0-speed master node, and the given worker specs. Worker servers are
+// bound at "node/<name>"; the master's at "master".
+func New(clock vclock.Clock, model transport.Model, specs []NodeSpec) *Cluster {
+	c := &Cluster{
+		Clock:         clock,
+		Net:           transport.NewNetwork(clock, model),
+		MasterMachine: sysmon.NewMachine(clock, "master", Speed800MHz),
+		MasterAddr:    "master",
+		MasterServer:  transport.NewServer(),
+		Community:     "public",
+	}
+	c.Net.Listen(c.MasterAddr, c.MasterServer)
+	for _, spec := range specs {
+		c.Nodes = append(c.Nodes, c.addNode(spec))
+	}
+	return c
+}
+
+func (c *Cluster) addNode(spec NodeSpec) *Node {
+	m := sysmon.NewMachine(c.Clock, spec.Name, spec.Speed)
+	mib := snmp.NewMIB()
+	mib.Register(snmp.OIDSysName, func() snmp.Value { return snmp.OctetString(spec.Name) })
+	mib.Register(snmp.OIDSysDescr, func() snmp.Value {
+		return snmp.OctetString(fmt.Sprintf("gospaces simulated node (speed %.3f)", spec.Speed))
+	})
+	mib.Register(snmp.OIDHrProcessorLoad, func() snmp.Value {
+		// Polling records a sample, building the CPU-usage trace that
+		// the adaptation figures plot.
+		return snmp.Integer(int64(m.RecordSample().Usage + 0.5))
+	})
+	mib.Register(snmp.OIDBackgroundLoad, func() snmp.Value {
+		return snmp.Integer(int64(m.BackgroundLoad() + 0.5))
+	})
+	agent := snmp.NewAgent(c.Community, mib)
+
+	srv := transport.NewServer()
+	agent.Bind(srv)
+	addr := "node/" + spec.Name
+	c.Net.Listen(addr, srv)
+	return &Node{
+		Name:    spec.Name,
+		Machine: m,
+		Agent:   agent,
+		MIB:     mib,
+		Server:  srv,
+		Addr:    addr,
+		Sim1:    sysmon.NewLoadSimulator1(m),
+		Sim2:    sysmon.NewLoadSimulator2(m),
+	}
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node {
+	for _, n := range c.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}

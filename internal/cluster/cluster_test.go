@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/snmp"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+)
+
+func TestCannedTopologies(t *testing.T) {
+	five := FivePC()
+	if len(five) != 5 || five[0].Speed != Speed800MHz {
+		t.Fatalf("FivePC = %+v", five)
+	}
+	thirteen := ThirteenPC()
+	if len(thirteen) != 13 || thirteen[12].Speed != Speed300MHz {
+		t.Fatalf("ThirteenPC = %+v", thirteen)
+	}
+	names := map[string]bool{}
+	for _, s := range thirteen {
+		if names[s.Name] {
+			t.Fatalf("duplicate node name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+func TestClusterAssembly(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	c := New(clk, transport.Loopback(), Uniform(3, 0.5))
+	if len(c.Nodes) != 3 {
+		t.Fatalf("%d nodes", len(c.Nodes))
+	}
+	if c.Node("node02") == nil || c.Node("ghost") != nil {
+		t.Fatal("Node lookup broken")
+	}
+	if c.MasterMachine.Speed() != Speed800MHz {
+		t.Fatalf("master speed %v", c.MasterMachine.Speed())
+	}
+	for _, n := range c.Nodes {
+		if n.Machine.Speed() != 0.5 {
+			t.Fatalf("%s speed %v", n.Name, n.Machine.Speed())
+		}
+		if n.Sim1 == nil || n.Sim2 == nil {
+			t.Fatalf("%s missing load simulators", n.Name)
+		}
+	}
+}
+
+func TestClusterSNMPWiring(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	c := New(clk, transport.Loopback(), Uniform(1, 1))
+	node := c.Nodes[0]
+	mgr := snmp.NewManager(c.Community, &snmp.RPCExchanger{C: c.Net.Dial(node.Addr)})
+	defer mgr.Close()
+
+	clk.Run(func() {
+		node.Machine.SetConstSource("user", 42)
+		load, err := mgr.GetInt(snmp.OIDHrProcessorLoad)
+		if err != nil {
+			t.Error(err)
+		}
+		if load != 42 {
+			t.Errorf("hrProcessorLoad = %d, want 42", load)
+		}
+		// Worker's own load excluded from the background OID.
+		node.Machine.SetConstSource("worker", 50)
+		bg, err := mgr.GetInt(snmp.OIDBackgroundLoad)
+		if err != nil {
+			t.Error(err)
+		}
+		if bg != 42 {
+			t.Errorf("background load = %d, want 42", bg)
+		}
+		// Polling hrProcessorLoad records history samples.
+		if len(node.Machine.History()) == 0 {
+			t.Error("no samples recorded by SNMP poll")
+		}
+		// sysName answers too.
+		vbs, err := mgr.Get(snmp.OIDSysName)
+		if err != nil {
+			t.Error(err)
+		}
+		if vbs[0].Value.String() != "node01" {
+			t.Errorf("sysName = %v", vbs[0].Value)
+		}
+	})
+}
+
+func TestMasterServerListens(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	c := New(clk, transport.Loopback(), nil)
+	c.MasterServer.Handle("ping", func(arg interface{}) (interface{}, error) { return "pong", nil })
+	clk.Run(func() {
+		res, err := c.Net.Dial(c.MasterAddr).Call("ping", 0)
+		if err != nil {
+			t.Error(err)
+		}
+		if res != "pong" {
+			t.Errorf("res = %v", res)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package core is the public facade of the adaptive cluster-computing
+// framework — the paper's primary contribution. A Framework wires the
+// three modules of Figure 3 over the substrates:
+//
+//   - the master module (package master) hosts the JavaSpaces service and
+//     the code server, registers them with the Jini-style lookup service,
+//     plans tasks and aggregates results;
+//   - the worker modules (package worker) are thin runtimes on each
+//     cluster node, configured remotely through the nodeconfig engine,
+//     pulling tasks from the space under transactions;
+//   - the network management module (package netmgmt) polls each node's
+//     SNMP agent and drives workers through the rule-base protocol so
+//     cycle stealing stays non-intrusive.
+//
+// A Framework runs on either clock: the experiment harness uses
+// vclock.Virtual for deterministic simulated-cluster runs; the cmd tools
+// and examples use the real clock.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gospaces/internal/cluster"
+	"gospaces/internal/discovery"
+	"gospaces/internal/master"
+	"gospaces/internal/netmgmt"
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/rulebase"
+	"gospaces/internal/snmp"
+	"gospaces/internal/space"
+	"gospaces/internal/sysmon"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+	"gospaces/internal/worker"
+)
+
+// Job is re-exported so applications depend only on core.
+type Job = master.Job
+
+// Config tunes a Framework.
+type Config struct {
+	// Model is the network cost model. Default transport.LAN2001().
+	Model *transport.Model
+	// Workers are the cluster's worker nodes.
+	Workers []cluster.NodeSpec
+	// Monitoring enables the network management module: workers then
+	// start only when the rule base signals Start, and back off under
+	// load. Without it, workers auto-start (scalability experiments).
+	Monitoring bool
+	// Thresholds configures the rule base (zero value = paper defaults).
+	Thresholds rulebase.Thresholds
+	// PollInterval is the SNMP monitoring period. Default 1 s.
+	PollInterval time.Duration
+	// TrapDriven additionally runs a load watcher on every node that
+	// fires an SNMP trap when the load crosses a rule-base band, letting
+	// the network manager react immediately instead of waiting out the
+	// poll interval. Requires Monitoring.
+	TrapDriven bool
+	// TrapInterval is the node watcher's sampling period.
+	// Default PollInterval/10.
+	TrapInterval time.Duration
+	// TxnTTL leases each worker's per-task transaction. Default 2 min.
+	TxnTTL time.Duration
+	// PollTimeout bounds each worker's blocking Take. Default 250 ms.
+	PollTimeout time.Duration
+	// ResultTimeout bounds the master's wait per result. Default 5 min.
+	ResultTimeout time.Duration
+}
+
+// Framework is an assembled deployment: cluster, lookup service, space
+// service, code server and master module.
+type Framework struct {
+	Clock      vclock.Clock
+	Cluster    *cluster.Cluster
+	Lookup     *discovery.Registry
+	Local      *space.Local
+	CodeServer *nodeconfig.CodeServer
+	Master     *master.Master
+
+	cfg Config
+}
+
+// Result gathers everything a run produced.
+type Result struct {
+	Metrics master.RunMetrics
+	// MaxWorkerTime is the maximum per-worker computation time (first
+	// task access to final result write) — the paper's Max Worker Time.
+	MaxWorkerTime time.Duration
+	// WorkerStats maps node name to its worker's final stats.
+	WorkerStats map[string]worker.Stats
+	// SignalLogs maps node name to the control signals it received.
+	SignalLogs map[string][]worker.SignalRecord
+	// Events is the network management module's signal log (empty when
+	// monitoring is disabled).
+	Events []netmgmt.Event
+}
+
+// New assembles a Framework on clock.
+func New(clock vclock.Clock, cfg Config) *Framework {
+	model := transport.LAN2001()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	if cfg.TxnTTL <= 0 {
+		cfg.TxnTTL = 2 * time.Minute
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 250 * time.Millisecond
+	}
+
+	clus := cluster.New(clock, model, cfg.Workers)
+
+	f := &Framework{
+		Clock:      clock,
+		Cluster:    clus,
+		Lookup:     discovery.NewRegistry(clock),
+		Local:      space.NewLocal(clock),
+		CodeServer: nodeconfig.NewCodeServer(),
+		cfg:        cfg,
+	}
+
+	// The lookup service listens at the well-known discovery address.
+	lookupSrv := transport.NewServer()
+	discovery.NewService(f.Lookup, lookupSrv)
+	clus.Net.Listen(discovery.WellKnownAddress, lookupSrv)
+
+	// The master hosts the JavaSpaces service and the code server, and
+	// joins the lookup federation.
+	space.NewService(f.Local, clus.MasterServer)
+	f.CodeServer.Bind(clus.MasterServer)
+	f.Lookup.Register(discovery.ServiceItem{
+		Name:       "javaspace",
+		Address:    clus.MasterAddr,
+		Attributes: map[string]string{"type": "javaspace"},
+	}, 0)
+
+	f.Master = master.New(master.Config{
+		Clock:         clock,
+		Space:         f.Local,
+		Machine:       clus.MasterMachine,
+		ResultTimeout: cfg.ResultTimeout,
+		// Sweeping expired worker transactions lets tasks held by
+		// crashed workers reappear instead of stalling collection.
+		Sweeper:       f.Local.Mgr,
+		SweepInterval: cfg.TxnTTL / 4,
+	})
+	return f
+}
+
+// Run executes job on the framework's cluster. If script is non-nil it
+// runs concurrently (experiment scripts toggle load simulators with it).
+// Run must execute as a process on the framework's clock — inside
+// vclock.Virtual.Run for virtual time, or any goroutine for real time.
+func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
+	f.CodeServer.Publish(job.Bundle())
+
+	// Build one worker per node, each discovering the space through the
+	// lookup service exactly as a Jini client would.
+	workers := make([]*worker.Worker, 0, len(f.Cluster.Nodes))
+	engine := rulebase.NewEngine(f.cfg.Thresholds)
+	mod := netmgmt.New(netmgmt.Config{
+		Clock:        f.Clock,
+		Engine:       engine,
+		PollInterval: f.cfg.PollInterval,
+		Community:    f.Cluster.Community,
+	})
+	var watchers []*sysmon.Watcher
+	for _, node := range f.Cluster.Nodes {
+		w, err := f.buildWorker(node, job)
+		if err != nil {
+			return Result{}, err
+		}
+		workers = append(workers, w)
+		if !f.cfg.Monitoring {
+			w.AutoStart()
+			continue
+		}
+		mod.Register(node.Name,
+			&snmp.RPCExchanger{C: f.Cluster.Net.Dial(node.Addr)},
+			f.Cluster.Net.Dial(node.Addr))
+		if f.cfg.TrapDriven {
+			watchers = append(watchers, f.buildTrapWatcher(node, engine, mod))
+		}
+	}
+
+	group := vclock.NewGroup(f.Clock)
+	for _, w := range workers {
+		w := w
+		group.Go(w.Run)
+	}
+	if f.cfg.Monitoring {
+		group.Go(mod.Run)
+	}
+	for _, watch := range watchers {
+		watch := watch
+		group.Go(watch.Run)
+	}
+	if script != nil {
+		group.Go(func() { script(f) })
+	}
+
+	rm, runErr := f.Master.RunJob(job)
+
+	for _, w := range workers {
+		w.Shutdown()
+	}
+	mod.Shutdown()
+	for _, watch := range watchers {
+		watch.Stop()
+	}
+	group.Wait()
+
+	res := Result{
+		Metrics:     rm,
+		WorkerStats: make(map[string]worker.Stats, len(workers)),
+		SignalLogs:  make(map[string][]worker.SignalRecord, len(workers)),
+		Events:      mod.Events(),
+	}
+	for i, w := range workers {
+		name := f.Cluster.Nodes[i].Name
+		st := w.Stats()
+		res.WorkerStats[name] = st
+		res.SignalLogs[name] = w.Signals()
+		if wt := st.WorkerTime(); wt > res.MaxWorkerTime {
+			res.MaxWorkerTime = wt
+		}
+	}
+	return res, runErr
+}
+
+// buildWorker assembles the worker module for one node.
+func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, error) {
+	// Jini-style discovery: find the space service by attribute lookup.
+	lc := discovery.NewClient(f.Cluster.Net.Dial(discovery.WellKnownAddress))
+	item, err := lc.LookupOne(map[string]string{"type": "javaspace"})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: discovering space: %w", node.Name, err)
+	}
+	proxy := space.NewProxy(f.Cluster.Net.Dial(item.Address))
+	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{
+		Clock:   f.Clock,
+		Machine: node.Machine,
+		Node:    node.Name,
+	}, f.Cluster.Net.Dial(item.Address))
+
+	w := worker.New(worker.Config{
+		Node:         node.Name,
+		Clock:        f.Clock,
+		Machine:      node.Machine,
+		Space:        proxy,
+		Engine:       engine,
+		Program:      job.Name(),
+		TaskTemplate: job.TaskTemplate(),
+		TxnTTL:       f.cfg.TxnTTL,
+		PollTimeout:  f.cfg.PollTimeout,
+	})
+	w.Bind(node.Server)
+	// Export the worker's progress through the node's SNMP agent.
+	node.MIB.Register(snmp.OIDWorkerTasksDone, func() snmp.Value {
+		return snmp.Counter32(uint32(w.Stats().TasksDone))
+	})
+	node.MIB.Register(snmp.OIDWorkerState, func() snmp.Value {
+		return snmp.Integer(int64(w.State()))
+	})
+	return w, nil
+}
+
+// buildTrapWatcher wires a node-side load watcher that fires an SNMP
+// load-band trap to the network manager whenever the node's background
+// load crosses a rule-base band.
+func (f *Framework) buildTrapWatcher(node *cluster.Node, engine *rulebase.Engine, mod *netmgmt.Module) *sysmon.Watcher {
+	interval := f.cfg.TrapInterval
+	if interval <= 0 {
+		interval = f.cfg.PollInterval / 10
+	}
+	start := f.Clock.Now()
+	sender := snmp.NewTrapSender(f.Cluster.Community, snmp.TrapSinkFunc(func(pkt []byte) error {
+		_, err := mod.HandleTrap(node.Name, pkt)
+		return err
+	}))
+	return sysmon.NewWatcher(f.Clock, node.Machine, interval, engine.Band, func(load float64) {
+		uptime := snmp.TimeTicks(f.Clock.Since(start) / (10 * time.Millisecond))
+		_ = sender.Send(uptime, snmp.OIDLoadBandTrap,
+			snmp.Varbind{OID: snmp.OIDBackgroundLoad, Value: snmp.Integer(int64(load + 0.5))})
+	})
+}
+
+// Machine returns the named node's machine (nil if unknown) — convenience
+// for experiment scripts.
+func (f *Framework) Machine(name string) *sysmon.Machine {
+	if n := f.Cluster.Node(name); n != nil {
+		return n.Machine
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+)
+
+// RPC frames.
+type registerArgs struct {
+	Item ServiceItem
+	TTL  time.Duration
+}
+
+type registerReply struct {
+	ID uint64
+}
+
+type renewArgs struct {
+	ID  uint64
+	TTL time.Duration
+}
+
+type lookupArgs struct {
+	Tmpl map[string]string
+}
+
+type lookupReply struct {
+	Items []ServiceItem
+}
+
+func init() {
+	transport.RegisterType(registerArgs{})
+	transport.RegisterType(registerReply{})
+	transport.RegisterType(renewArgs{})
+	transport.RegisterType(lookupArgs{})
+	transport.RegisterType(lookupReply{})
+	transport.RegisterType(ServiceItem{})
+}
+
+// NewService exposes registry reg on srv under the "lookup." prefix.
+func NewService(reg *Registry, srv *transport.Server) {
+	srv.Handle("lookup.Register", func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(registerArgs)
+		if !ok {
+			return nil, fmt.Errorf("discovery: bad register args %T", arg)
+		}
+		return registerReply{ID: reg.Register(a.Item, a.TTL)}, nil
+	})
+	srv.Handle("lookup.Renew", func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(renewArgs)
+		if !ok {
+			return nil, fmt.Errorf("discovery: bad renew args %T", arg)
+		}
+		if err := reg.Renew(a.ID, a.TTL); err != nil {
+			return nil, err
+		}
+		return registerReply{ID: a.ID}, nil
+	})
+	srv.Handle("lookup.Cancel", func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(renewArgs)
+		if !ok {
+			return nil, fmt.Errorf("discovery: bad cancel args %T", arg)
+		}
+		if err := reg.Cancel(a.ID); err != nil {
+			return nil, err
+		}
+		return registerReply{ID: a.ID}, nil
+	})
+	srv.Handle("lookup.Lookup", func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(lookupArgs)
+		if !ok {
+			return nil, fmt.Errorf("discovery: bad lookup args %T", arg)
+		}
+		return lookupReply{Items: reg.Lookup(a.Tmpl)}, nil
+	})
+}
+
+// Client is a remote handle on a lookup service.
+type Client struct {
+	c transport.Client
+}
+
+// NewClient wraps an RPC client.
+func NewClient(c transport.Client) *Client { return &Client{c: c} }
+
+// Register implements the join protocol: it registers item with the remote
+// lookup service and returns a registration ID.
+func (c *Client) Register(item ServiceItem, ttl time.Duration) (uint64, error) {
+	res, err := c.c.Call("lookup.Register", registerArgs{Item: item, TTL: ttl})
+	if err != nil {
+		return 0, err
+	}
+	return res.(registerReply).ID, nil
+}
+
+// Renew extends a registration's lease.
+func (c *Client) Renew(id uint64, ttl time.Duration) error {
+	_, err := c.c.Call("lookup.Renew", renewArgs{ID: id, TTL: ttl})
+	return err
+}
+
+// Cancel removes a registration.
+func (c *Client) Cancel(id uint64) error {
+	_, err := c.c.Call("lookup.Cancel", renewArgs{ID: id})
+	return err
+}
+
+// Lookup returns services matching the attribute template.
+func (c *Client) Lookup(tmpl map[string]string) ([]ServiceItem, error) {
+	res, err := c.c.Call("lookup.Lookup", lookupArgs{Tmpl: tmpl})
+	if err != nil {
+		return nil, err
+	}
+	return res.(lookupReply).Items, nil
+}
+
+// LookupOne returns the first matching service, or ErrNoService.
+func (c *Client) LookupOne(tmpl map[string]string) (ServiceItem, error) {
+	items, err := c.Lookup(tmpl)
+	if err != nil {
+		return ServiceItem{}, err
+	}
+	if len(items) == 0 {
+		return ServiceItem{}, ErrNoService
+	}
+	return items[0], nil
+}
+
+// KeepAlive is the standard Jini lease discipline for long-lived
+// services: it renews registration id every ttl/3 so a crashed service
+// ages out of the lookup registry while live ones stay listed. Run is a
+// clock process (start it with vclock.Group.Go or a plain goroutine);
+// Stop terminates it. A failed renewal (e.g. the registration was
+// cancelled) also ends the loop.
+type KeepAlive struct {
+	client *Client
+	clock  vclock.Clock
+	id     uint64
+	ttl    time.Duration
+
+	mu     sync.Mutex
+	quit   bool
+	parker vclock.Waiter
+	err    error
+}
+
+// NewKeepAlive returns a renewal loop for registration id.
+func NewKeepAlive(client *Client, clock vclock.Clock, id uint64, ttl time.Duration) *KeepAlive {
+	return &KeepAlive{client: client, clock: clock, id: id, ttl: ttl}
+}
+
+// Run renews until Stop or a renewal failure.
+func (k *KeepAlive) Run() {
+	interval := k.ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		k.mu.Lock()
+		if k.quit {
+			k.mu.Unlock()
+			return
+		}
+		k.parker = k.clock.NewWaiter()
+		p := k.parker
+		k.mu.Unlock()
+
+		if woken := p.Wait(interval); woken {
+			return // stopped
+		}
+		if err := k.client.Renew(k.id, k.ttl); err != nil {
+			k.mu.Lock()
+			k.err = err
+			k.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Stop ends the renewal loop.
+func (k *KeepAlive) Stop() {
+	k.mu.Lock()
+	k.quit = true
+	p := k.parker
+	k.mu.Unlock()
+	if p != nil {
+		p.Wake()
+	}
+}
+
+// Err returns the renewal error that ended the loop, if any.
+func (k *KeepAlive) Err() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.err
+}
+
+// Await polls the lookup service until a service matching tmpl appears or
+// maxWait elapses, sleeping interval between polls on clock-free real time
+// supplied by the caller's sleep function. It models a Jini client's
+// repeated discovery attempts.
+func (c *Client) Await(tmpl map[string]string, attempts int, sleep func()) (ServiceItem, error) {
+	for i := 0; ; i++ {
+		item, err := c.LookupOne(tmpl)
+		if err == nil {
+			return item, nil
+		}
+		if err != ErrNoService && !isRemoteNoService(err) {
+			return ServiceItem{}, err
+		}
+		if i+1 >= attempts {
+			return ServiceItem{}, ErrNoService
+		}
+		sleep()
+	}
+}
+
+func isRemoteNoService(err error) bool {
+	re, ok := err.(*transport.RemoteError)
+	return ok && re.Msg == ErrNoService.Error()
+}

@@ -1,0 +1,250 @@
+package e2e
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/discovery"
+	"gospaces/internal/master"
+	"gospaces/internal/netmgmt"
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/rulebase"
+	"gospaces/internal/snmp"
+	"gospaces/internal/space"
+	"gospaces/internal/sysmon"
+	"gospaces/internal/transport"
+	"gospaces/internal/vclock"
+	"gospaces/internal/worker"
+)
+
+// node is one worker deployment over real sockets.
+type node struct {
+	name    string
+	machine *sysmon.Machine
+	w       *worker.Worker
+	sigL    *transport.TCPListener
+	agent   *snmp.UDPAgent
+}
+
+func startNode(t *testing.T, clk vclock.Clock, name, spaceAddr string, job master.Job) *node {
+	t.Helper()
+	machine := sysmon.NewMachine(clk, name, 1)
+
+	spaceConn, err := transport.DialTCP(spaceAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeConn, err := transport.DialTCP(spaceAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{Clock: clk, Machine: machine, Node: name}, codeConn)
+	w := worker.New(worker.Config{
+		Node:         name,
+		Clock:        clk,
+		Machine:      machine,
+		Space:        space.NewProxy(spaceConn),
+		Engine:       engine,
+		Program:      job.Name(),
+		TaskTemplate: job.TaskTemplate(),
+		TxnTTL:       time.Minute,
+		PollTimeout:  50 * time.Millisecond,
+		ParkPoll:     50 * time.Millisecond,
+	})
+
+	sigSrv := transport.NewServer()
+	w.Bind(sigSrv)
+	sigL, err := transport.ListenTCP("127.0.0.1:0", sigSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mib := snmp.NewMIB()
+	mib.Register(snmp.OIDHrProcessorLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.RecordSample().Usage + 0.5))
+	})
+	mib.Register(snmp.OIDBackgroundLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.BackgroundLoad() + 0.5))
+	})
+	agent, err := snmp.ListenUDP("127.0.0.1:0", snmp.NewAgent("public", mib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run()
+	return &node{name: name, machine: machine, w: w, sigL: sigL, agent: agent}
+}
+
+func (n *node) stop() {
+	n.w.Shutdown()
+	_ = n.sigL.Close()
+	_ = n.agent.Close()
+}
+
+// TestFullDeploymentOverTCPAndUDP stands up the complete federation the
+// cmd tools deploy — lookup, master (space + code server), two workers,
+// network management — over real localhost sockets, and runs a small
+// option-pricing job end to end with rule-base-driven starts.
+func TestFullDeploymentOverTCPAndUDP(t *testing.T) {
+	clk := vclock.NewReal()
+
+	// Lookup service.
+	lookupSrv := transport.NewServer()
+	discovery.NewService(discovery.NewRegistry(clk), lookupSrv)
+	lookupL, err := transport.ListenTCP("127.0.0.1:0", lookupSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lookupL.Close()
+
+	// Master: space service + code server, registered with lookup.
+	cfg := montecarlo.DefaultJobConfig()
+	cfg.TotalSims = 400
+	cfg.SimsPerTask = 100 // 4 subtasks
+	cfg.WorkPerSubtask = 5 * time.Millisecond
+	cfg.PlanningCostPerTask = time.Millisecond
+	cfg.AggregationCostPerResult = 0
+	job := montecarlo.NewJob(cfg)
+
+	local := space.NewLocal(clk)
+	masterSrv := transport.NewServer()
+	space.NewService(local, masterSrv)
+	cs := nodeconfig.NewCodeServer()
+	cs.Publish(job.Bundle())
+	cs.Bind(masterSrv)
+	masterL, err := transport.ListenTCP("127.0.0.1:0", masterSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer masterL.Close()
+
+	lookupConn, err := transport.DialTCP(lookupL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lookupConn.Close()
+	lc := discovery.NewClient(lookupConn)
+	if _, err := lc.Register(discovery.ServiceItem{
+		Name: "javaspace", Address: masterL.Addr(),
+		Attributes: map[string]string{"type": "javaspace"},
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers discover the space through the lookup service, exactly as
+	// cmd/worker does.
+	item, err := lc.LookupOne(map[string]string{"type": "javaspace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*node
+	for i := 0; i < 2; i++ {
+		n := startNode(t, clk, fmt.Sprintf("tcp-node%02d", i+1), item.Address, job)
+		defer n.stop()
+		nodes = append(nodes, n)
+	}
+
+	// Network management polls SNMP over UDP and signals over TCP.
+	mod := netmgmt.New(netmgmt.Config{Clock: clk, PollInterval: 50 * time.Millisecond})
+	for _, n := range nodes {
+		sig, err := transport.DialTCP(n.sigL.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.Register(n.name, &snmp.UDPExchanger{Addr: n.agent.Addr(), Timeout: time.Second}, sig)
+	}
+	go mod.Run()
+	defer mod.Shutdown()
+
+	m := master.New(master.Config{Clock: clk, Space: local, ResultTimeout: 30 * time.Second})
+	rm, err := m.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Tasks != 4 {
+		t.Fatalf("tasks = %d", rm.Tasks)
+	}
+	price, err := job.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if price.Midpoint() <= 0 {
+		t.Fatalf("price %+v", price)
+	}
+
+	// The rule base started both workers.
+	starts := 0
+	for _, ev := range mod.Events() {
+		if ev.Err == nil && ev.Signal == rulebase.SignalStart {
+			starts++
+		}
+	}
+	if starts != 2 {
+		t.Fatalf("start signals = %d, want 2", starts)
+	}
+	// Workers bump their counters just after the commit that publishes
+	// the result, so give them a moment to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		done := 0
+		for _, n := range nodes {
+			done += n.w.Stats().TasksDone
+		}
+		if done == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers completed %d tasks, want 4", done)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeploymentWorkerStopsUnderLoadOverUDP checks the rule-base loop over
+// real sockets: raising a node's background load pauses/stops its worker.
+func TestDeploymentWorkerStopsUnderLoadOverUDP(t *testing.T) {
+	clk := vclock.NewReal()
+	machine := sysmon.NewMachine(clk, "loaded", 1)
+	mib := snmp.NewMIB()
+	mib.Register(snmp.OIDHrProcessorLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.Usage() + 0.5))
+	})
+	mib.Register(snmp.OIDBackgroundLoad, func() snmp.Value {
+		return snmp.Integer(int64(machine.BackgroundLoad() + 0.5))
+	})
+	agent, err := snmp.ListenUDP("127.0.0.1:0", snmp.NewAgent("public", mib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	w := worker.New(worker.Config{Node: "loaded", Clock: clk})
+	sigSrv := transport.NewServer()
+	w.Bind(sigSrv)
+	sigL, err := transport.ListenTCP("127.0.0.1:0", sigSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sigL.Close()
+
+	mod := netmgmt.New(netmgmt.Config{Clock: clk, PollInterval: 20 * time.Millisecond})
+	sig, err := transport.DialTCP(sigL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Register("loaded", &snmp.UDPExchanger{Addr: agent.Addr(), Timeout: time.Second}, sig)
+
+	// Round 1: idle → Start.
+	mod.PollOnce()
+	if st, _ := mod.WorkerState("loaded"); st != rulebase.StateRunning {
+		t.Fatalf("state = %v, want Running", st)
+	}
+	// Round 2: saturate → Stop.
+	machine.SetConstSource("user", 95)
+	mod.PollOnce()
+	if st, _ := mod.WorkerState("loaded"); st != rulebase.StateStopped {
+		t.Fatalf("state = %v, want Stopped", st)
+	}
+	mod.Unregister("loaded")
+}

@@ -1,0 +1,5 @@
+// Package e2e holds end-to-end deployment tests that exercise the same
+// wiring as the cmd tools: the lookup service, space service and signal
+// endpoints over real TCP, and SNMP agents over real UDP, all on
+// localhost with the wall clock.
+package e2e

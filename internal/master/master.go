@@ -1,0 +1,239 @@
+// Package master implements the paper's master module: it hosts the
+// JavaSpaces service (and the code server), registers them with the
+// lookup service, decomposes an application Job into task entries during
+// the task-planning phase, writes them into the space, and collects and
+// aggregates result entries during the result-aggregation phase. It
+// measures the quantities the paper's figures report: task planning time,
+// task aggregation time, parallel time, and per-task master overhead.
+package master
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/nodeconfig"
+	"gospaces/internal/space"
+	"gospaces/internal/sysmon"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// Job is a parallel application in the framework's bag-of-tasks model.
+// Implementations provide task decomposition (planning), result
+// aggregation, and the worker program bundle that the remote node
+// configuration engine ships to workers.
+type Job interface {
+	// Name identifies the job; it is also the program bundle name.
+	Name() string
+	// Plan decomposes the problem into task entries, calling emit for
+	// each. The master charges PlanningCost per emitted task.
+	Plan(emit func(task tuplespace.Entry) error) error
+	// TaskTemplate matches this job's task entries.
+	TaskTemplate() tuplespace.Entry
+	// ResultTemplate matches this job's result entries.
+	ResultTemplate() tuplespace.Entry
+	// Aggregate folds one result into the final solution. The master
+	// charges AggregationCost per result around this call.
+	Aggregate(result tuplespace.Entry) error
+	// Bundle is the worker program shipped by the code server.
+	Bundle() nodeconfig.Bundle
+	// PlanningCost is the master CPU work to create and serialize one
+	// task entry (reference-node time).
+	PlanningCost() time.Duration
+	// AggregationCost is the master CPU work to fold one result
+	// (reference-node time).
+	AggregationCost() time.Duration
+}
+
+// Iterative is implemented by jobs with inter-iteration dependencies
+// (such as the page-rank power iteration): after every result of a phase
+// has been aggregated, the master calls NextPhase; if it returns true the
+// job's Plan is invoked again for the next phase's tasks.
+type Iterative interface {
+	NextPhase() bool
+}
+
+// RunMetrics are the measurements of one job execution, matching §5.2.1:
+// Max Worker Time is computed by the caller from worker stats; the rest
+// are measured at the master.
+type RunMetrics struct {
+	Tasks               int
+	Phases              int
+	TaskPlanningTime    time.Duration
+	TaskAggregationTime time.Duration
+	ParallelTime        time.Duration
+	// MaxMasterOverhead is the maximum instantaneous time the master
+	// spent planning one task or aggregating one result.
+	MaxMasterOverhead time.Duration
+}
+
+// Config assembles a master.
+type Config struct {
+	Clock vclock.Clock
+	// Space is the master's local handle on the JavaSpace it hosts.
+	Space space.Space
+	// Machine models the master node's CPU; nil charges costs as plain
+	// clock sleeps.
+	Machine *sysmon.Machine
+	// ResultTimeout bounds the wait for each result during aggregation.
+	// Default 5 minutes (a stuck cluster fails the run rather than
+	// hanging it).
+	ResultTimeout time.Duration
+	// Sweeper, if set, is invoked periodically while the master waits
+	// for results, aborting expired worker transactions so tasks held by
+	// crashed workers reappear in the space. The framework passes the
+	// space's transaction manager here.
+	Sweeper interface{ Sweep() int }
+	// SweepInterval is how often Sweeper runs during collection.
+	// Default 5 s.
+	SweepInterval time.Duration
+	// Collector, if set, receives per-phase samples.
+	Collector *metrics.Collector
+}
+
+// Master runs jobs.
+type Master struct {
+	cfg Config
+}
+
+// ErrNoTasks is returned when a job plans zero tasks.
+var ErrNoTasks = errors.New("master: job planned no tasks")
+
+// New returns a Master.
+func New(cfg Config) *Master {
+	if cfg.ResultTimeout <= 0 {
+		cfg.ResultTimeout = 5 * time.Minute
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = 5 * time.Second
+	}
+	return &Master{cfg: cfg}
+}
+
+// charge burns d of master CPU (at full intensity on the master machine,
+// or as a plain sleep without one).
+func (m *Master) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if m.cfg.Machine != nil {
+		m.cfg.Machine.Compute(d, 90)
+	} else {
+		m.cfg.Clock.Sleep(d)
+	}
+}
+
+// RunJob executes the three-phase protocol for job and returns its
+// metrics. Workers must already be running (or started concurrently); the
+// task-planning and compute phases overlap naturally, since workers begin
+// consuming tasks as soon as the first write lands. Jobs implementing
+// Iterative get additional plan/collect rounds until NextPhase reports
+// false.
+func (m *Master) RunJob(job Job) (RunMetrics, error) {
+	var rm RunMetrics
+	total := metrics.StartStopwatch(m.cfg.Clock)
+	for {
+		rm.Phases++
+		n, err := m.planPhase(job, &rm)
+		if err != nil {
+			return rm, err
+		}
+		if n == 0 {
+			return rm, ErrNoTasks
+		}
+		if err := m.collectPhase(job, n, &rm); err != nil {
+			return rm, err
+		}
+		it, ok := job.(Iterative)
+		if !ok || !it.NextPhase() {
+			break
+		}
+	}
+	rm.ParallelTime = total.Elapsed()
+	if m.cfg.Collector != nil {
+		m.cfg.Collector.Add("planning", rm.TaskPlanningTime)
+		m.cfg.Collector.Add("aggregation", rm.TaskAggregationTime)
+		m.cfg.Collector.Add("parallel", rm.ParallelTime)
+	}
+	return rm, nil
+}
+
+// planPhase runs one task-planning round and returns how many tasks it
+// emitted.
+func (m *Master) planPhase(job Job, rm *RunMetrics) (int, error) {
+	planning := metrics.StartStopwatch(m.cfg.Clock)
+	planCost := job.PlanningCost()
+	n := 0
+	err := job.Plan(func(task tuplespace.Entry) error {
+		one := metrics.StartStopwatch(m.cfg.Clock)
+		m.charge(planCost)
+		if _, err := m.cfg.Space.Write(task, nil, tuplespace.Forever); err != nil {
+			return fmt.Errorf("master: write task: %w", err)
+		}
+		n++
+		if d := one.Elapsed(); d > rm.MaxMasterOverhead {
+			rm.MaxMasterOverhead = d
+		}
+		return nil
+	})
+	if err != nil {
+		return n, fmt.Errorf("master: planning: %w", err)
+	}
+	rm.Tasks += n
+	rm.TaskPlanningTime += planning.Elapsed()
+	return n, nil
+}
+
+// collectPhase takes and aggregates n results.
+func (m *Master) collectPhase(job Job, n int, rm *RunMetrics) error {
+	aggregation := metrics.StartStopwatch(m.cfg.Clock)
+	aggCost := job.AggregationCost()
+	tmpl := job.ResultTemplate()
+	for i := 0; i < n; i++ {
+		res, err := m.takeResult(tmpl)
+		if err != nil {
+			return fmt.Errorf("master: collecting result %d/%d: %w", i+1, n, err)
+		}
+		one := metrics.StartStopwatch(m.cfg.Clock)
+		m.charge(aggCost)
+		if err := job.Aggregate(res); err != nil {
+			return fmt.Errorf("master: aggregate: %w", err)
+		}
+		if d := one.Elapsed(); d > rm.MaxMasterOverhead {
+			rm.MaxMasterOverhead = d
+		}
+	}
+	rm.TaskAggregationTime += aggregation.Elapsed()
+	return nil
+}
+
+// takeResult waits up to ResultTimeout for one result, running the
+// transaction sweeper between bounded waits so tasks locked by crashed
+// workers are recovered instead of deadlocking the collection.
+func (m *Master) takeResult(tmpl tuplespace.Entry) (tuplespace.Entry, error) {
+	deadline := m.cfg.Clock.Now().Add(m.cfg.ResultTimeout)
+	for {
+		wait := m.cfg.ResultTimeout
+		if m.cfg.Sweeper != nil && m.cfg.SweepInterval < wait {
+			wait = m.cfg.SweepInterval
+		}
+		if remaining := deadline.Sub(m.cfg.Clock.Now()); remaining < wait {
+			wait = remaining
+		}
+		if wait <= 0 {
+			return nil, tuplespace.ErrTimeout
+		}
+		res, err := m.cfg.Space.Take(tmpl, nil, wait)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, tuplespace.ErrTimeout) {
+			return nil, err
+		}
+		if m.cfg.Sweeper != nil {
+			m.cfg.Sweeper.Sweep()
+		}
+	}
+}

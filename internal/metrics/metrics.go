@@ -1,0 +1,170 @@
+// Package metrics provides the timing instrumentation and tabular output
+// used by the experiment harness: stopwatches on a vclock.Clock, per-worker
+// timing collections, and fixed-width tables matching the rows/series the
+// paper's figures report.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// Stopwatch measures elapsed time on a clock.
+type Stopwatch struct {
+	clock vclock.Clock
+	start time.Time
+}
+
+// StartStopwatch returns a running stopwatch.
+func StartStopwatch(clock vclock.Clock) *Stopwatch {
+	return &Stopwatch{clock: clock, start: clock.Now()}
+}
+
+// Elapsed returns the time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Since(s.start) }
+
+// Collector accumulates named durations and samples; safe for concurrent
+// use by workers and the master.
+type Collector struct {
+	mu        sync.Mutex
+	durations map[string][]time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{durations: make(map[string][]time.Duration)}
+}
+
+// Add records one duration under key.
+func (c *Collector) Add(key string, d time.Duration) {
+	c.mu.Lock()
+	c.durations[key] = append(c.durations[key], d)
+	c.mu.Unlock()
+}
+
+// Max returns the maximum duration recorded under key (0 if none).
+func (c *Collector) Max(key string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, d := range c.durations[key] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Sum returns the total of durations under key.
+func (c *Collector) Sum(key string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum time.Duration
+	for _, d := range c.durations[key] {
+		sum += d
+	}
+	return sum
+}
+
+// Count returns how many durations were recorded under key.
+func (c *Collector) Count(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.durations[key])
+}
+
+// Keys returns the recorded keys, sorted.
+func (c *Collector) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.durations))
+	for k := range c.durations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Table is a printable result table — one per reproduced figure/table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (title omitted), for
+// feeding the figure data straight into a plotting tool.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+		}
+		b.WriteString(cell)
+	}
+	b.WriteByte('\n')
+}
+
+// Ms formats a duration as integer milliseconds, the unit the paper's
+// figures use.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Milliseconds())
+}

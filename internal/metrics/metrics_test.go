@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+func TestStopwatch(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	clk.Run(func() {
+		sw := StartStopwatch(clk)
+		clk.Sleep(1500 * time.Millisecond)
+		if got := sw.Elapsed(); got != 1500*time.Millisecond {
+			t.Errorf("elapsed %v", got)
+		}
+	})
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Add("a", time.Second)
+	c.Add("a", 3*time.Second)
+	c.Add("b", time.Millisecond)
+	if got := c.Max("a"); got != 3*time.Second {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := c.Sum("a"); got != 4*time.Second {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := c.Count("a"); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := c.Max("missing"); got != 0 {
+		t.Fatalf("Max(missing) = %v", got)
+	}
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add("k", time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Count("k"); got != 1600 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"name", "value_ms"}}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "123456")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: every data line has the value column at the same
+	// offset.
+	idx := strings.Index(lines[1], "value_ms")
+	if idx < 0 {
+		t.Fatalf("no header: %q", lines[1])
+	}
+	if lines[3][idx] != '1' || lines[4][idx] != '1' {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "plain")
+	tab.AddRow("2", `quoted,"cell"`)
+	got := tab.CSV()
+	want := "a,b\n1,plain\n2,\"quoted,\"\"cell\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1500 * time.Millisecond); got != "1500" {
+		t.Fatalf("Ms = %q", got)
+	}
+	if got := Ms(0); got != "0" {
+		t.Fatalf("Ms(0) = %q", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package rulebase implements the inference engine of the paper's network
+// management module: given a worker's current state and its measured CPU
+// load, it decides which control signal — Start, Stop, Pause, Resume — to
+// send under the threshold rule base of §4.4:
+//
+//	 0–25 %  the node is idle: it may run (Start / Resume / Restart)
+//	25–50 %  transient load: temporarily back off (Pause)
+//	50–100 % sustained load: stop and release the node (Stop)
+//
+// The engine is pure decision logic; signal transport and worker state
+// tracking live in the netmgmt and worker packages.
+package rulebase
+
+import "fmt"
+
+// Signal is a control signal sent to a worker.
+type Signal int
+
+// Signals, per Figure 4/5 of the paper. Restart is the Start issued to a
+// worker that had previously been stopped (the figures label it
+// separately because it repays the class-loading cost).
+const (
+	SignalNone Signal = iota
+	SignalStart
+	SignalStop
+	SignalPause
+	SignalResume
+	SignalRestart
+)
+
+// String names the signal.
+func (s Signal) String() string {
+	switch s {
+	case SignalNone:
+		return "None"
+	case SignalStart:
+		return "Start"
+	case SignalStop:
+		return "Stop"
+	case SignalPause:
+		return "Pause"
+	case SignalResume:
+		return "Resume"
+	case SignalRestart:
+		return "Restart"
+	}
+	return fmt.Sprintf("Signal(%d)", int(s))
+}
+
+// State is a worker's execution state (Figure 5).
+type State int
+
+// Worker states.
+const (
+	StateStopped State = iota
+	StateRunning
+	StatePaused
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateStopped:
+		return "Stopped"
+	case StateRunning:
+		return "Running"
+	case StatePaused:
+		return "Paused"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Thresholds configures the rule base's load cut-offs (percent CPU).
+type Thresholds struct {
+	// RunBelow: load strictly below this keeps/starts the worker running.
+	RunBelow float64
+	// StopAt: load at or above this stops the worker; loads in
+	// [RunBelow, StopAt) pause it.
+	StopAt float64
+	// Hysteresis widens the band that must be crossed before a Resume or
+	// Restart is issued, preventing signal flapping at the boundary.
+	Hysteresis float64
+}
+
+// DefaultThresholds returns the paper's 25/50 rule base.
+func DefaultThresholds() Thresholds {
+	return Thresholds{RunBelow: 25, StopAt: 50, Hysteresis: 0}
+}
+
+// Engine is the inference engine. It is stateless apart from its
+// configuration; per-worker state is supplied by the caller.
+type Engine struct {
+	T Thresholds
+}
+
+// NewEngine returns an engine with thresholds t.
+func NewEngine(t Thresholds) *Engine {
+	if t.RunBelow <= 0 || t.StopAt <= t.RunBelow {
+		t = DefaultThresholds()
+	}
+	return &Engine{T: t}
+}
+
+// Band classifies a load into the rule base's bands: 0 = run (idle),
+// 1 = pause (transient load), 2 = stop (sustained load). Node-side trap
+// watchers use it to detect band crossings.
+func (e *Engine) Band(load float64) int {
+	switch {
+	case load >= e.T.StopAt:
+		return 2
+	case load >= e.T.RunBelow:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Decide returns the signal for a worker in state with measured background
+// load (percent), given whether it has ever been started before
+// (ranBefore selects Restart vs Start when leaving Stopped).
+func (e *Engine) Decide(state State, load float64, ranBefore bool) Signal {
+	t := e.T
+	switch state {
+	case StateRunning:
+		switch {
+		case load >= t.StopAt:
+			return SignalStop
+		case load >= t.RunBelow:
+			return SignalPause
+		default:
+			return SignalNone
+		}
+	case StatePaused:
+		switch {
+		case load >= t.StopAt:
+			return SignalStop
+		case load < t.RunBelow-t.Hysteresis:
+			return SignalResume
+		default:
+			return SignalNone
+		}
+	case StateStopped:
+		if load < t.RunBelow-t.Hysteresis {
+			if ranBefore {
+				return SignalRestart
+			}
+			return SignalStart
+		}
+		return SignalNone
+	}
+	return SignalNone
+}
+
+// Apply returns the state a worker enters on receiving sig from state —
+// the transition function of Figure 5. Invalid transitions return the
+// current state unchanged and ok=false.
+func Apply(state State, sig Signal) (State, bool) {
+	switch sig {
+	case SignalStart, SignalRestart:
+		if state == StateStopped {
+			return StateRunning, true
+		}
+	case SignalResume:
+		if state == StatePaused {
+			return StateRunning, true
+		}
+	case SignalPause:
+		if state == StateRunning {
+			return StatePaused, true
+		}
+	case SignalStop:
+		if state == StateRunning || state == StatePaused {
+			return StateStopped, true
+		}
+	case SignalNone:
+		return state, true
+	}
+	return state, false
+}

@@ -1,0 +1,151 @@
+package rulebase
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideTable(t *testing.T) {
+	e := NewEngine(DefaultThresholds())
+	cases := []struct {
+		state     State
+		load      float64
+		ranBefore bool
+		want      Signal
+	}{
+		{StateStopped, 0, false, SignalStart},
+		{StateStopped, 10, false, SignalStart},
+		{StateStopped, 10, true, SignalRestart},
+		{StateStopped, 24.9, false, SignalStart},
+		{StateStopped, 25, false, SignalNone},
+		{StateStopped, 40, false, SignalNone},
+		{StateStopped, 90, true, SignalNone},
+
+		{StateRunning, 0, true, SignalNone},
+		{StateRunning, 24.9, true, SignalNone},
+		{StateRunning, 25, true, SignalPause},
+		{StateRunning, 46, true, SignalPause},
+		{StateRunning, 50, true, SignalStop},
+		{StateRunning, 100, true, SignalStop},
+
+		{StatePaused, 10, true, SignalResume},
+		{StatePaused, 30, true, SignalNone},
+		{StatePaused, 49.9, true, SignalNone},
+		{StatePaused, 50, true, SignalStop},
+		{StatePaused, 100, true, SignalStop},
+	}
+	for _, c := range cases {
+		if got := e.Decide(c.state, c.load, c.ranBefore); got != c.want {
+			t.Errorf("Decide(%v, %v, %v) = %v, want %v", c.state, c.load, c.ranBefore, got, c.want)
+		}
+	}
+}
+
+func TestHysteresisDelaysResume(t *testing.T) {
+	e := NewEngine(Thresholds{RunBelow: 25, StopAt: 50, Hysteresis: 10})
+	if got := e.Decide(StatePaused, 20, true); got != SignalNone {
+		t.Fatalf("load 20 with hysteresis 10: %v, want None", got)
+	}
+	if got := e.Decide(StatePaused, 14, true); got != SignalResume {
+		t.Fatalf("load 14 with hysteresis 10: %v, want Resume", got)
+	}
+	if got := e.Decide(StateStopped, 20, false); got != SignalNone {
+		t.Fatalf("stopped at load 20 with hysteresis: %v, want None", got)
+	}
+}
+
+func TestBadThresholdsFallBack(t *testing.T) {
+	e := NewEngine(Thresholds{RunBelow: 60, StopAt: 30})
+	if e.T != DefaultThresholds() {
+		t.Fatalf("thresholds = %+v", e.T)
+	}
+}
+
+// TestApplyEveryEdge verifies the complete Figure 5 state machine.
+func TestApplyEveryEdge(t *testing.T) {
+	type edge struct {
+		from State
+		sig  Signal
+		to   State
+		ok   bool
+	}
+	edges := []edge{
+		{StateStopped, SignalStart, StateRunning, true},
+		{StateStopped, SignalRestart, StateRunning, true},
+		{StateStopped, SignalResume, StateStopped, false},
+		{StateStopped, SignalPause, StateStopped, false},
+		{StateStopped, SignalStop, StateStopped, false},
+		{StateRunning, SignalPause, StatePaused, true},
+		{StateRunning, SignalStop, StateStopped, true},
+		{StateRunning, SignalStart, StateRunning, false},
+		{StateRunning, SignalResume, StateRunning, false},
+		{StatePaused, SignalResume, StateRunning, true},
+		{StatePaused, SignalStop, StateStopped, true},
+		{StatePaused, SignalPause, StatePaused, false},
+		{StatePaused, SignalStart, StatePaused, false},
+		{StateRunning, SignalNone, StateRunning, true},
+		{StatePaused, SignalNone, StatePaused, true},
+		{StateStopped, SignalNone, StateStopped, true},
+	}
+	for _, e := range edges {
+		got, ok := Apply(e.from, e.sig)
+		if got != e.to || ok != e.ok {
+			t.Errorf("Apply(%v, %v) = (%v, %v), want (%v, %v)", e.from, e.sig, got, ok, e.to, e.ok)
+		}
+	}
+}
+
+// Property: whatever the engine decides is always applicable to the state
+// it decided for — the engine never emits an invalid transition.
+func TestPropDecisionsAlwaysApplicable(t *testing.T) {
+	e := NewEngine(DefaultThresholds())
+	f := func(stateRaw uint8, loadRaw uint16, ranBefore bool) bool {
+		state := State(stateRaw % 3)
+		load := float64(loadRaw%1001) / 10 // 0.0–100.0
+		sig := e.Decide(state, load, ranBefore)
+		_, ok := Apply(state, sig)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decisions are monotone in load — a higher load never yields a
+// "more running" signal than a lower load from the same state.
+func TestPropDecisionMonotone(t *testing.T) {
+	e := NewEngine(DefaultThresholds())
+	rank := func(s Signal) int {
+		switch s {
+		case SignalStart, SignalRestart, SignalResume:
+			return 2 // towards running
+		case SignalNone:
+			return 1
+		case SignalPause:
+			return 0
+		case SignalStop:
+			return -1
+		}
+		return 1
+	}
+	f := func(stateRaw uint8, a, b uint8) bool {
+		state := State(stateRaw % 3)
+		lo, hi := float64(a%101), float64(b%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return rank(e.Decide(state, lo, true)) >= rank(e.Decide(state, hi, true))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SignalPause.String() != "Pause" || StatePaused.String() != "Paused" {
+		t.Fatal("stringers broken")
+	}
+	if Signal(99).String() == "" || State(99).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}

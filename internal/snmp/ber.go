@@ -1,0 +1,193 @@
+// Package snmp implements the subset of SNMPv2c the framework's
+// network-management module needs: BER encoding/decoding, Get / GetNext /
+// Set PDUs, an agent with a pluggable MIB (exposing host-resources OIDs
+// such as hrProcessorLoad), and a polling manager. Two bindings carry the
+// BER packets: real UDP for deployments, and the in-process simulated
+// network for virtual-clock experiments — the same encoded bytes travel
+// either way.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BER/ASN.1 tags used by SNMP.
+const (
+	tagInteger     = 0x02
+	tagOctetString = 0x04
+	tagNull        = 0x05
+	tagOID         = 0x06
+	tagSequence    = 0x30
+	tagCounter32   = 0x41
+	tagGauge32     = 0x42
+	tagTimeTicks   = 0x43
+
+	tagGetRequest     = 0xA0
+	tagGetNextRequest = 0xA1
+	tagGetResponse    = 0xA2
+	tagSetRequest     = 0xA3
+	tagTrapV2         = 0xA7
+
+	tagNoSuchObject = 0x80
+	tagEndOfMibView = 0x82
+)
+
+// ErrDecode reports malformed BER input.
+var ErrDecode = errors.New("snmp: malformed BER")
+
+// appendTLV appends tag, a definite-form length, and content.
+func appendTLV(dst []byte, tag byte, content []byte) []byte {
+	dst = append(dst, tag)
+	dst = appendLength(dst, len(content))
+	return append(dst, content...)
+}
+
+func appendLength(dst []byte, n int) []byte {
+	if n < 0x80 {
+		return append(dst, byte(n))
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	dst = append(dst, byte(0x80|(len(tmp)-i)))
+	return append(dst, tmp[i:]...)
+}
+
+// appendInt appends a two's-complement minimal-length INTEGER body for v
+// under the given tag.
+func appendInt(dst []byte, tag byte, v int64) []byte {
+	var body []byte
+	switch {
+	case v >= 0:
+		body = minimalUint(uint64(v))
+		if body[0]&0x80 != 0 {
+			body = append([]byte{0}, body...)
+		}
+	default:
+		// Build the shortest two's-complement representation.
+		n := 8
+		for n > 1 {
+			hi := byte(v >> uint((n-1)*8))
+			next := byte(v >> uint((n-2)*8))
+			if hi == 0xff && next&0x80 != 0 {
+				n--
+				continue
+			}
+			break
+		}
+		body = make([]byte, n)
+		for i := 0; i < n; i++ {
+			body[i] = byte(v >> uint((n-1-i)*8))
+		}
+	}
+	return appendTLV(dst, tag, body)
+}
+
+// appendUint appends an unsigned integer (Counter32/Gauge32/TimeTicks
+// semantics) under tag.
+func appendUint(dst []byte, tag byte, v uint64) []byte {
+	body := minimalUint(v)
+	if body[0]&0x80 != 0 {
+		body = append([]byte{0}, body...)
+	}
+	return appendTLV(dst, tag, body)
+}
+
+func minimalUint(v uint64) []byte {
+	var tmp [8]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte(v)
+		v >>= 8
+		if v == 0 {
+			break
+		}
+	}
+	return tmp[i:]
+}
+
+// reader walks a BER byte stream.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) len() int { return len(r.b) - r.pos }
+
+// tlv reads one tag-length-value and returns the tag and content bytes.
+func (r *reader) tlv() (byte, []byte, error) {
+	if r.len() < 2 {
+		return 0, nil, ErrDecode
+	}
+	tag := r.b[r.pos]
+	r.pos++
+	n, err := r.length()
+	if err != nil {
+		return 0, nil, err
+	}
+	if r.len() < n {
+		return 0, nil, ErrDecode
+	}
+	content := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return tag, content, nil
+}
+
+func (r *reader) length() (int, error) {
+	if r.len() < 1 {
+		return 0, ErrDecode
+	}
+	first := r.b[r.pos]
+	r.pos++
+	if first < 0x80 {
+		return int(first), nil
+	}
+	cnt := int(first & 0x7f)
+	if cnt == 0 || cnt > 4 || r.len() < cnt {
+		return 0, ErrDecode
+	}
+	n := 0
+	for i := 0; i < cnt; i++ {
+		n = n<<8 | int(r.b[r.pos])
+		r.pos++
+	}
+	return n, nil
+}
+
+func decodeInt(content []byte) (int64, error) {
+	if len(content) == 0 || len(content) > 8 {
+		return 0, ErrDecode
+	}
+	v := int64(0)
+	if content[0]&0x80 != 0 {
+		v = -1
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+func decodeUint(content []byte) (uint64, error) {
+	if len(content) == 0 || len(content) > 9 {
+		return 0, ErrDecode
+	}
+	v := uint64(0)
+	for _, b := range content {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+func expectTag(got, want byte) error {
+	if got != want {
+		return fmt.Errorf("%w: tag 0x%02x, want 0x%02x", ErrDecode, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package snmp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the BER decoder: it must never
+// panic, and anything it accepts must re-encode to a message that decodes
+// to the same value (semantic idempotence).
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		{Community: "public", PDU: PDU{Type: GetRequest, RequestID: 1,
+			Varbinds: []Varbind{{OID: OIDHrProcessorLoad, Value: Null{}}}}},
+		{Community: "", PDU: PDU{Type: GetResponse, RequestID: -5, ErrorStatus: 2, ErrorIndex: 1,
+			Varbinds: []Varbind{{OID: OIDSysDescr, Value: OctetString("x")}, {OID: OIDSysUpTime, Value: TimeTicks(9)}}}},
+		{Community: "c", PDU: PDU{Type: TrapV2, RequestID: 7,
+			Varbinds: []Varbind{
+				{OID: OIDSysUpTime, Value: TimeTicks(1)},
+				{OID: OIDSnmpTrapOID, Value: OctetString(OIDLoadBandTrap.String())},
+			}}},
+	}
+	for _, m := range seeds {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x80, 0x01})
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := msg.Encode()
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(msg, msg2) {
+			t.Fatalf("not idempotent:\n%+v\n%+v", msg, msg2)
+		}
+	})
+}
+
+// FuzzParseOID checks the OID parser never panics and round-trips
+// whatever it accepts.
+func FuzzParseOID(f *testing.F) {
+	f.Add("1.3.6.1.2.1.25.3.3.1.2.1")
+	f.Add("0.0")
+	f.Add("")
+	f.Add("1..2")
+	f.Add("1.3.4294967295.7")
+	f.Fuzz(func(t *testing.T, s string) {
+		oid, err := ParseOID(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseOID(oid.String())
+		if err != nil || !back.Equal(oid) {
+			t.Fatalf("round trip of %q failed: %v vs %v (%v)", s, oid, back, err)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package snmp
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Well-known trap OIDs.
+var (
+	// OIDSnmpTrapOID is snmpTrapOID.0, the varbind identifying a trap.
+	OIDSnmpTrapOID = MustOID("1.3.6.1.6.3.1.1.4.1.0")
+	// OIDLoadBandTrap is this repository's enterprise trap fired when a
+	// node's background load crosses a rule-base band boundary.
+	OIDLoadBandTrap = MustOID("1.3.6.1.4.1.52429.2.1")
+)
+
+// TrapSink receives encoded trap datagrams — the manager side endpoint.
+// Both the RPC method "snmp.Trap" and plain function wiring satisfy it.
+type TrapSink interface {
+	SendTrap(packet []byte) error
+}
+
+// TrapSinkFunc adapts a function to TrapSink.
+type TrapSinkFunc func(packet []byte) error
+
+// SendTrap implements TrapSink.
+func (f TrapSinkFunc) SendTrap(packet []byte) error { return f(packet) }
+
+// TrapSender builds and emits SNMPv2 traps from an agent's side.
+type TrapSender struct {
+	Community string
+	Sink      TrapSink
+	reqID     int32
+}
+
+// NewTrapSender returns a sender delivering to sink.
+func NewTrapSender(community string, sink TrapSink) *TrapSender {
+	return &TrapSender{Community: community, Sink: sink}
+}
+
+// Send emits a trap identified by trapOID with the given payload
+// varbinds. Per RFC 3416, the first varbinds are sysUpTime.0 and
+// snmpTrapOID.0.
+func (t *TrapSender) Send(uptime TimeTicks, trapOID OID, payload ...Varbind) error {
+	vbs := make([]Varbind, 0, len(payload)+2)
+	vbs = append(vbs,
+		Varbind{OID: OIDSysUpTime, Value: uptime},
+		Varbind{OID: OIDSnmpTrapOID, Value: OctetString(trapOID.String())},
+	)
+	vbs = append(vbs, payload...)
+	msg := Message{Community: t.Community, PDU: PDU{
+		Type:      TrapV2,
+		RequestID: atomic.AddInt32(&t.reqID, 1),
+		Varbinds:  vbs,
+	}}
+	return t.Sink.SendTrap(msg.Encode())
+}
+
+// ParseTrap decodes a trap packet and returns its trap OID and payload
+// varbinds (with the two standard header varbinds stripped).
+func ParseTrap(packet []byte) (trapOID OID, payload []Varbind, err error) {
+	msg, err := Decode(packet)
+	if err != nil {
+		return nil, nil, err
+	}
+	if msg.PDU.Type != TrapV2 {
+		return nil, nil, fmt.Errorf("%w: PDU type %v is not a trap", ErrDecode, msg.PDU.Type)
+	}
+	if len(msg.PDU.Varbinds) < 2 {
+		return nil, nil, fmt.Errorf("%w: trap with %d varbinds", ErrDecode, len(msg.PDU.Varbinds))
+	}
+	if !msg.PDU.Varbinds[1].OID.Equal(OIDSnmpTrapOID) {
+		return nil, nil, fmt.Errorf("%w: second varbind is %s, want snmpTrapOID.0", ErrDecode, msg.PDU.Varbinds[1].OID)
+	}
+	oidStr, ok := msg.PDU.Varbinds[1].Value.(OctetString)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: snmpTrapOID.0 has value %T", ErrDecode, msg.PDU.Varbinds[1].Value)
+	}
+	trapOID, err = ParseOID(string(oidStr))
+	if err != nil {
+		return nil, nil, err
+	}
+	return trapOID, msg.PDU.Varbinds[2:], nil
+}

@@ -1,0 +1,235 @@
+package snmp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OID is an SNMP object identifier.
+type OID []uint32
+
+// MustOID parses a dotted OID string, panicking on error; for constants.
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ParseOID parses "1.3.6.1.2.1..." into an OID.
+func ParseOID(s string) (OID, error) {
+	parts := strings.Split(strings.TrimPrefix(s, "."), ".")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("snmp: OID %q too short", s)
+	}
+	o := make(OID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: OID %q: %v", s, err)
+		}
+		o[i] = uint32(v)
+	}
+	return o, nil
+}
+
+// String renders the OID in dotted form.
+func (o OID) String() string {
+	var b strings.Builder
+	for i, v := range o {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(v), 10))
+	}
+	return b.String()
+}
+
+// Cmp compares OIDs lexicographically (-1, 0, +1).
+func (o OID) Cmp(p OID) int {
+	for i := 0; i < len(o) && i < len(p); i++ {
+		switch {
+		case o[i] < p[i]:
+			return -1
+		case o[i] > p[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(p):
+		return -1
+	case len(o) > len(p):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports OID equality.
+func (o OID) Equal(p OID) bool { return o.Cmp(p) == 0 }
+
+// Append returns o with extra sub-identifiers appended (a fresh slice).
+func (o OID) Append(sub ...uint32) OID {
+	out := make(OID, 0, len(o)+len(sub))
+	out = append(out, o...)
+	return append(out, sub...)
+}
+
+// encodeOID appends the BER encoding of o.
+func encodeOID(dst []byte, o OID) []byte {
+	if len(o) < 2 {
+		// SNMP requires at least two arcs; encode a degenerate 0.0.
+		return appendTLV(dst, tagOID, []byte{0})
+	}
+	body := []byte{byte(o[0]*40 + o[1])}
+	for _, v := range o[2:] {
+		body = appendBase128(body, v)
+	}
+	return appendTLV(dst, tagOID, body)
+}
+
+func appendBase128(dst []byte, v uint32) []byte {
+	var tmp [5]byte
+	i := len(tmp)
+	i--
+	tmp[i] = byte(v & 0x7f)
+	v >>= 7
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7f) | 0x80
+		v >>= 7
+	}
+	return append(dst, tmp[i:]...)
+}
+
+func decodeOID(content []byte) (OID, error) {
+	if len(content) == 0 {
+		return nil, ErrDecode
+	}
+	o := OID{uint32(content[0] / 40), uint32(content[0] % 40)}
+	var v uint32
+	for _, b := range content[1:] {
+		v = v<<7 | uint32(b&0x7f)
+		if b&0x80 == 0 {
+			o = append(o, v)
+			v = 0
+		}
+	}
+	return o, nil
+}
+
+// Value is an SNMP variable value.
+type Value interface {
+	encode(dst []byte) []byte
+	// String renders the value for diagnostics.
+	String() string
+}
+
+// Integer is an SNMP INTEGER.
+type Integer int64
+
+func (v Integer) encode(dst []byte) []byte { return appendInt(dst, tagInteger, int64(v)) }
+func (v Integer) String() string           { return strconv.FormatInt(int64(v), 10) }
+
+// OctetString is an SNMP OCTET STRING.
+type OctetString string
+
+func (v OctetString) encode(dst []byte) []byte { return appendTLV(dst, tagOctetString, []byte(v)) }
+func (v OctetString) String() string           { return string(v) }
+
+// Gauge32 is a non-wrapping unsigned value (e.g. utilization percentages).
+type Gauge32 uint32
+
+func (v Gauge32) encode(dst []byte) []byte { return appendUint(dst, tagGauge32, uint64(v)) }
+func (v Gauge32) String() string           { return strconv.FormatUint(uint64(v), 10) }
+
+// Counter32 is a wrapping monotone counter.
+type Counter32 uint32
+
+func (v Counter32) encode(dst []byte) []byte { return appendUint(dst, tagCounter32, uint64(v)) }
+func (v Counter32) String() string           { return strconv.FormatUint(uint64(v), 10) }
+
+// TimeTicks is elapsed time in hundredths of a second.
+type TimeTicks uint32
+
+func (v TimeTicks) encode(dst []byte) []byte { return appendUint(dst, tagTimeTicks, uint64(v)) }
+func (v TimeTicks) String() string           { return strconv.FormatUint(uint64(v), 10) + " ticks" }
+
+// Null is the SNMP NULL value (used in request varbinds).
+type Null struct{}
+
+func (Null) encode(dst []byte) []byte { return appendTLV(dst, tagNull, nil) }
+func (Null) String() string           { return "NULL" }
+
+// NoSuchObject is the v2c exception for missing OIDs.
+type NoSuchObject struct{}
+
+func (NoSuchObject) encode(dst []byte) []byte { return appendTLV(dst, tagNoSuchObject, nil) }
+func (NoSuchObject) String() string           { return "noSuchObject" }
+
+// EndOfMibView is the v2c exception ending a GetNext walk.
+type EndOfMibView struct{}
+
+func (EndOfMibView) encode(dst []byte) []byte { return appendTLV(dst, tagEndOfMibView, nil) }
+func (EndOfMibView) String() string           { return "endOfMibView" }
+
+func decodeValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagInteger:
+		v, err := decodeInt(content)
+		return Integer(v), err
+	case tagOctetString:
+		return OctetString(content), nil
+	case tagGauge32:
+		v, err := decodeUint(content)
+		return Gauge32(v), err
+	case tagCounter32:
+		v, err := decodeUint(content)
+		return Counter32(v), err
+	case tagTimeTicks:
+		v, err := decodeUint(content)
+		return TimeTicks(v), err
+	case tagNull:
+		return Null{}, nil
+	case tagNoSuchObject:
+		return NoSuchObject{}, nil
+	case tagEndOfMibView:
+		return EndOfMibView{}, nil
+	default:
+		return nil, fmt.Errorf("%w: value tag 0x%02x", ErrDecode, tag)
+	}
+}
+
+// Well-known OIDs used by the monitoring agent. hrProcessorLoad is the
+// Host Resources MIB's per-processor utilization percentage — the primary
+// parameter the paper's monitoring agent polls.
+var (
+	OIDSysDescr        = MustOID("1.3.6.1.2.1.1.1.0")
+	OIDSysUpTime       = MustOID("1.3.6.1.2.1.1.3.0")
+	OIDSysName         = MustOID("1.3.6.1.2.1.1.5.0")
+	OIDHrProcessorLoad = MustOID("1.3.6.1.2.1.25.3.3.1.2.1")
+	OIDHrMemorySize    = MustOID("1.3.6.1.2.1.25.2.2.0")
+	OIDHrStorageUsed   = MustOID("1.3.6.1.2.1.25.2.3.1.6.1")
+
+	// OIDWorkerTasksDone and OIDWorkerState are private-enterprise OIDs
+	// exporting the framework worker's progress counters and execution
+	// state, so operators can watch the cycle-stealing activity with
+	// stock SNMP tooling.
+	OIDWorkerTasksDone = MustOID("1.3.6.1.4.1.52429.1.2")
+	OIDWorkerState     = MustOID("1.3.6.1.4.1.52429.1.3")
+
+	// OIDBackgroundLoad is a private-enterprise OID exporting a node's
+	// CPU load excluding the framework's own worker process — the
+	// quantity the inference engine needs so that cycle stealing does
+	// not count against the node's availability. Agents that cannot
+	// distinguish simply do not register it, and managers fall back to
+	// hrProcessorLoad.
+	OIDBackgroundLoad = MustOID("1.3.6.1.4.1.52429.1.1")
+)
+
+// sortOIDs sorts a slice of OIDs lexicographically (used by MIB walks).
+func sortOIDs(oids []OID) {
+	sort.Slice(oids, func(i, j int) bool { return oids[i].Cmp(oids[j]) < 0 })
+}

@@ -1,0 +1,77 @@
+package space
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/tuplespace"
+)
+
+func TestBulkOpsAcrossBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			s := h.space
+			for i := 1; i <= 6; i++ {
+				if _, err := s.Write(job{Name: "bulk", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+					t.Fatal(err)
+				}
+			}
+			read, err := s.ReadAll(job{Name: "bulk"}, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(read) != 6 {
+				t.Fatalf("ReadAll = %d, want 6", len(read))
+			}
+			some, err := s.TakeAll(job{Name: "bulk"}, nil, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(some) != 2 {
+				t.Fatalf("TakeAll(max=2) = %d", len(some))
+			}
+			rest, err := s.TakeAll(job{Name: "bulk"}, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 4 {
+				t.Fatalf("TakeAll(rest) = %d, want 4", len(rest))
+			}
+			if n, _ := s.Count(job{Name: "bulk"}); n != 0 {
+				t.Fatalf("count = %d after draining", n)
+			}
+		})
+	}
+}
+
+func TestBulkUnderTxnAcrossBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			s := h.space
+			for i := 1; i <= 3; i++ {
+				if _, err := s.Write(job{Name: "bt", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tx, err := s.BeginTxn(time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.TakeAll(job{Name: "bt"}, tx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 3 {
+				t.Fatalf("TakeAll under txn = %d", len(got))
+			}
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := s.Count(job{Name: "bt"}); n != 3 {
+				t.Fatalf("count after abort = %d, want 3", n)
+			}
+		})
+	}
+}

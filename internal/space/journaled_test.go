@@ -1,0 +1,79 @@
+package space
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+func TestNewLocalJournaledSurvivesRestart(t *testing.T) {
+	clk := vclock.NewReal()
+	path := filepath.Join(t.TempDir(), "space.log")
+
+	// First incarnation: write four, take one.
+	l1, err := NewLocalJournaled(clk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := l1.Write(job{Name: "persist", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l1.Take(job{Name: "persist"}, nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = l1.Close()
+
+	// Restart: the three survivors are back.
+	l2, err := NewLocalJournaled(clk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l2.Count(job{Name: "persist"}); n != 3 {
+		t.Fatalf("count after restart = %d, want 3", n)
+	}
+	// Mutations keep persisting: take all, restart again, empty.
+	if _, err := l2.TakeAll(job{Name: "persist"}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = l2.Close()
+
+	l3, err := NewLocalJournaled(clk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := l3.Count(job{Name: "persist"}); n != 0 {
+		t.Fatalf("count after drain+restart = %d, want 0", n)
+	}
+}
+
+func TestNewLocalJournaledFreshFile(t *testing.T) {
+	clk := vclock.NewReal()
+	path := filepath.Join(t.TempDir(), "fresh.log")
+	l, err := NewLocalJournaled(clk, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write(job{Name: "x"}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file missing: %v", err)
+	}
+}
+
+func TestNewLocalJournaledRejectsCorruptLog(t *testing.T) {
+	clk := vclock.NewReal()
+	path := filepath.Join(t.TempDir(), "corrupt.log")
+	if err := os.WriteFile(path, []byte("this is not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLocalJournaled(clk, path); err == nil {
+		t.Fatal("corrupt journal accepted")
+	}
+}

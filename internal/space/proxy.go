@@ -1,0 +1,182 @@
+package space
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+)
+
+// Proxy is a client-side Space backed by a transport.Client talking to a
+// Service. It is the analogue of the JavaSpaces proxy object a Jini client
+// downloads from the lookup service.
+type Proxy struct {
+	c transport.Client
+}
+
+// NewProxy wraps an RPC client as a Space.
+func NewProxy(c transport.Client) *Proxy { return &Proxy{c: c} }
+
+var _ Space = (*Proxy)(nil)
+
+type proxyTxn struct {
+	p  *Proxy
+	id uint64
+}
+
+func (t *proxyTxn) Commit() error {
+	_, err := t.p.c.Call("space.TxnCommit", txnArgs{TxnID: t.id})
+	return mapRemote(err)
+}
+
+func (t *proxyTxn) Abort() error {
+	_, err := t.p.c.Call("space.TxnAbort", txnArgs{TxnID: t.id})
+	return mapRemote(err)
+}
+
+type proxyLease struct {
+	p  *Proxy
+	id uint64
+}
+
+func (l *proxyLease) Renew(ttl time.Duration) error {
+	_, err := l.p.c.Call("space.LeaseRenew", leaseArgs{LeaseID: l.id, TTL: ttl})
+	return mapRemote(err)
+}
+
+func (l *proxyLease) Cancel() error {
+	_, err := l.p.c.Call("space.LeaseCancel", leaseArgs{LeaseID: l.id})
+	return mapRemote(err)
+}
+
+func (p *Proxy) txnID(t Txn) (uint64, error) {
+	if t == nil {
+		return 0, nil
+	}
+	pt, ok := t.(*proxyTxn)
+	if !ok {
+		return 0, ErrBadTxn
+	}
+	return pt.id, nil
+}
+
+// Write implements Space.
+func (p *Proxy) Write(e tuplespace.Entry, t Txn, ttl time.Duration) (Lease, error) {
+	id, err := p.txnID(t)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.c.Call("space.Write", writeArgs{Entry: e, TxnID: id, TTL: ttl})
+	if err != nil {
+		return nil, mapRemote(err)
+	}
+	return &proxyLease{p: p, id: res.(writeReply).LeaseID}, nil
+}
+
+func (p *Proxy) lookup(method string, tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	id, err := p.txnID(t)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.c.Call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Timeout: timeout})
+	if err != nil {
+		return nil, mapRemote(err)
+	}
+	return res.(lookupReply).Entry, nil
+}
+
+// Read implements Space.
+func (p *Proxy) Read(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	return p.lookup("space.Read", tmpl, t, timeout)
+}
+
+// Take implements Space.
+func (p *Proxy) Take(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	return p.lookup("space.Take", tmpl, t, timeout)
+}
+
+// ReadIfExists implements Space.
+func (p *Proxy) ReadIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error) {
+	return p.lookup("space.ReadIfExists", tmpl, t, 0)
+}
+
+// TakeIfExists implements Space.
+func (p *Proxy) TakeIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error) {
+	return p.lookup("space.TakeIfExists", tmpl, t, 0)
+}
+
+func (p *Proxy) bulkCall(method string, tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error) {
+	id, err := p.txnID(t)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.c.Call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Max: max})
+	if err != nil {
+		return nil, mapRemote(err)
+	}
+	raw := res.(bulkReply).Entries
+	out := make([]tuplespace.Entry, len(raw))
+	for i, e := range raw {
+		out[i] = e
+	}
+	return out, nil
+}
+
+// ReadAll implements Space.
+func (p *Proxy) ReadAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error) {
+	return p.bulkCall("space.ReadAll", tmpl, t, max)
+}
+
+// TakeAll implements Space.
+func (p *Proxy) TakeAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error) {
+	return p.bulkCall("space.TakeAll", tmpl, t, max)
+}
+
+// Count implements Space.
+func (p *Proxy) Count(tmpl tuplespace.Entry) (int, error) {
+	res, err := p.c.Call("space.Count", lookupArgs{Tmpl: tmpl})
+	if err != nil {
+		return 0, mapRemote(err)
+	}
+	return res.(countReply).N, nil
+}
+
+// BeginTxn implements Space.
+func (p *Proxy) BeginTxn(ttl time.Duration) (Txn, error) {
+	res, err := p.c.Call("space.TxnBegin", txnArgs{TTL: ttl})
+	if err != nil {
+		return nil, mapRemote(err)
+	}
+	return &proxyTxn{p: p, id: res.(txnReply).TxnID}, nil
+}
+
+// Close implements Space.
+func (p *Proxy) Close() error { return p.c.Close() }
+
+// mapRemote converts RemoteError strings carrying well-known tuplespace
+// sentinel messages back into the sentinel errors, so callers can use
+// errors.Is uniformly against local and remote spaces.
+func mapRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	for _, sentinel := range []error{
+		tuplespace.ErrTimeout,
+		tuplespace.ErrNoMatch,
+		tuplespace.ErrTxnInactive,
+		tuplespace.ErrLeaseExpired,
+		tuplespace.ErrClosed,
+		tuplespace.ErrNotStruct,
+	} {
+		if strings.Contains(re.Msg, sentinel.Error()) {
+			return sentinel
+		}
+	}
+	return err
+}

@@ -1,0 +1,279 @@
+package space
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/txn"
+)
+
+// RPC argument and reply frames. Entries travel as any-typed payloads;
+// concrete entry types must be registered with transport.RegisterType.
+type writeArgs struct {
+	Entry interface{}
+	TxnID uint64 // 0 = none
+	TTL   time.Duration
+}
+
+type writeReply struct {
+	LeaseID uint64
+}
+
+type lookupArgs struct {
+	Tmpl    interface{}
+	TxnID   uint64
+	Timeout time.Duration
+	Max     int
+}
+
+type lookupReply struct {
+	Entry interface{}
+}
+
+type bulkReply struct {
+	Entries []interface{}
+}
+
+type txnArgs struct {
+	TxnID uint64
+	TTL   time.Duration
+}
+
+type txnReply struct {
+	TxnID uint64
+}
+
+type leaseArgs struct {
+	LeaseID uint64
+	TTL     time.Duration
+}
+
+type countReply struct {
+	N int
+}
+
+// Service exposes a Local space over a transport.Server. The master module
+// runs one of these; workers and the network-management module reach it
+// through Proxy.
+type Service struct {
+	local *Local
+
+	mu     sync.Mutex
+	txns   map[uint64]*txn.Txn
+	leases map[uint64]*tuplespace.EntryLease
+	nextL  uint64
+}
+
+// NewService wraps local and registers its methods on srv under the
+// "space." prefix.
+func NewService(local *Local, srv *transport.Server) *Service {
+	s := &Service{
+		local:  local,
+		txns:   make(map[uint64]*txn.Txn),
+		leases: make(map[uint64]*tuplespace.EntryLease),
+		nextL:  1,
+	}
+	srv.Handle("space.Write", s.write)
+	srv.Handle("space.Read", s.lookup(false, true))
+	srv.Handle("space.Take", s.lookup(true, true))
+	srv.Handle("space.ReadIfExists", s.lookup(false, false))
+	srv.Handle("space.TakeIfExists", s.lookup(true, false))
+	srv.Handle("space.ReadAll", s.bulk(false))
+	srv.Handle("space.TakeAll", s.bulk(true))
+	srv.Handle("space.Count", s.count)
+	srv.Handle("space.TxnBegin", s.txnBegin)
+	srv.Handle("space.TxnCommit", s.txnCommit)
+	srv.Handle("space.TxnAbort", s.txnAbort)
+	srv.Handle("space.LeaseRenew", s.leaseRenew)
+	srv.Handle("space.LeaseCancel", s.leaseCancel)
+	return s
+}
+
+func (s *Service) resolveTxn(id uint64) (*txn.Txn, error) {
+	if id == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("space: unknown txn %d: %w", id, tuplespace.ErrTxnInactive)
+	}
+	return t, nil
+}
+
+func (s *Service) write(arg interface{}) (interface{}, error) {
+	a, ok := arg.(writeArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad write args %T", arg)
+	}
+	t, err := s.resolveTxn(a.TxnID)
+	if err != nil {
+		return nil, err
+	}
+	l, err := s.local.TS.Write(a.Entry, t, a.TTL)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	id := s.nextL
+	s.nextL++
+	s.leases[id] = l
+	s.mu.Unlock()
+	return writeReply{LeaseID: id}, nil
+}
+
+func (s *Service) lookup(take, block bool) transport.Handler {
+	return func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(lookupArgs)
+		if !ok {
+			return nil, fmt.Errorf("space: bad lookup args %T", arg)
+		}
+		t, err := s.resolveTxn(a.TxnID)
+		if err != nil {
+			return nil, err
+		}
+		var e tuplespace.Entry
+		switch {
+		case take && block:
+			e, err = s.local.TS.Take(a.Tmpl, t, a.Timeout)
+		case take:
+			e, err = s.local.TS.TakeIfExists(a.Tmpl, t)
+		case block:
+			e, err = s.local.TS.Read(a.Tmpl, t, a.Timeout)
+		default:
+			e, err = s.local.TS.ReadIfExists(a.Tmpl, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return lookupReply{Entry: e}, nil
+	}
+}
+
+func (s *Service) bulk(take bool) transport.Handler {
+	return func(arg interface{}) (interface{}, error) {
+		a, ok := arg.(lookupArgs)
+		if !ok {
+			return nil, fmt.Errorf("space: bad bulk args %T", arg)
+		}
+		t, err := s.resolveTxn(a.TxnID)
+		if err != nil {
+			return nil, err
+		}
+		var es []tuplespace.Entry
+		if take {
+			es, err = s.local.TS.TakeAll(a.Tmpl, t, a.Max)
+		} else {
+			es, err = s.local.TS.ReadAll(a.Tmpl, t, a.Max)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := make([]interface{}, len(es))
+		for i, e := range es {
+			out[i] = e
+		}
+		return bulkReply{Entries: out}, nil
+	}
+}
+
+func (s *Service) count(arg interface{}) (interface{}, error) {
+	a, ok := arg.(lookupArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad count args %T", arg)
+	}
+	n, err := s.local.TS.Count(a.Tmpl)
+	if err != nil {
+		return nil, err
+	}
+	return countReply{N: n}, nil
+}
+
+func (s *Service) txnBegin(arg interface{}) (interface{}, error) {
+	a, ok := arg.(txnArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad txn args %T", arg)
+	}
+	t := s.local.Mgr.Begin(a.TTL)
+	s.mu.Lock()
+	s.txns[t.ID()] = t
+	s.mu.Unlock()
+	return txnReply{TxnID: t.ID()}, nil
+}
+
+func (s *Service) txnCommit(arg interface{}) (interface{}, error) {
+	a, ok := arg.(txnArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad txn args %T", arg)
+	}
+	t, err := s.resolveTxn(a.TxnID)
+	if err != nil {
+		return nil, err
+	}
+	s.dropTxn(a.TxnID)
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return txnReply{TxnID: a.TxnID}, nil
+}
+
+func (s *Service) txnAbort(arg interface{}) (interface{}, error) {
+	a, ok := arg.(txnArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad txn args %T", arg)
+	}
+	t, err := s.resolveTxn(a.TxnID)
+	if err != nil {
+		return nil, err
+	}
+	s.dropTxn(a.TxnID)
+	if err := t.Abort(); err != nil {
+		return nil, err
+	}
+	return txnReply{TxnID: a.TxnID}, nil
+}
+
+func (s *Service) dropTxn(id uint64) {
+	s.mu.Lock()
+	delete(s.txns, id)
+	s.mu.Unlock()
+}
+
+func (s *Service) leaseRenew(arg interface{}) (interface{}, error) {
+	a, ok := arg.(leaseArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad lease args %T", arg)
+	}
+	s.mu.Lock()
+	l := s.leases[a.LeaseID]
+	s.mu.Unlock()
+	if l == nil {
+		return nil, tuplespace.ErrLeaseExpired
+	}
+	if err := l.Renew(a.TTL); err != nil {
+		return nil, err
+	}
+	return writeReply{LeaseID: a.LeaseID}, nil
+}
+
+func (s *Service) leaseCancel(arg interface{}) (interface{}, error) {
+	a, ok := arg.(leaseArgs)
+	if !ok {
+		return nil, fmt.Errorf("space: bad lease args %T", arg)
+	}
+	s.mu.Lock()
+	l := s.leases[a.LeaseID]
+	delete(s.leases, a.LeaseID)
+	s.mu.Unlock()
+	if l == nil {
+		return nil, tuplespace.ErrLeaseExpired
+	}
+	if err := l.Cancel(); err != nil {
+		return nil, err
+	}
+	return writeReply{LeaseID: a.LeaseID}, nil
+}

@@ -1,0 +1,219 @@
+// Package space exposes a tuplespace.Space as a network service — the
+// analogue of running JavaSpaces (Outrigger) as a Jini service — and
+// defines the Space interface through which the framework's master and
+// worker modules operate, so that the same code runs against a local
+// space, an in-process simulated-network proxy, or a TCP proxy.
+package space
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/txn"
+	"gospaces/internal/vclock"
+)
+
+// Txn is a transaction handle usable with Space operations.
+type Txn interface {
+	// Commit completes the transaction (two-phase commit at the service).
+	Commit() error
+	// Abort cancels the transaction, undoing provisional takes/writes.
+	Abort() error
+}
+
+// Lease controls a written entry's lifetime.
+type Lease interface {
+	Renew(ttl time.Duration) error
+	Cancel() error
+}
+
+// Space is the JavaSpaces API surface the framework uses.
+type Space interface {
+	// Write stores entry e under t (nil for none) with lease ttl
+	// (tuplespace.Forever for none).
+	Write(e tuplespace.Entry, t Txn, ttl time.Duration) (Lease, error)
+	// Read returns a copy of a matching entry, waiting up to timeout.
+	Read(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error)
+	// Take removes and returns a matching entry, waiting up to timeout.
+	Take(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error)
+	// ReadIfExists / TakeIfExists are the non-blocking variants.
+	ReadIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error)
+	TakeIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error)
+	// ReadAll / TakeAll are the JavaSpaces05-style bulk variants: up to
+	// max matching entries without blocking (max <= 0 for no limit).
+	ReadAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error)
+	TakeAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error)
+	// Count returns the number of public entries matching tmpl.
+	Count(tmpl tuplespace.Entry) (int, error)
+	// BeginTxn starts a transaction with the given lease.
+	BeginTxn(ttl time.Duration) (Txn, error)
+	// Close releases the client's connection (never the remote space).
+	Close() error
+}
+
+// ErrBadTxn is returned when a transaction handle from a different Space
+// implementation is supplied.
+var ErrBadTxn = errors.New("space: transaction does not belong to this space")
+
+// --- local adapter ---
+
+// Local adapts an in-process tuplespace.Space (plus a transaction manager)
+// to the Space interface. It is what the master module embeds: the master
+// hosts the space and talks to it locally while everyone else goes through
+// a proxy.
+type Local struct {
+	TS  *tuplespace.Space
+	Mgr *txn.Manager
+}
+
+// NewLocal creates a fresh space and transaction manager on clock.
+func NewLocal(clock vclock.Clock) *Local {
+	return &Local{TS: tuplespace.New(clock), Mgr: txn.NewManager(clock)}
+}
+
+// NewLocalJournaled creates a Local whose space persists to the journal
+// file at path — JavaSpaces' persistent mode. If the file already exists
+// its surviving entries are restored, and a fresh compacted journal
+// (containing the restored entries) atomically replaces it; subsequent
+// mutations append to it.
+func NewLocalJournaled(clock vclock.Clock, path string) (*Local, error) {
+	l := NewLocal(clock)
+	old, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("space: read journal: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("space: create journal: %w", err)
+	}
+	if err := l.TS.AttachJournal(tuplespace.NewJournal(f)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(old) > 0 {
+		// Replaying with the fresh journal attached re-records the
+		// surviving entries, compacting the log.
+		if _, err := tuplespace.Replay(bytes.NewReader(old), l.TS); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("space: replay %s: %w", path, err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("space: install journal: %w", err)
+	}
+	return l, nil
+}
+
+type localTxn struct{ t *txn.Txn }
+
+func (lt localTxn) Commit() error { return lt.t.Commit() }
+func (lt localTxn) Abort() error  { return lt.t.Abort() }
+
+func (l *Local) unwrap(t Txn) (*txn.Txn, error) {
+	if t == nil {
+		return nil, nil
+	}
+	lt, ok := t.(localTxn)
+	if !ok {
+		return nil, ErrBadTxn
+	}
+	return lt.t, nil
+}
+
+// Write implements Space.
+func (l *Local) Write(e tuplespace.Entry, t Txn, ttl time.Duration) (Lease, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.Write(e, tx, ttl)
+}
+
+// Read implements Space.
+func (l *Local) Read(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.Read(tmpl, tx, timeout)
+}
+
+// Take implements Space.
+func (l *Local) Take(tmpl tuplespace.Entry, t Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.Take(tmpl, tx, timeout)
+}
+
+// ReadIfExists implements Space.
+func (l *Local) ReadIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.ReadIfExists(tmpl, tx)
+}
+
+// TakeIfExists implements Space.
+func (l *Local) TakeIfExists(tmpl tuplespace.Entry, t Txn) (tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.TakeIfExists(tmpl, tx)
+}
+
+// ReadAll implements Space.
+func (l *Local) ReadAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.ReadAll(tmpl, tx, max)
+}
+
+// TakeAll implements Space.
+func (l *Local) TakeAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Entry, error) {
+	tx, err := l.unwrap(t)
+	if err != nil {
+		return nil, err
+	}
+	return l.TS.TakeAll(tmpl, tx, max)
+}
+
+// Count implements Space.
+func (l *Local) Count(tmpl tuplespace.Entry) (int, error) { return l.TS.Count(tmpl) }
+
+// BeginTxn implements Space.
+func (l *Local) BeginTxn(ttl time.Duration) (Txn, error) {
+	return localTxn{t: l.Mgr.Begin(ttl)}, nil
+}
+
+// Close implements Space; closing the local adapter closes the space.
+func (l *Local) Close() error {
+	l.TS.Close()
+	return nil
+}
+
+var _ Space = (*Local)(nil)
+
+func init() {
+	transport.RegisterType(writeArgs{})
+	transport.RegisterType(lookupArgs{})
+	transport.RegisterType(txnArgs{})
+	transport.RegisterType(leaseArgs{})
+	transport.RegisterType(writeReply{})
+	transport.RegisterType(lookupReply{})
+	transport.RegisterType(txnReply{})
+	transport.RegisterType(countReply{})
+	transport.RegisterType(bulkReply{})
+}

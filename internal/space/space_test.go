@@ -1,0 +1,262 @@
+package space
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+type job struct {
+	Name string
+	ID   *int
+	Data []float64
+}
+
+func init() { transport.RegisterType(job{}) }
+
+func ip(i int) *int { return &i }
+
+// harness builds a Service plus a connected Space for each binding.
+type harness struct {
+	name  string
+	space Space
+	done  func()
+}
+
+func harnesses(t *testing.T) []harness {
+	t.Helper()
+	var hs []harness
+
+	clk := vclock.NewReal()
+
+	// Local binding.
+	hs = append(hs, harness{name: "local", space: NewLocal(clk), done: func() {}})
+
+	// In-proc network binding.
+	local2 := NewLocal(clk)
+	srv2 := transport.NewServer()
+	NewService(local2, srv2)
+	net := transport.NewNetwork(clk, transport.Loopback())
+	net.Listen("space", srv2)
+	hs = append(hs, harness{name: "inproc", space: NewProxy(net.Dial("space")), done: func() {}})
+
+	// TCP binding.
+	local3 := NewLocal(clk)
+	srv3 := transport.NewServer()
+	NewService(local3, srv3)
+	l, err := transport.ListenTCP("127.0.0.1:0", srv3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := transport.DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs = append(hs, harness{name: "tcp", space: NewProxy(c), done: func() { c.Close(); l.Close() }})
+	return hs
+}
+
+func TestRoundTripAllBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			s := h.space
+			if _, err := s.Write(job{Name: "a", ID: ip(1), Data: []float64{1, 2}}, nil, tuplespace.Forever); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Take(job{Name: "a"}, nil, time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := got.(job)
+			if *j.ID != 1 || len(j.Data) != 2 {
+				t.Fatalf("got %+v", j)
+			}
+			if _, err := s.TakeIfExists(job{Name: "a"}, nil); !errors.Is(err, tuplespace.ErrNoMatch) {
+				t.Fatalf("err = %v, want ErrNoMatch", err)
+			}
+		})
+	}
+}
+
+func TestTimeoutMapsAcrossBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			_, err := h.space.Take(job{Name: "none"}, nil, 20*time.Millisecond)
+			if !errors.Is(err, tuplespace.ErrTimeout) {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+		})
+	}
+}
+
+func TestTxnAcrossBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			s := h.space
+			if _, err := s.Write(job{Name: "t", ID: ip(7)}, nil, tuplespace.Forever); err != nil {
+				t.Fatal(err)
+			}
+			tx, err := s.BeginTxn(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Take(job{Name: "t"}, tx, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			// Task reappears after abort.
+			if n, _ := s.Count(job{Name: "t"}); n != 1 {
+				t.Fatalf("count after abort = %d, want 1", n)
+			}
+			tx2, err := s.BeginTxn(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Take(job{Name: "t"}, tx2, time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := s.Count(job{Name: "t"}); n != 0 {
+				t.Fatalf("count after commit = %d, want 0", n)
+			}
+			// Using a completed txn fails with the mapped sentinel.
+			if _, err := s.Write(job{Name: "x"}, tx2, tuplespace.Forever); !errors.Is(err, tuplespace.ErrTxnInactive) {
+				t.Fatalf("err = %v, want ErrTxnInactive", err)
+			}
+		})
+	}
+}
+
+func TestLeaseAcrossBindings(t *testing.T) {
+	for _, h := range harnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			defer h.done()
+			s := h.space
+			l, err := s.Write(job{Name: "l"}, nil, time.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Renew(2 * time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Cancel(); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := s.Count(job{Name: "l"}); n != 0 {
+				t.Fatalf("count after cancel = %d", n)
+			}
+			if err := l.Cancel(); !errors.Is(err, tuplespace.ErrLeaseExpired) {
+				t.Fatalf("double cancel err = %v", err)
+			}
+		})
+	}
+}
+
+func TestForeignTxnRejected(t *testing.T) {
+	clk := vclock.NewReal()
+	l := NewLocal(clk)
+	srv := transport.NewServer()
+	NewService(l, srv)
+	net := transport.NewNetwork(clk, transport.Loopback())
+	net.Listen("s", srv)
+	p := NewProxy(net.Dial("s"))
+
+	ltx, _ := l.BeginTxn(0)
+	if _, err := p.Write(job{}, ltx, tuplespace.Forever); !errors.Is(err, ErrBadTxn) {
+		t.Fatalf("err = %v, want ErrBadTxn", err)
+	}
+	ptx, _ := p.BeginTxn(0)
+	if _, err := l.Write(job{}, ptx, tuplespace.Forever); !errors.Is(err, ErrBadTxn) {
+		t.Fatalf("err = %v, want ErrBadTxn", err)
+	}
+}
+
+func TestBlockingTakeOverTCPWokenByRemoteWrite(t *testing.T) {
+	clk := vclock.NewReal()
+	local := NewLocal(clk)
+	srv := transport.NewServer()
+	NewService(local, srv)
+	l, err := transport.ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c1, err := transport.DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := transport.DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	taker, writer := NewProxy(c1), NewProxy(c2)
+
+	got := make(chan tuplespace.Entry, 1)
+	errc := make(chan error, 1)
+	go func() {
+		e, err := taker.Take(job{Name: "x"}, nil, 5*time.Second)
+		if err != nil {
+			errc <- err
+			return
+		}
+		got <- e
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := writer.Write(job{Name: "x", ID: ip(3)}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if *e.(job).ID != 3 {
+			t.Fatalf("got %+v", e)
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-connection wakeup never happened")
+	}
+}
+
+func TestVirtualClockInprocSpace(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	local := NewLocal(clk)
+	srv := transport.NewServer()
+	NewService(local, srv)
+	net := transport.NewNetwork(clk, transport.Model{Latency: 5 * time.Millisecond})
+	net.Listen("space", srv)
+
+	var elapsed time.Duration
+	clk.Run(func() {
+		p := NewProxy(net.Dial("space"))
+		start := clk.Now()
+		clk.Go(func() {
+			clk.Sleep(50 * time.Millisecond)
+			q := NewProxy(net.Dial("space"))
+			if _, err := q.Write(job{Name: "v", ID: ip(1)}, nil, tuplespace.Forever); err != nil {
+				t.Error(err)
+			}
+		})
+		if _, err := p.Take(job{Name: "v"}, nil, time.Second); err != nil {
+			t.Error(err)
+		}
+		elapsed = clk.Since(start)
+	})
+	// Take issued at t=0 (arrives at space at t=5ms), write lands at
+	// t=50+5=55ms, response hop 5ms → 60ms total.
+	if elapsed != 60*time.Millisecond {
+		t.Fatalf("elapsed %v, want 60ms", elapsed)
+	}
+}

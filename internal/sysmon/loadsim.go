@@ -1,0 +1,69 @@
+package sysmon
+
+import (
+	"math"
+	"time"
+)
+
+// LoadSimulator drives a synthetic background load on a machine, matching
+// the experimental setup of the paper's §5.2.2: simulator 1 reproduces
+// mixed RTP/HTTP/multimedia traffic that holds the CPU between 30 % and
+// 50 %; simulator 2 pins the CPU at 100 %.
+type LoadSimulator struct {
+	machine *Machine
+	key     string
+	level   func(since time.Duration) float64
+	started time.Time
+	running bool
+}
+
+// NewLoadSimulator1 returns the traffic-shaped 30–50 % generator.
+func NewLoadSimulator1(m *Machine) *LoadSimulator {
+	return &LoadSimulator{
+		machine: m,
+		key:     "loadsim1",
+		level: func(since time.Duration) float64 {
+			// Superimposed periodic bursts: RTP packets (fast), HTTP
+			// fetches (medium), multimedia streaming (slow). Deterministic
+			// in elapsed time so virtual-clock runs reproduce exactly.
+			t := since.Seconds()
+			v := 39 +
+				6*math.Sin(2*math.Pi*t/0.9) + // RTP voice frames
+				3*math.Sin(2*math.Pi*t/4.7+1) + // HTTP requests
+				1.5*math.Sin(2*math.Pi*t/13+2) // multimedia buffering
+			// Clamp strictly inside the paper's 30–50 % band: exactly 50
+			// belongs to the Stop range of the rule base.
+			return math.Max(30, math.Min(48, v))
+		},
+	}
+}
+
+// NewLoadSimulator2 returns the CPU-saturating generator.
+func NewLoadSimulator2(m *Machine) *LoadSimulator {
+	return &LoadSimulator{
+		machine: m,
+		key:     "loadsim2",
+		level:   func(time.Duration) float64 { return 100 },
+	}
+}
+
+// Start begins generating load. Starting an already-running simulator
+// restarts its phase.
+func (l *LoadSimulator) Start() {
+	l.started = l.machine.clock.Now()
+	l.running = true
+	start := l.started
+	f := l.level
+	l.machine.SetSource(l.key, func(now time.Time) float64 {
+		return f(now.Sub(start))
+	})
+}
+
+// Stop removes the load.
+func (l *LoadSimulator) Stop() {
+	l.running = false
+	l.machine.ClearSource(l.key)
+}
+
+// Running reports whether the simulator is active.
+func (l *LoadSimulator) Running() bool { return l.running }

@@ -1,0 +1,282 @@
+package sysmon
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+var epoch = time.Date(2001, 10, 8, 0, 0, 0, 0, time.UTC)
+
+func TestUsageSumsAndClamps(t *testing.T) {
+	m := NewMachine(vclock.NewReal(), "n1", 1)
+	if got := m.Usage(); got != 0 {
+		t.Fatalf("idle usage = %v", got)
+	}
+	m.SetConstSource("a", 30)
+	m.SetConstSource("b", 25)
+	if got := m.Usage(); got != 55 {
+		t.Fatalf("usage = %v, want 55", got)
+	}
+	m.SetConstSource("c", 60)
+	if got := m.Usage(); got != 100 {
+		t.Fatalf("usage = %v, want clamp at 100", got)
+	}
+	m.ClearSource("c")
+	m.ClearSource("b")
+	if got := m.Usage(); got != 30 {
+		t.Fatalf("usage = %v, want 30", got)
+	}
+}
+
+func TestBackgroundLoadExcludesWorker(t *testing.T) {
+	m := NewMachine(vclock.NewReal(), "n1", 1)
+	m.SetConstSource(WorkerSource, 90)
+	m.SetConstSource("user", 20)
+	if got := m.BackgroundLoad(); got != 20 {
+		t.Fatalf("background = %v, want 20", got)
+	}
+	if got := m.Usage(); got != 100 {
+		t.Fatalf("usage = %v, want 100 (clamped)", got)
+	}
+}
+
+func TestComputeScalesWithSpeed(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	fast := NewMachine(clk, "fast", 1.0)   // 800 MHz class
+	slow := NewMachine(clk, "slow", 0.375) // 300 MHz class
+	var fastDur, slowDur time.Duration
+	clk.Run(func() {
+		t0 := clk.Now()
+		fast.Compute(300*time.Millisecond, 95)
+		fastDur = clk.Since(t0)
+		t1 := clk.Now()
+		slow.Compute(300*time.Millisecond, 95)
+		slowDur = clk.Since(t1)
+	})
+	if fastDur != 300*time.Millisecond {
+		t.Fatalf("fast compute took %v", fastDur)
+	}
+	if slowDur != 800*time.Millisecond {
+		t.Fatalf("slow compute took %v, want 800ms", slowDur)
+	}
+}
+
+func TestComputeSlowsUnderContention(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	var idle, loaded time.Duration
+	clk.Run(func() {
+		t0 := clk.Now()
+		m.Compute(100*time.Millisecond, 90)
+		idle = clk.Since(t0)
+		m.SetConstSource("bg", 50)
+		t1 := clk.Now()
+		m.Compute(100*time.Millisecond, 90)
+		loaded = clk.Since(t1)
+	})
+	if idle != 100*time.Millisecond {
+		t.Fatalf("idle compute %v", idle)
+	}
+	if loaded != 200*time.Millisecond {
+		t.Fatalf("compute under 50%% load took %v, want 200ms", loaded)
+	}
+}
+
+func TestComputeContentionCapped(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	var dur time.Duration
+	clk.Run(func() {
+		m.SetConstSource("bg", 100)
+		t0 := clk.Now()
+		m.Compute(10*time.Millisecond, 90)
+		dur = clk.Since(t0)
+	})
+	if dur != 200*time.Millisecond { // 1/0.05 cap
+		t.Fatalf("saturated compute took %v, want 200ms (20x cap)", dur)
+	}
+}
+
+func TestWorkerSourceVisibleDuringCompute(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	var during, after float64
+	clk.Run(func() {
+		clk.Go(func() {
+			clk.Sleep(50 * time.Millisecond)
+			during = m.Usage()
+		})
+		m.Compute(100*time.Millisecond, 88)
+		after = m.Usage()
+	})
+	if during != 88 {
+		t.Fatalf("usage during compute = %v, want 88", during)
+	}
+	if after != 0 {
+		t.Fatalf("usage after compute = %v, want 0", after)
+	}
+}
+
+func TestHistoryRecordsSamples(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	clk.Run(func() {
+		m.SetConstSource("x", 10)
+		m.RecordSample()
+		clk.Sleep(time.Second)
+		m.SetConstSource("x", 70)
+		m.RecordSample()
+	})
+	h := m.History()
+	if len(h) != 2 || h[0].Usage != 10 || h[1].Usage != 70 {
+		t.Fatalf("history = %+v", h)
+	}
+	if !h[1].At.After(h[0].At) {
+		t.Fatal("history out of order")
+	}
+	if got := m.PeakUsage(epoch, epoch.Add(time.Hour)); got != 70 {
+		t.Fatalf("peak = %v", got)
+	}
+	if got := m.PeakUsage(epoch, epoch.Add(time.Millisecond)); got != 10 {
+		t.Fatalf("windowed peak = %v", got)
+	}
+}
+
+func TestLoadSimulator1StaysInBand(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	sim := NewLoadSimulator1(m)
+	sim.Start()
+	if !sim.Running() {
+		t.Fatal("not running after Start")
+	}
+	clk.Run(func() {
+		for i := 0; i < 200; i++ {
+			u := m.Usage()
+			if u < 30 || u > 50 {
+				t.Errorf("t=%v usage %v outside [30,50]", clk.Since(epoch), u)
+				return
+			}
+			clk.Sleep(137 * time.Millisecond)
+		}
+	})
+	sim.Stop()
+	if m.Usage() != 0 {
+		t.Fatal("load persists after Stop")
+	}
+}
+
+func TestLoadSimulator1Fluctuates(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	sim := NewLoadSimulator1(m)
+	sim.Start()
+	seen := map[int]bool{}
+	clk.Run(func() {
+		for i := 0; i < 100; i++ {
+			seen[int(m.Usage())] = true
+			clk.Sleep(100 * time.Millisecond)
+		}
+	})
+	if len(seen) < 5 {
+		t.Fatalf("load simulator 1 produced only %d distinct levels", len(seen))
+	}
+}
+
+func TestLoadSimulator2Saturates(t *testing.T) {
+	m := NewMachine(vclock.NewReal(), "n", 1)
+	sim := NewLoadSimulator2(m)
+	sim.Start()
+	if got := m.Usage(); got != 100 {
+		t.Fatalf("usage = %v, want 100", got)
+	}
+	sim.Stop()
+	if got := m.Usage(); got != 0 {
+		t.Fatalf("usage after stop = %v", got)
+	}
+}
+
+func TestPropUsageBounded(t *testing.T) {
+	m := NewMachine(vclock.NewReal(), "n", 1)
+	f := func(a, b, c float64) bool {
+		m.SetConstSource("a", a)
+		m.SetConstSource("b", b)
+		m.SetConstSource("c", c)
+		u := m.Usage()
+		return u >= 0 && u <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropContentionMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := float64(a%101), float64(b%101)
+		if x > y {
+			x, y = y, x
+		}
+		return contentionFactor(x) <= contentionFactor(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatcherFiresOnBandCrossings(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	classify := func(load float64) int {
+		switch {
+		case load >= 50:
+			return 2
+		case load >= 25:
+			return 1
+		default:
+			return 0
+		}
+	}
+	var fired []float64
+	w := NewWatcher(clk, m, 100*time.Millisecond, classify, func(load float64) {
+		fired = append(fired, load)
+	})
+	clk.Run(func() {
+		clk.Go(w.Run)
+		clk.Sleep(300 * time.Millisecond) // no change: no callback
+		m.SetConstSource("user", 60)      // band 0 → 2
+		clk.Sleep(300 * time.Millisecond)
+		m.SetConstSource("user", 30) // band 2 → 1
+		clk.Sleep(300 * time.Millisecond)
+		m.ClearSource("user") // band 1 → 0
+		clk.Sleep(300 * time.Millisecond)
+		m.SetConstSource("user", 10) // still band 0: no callback
+		clk.Sleep(300 * time.Millisecond)
+		w.Stop()
+	})
+	if len(fired) != 3 {
+		t.Fatalf("fired %d times (%v), want 3", len(fired), fired)
+	}
+	if fired[0] != 60 || fired[1] != 30 || fired[2] != 0 {
+		t.Fatalf("fired loads %v", fired)
+	}
+}
+
+func TestWatcherStopBeforeRun(t *testing.T) {
+	clk := vclock.NewVirtual(epoch)
+	m := NewMachine(clk, "n", 1)
+	w := NewWatcher(clk, m, 50*time.Millisecond, func(float64) int { return 0 }, func(float64) {})
+	w.Stop()
+	clk.Run(func() {
+		clk.Go(w.Run) // must exit immediately
+	})
+}
+
+func TestDefaultSpeedGuard(t *testing.T) {
+	m := NewMachine(vclock.NewReal(), "n", -3)
+	if m.Speed() != 1 {
+		t.Fatalf("speed = %v, want fallback 1", m.Speed())
+	}
+}

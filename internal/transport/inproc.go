@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// Model describes the cost of moving a message across the simulated
+// network: a fixed per-message latency plus a serialization/transmission
+// cost proportional to the gob-encoded size. The defaults in LAN2001
+// approximate the paper's testbed: 100 Mbit/s switched Ethernet plus
+// Jini/JavaSpaces marshalling overhead.
+type Model struct {
+	// Latency is charged once per message direction.
+	Latency time.Duration
+	// PerKB is charged per kilobyte of encoded payload (covers both
+	// serialization CPU and wire time).
+	PerKB time.Duration
+}
+
+// Cost returns the time to move n encoded bytes one way.
+func (m Model) Cost(n int) time.Duration {
+	return m.Latency + time.Duration(float64(m.PerKB)*float64(n)/1024)
+}
+
+// LAN2001 models the paper's 100 Mbit/s LAN with JVM serialization
+// overheads: ~1 ms per RPC hop plus ~0.3 ms/KB.
+func LAN2001() Model {
+	return Model{Latency: time.Millisecond, PerKB: 300 * time.Microsecond}
+}
+
+// Loopback is a free network for unit tests.
+func Loopback() Model { return Model{} }
+
+// Network is an in-process network: a namespace of addresses backed by
+// Servers, with Model costs charged to the calling process's clock. It is
+// safe for concurrent use.
+type Network struct {
+	clock vclock.Clock
+	model Model
+
+	mu      sync.Mutex
+	servers map[string]*Server
+
+	bytesSent uint64
+	calls     uint64
+}
+
+// NewNetwork returns an in-process network on the given clock.
+func NewNetwork(clock vclock.Clock, model Model) *Network {
+	return &Network{clock: clock, model: model, servers: make(map[string]*Server)}
+}
+
+// Listen binds srv to addr, replacing any previous binding.
+func (n *Network) Listen(addr string, srv *Server) {
+	n.mu.Lock()
+	n.servers[addr] = srv
+	n.mu.Unlock()
+}
+
+// Unlisten removes the binding at addr.
+func (n *Network) Unlisten(addr string) {
+	n.mu.Lock()
+	delete(n.servers, addr)
+	n.mu.Unlock()
+}
+
+// Dial returns a client for the service at addr. Dialing succeeds even if
+// the address is not yet bound; calls fail with ErrNoSuchService until it
+// is (mirroring UDP-style late binding, and keeping construction order
+// flexible).
+func (n *Network) Dial(addr string) Client {
+	return &inprocClient{net: n, addr: addr}
+}
+
+// Stats returns cumulative traffic counters.
+func (n *Network) Stats() (calls, bytesSent uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.calls, n.bytesSent
+}
+
+type inprocClient struct {
+	net    *Network
+	addr   string
+	mu     sync.Mutex
+	closed bool
+}
+
+// Call implements Client. The request and response payloads are gob
+// round-tripped, so the callee never aliases caller memory and the network
+// model is charged the true encoded size.
+func (c *inprocClient) Call(method string, arg interface{}) (interface{}, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	n := c.net
+	n.mu.Lock()
+	srv := n.servers[c.addr]
+	n.mu.Unlock()
+	if srv == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchService, c.addr)
+	}
+
+	reqBytes, err := encodePayload(arg)
+	if err != nil {
+		return nil, err
+	}
+	n.account(len(reqBytes), true)
+	n.clock.Sleep(n.model.Cost(len(reqBytes)))
+	decoded, err := decodePayload(reqBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := srv.Dispatch(method, decoded)
+	if err != nil {
+		// Errors cross the simulated wire as strings, as they would on TCP.
+		n.clock.Sleep(n.model.Cost(64))
+		return nil, &RemoteError{Method: method, Msg: err.Error()}
+	}
+
+	resBytes, err := encodePayload(res)
+	if err != nil {
+		return nil, err
+	}
+	n.account(len(resBytes), false)
+	n.clock.Sleep(n.model.Cost(len(resBytes)))
+	return decodePayload(resBytes)
+}
+
+// Close implements Client.
+func (c *inprocClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+func (n *Network) account(b int, isCall bool) {
+	n.mu.Lock()
+	if isCall {
+		n.calls++
+	}
+	n.bytesSent += uint64(b)
+	n.mu.Unlock()
+}

@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// wireRequest and wireResponse are the on-wire frames of the TCP binding.
+// Multiple requests may be outstanding on one connection; responses are
+// matched by ID.
+type wireRequest struct {
+	ID     uint64
+	Method string
+	Arg    []byte // encodePayload bytes
+}
+
+type wireResponse struct {
+	ID     uint64
+	Result []byte // encodePayload bytes, nil on error
+	Err    string
+}
+
+// TCPListener serves a Server over TCP.
+type TCPListener struct {
+	ln    net.Listener
+	srv   *Server
+	mu    sync.Mutex
+	done  bool
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// ListenTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns
+// the listener. Use Addr to discover the bound address.
+func ListenTCP(addr string, srv *Server) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &TCPListener{ln: ln, srv: srv, conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound network address.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting, closes live connections, and waits for handlers
+// to drain.
+func (l *TCPListener) Close() error {
+	l.mu.Lock()
+	l.done = true
+	for c := range l.conns {
+		_ = c.Close()
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *TCPListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.done {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.serveConn(conn)
+			l.mu.Lock()
+			delete(l.conns, conn)
+			l.mu.Unlock()
+		}()
+	}
+}
+
+func (l *TCPListener) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex // guards enc: handler goroutines share the writer
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		wg.Add(1)
+		go func(req wireRequest) {
+			defer wg.Done()
+			resp := wireResponse{ID: req.ID}
+			arg, err := decodePayload(req.Arg)
+			if err == nil {
+				var res interface{}
+				res, err = l.srv.Dispatch(req.Method, arg)
+				if err == nil {
+					resp.Result, err = encodePayload(res)
+				}
+			}
+			if err != nil {
+				resp.Err = err.Error()
+				resp.Result = nil
+			}
+			wmu.Lock()
+			encErr := enc.Encode(&resp)
+			wmu.Unlock()
+			if encErr != nil {
+				conn.Close()
+			}
+		}(req)
+	}
+}
+
+type tcpClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu      sync.Mutex // guards enc, nextID, pending, closed
+	nextID  uint64
+	pending map[uint64]chan wireResponse
+	closed  bool
+	readErr error
+}
+
+// DialTCP connects to a TCPListener at addr. Calls on the returned client
+// may be issued concurrently; blocked calls (e.g. a blocking Take at a
+// remote space) do not prevent other calls from completing.
+func DialTCP(addr string) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &tcpClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		nextID:  1,
+		pending: make(map[uint64]chan wireResponse),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *tcpClient) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp wireResponse
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			if !c.closed {
+				c.closed = true
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// Call implements Client.
+func (c *tcpClient) Call(method string, arg interface{}) (interface{}, error) {
+	argBytes, err := encodePayload(arg)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan wireResponse, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	err = c.enc.Encode(&wireRequest{ID: id, Method: method, Arg: argBytes})
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrClosed, c.errLocked())
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Method: method, Msg: resp.Err}
+	}
+	return decodePayload(resp.Result)
+}
+
+func (c *tcpClient) errLocked() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil && !errors.Is(c.readErr, io.EOF) {
+		return c.readErr
+	}
+	return io.EOF
+}
+
+// Close implements Client.
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,106 @@
+// Package transport provides the messaging substrate used by every remote
+// interaction in this repository: a tiny gob-based RPC protocol with two
+// bindings. The TCP binding carries real deployments (cmd/master,
+// cmd/worker, …). The in-process binding routes calls through a configurable
+// network model (per-message latency plus per-byte cost) charged to the
+// caller's clock, which is what lets the experiment harness run a simulated
+// multi-node cluster — with 2001-era LAN costs — under the virtual clock.
+//
+// Messages are gob-encoded. Concrete types crossing the wire inside an
+// `any` must be registered with RegisterType (the analogue of Java
+// serialization's class registry).
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// RemoteError carries an error string returned by the remote side of a
+// call.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Errors returned by transport operations.
+var (
+	ErrNoSuchMethod  = errors.New("transport: no such method")
+	ErrNoSuchService = errors.New("transport: no service at address")
+	ErrClosed        = errors.New("transport: connection closed")
+)
+
+// RegisterType registers a concrete type for transmission inside any-typed
+// RPC arguments and results.
+func RegisterType(v interface{}) { gob.Register(v) }
+
+func init() {
+	// Raw datagram payloads (e.g. SNMP BER packets) cross the RPC layer
+	// as byte slices.
+	gob.Register([]byte(nil))
+}
+
+// Handler processes one RPC method.
+type Handler func(arg interface{}) (interface{}, error)
+
+// Server dispatches method calls to registered handlers. It is shared by
+// both bindings.
+type Server struct {
+	handlers map[string]Handler
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{handlers: make(map[string]Handler)} }
+
+// Handle registers h for method name. Registration must complete before the
+// server is exposed; it is not synchronized with dispatch.
+func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+// Dispatch invokes the handler for method.
+func (s *Server) Dispatch(method string, arg interface{}) (interface{}, error) {
+	h, ok := s.handlers[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchMethod, method)
+	}
+	return h(arg)
+}
+
+// Client is one side of an RPC connection.
+type Client interface {
+	// Call invokes method with arg and returns the result. Calls may be
+	// issued concurrently.
+	Call(method string, arg interface{}) (interface{}, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// envelope wraps an any-typed payload for gob.
+type envelope struct {
+	V interface{}
+}
+
+// encodePayload gob-encodes v and returns the bytes; used both for wire
+// transmission and for charging serialization size to the network model.
+func encodePayload(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload reverses encodePayload.
+func decodePayload(b []byte) (interface{}, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return env.V, nil
+}

@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+type echoArg struct {
+	Msg string
+	N   int
+}
+
+func init() {
+	RegisterType(echoArg{})
+	RegisterType([]float64{})
+}
+
+func newEchoServer() *Server {
+	srv := NewServer()
+	srv.Handle("echo", func(arg interface{}) (interface{}, error) {
+		return arg, nil
+	})
+	srv.Handle("double", func(arg interface{}) (interface{}, error) {
+		e := arg.(echoArg)
+		return echoArg{Msg: e.Msg + e.Msg, N: e.N * 2}, nil
+	})
+	srv.Handle("fail", func(arg interface{}) (interface{}, error) {
+		return nil, errors.New("boom")
+	})
+	srv.Handle("slow", func(arg interface{}) (interface{}, error) {
+		time.Sleep(50 * time.Millisecond)
+		return arg, nil
+	})
+	return srv
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	n := NewNetwork(vclock.NewReal(), Loopback())
+	n.Listen("svc", newEchoServer())
+	c := n.Dial("svc")
+	defer c.Close()
+	got, err := c.Call("double", echoArg{Msg: "ab", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.(echoArg); e.Msg != "abab" || e.N != 6 {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestInprocNoAliasing(t *testing.T) {
+	n := NewNetwork(vclock.NewReal(), Loopback())
+	srv := NewServer()
+	var captured []float64
+	srv.Handle("keep", func(arg interface{}) (interface{}, error) {
+		captured = arg.([]float64)
+		return arg, nil
+	})
+	n.Listen("svc", srv)
+	c := n.Dial("svc")
+	orig := []float64{1, 2, 3}
+	if _, err := c.Call("keep", orig); err != nil {
+		t.Fatal(err)
+	}
+	orig[0] = 99
+	if captured[0] == 99 {
+		t.Fatal("server aliased caller memory; gob round-trip missing")
+	}
+}
+
+func TestInprocErrors(t *testing.T) {
+	n := NewNetwork(vclock.NewReal(), Loopback())
+	n.Listen("svc", newEchoServer())
+	c := n.Dial("svc")
+	if _, err := c.Call("fail", echoArg{}); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	var re *RemoteError
+	_, err := c.Call("nope", echoArg{})
+	if !errors.As(err, &re) {
+		t.Fatalf("missing method err = %v", err)
+	}
+	c2 := n.Dial("unbound")
+	if _, err := c2.Call("echo", echoArg{}); !errors.Is(err, ErrNoSuchService) {
+		t.Fatalf("unbound err = %v", err)
+	}
+	_ = c.Close()
+	if _, err := c.Call("echo", echoArg{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed err = %v", err)
+	}
+}
+
+func TestInprocLatencyChargedOnVirtualClock(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	model := Model{Latency: 10 * time.Millisecond}
+	n := NewNetwork(clk, model)
+	n.Listen("svc", newEchoServer())
+	var elapsed time.Duration
+	clk.Run(func() {
+		c := n.Dial("svc")
+		start := clk.Now()
+		if _, err := c.Call("echo", echoArg{Msg: "hi"}); err != nil {
+			t.Error(err)
+		}
+		elapsed = clk.Since(start)
+	})
+	if elapsed != 20*time.Millisecond { // one hop each way
+		t.Fatalf("RPC took %v of virtual time, want 20ms", elapsed)
+	}
+}
+
+func TestInprocPerByteCost(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	n := NewNetwork(clk, Model{PerKB: time.Millisecond})
+	srv := NewServer()
+	srv.Handle("sink", func(arg interface{}) (interface{}, error) { return 0, nil })
+	n.Listen("svc", srv)
+	big := make([]float64, 8192) // ~64 KB payload once encoded
+	for i := range big {
+		big[i] = float64(i) + 0.12345 // non-zero: gob must ship full mantissas
+	}
+	var elapsed time.Duration
+	clk.Run(func() {
+		c := n.Dial("svc")
+		start := clk.Now()
+		if _, err := c.Call("sink", big); err != nil {
+			t.Error(err)
+		}
+		elapsed = clk.Since(start)
+	})
+	if elapsed < 60*time.Millisecond {
+		t.Fatalf("64KB transfer took %v, want >= ~64ms", elapsed)
+	}
+	_, bytes := n.Stats()
+	if bytes < 64*1024 {
+		t.Fatalf("accounted %d bytes, want >= 64KB", bytes)
+	}
+}
+
+func TestModelCost(t *testing.T) {
+	m := Model{Latency: time.Millisecond, PerKB: time.Millisecond}
+	if got := m.Cost(0); got != time.Millisecond {
+		t.Fatalf("Cost(0) = %v", got)
+	}
+	if got := m.Cost(2048); got != 3*time.Millisecond {
+		t.Fatalf("Cost(2048) = %v", got)
+	}
+	if LAN2001().Latency <= 0 || Loopback().Cost(1<<20) != 0 {
+		t.Fatal("canned models misconfigured")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0", newEchoServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("double", echoArg{Msg: "x", N: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.(echoArg); e.N != 42 {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0", newEchoServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			method := "echo"
+			if i%4 == 0 {
+				method = "slow" // slow calls must not block fast ones
+			}
+			got, err := c.Call(method, echoArg{N: i})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.(echoArg).N != i {
+				errs <- fmt.Errorf("call %d got %+v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0", newEchoServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var re *RemoteError
+	if _, err := c.Call("fail", echoArg{}); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Handle("hang", func(arg interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	})
+	l, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("hang", echoArg{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(block) // let the handler finish so Close can drain
+	if err := l.Close(); err != nil {
+		t.Logf("listener close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("client call never returned after server close")
+	}
+	_ = c.Close()
+}
+
+func TestTCPClientCloseUnblocksPendingCall(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Handle("hang", func(arg interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	})
+	l, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); l.Close() }()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call("hang", echoArg{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call succeeded after client close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not unblocked by client Close")
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

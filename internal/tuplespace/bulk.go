@@ -1,0 +1,71 @@
+package tuplespace
+
+import (
+	"reflect"
+
+	"gospaces/internal/txn"
+)
+
+// ReadAll returns copies of up to max public entries matching tmpl
+// (max <= 0 means no limit), without blocking. Under a transaction the
+// returned entries are read-locked. It is the JavaSpaces05 "contents"
+// extension, useful for bulk aggregation and diagnostics.
+func (s *Space) ReadAll(tmpl Entry, t *txn.Txn, max int) ([]Entry, error) {
+	return s.bulk(opRead, tmpl, t, max)
+}
+
+// TakeAll removes and returns up to max matching entries (max <= 0 means
+// no limit), without blocking. Under a transaction the removals are
+// provisional until commit.
+func (s *Space) TakeAll(tmpl Entry, t *txn.Txn, max int) ([]Entry, error) {
+	return s.bulk(opTake, tmpl, t, max)
+}
+
+func (s *Space) bulk(kind opKind, tmpl Entry, t *txn.Txn, max int) ([]Entry, error) {
+	ti, tv, err := infoFor(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, err := s.joinLocked(t); err != nil {
+		return nil, err
+	}
+	var out []Entry
+	now := s.clock.Now()
+	list := s.byType[ti.name]
+	kept := list[:0]
+	for _, se := range list {
+		if se.removed || (!se.expiry.IsZero() && now.After(se.expiry)) {
+			if !se.removed {
+				se.removed = true
+				s.stats.Expired++
+			}
+			continue
+		}
+		kept = append(kept, se)
+		if max > 0 && len(out) >= max {
+			continue
+		}
+		if !s.visibleLocked(se, t) {
+			continue
+		}
+		if kind == opTake && !s.takeableLocked(se, t) {
+			continue
+		}
+		if !matchesEntry(ti, tv, se.val) {
+			continue
+		}
+		s.applyLocked(kind, se, t)
+		out = append(out, deepCopy(se.val).Interface())
+	}
+	s.byType[ti.name] = kept
+	return out, nil
+}
+
+// matchesEntry is a tiny wrapper so bulk reads the same matcher the
+// scalar paths use.
+func matchesEntry(ti *typeInfo, tv, cv reflect.Value) bool { return matches(ti, tv, cv) }

@@ -1,0 +1,249 @@
+// Package tuplespace implements the JavaSpaces programming model: a shared,
+// associative repository of typed entries with Write, Read and Take
+// operations, blocking lookups, per-entry leases, transactions and event
+// notification. It is the central substrate of this repository — the
+// framework's master and workers coordinate exclusively through a Space,
+// exactly as the paper's master/worker modules coordinate through a
+// JavaSpace.
+//
+// # Entries and templates
+//
+// An entry is any Go struct. A template is a (possibly partially zero)
+// value of the same struct type. A template matches an entry when every
+// exported, non-zero field of the template is deeply equal to the
+// corresponding entry field; zero-valued template fields are wildcards.
+// This mirrors JavaSpaces, where null entry fields act as wildcards. As in
+// JavaSpaces (where matchable fields are objects such as Integer rather
+// than int), fields whose zero value is meaningful for matching should be
+// declared as pointers.
+package tuplespace
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Entry is any struct value stored in or used to query a Space. Passing a
+// non-struct (or pointer to non-struct) to Space operations returns
+// ErrNotStruct.
+type Entry interface{}
+
+// typeInfo caches per-type reflection data used by the matcher.
+type typeInfo struct {
+	typ    reflect.Type
+	fields []int // indices of exported fields
+	name   string
+	// keyField is the index of the first exported string field tagged
+	// `space:"index"`, or -1. Entries of such types are hash-indexed by
+	// that field's value, turning template lookups that fix the key into
+	// bucket scans instead of full type scans.
+	keyField int
+}
+
+var typeCache sync.Map // reflect.Type -> *typeInfo
+
+// infoFor returns cached reflection info for the struct type underlying e.
+func infoFor(e Entry) (*typeInfo, reflect.Value, error) {
+	v := reflect.ValueOf(e)
+	for v.Kind() == reflect.Ptr {
+		if v.IsNil() {
+			return nil, reflect.Value{}, fmt.Errorf("tuplespace: nil entry: %w", ErrNotStruct)
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return nil, reflect.Value{}, fmt.Errorf("tuplespace: %T is not a struct: %w", e, ErrNotStruct)
+	}
+	t := v.Type()
+	if ti, ok := typeCache.Load(t); ok {
+		return ti.(*typeInfo), v, nil
+	}
+	ti := &typeInfo{typ: t, name: t.String(), keyField: -1}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		ti.fields = append(ti.fields, i)
+		if ti.keyField < 0 && f.Type.Kind() == reflect.String && f.Tag.Get("space") == "index" {
+			ti.keyField = i
+		}
+	}
+	typeCache.LoadOrStore(t, ti)
+	return ti, v, nil
+}
+
+// matches reports whether template tmpl (already resolved to a struct
+// value) matches candidate cand of the same type: every non-zero exported
+// template field must be deeply equal to the candidate's field.
+func matches(ti *typeInfo, tmpl, cand reflect.Value) bool {
+	for _, i := range ti.fields {
+		f := tmpl.Field(i)
+		if f.IsZero() {
+			continue // wildcard
+		}
+		if !reflect.DeepEqual(f.Interface(), cand.Field(i).Interface()) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesSlow is the uncached matcher used by the ablation benchmark: it
+// recomputes exported-field indices on every call instead of consulting the
+// type cache.
+func matchesSlow(tmpl, cand reflect.Value) bool {
+	t := tmpl.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if !t.Field(i).IsExported() {
+			continue
+		}
+		f := tmpl.Field(i)
+		if f.IsZero() {
+			continue
+		}
+		if !reflect.DeepEqual(f.Interface(), cand.Field(i).Interface()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Match reports whether template tmpl matches entry e under JavaSpaces
+// matching rules. Both must be values (or pointers to values) of the same
+// struct type; differing types never match.
+func Match(tmpl, e Entry) (bool, error) {
+	ti, tv, err := infoFor(tmpl)
+	if err != nil {
+		return false, err
+	}
+	ci, cv, err := infoFor(e)
+	if err != nil {
+		return false, err
+	}
+	if ti.typ != ci.typ {
+		return false, nil
+	}
+	return matches(ti, tv, cv), nil
+}
+
+// MatchUncached is the reference matcher that recomputes field metadata
+// on every call instead of using the per-type cache. It exists for the
+// BenchmarkAblationMatchCache comparison and for cross-checking the
+// cached matcher in property tests.
+func MatchUncached(tmpl, e Entry) (bool, error) {
+	tv := reflect.ValueOf(tmpl)
+	for tv.Kind() == reflect.Ptr && !tv.IsNil() {
+		tv = tv.Elem()
+	}
+	cv := reflect.ValueOf(e)
+	for cv.Kind() == reflect.Ptr && !cv.IsNil() {
+		cv = cv.Elem()
+	}
+	if tv.Kind() != reflect.Struct || cv.Kind() != reflect.Struct {
+		return false, ErrNotStruct
+	}
+	if tv.Type() != cv.Type() {
+		return false, nil
+	}
+	return matchesSlow(tv, cv), nil
+}
+
+// deepCopy returns a deep copy of entry value v (a struct). Entries are
+// copied on Write and on Read/Take so that callers can never alias storage
+// inside the space — the in-process analogue of JavaSpaces serialization.
+func deepCopy(v reflect.Value) reflect.Value {
+	out := reflect.New(v.Type()).Elem()
+	copyInto(out, v)
+	return out
+}
+
+func copyInto(dst, src reflect.Value) {
+	switch src.Kind() {
+	case reflect.Ptr:
+		if src.IsNil() {
+			return
+		}
+		dst.Set(reflect.New(src.Type().Elem()))
+		copyInto(dst.Elem(), src.Elem())
+	case reflect.Struct:
+		for i := 0; i < src.NumField(); i++ {
+			if !src.Type().Field(i).IsExported() {
+				continue
+			}
+			copyInto(dst.Field(i), src.Field(i))
+		}
+	case reflect.Slice:
+		if src.IsNil() {
+			return
+		}
+		dst.Set(reflect.MakeSlice(src.Type(), src.Len(), src.Len()))
+		for i := 0; i < src.Len(); i++ {
+			copyInto(dst.Index(i), src.Index(i))
+		}
+	case reflect.Map:
+		if src.IsNil() {
+			return
+		}
+		dst.Set(reflect.MakeMapWithSize(src.Type(), src.Len()))
+		iter := src.MapRange()
+		for iter.Next() {
+			k := reflect.New(src.Type().Key()).Elem()
+			copyInto(k, iter.Key())
+			val := reflect.New(src.Type().Elem()).Elem()
+			copyInto(val, iter.Value())
+			dst.SetMapIndex(k, val)
+		}
+	case reflect.Interface:
+		if src.IsNil() {
+			return
+		}
+		inner := reflect.New(src.Elem().Type()).Elem()
+		copyInto(inner, src.Elem())
+		dst.Set(inner)
+	case reflect.Array:
+		for i := 0; i < src.Len(); i++ {
+			copyInto(dst.Index(i), src.Index(i))
+		}
+	default:
+		if dst.CanSet() {
+			dst.Set(src)
+		}
+	}
+}
+
+// CopyEntry returns a deep copy of e as a value of the same struct type
+// (never a pointer). It is exported for use by the remote space service.
+func CopyEntry(e Entry) (Entry, error) {
+	_, v, err := infoFor(e)
+	if err != nil {
+		return nil, err
+	}
+	return deepCopy(v).Interface(), nil
+}
+
+// TypeName returns the fully qualified struct type name of e, used as the
+// indexing key in the space and on the wire by the remote space service.
+func TypeName(e Entry) (string, error) {
+	ti, _, err := infoFor(e)
+	if err != nil {
+		return "", err
+	}
+	return ti.name, nil
+}
+
+// EncodedSize returns the gob-serialized size of entry e in bytes — the
+// size it occupies on the wire when written to a remote space.
+func EncodedSize(e Entry) (int, error) {
+	if _, _, err := infoFor(e); err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return 0, fmt.Errorf("tuplespace: encode %T: %w", e, err)
+	}
+	return buf.Len(), nil
+}

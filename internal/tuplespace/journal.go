@@ -1,0 +1,158 @@
+package tuplespace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The paper (§3) notes that JavaSpaces "provides associative lookup of
+// persistent objects": Outrigger could run in persistent mode, surviving
+// restarts. Journal gives the space the same property: every publicly
+// visible mutation (a committed write, a committed take, a cancellation
+// or expiry) is appended as a gob record, and Replay reconstructs the
+// live entries into a fresh space. Transactions interact correctly: only
+// committed effects reach the journal.
+
+// journalOp is one durable mutation.
+type journalOp struct {
+	// Kind is "write" or "remove".
+	Kind string
+	// Seq is the entry's space-assigned identity, stable across the
+	// journal so removes can reference prior writes.
+	Seq uint64
+	// Entry is the written entry (write records only).
+	Entry interface{}
+	// Expiry is the entry's absolute lease expiry (zero = forever).
+	Expiry time.Time
+}
+
+// Journal persists a space's public mutations to an io.Writer. Attach it
+// with Space.AttachJournal; it is safe for concurrent use.
+type Journal struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	err error
+}
+
+// NewJournal returns a journal writing gob records to w. Entry types that
+// will pass through the journal must be gob-registered (applications that
+// use the remote space service already do this via
+// transport.RegisterType; purely local users call gob.Register).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{enc: gob.NewEncoder(w)}
+}
+
+// Err returns the first write error the journal encountered, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *Journal) record(op journalOp) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(&op); err != nil {
+		j.err = fmt.Errorf("tuplespace: journal: %w", err)
+	}
+}
+
+// AttachJournal starts journaling the space's public mutations. It must
+// be called before any entries are written; attaching to a non-empty
+// space returns an error (replay first, then attach).
+func (s *Space) AttachJournal(j *Journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, list := range s.byType {
+		for _, se := range list {
+			if !se.removed {
+				return errors.New("tuplespace: cannot attach journal to a non-empty space")
+			}
+		}
+	}
+	s.journal = j
+	return nil
+}
+
+// journalWriteLocked records a newly public entry. Caller holds s.mu.
+func (s *Space) journalWriteLocked(se *storedEntry) {
+	if s.journal == nil {
+		return
+	}
+	s.journal.record(journalOp{
+		Kind:   "write",
+		Seq:    se.id,
+		Entry:  se.val.Interface(),
+		Expiry: se.expiry,
+	})
+}
+
+// journalRemoveLocked records a public entry's permanent removal. Caller
+// holds s.mu.
+func (s *Space) journalRemoveLocked(se *storedEntry) {
+	if s.journal == nil {
+		return
+	}
+	s.journal.record(journalOp{Kind: "remove", Seq: se.id})
+}
+
+// Replay reads a journal stream and writes the surviving entries into s
+// (which must be empty), restoring their remaining leases relative to the
+// space's clock. It returns the number of live entries restored.
+func Replay(r io.Reader, s *Space) (int, error) {
+	dec := gob.NewDecoder(r)
+	type pending struct {
+		entry  Entry
+		expiry time.Time
+	}
+	live := make(map[uint64]pending)
+	var order []uint64
+	for {
+		var op journalOp
+		if err := dec.Decode(&op); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return 0, fmt.Errorf("tuplespace: replay: %w", err)
+		}
+		switch op.Kind {
+		case "write":
+			if op.Entry == nil {
+				return 0, errors.New("tuplespace: replay: write record without entry")
+			}
+			live[op.Seq] = pending{entry: op.Entry, expiry: op.Expiry}
+			order = append(order, op.Seq)
+		case "remove":
+			delete(live, op.Seq)
+		default:
+			return 0, fmt.Errorf("tuplespace: replay: unknown op %q", op.Kind)
+		}
+	}
+	now := s.clock.Now()
+	restored := 0
+	for _, seq := range order {
+		p, ok := live[seq]
+		if !ok {
+			continue
+		}
+		ttl := Forever
+		if !p.expiry.IsZero() {
+			ttl = p.expiry.Sub(now)
+			if ttl <= 0 {
+				continue // lease already expired
+			}
+		}
+		if _, err := s.Write(p.entry, nil, ttl); err != nil {
+			return restored, fmt.Errorf("tuplespace: replay entry %d: %w", seq, err)
+		}
+		restored++
+	}
+	return restored, nil
+}

@@ -1,0 +1,568 @@
+package tuplespace
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"gospaces/internal/txn"
+	"gospaces/internal/vclock"
+)
+
+// Forever is the lease duration for entries that never expire.
+const Forever time.Duration = 0
+
+// Space is an in-process JavaSpace: a shared repository of typed entries
+// with associative lookup. All methods are safe for concurrent use. A Space
+// participates in transactions created by a txn.Manager.
+type Space struct {
+	clock vclock.Clock
+
+	mu      sync.Mutex
+	byType  map[string][]*storedEntry
+	byKey   map[string]map[string][]*storedEntry // type → index-field value → entries
+	waiters map[string][]*waiter
+	notifs  map[string][]*registration
+	txns    map[uint64]*txnState
+	nextID  uint64
+	nextReg uint64
+	closed  bool
+	journal *Journal
+	stats   Stats
+}
+
+// Stats counts space operations; returned by Space.Stats.
+type Stats struct {
+	Writes      uint64 // successful Write calls
+	Reads       uint64 // successful Read/ReadIfExists calls
+	Takes       uint64 // successful Take/TakeIfExists calls
+	Blocked     uint64 // Read/Take calls that had to wait
+	Timeouts    uint64 // Read/Take calls that timed out
+	Notified    uint64 // notification events delivered
+	Expired     uint64 // entries reaped after lease expiry
+	TxnCommits  uint64 // transactions committed at this space
+	TxnAborts   uint64 // transactions aborted at this space
+	EntriesLive int    // entries currently stored (including txn-held)
+}
+
+type storedEntry struct {
+	id     uint64
+	ti     *typeInfo
+	val    reflect.Value // struct value, owned by the space
+	expiry time.Time     // zero = forever
+
+	writtenUnder uint64         // txn holding an uncommitted write, 0 if public
+	takenUnder   uint64         // txn holding a take lock, 0 if free
+	readLocks    map[uint64]int // txn id -> read lock count
+	removed      bool
+}
+
+type txnState struct {
+	writes []*storedEntry
+	takes  []*storedEntry
+	reads  []*storedEntry
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opTake
+)
+
+type waiter struct {
+	kind   opKind
+	ti     *typeInfo
+	tmpl   reflect.Value
+	txn    *txn.Txn
+	w      vclock.Waiter
+	result *storedEntry
+	err    error
+}
+
+// New returns an empty Space on the given clock.
+func New(clock vclock.Clock) *Space {
+	return &Space{
+		clock:   clock,
+		byType:  make(map[string][]*storedEntry),
+		byKey:   make(map[string]map[string][]*storedEntry),
+		waiters: make(map[string][]*waiter),
+		notifs:  make(map[string][]*registration),
+		txns:    make(map[uint64]*txnState),
+		nextID:  1,
+		nextReg: 1,
+	}
+}
+
+// Close shuts the space down: every blocked operation is woken with
+// ErrClosed and subsequent operations fail.
+func (s *Space) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var all []*waiter
+	for _, ws := range s.waiters {
+		all = append(all, ws...)
+	}
+	s.waiters = make(map[string][]*waiter)
+	for _, w := range all {
+		w.err = ErrClosed
+		w.w.Wake()
+	}
+	s.mu.Unlock()
+}
+
+// Write stores a deep copy of entry e under transaction t (nil for none),
+// with lease duration ttl (Forever for no expiry). It returns an EntryLease
+// for renewal or cancellation.
+func (s *Space) Write(e Entry, t *txn.Txn, ttl time.Duration) (*EntryLease, error) {
+	ti, v, err := infoFor(e)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ts, err := s.joinLocked(t)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	se := &storedEntry{id: s.nextID, ti: ti, val: deepCopy(v)}
+	s.nextID++
+	if ttl > 0 {
+		se.expiry = s.clock.Now().Add(ttl)
+	}
+	s.byType[ti.name] = append(s.byType[ti.name], se)
+	if ti.keyField >= 0 {
+		key := se.val.Field(ti.keyField).String()
+		buckets := s.byKey[ti.name]
+		if buckets == nil {
+			buckets = make(map[string][]*storedEntry)
+			s.byKey[ti.name] = buckets
+		}
+		buckets[key] = append(buckets[key], se)
+	}
+	s.stats.Writes++
+	var fire []notification
+	if t != nil {
+		se.writtenUnder = t.ID()
+		ts.writes = append(ts.writes, se)
+	} else {
+		s.journalWriteLocked(se)
+		fire = s.publishLocked(se)
+	}
+	s.mu.Unlock()
+	deliver(fire)
+	return &EntryLease{space: s, entry: se}, nil
+}
+
+// Read returns a copy of an entry matching tmpl, waiting up to timeout for
+// one to appear (timeout <= 0 waits forever). The entry remains in the
+// space; under a transaction it is read-locked until the transaction
+// completes.
+func (s *Space) Read(tmpl Entry, t *txn.Txn, timeout time.Duration) (Entry, error) {
+	return s.lookup(opRead, tmpl, t, timeout, true)
+}
+
+// Take removes and returns an entry matching tmpl, waiting up to timeout.
+// Under a transaction the removal is provisional until commit.
+func (s *Space) Take(tmpl Entry, t *txn.Txn, timeout time.Duration) (Entry, error) {
+	return s.lookup(opTake, tmpl, t, timeout, true)
+}
+
+// ReadIfExists is Read without blocking: it returns ErrNoMatch immediately
+// when no matching entry is present.
+func (s *Space) ReadIfExists(tmpl Entry, t *txn.Txn) (Entry, error) {
+	return s.lookup(opRead, tmpl, t, 0, false)
+}
+
+// TakeIfExists is Take without blocking.
+func (s *Space) TakeIfExists(tmpl Entry, t *txn.Txn) (Entry, error) {
+	return s.lookup(opTake, tmpl, t, 0, false)
+}
+
+func (s *Space) lookup(kind opKind, tmpl Entry, t *txn.Txn, timeout time.Duration, block bool) (Entry, error) {
+	ti, tv, err := infoFor(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, err := s.joinLocked(t); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if se := s.findLocked(kind, ti, tv, t); se != nil {
+		s.applyLocked(kind, se, t)
+		out := deepCopy(se.val).Interface()
+		s.mu.Unlock()
+		return out, nil
+	}
+	if !block {
+		s.mu.Unlock()
+		return nil, ErrNoMatch
+	}
+	w := &waiter{kind: kind, ti: ti, tmpl: tv, txn: t, w: s.clock.NewWaiter()}
+	s.waiters[ti.name] = append(s.waiters[ti.name], w)
+	s.stats.Blocked++
+	s.mu.Unlock()
+
+	w.w.Wait(timeout)
+
+	s.mu.Lock()
+	if w.result != nil {
+		out := deepCopy(w.result.val).Interface()
+		s.mu.Unlock()
+		return out, nil
+	}
+	s.removeWaiterLocked(w)
+	if w.err == nil {
+		w.err = ErrTimeout
+		s.stats.Timeouts++
+	}
+	s.mu.Unlock()
+	return nil, w.err
+}
+
+// findLocked scans entries of template type for a visible match. When the
+// type declares an index field and the template fixes its value, only
+// that bucket is scanned.
+func (s *Space) findLocked(kind opKind, ti *typeInfo, tv reflect.Value, t *txn.Txn) *storedEntry {
+	if ti.keyField >= 0 {
+		if kf := tv.Field(ti.keyField); !kf.IsZero() {
+			return s.scanLocked(kind, ti, tv, t, s.byKey[ti.name], kf.String())
+		}
+	}
+	return s.scanLocked(kind, ti, tv, t, nil, "")
+}
+
+// scanLocked walks either the full per-type list (buckets == nil) or one
+// index bucket, compacting dead entries as it goes.
+func (s *Space) scanLocked(kind opKind, ti *typeInfo, tv reflect.Value, t *txn.Txn, buckets map[string][]*storedEntry, key string) *storedEntry {
+	now := s.clock.Now()
+	var list []*storedEntry
+	if buckets != nil {
+		list = buckets[key]
+	} else {
+		list = s.byType[ti.name]
+	}
+	out := list[:0]
+	var found *storedEntry
+	for _, se := range list {
+		if se.removed || (!se.expiry.IsZero() && now.After(se.expiry)) {
+			if !se.removed {
+				se.removed = true
+				s.stats.Expired++
+			}
+			continue
+		}
+		out = append(out, se)
+		if found != nil {
+			continue
+		}
+		if !s.visibleLocked(se, t) {
+			continue
+		}
+		if kind == opTake && !s.takeableLocked(se, t) {
+			continue
+		}
+		if matches(ti, tv, se.val) {
+			found = se
+		}
+	}
+	if buckets != nil {
+		if len(out) == 0 {
+			delete(buckets, key)
+		} else {
+			buckets[key] = out
+		}
+	} else {
+		s.byType[ti.name] = out
+	}
+	return found
+}
+
+func (s *Space) visibleLocked(se *storedEntry, t *txn.Txn) bool {
+	if se.takenUnder != 0 {
+		return false
+	}
+	if se.writtenUnder != 0 {
+		return t != nil && t.ID() == se.writtenUnder
+	}
+	return true
+}
+
+func (s *Space) takeableLocked(se *storedEntry, t *txn.Txn) bool {
+	for id := range se.readLocks {
+		if t == nil || id != t.ID() {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLocked records the effect of a successful read/take on entry se.
+func (s *Space) applyLocked(kind opKind, se *storedEntry, t *txn.Txn) {
+	switch kind {
+	case opRead:
+		s.stats.Reads++
+		if t != nil {
+			if se.readLocks == nil {
+				se.readLocks = make(map[uint64]int)
+			}
+			se.readLocks[t.ID()]++
+			s.txns[t.ID()].reads = append(s.txns[t.ID()].reads, se)
+		}
+	case opTake:
+		s.stats.Takes++
+		if t != nil {
+			se.takenUnder = t.ID()
+			s.txns[t.ID()].takes = append(s.txns[t.ID()].takes, se)
+		} else {
+			se.removed = true
+			s.journalRemoveLocked(se)
+		}
+	}
+}
+
+// publishLocked makes a newly public entry visible: it satisfies blocked
+// waiters and collects matching notifications to deliver after unlock.
+// Read-waiters are satisfied before take-waiters so that a single arriving
+// entry serves every blocked reader and still hands off to one taker —
+// the policy that maximizes satisfied operations.
+func (s *Space) publishLocked(se *storedEntry) []notification {
+	for _, kind := range [...]opKind{opRead, opTake} {
+		ws := s.waiters[se.ti.name]
+		out := ws[:0]
+		var taken bool
+		for _, w := range ws {
+			if w.kind != kind || taken || se.removed || se.takenUnder != 0 ||
+				!s.visibleLocked(se, w.txn) || !matches(w.ti, w.tmpl, se.val) {
+				out = append(out, w)
+				continue
+			}
+			if w.txn != nil && !w.txn.Active() {
+				w.err = ErrTxnInactive
+				w.w.Wake()
+				continue
+			}
+			if w.kind == opTake && !s.takeableLocked(se, w.txn) {
+				out = append(out, w)
+				continue
+			}
+			s.applyLocked(w.kind, se, w.txn)
+			w.result = se
+			w.w.Wake()
+			if w.kind == opTake {
+				taken = true
+			}
+		}
+		s.waiters[se.ti.name] = out
+	}
+	return s.matchNotifsLocked(se)
+}
+
+func (s *Space) removeWaiterLocked(w *waiter) {
+	ws := s.waiters[w.ti.name]
+	for i, x := range ws {
+		if x == w {
+			s.waiters[w.ti.name] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// joinLocked enrols the space in t (if non-nil) and returns its local
+// state. Caller holds s.mu.
+func (s *Space) joinLocked(t *txn.Txn) (*txnState, error) {
+	if t == nil {
+		return nil, nil
+	}
+	if !t.Active() {
+		return nil, ErrTxnInactive
+	}
+	if ts, ok := s.txns[t.ID()]; ok {
+		return ts, nil
+	}
+	if err := t.Join(s); err != nil {
+		return nil, ErrTxnInactive
+	}
+	ts := &txnState{}
+	s.txns[t.ID()] = ts
+	return ts, nil
+}
+
+// Prepare implements txn.Participant. Local spaces can always commit.
+func (s *Space) Prepare(uint64) error { return nil }
+
+// Commit implements txn.Participant: provisional writes become public,
+// take-locked entries are removed for good, read locks are released.
+func (s *Space) Commit(id uint64) {
+	s.mu.Lock()
+	ts, ok := s.txns[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.txns, id)
+	s.stats.TxnCommits++
+	var fire []notification
+	for _, se := range ts.takes {
+		se.takenUnder = 0
+		se.removed = true
+		s.journalRemoveLocked(se)
+	}
+	for _, se := range ts.reads {
+		s.unlockReadLocked(se, id)
+	}
+	for _, se := range ts.writes {
+		if se.removed {
+			continue
+		}
+		se.writtenUnder = 0
+		s.journalWriteLocked(se)
+		fire = append(fire, s.publishLocked(se)...)
+	}
+	s.mu.Unlock()
+	deliver(fire)
+}
+
+// Abort implements txn.Participant: provisional writes vanish, take-locked
+// entries become visible again, read locks are released.
+func (s *Space) Abort(id uint64) {
+	s.mu.Lock()
+	ts, ok := s.txns[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.txns, id)
+	s.stats.TxnAborts++
+	var fire []notification
+	for _, se := range ts.writes {
+		se.removed = true
+	}
+	for _, se := range ts.reads {
+		s.unlockReadLocked(se, id)
+	}
+	for _, se := range ts.takes {
+		if se.removed {
+			continue
+		}
+		se.takenUnder = 0
+		fire = append(fire, s.publishLocked(se)...)
+	}
+	s.mu.Unlock()
+	deliver(fire)
+}
+
+func (s *Space) unlockReadLocked(se *storedEntry, id uint64) {
+	if se.readLocks == nil {
+		return
+	}
+	if n := se.readLocks[id]; n > 1 {
+		se.readLocks[id] = n - 1
+	} else {
+		delete(se.readLocks, id)
+	}
+}
+
+// Count returns the number of public entries matching tmpl — a diagnostic
+// extension (JavaSpaces05 added a similar contents query).
+func (s *Space) Count(tmpl Entry) (int, error) {
+	ti, tv, err := infoFor(tmpl)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	n := 0
+	for _, se := range s.byType[ti.name] {
+		if se.removed || se.writtenUnder != 0 || se.takenUnder != 0 {
+			continue
+		}
+		if !se.expiry.IsZero() && now.After(se.expiry) {
+			continue
+		}
+		if matches(ti, tv, se.val) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	for _, list := range s.byType {
+		for _, se := range list {
+			if !se.removed {
+				st.EntriesLive++
+			}
+		}
+	}
+	return st
+}
+
+// EntryLease controls the lifetime of a written entry.
+type EntryLease struct {
+	space *Space
+	entry *storedEntry
+}
+
+// Expiration returns the entry's current expiry time (zero for Forever).
+func (l *EntryLease) Expiration() time.Time {
+	l.space.mu.Lock()
+	defer l.space.mu.Unlock()
+	return l.entry.expiry
+}
+
+// Renew extends the lease to now+ttl. Renewing an expired or cancelled
+// lease fails with ErrLeaseExpired.
+func (l *EntryLease) Renew(ttl time.Duration) error {
+	l.space.mu.Lock()
+	defer l.space.mu.Unlock()
+	se := l.entry
+	now := l.space.clock.Now()
+	if se.removed || (!se.expiry.IsZero() && now.After(se.expiry)) {
+		return ErrLeaseExpired
+	}
+	if ttl > 0 {
+		se.expiry = now.Add(ttl)
+	} else {
+		se.expiry = time.Time{}
+	}
+	return nil
+}
+
+// Cancel removes the entry immediately.
+func (l *EntryLease) Cancel() error {
+	l.space.mu.Lock()
+	defer l.space.mu.Unlock()
+	se := l.entry
+	if se.removed {
+		return ErrLeaseExpired
+	}
+	se.removed = true
+	l.space.journalRemoveLocked(se)
+	return nil
+}
+
+// String describes the space for diagnostics.
+func (s *Space) String() string {
+	st := s.Stats()
+	return fmt.Sprintf("tuplespace.Space{live=%d writes=%d takes=%d}", st.EntriesLive, st.Writes, st.Takes)
+}

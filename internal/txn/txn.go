@@ -1,0 +1,235 @@
+// Package txn implements a Jini-style transaction service: transactions
+// are created by a Manager, resources (such as the tuple space) join a
+// transaction as participants, and completion runs a two-phase commit
+// across the participants. The framework uses transactions to make the
+// take-task / write-result exchange atomic: a worker that dies mid-task
+// aborts its transaction and the task reappears in the space, so no task
+// is ever lost (paper §3, "fault-tolerance and data integrity through
+// transactions").
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// State is the lifecycle state of a transaction.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committing
+	Committed
+	Aborted
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committing:
+		return "committing"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrNotActive     = errors.New("txn: transaction not active")
+	ErrPrepareFailed = errors.New("txn: a participant failed to prepare")
+)
+
+// Participant is a resource enrolled in a transaction. The space implements
+// this interface. Prepare must leave the participant able to either Commit
+// or Abort; returning an error vetoes the commit.
+type Participant interface {
+	Prepare(id uint64) error
+	Commit(id uint64)
+	Abort(id uint64)
+}
+
+// Manager creates and tracks transactions.
+type Manager struct {
+	clock  vclock.Clock
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]*Txn
+}
+
+// NewManager returns a transaction manager using clock for lease deadlines.
+func NewManager(clock vclock.Clock) *Manager {
+	return &Manager{clock: clock, nextID: 1, live: make(map[uint64]*Txn)}
+}
+
+// Begin creates a transaction with the given lease duration. ttl <= 0 means
+// the transaction never expires on its own.
+func (m *Manager) Begin(ttl time.Duration) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{mgr: m, id: m.nextID, state: Active}
+	m.nextID++
+	if ttl > 0 {
+		t.deadline = m.clock.Now().Add(ttl)
+	}
+	m.live[t.id] = t
+	return t
+}
+
+// Sweep aborts every live transaction whose lease has expired and returns
+// how many were aborted. The experiment harness calls this to model worker
+// crashes; a real deployment would run it periodically.
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	var expired []*Txn
+	now := m.clock.Now()
+	for _, t := range m.live {
+		if !t.deadline.IsZero() && now.After(t.deadline) {
+			expired = append(expired, t)
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range expired {
+		_ = t.Abort()
+	}
+	return len(expired)
+}
+
+// Live returns the number of transactions currently active.
+func (m *Manager) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}
+
+func (m *Manager) finish(t *Txn) {
+	m.mu.Lock()
+	delete(m.live, t.id)
+	m.mu.Unlock()
+}
+
+// Txn is a single transaction. All methods are safe for concurrent use.
+type Txn struct {
+	mgr      *Manager
+	id       uint64
+	deadline time.Time
+
+	mu           sync.Mutex
+	state        State
+	participants []Participant
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the current state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Active reports whether the transaction can still accept operations. A
+// transaction past its lease deadline is treated as inactive.
+func (t *Txn) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		return false
+	}
+	if !t.deadline.IsZero() && t.mgr.clock.Now().After(t.deadline) {
+		return false
+	}
+	return true
+}
+
+// Join enrols p as a participant. Joining the same participant twice is a
+// no-op. Returns ErrNotActive if the transaction can no longer accept work.
+func (t *Txn) Join(p Participant) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != Active {
+		return ErrNotActive
+	}
+	for _, q := range t.participants {
+		if q == p {
+			return nil
+		}
+	}
+	t.participants = append(t.participants, p)
+	return nil
+}
+
+// Commit runs two-phase commit over the participants. If any participant
+// vetoes in the prepare phase, every participant is aborted and
+// ErrPrepareFailed is returned. Committing an expired transaction aborts it
+// and returns ErrNotActive.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != Active {
+		st := t.state
+		t.mu.Unlock()
+		return fmt.Errorf("%w (state %s)", ErrNotActive, st)
+	}
+	if !t.deadline.IsZero() && t.mgr.clock.Now().After(t.deadline) {
+		t.mu.Unlock()
+		_ = t.Abort()
+		return fmt.Errorf("%w (lease expired)", ErrNotActive)
+	}
+	t.state = Committing
+	parts := append([]Participant(nil), t.participants...)
+	t.mu.Unlock()
+
+	// Phase 1: prepare.
+	for i, p := range parts {
+		if err := p.Prepare(t.id); err != nil {
+			for _, q := range parts[:i] {
+				q.Abort(t.id)
+			}
+			for _, q := range parts[i:] {
+				q.Abort(t.id)
+			}
+			t.mu.Lock()
+			t.state = Aborted
+			t.mu.Unlock()
+			t.mgr.finish(t)
+			return fmt.Errorf("%w: %v", ErrPrepareFailed, err)
+		}
+	}
+	// Phase 2: commit.
+	for _, p := range parts {
+		p.Commit(t.id)
+	}
+	t.mu.Lock()
+	t.state = Committed
+	t.mu.Unlock()
+	t.mgr.finish(t)
+	return nil
+}
+
+// Abort aborts the transaction at every participant. Aborting a completed
+// transaction returns ErrNotActive.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.state = Aborted
+	parts := append([]Participant(nil), t.participants...)
+	t.mu.Unlock()
+	for _, p := range parts {
+		p.Abort(t.id)
+	}
+	t.mgr.finish(t)
+	return nil
+}

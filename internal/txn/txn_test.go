@@ -1,0 +1,213 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// fakePart records participant callbacks.
+type fakePart struct {
+	mu       sync.Mutex
+	prepares []uint64
+	commits  []uint64
+	aborts   []uint64
+	failPrep error
+}
+
+func (p *fakePart) Prepare(id uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepares = append(p.prepares, id)
+	return p.failPrep
+}
+func (p *fakePart) Commit(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commits = append(p.commits, id)
+}
+func (p *fakePart) Abort(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aborts = append(p.aborts, id)
+}
+
+func TestCommitRunsTwoPhases(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	tx := m.Begin(0)
+	a, b := &fakePart{}, &fakePart{}
+	if err := tx.Join(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Join(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.prepares) != 1 || len(b.prepares) != 1 {
+		t.Fatal("prepare not called on all participants")
+	}
+	if len(a.commits) != 1 || len(b.commits) != 1 {
+		t.Fatal("commit not called on all participants")
+	}
+	if tx.State() != Committed {
+		t.Fatalf("state = %v", tx.State())
+	}
+	if m.Live() != 0 {
+		t.Fatalf("live = %d", m.Live())
+	}
+}
+
+func TestPrepareVetoAbortsAll(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	tx := m.Begin(0)
+	good := &fakePart{}
+	bad := &fakePart{failPrep: errors.New("veto")}
+	_ = tx.Join(good)
+	_ = tx.Join(bad)
+	err := tx.Commit()
+	if !errors.Is(err, ErrPrepareFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(good.aborts) != 1 || len(bad.aborts) != 1 {
+		t.Fatalf("aborts: good=%d bad=%d, want 1 each", len(good.aborts), len(bad.aborts))
+	}
+	if len(good.commits)+len(bad.commits) != 0 {
+		t.Fatal("commit ran after veto")
+	}
+	if tx.State() != Aborted {
+		t.Fatalf("state = %v", tx.State())
+	}
+}
+
+func TestAbort(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	tx := m.Begin(0)
+	p := &fakePart{}
+	_ = tx.Join(p)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.aborts) != 1 {
+		t.Fatal("participant not aborted")
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double abort err = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("commit after abort err = %v", err)
+	}
+}
+
+func TestJoinAfterCompleteFails(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	tx := m.Begin(0)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Join(&fakePart{}); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	tx := m.Begin(0)
+	p := &fakePart{}
+	_ = tx.Join(p)
+	_ = tx.Join(p)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.prepares) != 1 {
+		t.Fatalf("prepared %d times, want 1", len(p.prepares))
+	}
+}
+
+func TestLeaseExpiryMakesInactive(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	m := NewManager(clk)
+	clk.Run(func() {
+		tx := m.Begin(10 * time.Millisecond)
+		if !tx.Active() {
+			t.Error("fresh txn inactive")
+		}
+		clk.Sleep(20 * time.Millisecond)
+		if tx.Active() {
+			t.Error("expired txn still active")
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+			t.Errorf("commit err = %v", err)
+		}
+		if tx.State() != Aborted {
+			t.Errorf("state = %v, want Aborted", tx.State())
+		}
+	})
+}
+
+func TestSweepAbortsOnlyExpired(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	m := NewManager(clk)
+	clk.Run(func() {
+		short := m.Begin(5 * time.Millisecond)
+		long := m.Begin(time.Hour)
+		forever := m.Begin(0)
+		p := &fakePart{}
+		_ = short.Join(p)
+		clk.Sleep(10 * time.Millisecond)
+		if n := m.Sweep(); n != 1 {
+			t.Errorf("swept %d, want 1", n)
+		}
+		if len(p.aborts) != 1 {
+			t.Error("expired txn's participant not aborted")
+		}
+		if !long.Active() || !forever.Active() {
+			t.Error("unexpired txns were swept")
+		}
+		_ = long.Abort()
+		_ = forever.Abort()
+	})
+}
+
+func TestIDsUnique(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		tx := m.Begin(0)
+		if seen[tx.ID()] {
+			t.Fatalf("duplicate id %d", tx.ID())
+		}
+		seen[tx.ID()] = true
+		_ = tx.Abort()
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Active: "active", Committing: "committing", Committed: "committed", Aborted: "aborted", State(9): "state(9)"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestConcurrentCommitAbortRace(t *testing.T) {
+	m := NewManager(vclock.NewReal())
+	for i := 0; i < 200; i++ {
+		tx := m.Begin(0)
+		p := &fakePart{}
+		_ = tx.Join(p)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _ = tx.Commit() }()
+		go func() { defer wg.Done(); _ = tx.Abort() }()
+		wg.Wait()
+		st := tx.State()
+		if st != Committed && st != Aborted {
+			t.Fatalf("final state %v", st)
+		}
+	}
+}

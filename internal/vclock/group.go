@@ -1,0 +1,63 @@
+package vclock
+
+import "sync"
+
+// Group spawns processes on a clock and waits for them: on a Virtual
+// clock the processes are registered with the scheduler; on the real
+// clock they are plain goroutines. Wait parks through the clock (not a
+// bare sync.WaitGroup), so a registered process can Wait without stalling
+// virtual-time advance.
+type Group struct {
+	clock Clock
+
+	mu      sync.Mutex
+	active  int
+	waiters []Waiter
+}
+
+// NewGroup returns a Group on clock.
+func NewGroup(clock Clock) *Group { return &Group{clock: clock} }
+
+// Go runs fn as a process on the group's clock.
+func (g *Group) Go(fn func()) {
+	g.mu.Lock()
+	g.active++
+	g.mu.Unlock()
+	run := func() {
+		fn()
+		g.done()
+	}
+	if v, ok := g.clock.(*Virtual); ok {
+		v.Go(run)
+		return
+	}
+	go run()
+}
+
+func (g *Group) done() {
+	g.mu.Lock()
+	g.active--
+	var toWake []Waiter
+	if g.active == 0 {
+		toWake = g.waiters
+		g.waiters = nil
+	}
+	g.mu.Unlock()
+	for _, w := range toWake {
+		w.Wake()
+	}
+}
+
+// Wait blocks until every process spawned with Go has finished. Multiple
+// processes may Wait concurrently.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	if g.active == 0 {
+		g.mu.Unlock()
+		return
+	}
+	w := g.clock.NewWaiter()
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+	w.Wait(0)
+}

@@ -1,0 +1,68 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupWaitOnVirtualClock(t *testing.T) {
+	v := NewVirtual(epoch)
+	var n int64
+	v.Run(func() {
+		g := NewGroup(v)
+		for i := 0; i < 5; i++ {
+			d := time.Duration(i+1) * time.Second
+			g.Go(func() {
+				v.Sleep(d)
+				atomic.AddInt64(&n, 1)
+			})
+		}
+		// The root parks through the clock, so virtual time advances
+		// while it waits.
+		g.Wait()
+	})
+	if n != 5 {
+		t.Fatalf("finished %d, want 5", n)
+	}
+	if got := v.Now().Sub(epoch); got != 5*time.Second {
+		t.Fatalf("elapsed %v, want 5s", got)
+	}
+}
+
+func TestGroupWaitEmpty(t *testing.T) {
+	g := NewGroup(NewReal())
+	g.Wait() // must not block
+}
+
+func TestGroupWaitRealClock(t *testing.T) {
+	g := NewGroup(NewReal())
+	var done atomic.Bool
+	g.Go(func() {
+		time.Sleep(10 * time.Millisecond)
+		done.Store(true)
+	})
+	g.Wait()
+	if !done.Load() {
+		t.Fatal("Wait returned before the goroutine finished")
+	}
+}
+
+func TestGroupMultipleWaiters(t *testing.T) {
+	v := NewVirtual(epoch)
+	var woken int64
+	v.Run(func() {
+		g := NewGroup(v)
+		g.Go(func() { v.Sleep(time.Second) })
+		for i := 0; i < 3; i++ {
+			v.Go(func() {
+				g.Wait()
+				atomic.AddInt64(&woken, 1)
+			})
+		}
+		g.Wait()
+	})
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}

@@ -12,6 +12,7 @@ package gospaces
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -19,6 +20,8 @@ import (
 	"gospaces/internal/cluster"
 	"gospaces/internal/core"
 	"gospaces/internal/experiments"
+	"gospaces/internal/shard"
+	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
@@ -343,6 +346,12 @@ type indexedBenchEntry struct {
 	Data []float64
 }
 
+func init() {
+	// The sharded throughput benchmark sends these over the in-proc
+	// gob transport.
+	transport.RegisterType(indexedBenchEntry{})
+}
+
 // BenchmarkAblationFieldIndex compares template lookups against a space
 // holding many entries of one type under many distinct key values, with
 // and without the `space:"index"` field tag (DESIGN.md decision: indexed
@@ -380,6 +389,100 @@ func BenchmarkAblationFieldIndex(b *testing.B) {
 }
 
 func jobName(i int) string { return "job-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+// shardedThroughput measures keyed write+take throughput of a sharded
+// space on the in-proc transport: K shard servers, each behind a 1 ms/op
+// FIFO service gate (the modeled server CPU), with 8 client processes
+// driving routers over proxies, every operation keyed to a distinct
+// index value. Returns operations per virtual second.
+func shardedThroughput(b *testing.B, shards int) float64 {
+	b.Helper()
+	epoch := time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(epoch)
+	net := transport.NewNetwork(clk, transport.Loopback())
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		l := space.NewLocal(clk)
+		srv := transport.NewServer()
+		space.NewService(l, srv)
+		gate := transport.NewServiceGate(clk, time.Millisecond)
+		srv.Wrap(gate.Middleware())
+		addrs[i] = fmt.Sprintf("space.%d", i)
+		net.Listen(addrs[i], srv)
+	}
+	const clients = 8
+	const pairsPerClient = 100
+	var elapsed time.Duration
+	clk.Run(func() {
+		start := clk.Now()
+		group := vclock.NewGroup(clk)
+		for c := 0; c < clients; c++ {
+			c := c
+			group.Go(func() {
+				sh := make([]shard.Shard, shards)
+				for i, addr := range addrs {
+					sh[i] = shard.Shard{ID: addr, Space: space.NewProxy(net.Dial(addr))}
+				}
+				router, err := shard.New(shard.Options{Clock: clk, Seed: fmt.Sprintf("client%d", c)}, sh)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for i := 0; i < pairsPerClient; i++ {
+					key := fmt.Sprintf("c%d-k%d", c, i)
+					if _, err := router.Write(indexedBenchEntry{Job: key, ID: i}, nil, tuplespace.Forever); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := router.Take(indexedBenchEntry{Job: key}, nil, time.Second); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		}
+		group.Wait()
+		elapsed = clk.Now().Sub(start)
+	})
+	return float64(clients*pairsPerClient*2) / elapsed.Seconds()
+}
+
+// BenchmarkShardedTaskThroughput demonstrates the shard router's
+// horizontal scaling: with every space op costing 1 ms of modeled server
+// CPU, four shards must sustain at least twice the keyed write+take
+// throughput of one.
+func BenchmarkShardedTaskThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		one := shardedThroughput(b, 1)
+		four := shardedThroughput(b, 4)
+		speedup := four / one
+		b.ReportMetric(one, "ops/vsec-1shard")
+		b.ReportMetric(four, "ops/vsec-4shards")
+		b.ReportMetric(speedup, "x-speedup-4shards")
+		if speedup < 2 {
+			b.Fatalf("4-shard speedup %.2fx < 2x (1 shard %.0f ops/s, 4 shards %.0f ops/s)", speedup, one, four)
+		}
+	}
+}
+
+// BenchmarkShardedKnee regenerates the sharded re-run of the Figure-6
+// sweep: parallel time against a saturating space server with 1 vs 4
+// shards, reporting the full-cluster points (the knee's right shift).
+func BenchmarkShardedKnee(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ShardedKnee()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Workers == 12 {
+				suffix := fmt.Sprintf("-12w-%dsh", p.Shards)
+				b.ReportMetric(float64(p.ParallelTime.Milliseconds()), "ms-parallel"+suffix)
+				b.ReportMetric(float64(p.TaskPlanningTime.Milliseconds()), "ms-planning"+suffix)
+			}
+		}
+	}
+}
 
 // BenchmarkSpaceThroughput measures raw local tuple-space operation rates
 // (the substrate the whole framework stands on). Each sub-benchmark gets

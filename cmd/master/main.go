@@ -3,15 +3,24 @@
 // plans the chosen application's tasks, and aggregates results produced
 // by however many workers join the federation.
 //
+// With -shards K the master hosts K independent space servers: shard 0
+// shares the main listener with the code server, shards 1..K-1 get their
+// own listeners, and every shard registers with the lookup service
+// carrying its shard index. The master (and every worker that discovers
+// the registrations) routes operations through a consistent-hash ring
+// over the registered addresses.
+//
 // Usage:
 //
-//	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo
+//	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -shards 4 -spread
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"strconv"
 	"time"
 
 	"gospaces/internal/apps/montecarlo"
@@ -20,6 +29,7 @@ import (
 	"gospaces/internal/discovery"
 	"gospaces/internal/master"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/shard"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/vclock"
@@ -32,19 +42,25 @@ func main() {
 	timeout := flag.Duration("result-timeout", 10*time.Minute, "per-result collection timeout")
 	journal := flag.String("journal", "", "path for the persistent space journal (empty = in-memory space)")
 	sims := flag.Int("sims", 0, "override the option-pricing simulation count (montecarlo only; 0 = paper's 10000)")
+	shards := flag.Int("shards", 1, "number of space shard servers to host")
+	spread := flag.Bool("spread", false, "key each montecarlo task individually so the bag spreads across shards")
 	flag.Parse()
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *sims); err != nil {
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *sims, *shards, *spread); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
 
-func buildJob(name string, sims int) (master.Job, func(), error) {
+func buildJob(name string, sims int, spread bool) (master.Job, func(), error) {
+	if spread && name != "montecarlo" {
+		return nil, nil, fmt.Errorf("-spread only applies to the montecarlo job")
+	}
 	switch name {
 	case "montecarlo":
 		cfg := montecarlo.DefaultJobConfig()
 		if sims > 0 {
 			cfg.TotalSims = sims
 		}
+		cfg.ShardSpread = spread
 		job := montecarlo.NewJob(cfg)
 		return job, func() {
 			price, err := job.Answer()
@@ -72,64 +88,111 @@ func buildJob(name string, sims int) (master.Job, func(), error) {
 	}
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath string, sims int) error {
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath string, sims, numShards int, spread bool) error {
 	clk := vclock.NewReal()
-	job, report, err := buildJob(jobName, sims)
+	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
 		return err
 	}
+	if numShards < 1 {
+		numShards = 1
+	}
+	if journalPath != "" && numShards > 1 {
+		return fmt.Errorf("-journal requires a single shard")
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -addr %q: %w", addr, err)
+	}
 
-	// Host the space and code services; a journal path selects the
-	// persistent mode.
-	local := space.NewLocal(clk)
-	if journalPath != "" {
-		var err error
-		local, err = space.NewLocalJournaled(clk, journalPath)
+	// Host the space services — shard 0 shares its server with the code
+	// server; a journal path selects the persistent mode (single shard).
+	cs := nodeconfig.NewCodeServer()
+	cs.Publish(job.Bundle())
+	var (
+		hosted  []shard.Shard
+		sweeper shard.MultiSweeper
+	)
+	for i := 0; i < numShards; i++ {
+		local := space.NewLocal(clk)
+		if i == 0 && journalPath != "" {
+			local, err = space.NewLocalJournaled(clk, journalPath)
+			if err != nil {
+				return err
+			}
+			log.Printf("master: persistent space journal at %s", journalPath)
+		}
+		srv := transport.NewServer()
+		space.NewService(local, srv)
+		la := addr
+		if i == 0 {
+			cs.Bind(srv)
+		} else {
+			la = net.JoinHostPort(host, "0")
+		}
+		l, err := transport.ListenTCP(la, srv)
 		if err != nil {
 			return err
 		}
-		log.Printf("master: persistent space journal at %s", journalPath)
+		defer l.Close()
+		hosted = append(hosted, shard.Shard{ID: l.Addr(), Space: local})
+		sweeper = append(sweeper, local.Mgr)
+		log.Printf("master: space shard %d/%d on %s", i, numShards, l.Addr())
 	}
-	srv := transport.NewServer()
-	space.NewService(local, srv)
-	cs := nodeconfig.NewCodeServer()
-	cs.Publish(job.Bundle())
-	cs.Bind(srv)
-	l, err := transport.ListenTCP(addr, srv)
-	if err != nil {
-		return err
-	}
-	defer l.Close()
-	log.Printf("master: space + code server on %s", l.Addr())
 
-	// Join the lookup federation.
+	// Join the lookup federation: one registration per shard, each
+	// carrying its shard index so clients rebuild the same ring.
 	lc, err := transport.DialTCP(lookupAddr)
 	if err != nil {
 		return fmt.Errorf("dial lookup: %w", err)
 	}
 	defer lc.Close()
 	client := discovery.NewClient(lc)
-	regID, err := client.Register(discovery.ServiceItem{
-		Name:       "javaspace",
-		Address:    l.Addr(),
-		Attributes: map[string]string{"type": "javaspace", "job": jobName},
-	}, time.Minute)
-	if err != nil {
-		return fmt.Errorf("register with lookup: %w", err)
+	for i, s := range hosted {
+		attrs := map[string]string{
+			"type":           "javaspace",
+			"job":            jobName,
+			shard.AttrShard:  strconv.Itoa(i),
+			shard.AttrShards: strconv.Itoa(numShards),
+		}
+		if spread {
+			attrs["spread"] = "1"
+		}
+		regID, err := client.Register(discovery.ServiceItem{
+			Name:       "javaspace",
+			Address:    s.ID,
+			Attributes: attrs,
+		}, time.Minute)
+		if err != nil {
+			return fmt.Errorf("register shard %d with lookup: %w", i, err)
+		}
+		ka := discovery.NewKeepAlive(client, clk, regID, time.Minute)
+		go ka.Run()
+		defer ka.Stop()
 	}
-	ka := discovery.NewKeepAlive(client, clk, regID, time.Minute)
-	go ka.Run()
-	defer ka.Stop()
-	log.Printf("master: registered javaspace with lookup at %s", lookupAddr)
+	log.Printf("master: registered %d javaspace shard(s) with lookup at %s", numShards, lookupAddr)
 
-	m := master.New(master.Config{Clock: clk, Space: local, ResultTimeout: resultTimeout})
+	var sp space.Space = hosted[0].Space
+	if numShards > 1 {
+		sp, err = shard.New(shard.Options{Clock: clk, Seed: "master"}, hosted)
+		if err != nil {
+			return err
+		}
+	}
+	m := master.New(master.Config{
+		Clock:         clk,
+		Space:         sp,
+		ResultTimeout: resultTimeout,
+		Sweeper:       sweeper,
+		SweepInterval: 30 * time.Second,
+	})
 	log.Printf("master: running job %q", jobName)
 	rm, err := m.RunJob(job)
 	if err != nil {
 		return err
 	}
-	log.Printf("master: done — tasks=%d planning=%v aggregation=%v parallel=%v",
-		rm.Tasks, rm.TaskPlanningTime, rm.TaskAggregationTime, rm.ParallelTime)
+	log.Printf("master: done — tasks=%d shards=%d planning=%v aggregation=%v parallel=%v",
+		rm.Tasks, rm.Shards, rm.TaskPlanningTime, rm.TaskAggregationTime, rm.ParallelTime)
 	report()
 	return nil
 }

@@ -20,10 +20,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"gospaces/internal/discovery"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
 	"gospaces/internal/space"
 	"gospaces/internal/sysmon"
@@ -54,7 +56,7 @@ func main() {
 }
 
 func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool) error {
-	tmpl, err := taskTemplate(jobName)
+	tmpl, err := taskTemplate(jobName, false)
 	if err != nil {
 		return err
 	}
@@ -67,25 +69,65 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		sysmon.NewLoadSimulator2(machine).Start()
 	}
 
-	// Discover the space through the lookup service.
+	// Discover the space through the lookup service. A single
+	// registration is the classic deployment; a sharded master registers
+	// every shard with its index, and the worker waits for the full set
+	// and routes through the same consistent-hash ring.
 	lc, err := transport.DialTCP(lookupAddr)
 	if err != nil {
 		return err
 	}
 	defer lc.Close()
 	client := discovery.NewClient(lc)
-	item, err := client.Await(map[string]string{"type": "javaspace"}, 30, func() { clk.Sleep(time.Second) })
+	spaceTmpl := map[string]string{"type": "javaspace"}
+	item, err := client.Await(spaceTmpl, 30, func() { clk.Sleep(time.Second) })
 	if err != nil {
 		return err
 	}
-	log.Printf("worker %s: found javaspace at %s", name, item.Address)
+	if item.Attributes["spread"] == "1" {
+		tmpl, err = taskTemplate(jobName, true)
+		if err != nil {
+			return err
+		}
+	}
+	want := 1
+	if n, err := strconv.Atoi(item.Attributes[shard.AttrShards]); err == nil && n > 1 {
+		want = n
+	}
+	for attempt := 0; ; attempt++ {
+		items, err := client.Lookup(spaceTmpl)
+		if err == nil && len(items) >= want {
+			break
+		}
+		if attempt >= 30 {
+			return fmt.Errorf("worker: only %d of %d space shards registered", len(items), want)
+		}
+		clk.Sleep(time.Second)
+	}
+	dial := func(addr string) (space.Space, error) { return space.Dial(addr) }
+	shards, err := shard.Discover(client, spaceTmpl, dial)
+	if err != nil {
+		return err
+	}
+	var sp space.Space
+	if len(shards) == 1 {
+		sp = shards[0].Space
+		log.Printf("worker %s: found javaspace at %s", name, shards[0].ID)
+	} else {
+		router, err := shard.New(shard.Options{Clock: clk, Seed: name}, shards)
+		if err != nil {
+			return err
+		}
+		sp = router
+		// Pick up shards added between jobs.
+		watcher := shard.NewWatcher(client, clk, router, spaceTmpl, dial, 30*time.Second)
+		go watcher.Run()
+		defer watcher.Stop()
+		log.Printf("worker %s: found %d javaspace shards (ring root %s)", name, len(shards), shards[0].ID)
+	}
 
-	spaceConn, err := transport.DialTCP(item.Address)
-	if err != nil {
-		return err
-	}
-	defer spaceConn.Close()
-	codeConn, err := transport.DialTCP(item.Address)
+	// The code server shares shard 0's listener (the master's address).
+	codeConn, err := transport.DialTCPRetry(shards[0].ID, transport.Backoff{})
 	if err != nil {
 		return err
 	}
@@ -96,7 +138,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		Node:         name,
 		Clock:        clk,
 		Machine:      machine,
-		Space:        space.NewProxy(spaceConn),
+		Space:        sp,
 		Engine:       engine,
 		Program:      jobName,
 		TaskTemplate: tmpl,
@@ -160,10 +202,15 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 }
 
 // taskTemplate maps a job name to its task template; importing the app
-// packages also registers their program factories with nodeconfig.
-func taskTemplate(jobName string) (tuplespace.Entry, error) {
+// packages also registers their program factories with nodeconfig. In
+// spread mode (montecarlo tasks keyed individually across shards) the
+// template's key stays zero, so lookups scatter over the ring.
+func taskTemplate(jobName string, spread bool) (tuplespace.Entry, error) {
 	switch jobName {
 	case montecarlo.JobName:
+		if spread {
+			return montecarlo.Task{}, nil
+		}
 		return montecarlo.Task{Job: montecarlo.JobName}, nil
 	case raytrace.JobName:
 		return raytrace.Task{Job: raytrace.JobName}, nil

@@ -76,6 +76,12 @@ type JobConfig struct {
 	PlanningCostPerTask time.Duration
 	// AggregationCostPerResult is the master CPU time to fold one result.
 	AggregationCostPerResult time.Duration
+	// ShardSpread keys each subtask entry individually ("montecarlo#<id>")
+	// instead of under the shared job name, so a sharded space spreads the
+	// bag of tasks across its shards; task and result templates then leave
+	// the key zero and lookups scatter-gather. Harmless (but pointless) on
+	// a single-server space.
+	ShardSpread bool
 }
 
 // DefaultJobConfig reproduces the paper's §5.1.1 setup with costs
@@ -128,8 +134,12 @@ func (j *Job) Plan(emit func(tuplespace.Entry) error) error {
 		for _, kind := range [...]string{"high", "low"} {
 			taskID := id
 			id++
+			key := JobName
+			if j.cfg.ShardSpread {
+				key = fmt.Sprintf("%s#%d", JobName, taskID)
+			}
 			if err := emit(Task{
-				Job:    JobName,
+				Job:    key,
 				ID:     taskID,
 				Kind:   kind,
 				Sims:   sims,
@@ -143,11 +153,22 @@ func (j *Job) Plan(emit func(tuplespace.Entry) error) error {
 	return nil
 }
 
-// TaskTemplate implements core.Job.
-func (j *Job) TaskTemplate() tuplespace.Entry { return Task{Job: JobName} }
+// TaskTemplate implements core.Job. In ShardSpread mode the key stays
+// zero — a wildcard — so the shard router scatters the lookup.
+func (j *Job) TaskTemplate() tuplespace.Entry {
+	if j.cfg.ShardSpread {
+		return Task{}
+	}
+	return Task{Job: JobName}
+}
 
 // ResultTemplate implements core.Job.
-func (j *Job) ResultTemplate() tuplespace.Entry { return Result{Job: JobName} }
+func (j *Job) ResultTemplate() tuplespace.Entry {
+	if j.cfg.ShardSpread {
+		return Result{}
+	}
+	return Result{Job: JobName}
+}
 
 // Aggregate implements core.Job.
 func (j *Job) Aggregate(e tuplespace.Entry) error {
@@ -262,6 +283,8 @@ func (p *program) Execute(ctx nodeconfig.ExecContext, e tuplespace.Entry) (tuple
 		// Scale modeled work by actual batch size relative to a full task.
 		ctx.Machine.Compute(p.work*time.Duration(t.Sims)/100, 92)
 	}
-	return Result{Job: JobName, ID: t.ID, Kind: t.Kind,
+	// The result inherits the task's key, so in ShardSpread mode it lands
+	// on (and is collected from) the task's shard.
+	return Result{Job: t.Job, ID: t.ID, Kind: t.Kind,
 		Estimate: est.Mean, StdErr: est.StdErr, Sims: est.Sims, Node: ctx.Node}, nil
 }

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"gospaces/internal/cluster"
@@ -27,6 +28,7 @@ import (
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/rulebase"
+	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
 	"gospaces/internal/space"
 	"gospaces/internal/sysmon"
@@ -66,6 +68,19 @@ type Config struct {
 	PollTimeout time.Duration
 	// ResultTimeout bounds the master's wait per result. Default 5 min.
 	ResultTimeout time.Duration
+	// Shards is how many space servers the master hosts (default 1).
+	// With K > 1 entries partition across the shards by their
+	// `space:"index"` key via a consistent-hash router; the master and
+	// every worker route through identical rings. Shard 0 shares the
+	// master's main server with the code server, so Shards == 1 is
+	// exactly the classic single-server deployment.
+	Shards int
+	// SpaceOpCost models the server CPU one space operation consumes:
+	// each shard server admits requests through a FIFO service gate of
+	// this cost, so a saturated server queues callers. Zero disables the
+	// gate. The sharded scalability experiments use it to reproduce —
+	// and then shift — the single-server saturation knee.
+	SpaceOpCost time.Duration
 }
 
 // Framework is an assembled deployment: cluster, lookup service, space
@@ -74,9 +89,16 @@ type Framework struct {
 	Clock      vclock.Clock
 	Cluster    *cluster.Cluster
 	Lookup     *discovery.Registry
-	Local      *space.Local
+	Local      *space.Local // shard 0 (the only shard when Shards == 1)
 	CodeServer *nodeconfig.CodeServer
 	Master     *master.Master
+
+	// Shards holds every hosted space shard; len(Shards) == cfg.Shards.
+	Shards []*space.Local
+	// Space is the master's operating handle: shard 0 directly for a
+	// single-shard deployment, a shard.Router otherwise (gated either way
+	// when SpaceOpCost is set).
+	Space space.Space
 
 	cfg Config
 }
@@ -111,6 +133,9 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 250 * time.Millisecond
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 
 	clus := cluster.New(clock, model, cfg.Workers)
 
@@ -118,7 +143,6 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		Clock:      clock,
 		Cluster:    clus,
 		Lookup:     discovery.NewRegistry(clock),
-		Local:      space.NewLocal(clock),
 		CodeServer: nodeconfig.NewCodeServer(),
 		cfg:        cfg,
 	}
@@ -128,24 +152,67 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	discovery.NewService(f.Lookup, lookupSrv)
 	clus.Net.Listen(discovery.WellKnownAddress, lookupSrv)
 
-	// The master hosts the JavaSpaces service and the code server, and
-	// joins the lookup federation.
-	space.NewService(f.Local, clus.MasterServer)
+	// The master hosts the JavaSpaces service — one server per shard —
+	// plus the code server, and joins the lookup federation. Shard 0
+	// shares the master's main server with the code server, preserving
+	// the classic single-server deployment when Shards == 1; shards
+	// i > 0 get their own listeners at "<master>.shard<i>". Each shard
+	// registers with its index so clients can rebuild the same ring.
+	shards := make([]shard.Shard, cfg.Shards)
+	sweepers := make(shard.MultiSweeper, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		l := space.NewLocal(clock)
+		f.Shards = append(f.Shards, l)
+		sweepers[i] = l.Mgr
+		srv, addr := clus.MasterServer, clus.MasterAddr
+		if i > 0 {
+			srv = transport.NewServer()
+			addr = fmt.Sprintf("%s.shard%d", clus.MasterAddr, i)
+			clus.Net.Listen(addr, srv)
+		}
+		space.NewService(l, srv)
+		var handle space.Space = l
+		if cfg.SpaceOpCost > 0 {
+			// Remote callers pay the gate in the server middleware; the
+			// master pays it through the gatedSpace wrapper, so both
+			// compete for the same modeled server CPU. The code server
+			// binds after Wrap and stays ungated.
+			gate := transport.NewServiceGate(clock, cfg.SpaceOpCost)
+			srv.Wrap(gate.Middleware())
+			handle = gatedSpace{l: l, gate: gate}
+		}
+		shards[i] = shard.Shard{ID: addr, Space: handle}
+		f.Lookup.Register(discovery.ServiceItem{
+			Name:    "javaspace",
+			Address: addr,
+			Attributes: map[string]string{
+				"type":           "javaspace",
+				shard.AttrShard:  strconv.Itoa(i),
+				shard.AttrShards: strconv.Itoa(cfg.Shards),
+			},
+		}, 0)
+	}
+	f.Local = f.Shards[0]
 	f.CodeServer.Bind(clus.MasterServer)
-	f.Lookup.Register(discovery.ServiceItem{
-		Name:       "javaspace",
-		Address:    clus.MasterAddr,
-		Attributes: map[string]string{"type": "javaspace"},
-	}, 0)
+
+	if cfg.Shards == 1 {
+		f.Space = shards[0].Space
+	} else {
+		router, err := shard.New(shard.Options{Clock: clock, Seed: "master"}, shards)
+		if err != nil {
+			panic(err) // unreachable: shard IDs above are distinct and non-nil
+		}
+		f.Space = router
+	}
 
 	f.Master = master.New(master.Config{
 		Clock:         clock,
-		Space:         f.Local,
+		Space:         f.Space,
 		Machine:       clus.MasterMachine,
 		ResultTimeout: cfg.ResultTimeout,
 		// Sweeping expired worker transactions lets tasks held by
 		// crashed workers reappear instead of stalling collection.
-		Sweeper:       f.Local.Mgr,
+		Sweeper:       sweepers,
 		SweepInterval: cfg.TxnTTL / 4,
 	})
 	return f
@@ -234,24 +301,42 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 
 // buildWorker assembles the worker module for one node.
 func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, error) {
-	// Jini-style discovery: find the space service by attribute lookup.
+	// Jini-style discovery: find the space service(s) by attribute
+	// lookup. One registration is the classic deployment and the worker
+	// talks straight to that proxy; several mean a sharded space, and the
+	// worker routes through the same consistent-hash ring as the master.
 	lc := discovery.NewClient(f.Cluster.Net.Dial(discovery.WellKnownAddress))
-	item, err := lc.LookupOne(map[string]string{"type": "javaspace"})
+	shards, err := shard.Discover(lc, map[string]string{"type": "javaspace"},
+		func(addr string) (space.Space, error) {
+			return space.NewProxy(f.Cluster.Net.Dial(addr)), nil
+		})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: discovering space: %w", node.Name, err)
 	}
-	proxy := space.NewProxy(f.Cluster.Net.Dial(item.Address))
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: %s: discovering space: no javaspace service registered", node.Name)
+	}
+	var sp space.Space
+	if len(shards) == 1 {
+		sp = shards[0].Space
+	} else {
+		sp, err = shard.New(shard.Options{Clock: f.Clock, Seed: node.Name}, shards)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: shard router: %w", node.Name, err)
+		}
+	}
+	// The code server lives on shard 0's server (the master's address).
 	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{
 		Clock:   f.Clock,
 		Machine: node.Machine,
 		Node:    node.Name,
-	}, f.Cluster.Net.Dial(item.Address))
+	}, f.Cluster.Net.Dial(shards[0].ID))
 
 	w := worker.New(worker.Config{
 		Node:         node.Name,
 		Clock:        f.Clock,
 		Machine:      node.Machine,
-		Space:        proxy,
+		Space:        sp,
 		Engine:       engine,
 		Program:      job.Name(),
 		TaskTemplate: job.TaskTemplate(),

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardedKneeMovesRight: against a saturating space server, sharding
+// the space shifts the scalability knee to the right — with one shard the
+// curve is flat by 2→4 workers and degrades badly beyond, with four shards
+// it still scales at 4 workers, and planning and parallel time on the full
+// cluster both drop. Deterministic on the virtual clock.
+func TestShardedKneeMovesRight(t *testing.T) {
+	pts, err := ShardedKnee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(shardedWorkerCounts) {
+		t.Fatalf("%d points", len(pts))
+	}
+	p := func(shards, workers int) ShardedPoint {
+		for _, pt := range pts {
+			if pt.Shards == shards && pt.Workers == workers {
+				return pt
+			}
+		}
+		t.Fatalf("no point for %d shards × %d workers", shards, workers)
+		return ShardedPoint{}
+	}
+	par := func(shards, workers int) time.Duration { return p(shards, workers).ParallelTime }
+
+	// The single-server knee: adding workers past the knee makes the run
+	// *slower* (queueing at the space server), so 12 workers lose badly to
+	// the single-shard optimum.
+	best1 := par(1, 1)
+	for _, n := range shardedWorkerCounts {
+		if d := par(1, n); d < best1 {
+			best1 = d
+		}
+	}
+	if float64(par(1, 12)) < 1.3*float64(best1) {
+		t.Fatalf("single shard shows no saturation knee: best %v, 12 workers %v", best1, par(1, 12))
+	}
+
+	// Knee position: with one shard the 2→4 step is already flat (<10%
+	// gain); with four shards it still yields a real speedup (>10%).
+	gain := func(shards int) float64 { return float64(par(shards, 4)) / float64(par(shards, 2)) }
+	if gain(1) < 0.90 {
+		t.Fatalf("single shard still scaling 2→4 (%v → %v); knee calibration off", par(1, 2), par(1, 4))
+	}
+	if gain(4) > 0.90 {
+		t.Fatalf("four shards not scaling 2→4 (%v → %v)", par(4, 2), par(4, 4))
+	}
+
+	// On the full cluster, four shards beat one across the board.
+	if float64(par(4, 12)) > 0.85*float64(par(1, 12)) {
+		t.Fatalf("parallel time at 12 workers: 4 shards %v not clearly under 1 shard %v",
+			par(4, 12), par(1, 12))
+	}
+	if pl4, pl1 := p(4, 12).TaskPlanningTime, p(1, 12).TaskPlanningTime; float64(pl4) > 0.85*float64(pl1) {
+		t.Fatalf("planning at 12 workers: 4 shards %v not clearly under 1 shard %v", pl4, pl1)
+	}
+	// And the best point overall improves: the sharded optimum beats the
+	// single-shard optimum.
+	best4 := par(4, 1)
+	for _, n := range shardedWorkerCounts {
+		if d := par(4, n); d < best4 {
+			best4 = d
+		}
+	}
+	if float64(best4) > 0.9*float64(best1) {
+		t.Fatalf("sharded optimum %v does not beat single-shard optimum %v", best4, best1)
+	}
+}

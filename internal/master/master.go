@@ -61,6 +61,9 @@ type Iterative interface {
 type RunMetrics struct {
 	Tasks               int
 	Phases              int
+	// Shards is the number of space shards behind the master's handle
+	// (1 for the classic single-server deployment).
+	Shards              int
 	TaskPlanningTime    time.Duration
 	TaskAggregationTime time.Duration
 	ParallelTime        time.Duration
@@ -133,6 +136,10 @@ func (m *Master) charge(d time.Duration) {
 // false.
 func (m *Master) RunJob(job Job) (RunMetrics, error) {
 	var rm RunMetrics
+	rm.Shards = 1
+	if ns, ok := m.cfg.Space.(interface{ NumShards() int }); ok {
+		rm.Shards = ns.NumShards()
+	}
 	total := metrics.StartStopwatch(m.cfg.Clock)
 	for {
 		rm.Phases++

@@ -1,0 +1,86 @@
+// Package shard scales the space horizontally: a Router implements the
+// space.Space interface over N independent space servers ("shards"),
+// partitioning entries by their `space:"index"` key field with consistent
+// hashing. Operations whose entry or template fixes the key route to
+// exactly one shard; everything else — zero-key templates, bulk reads,
+// counts, notifications — scatter-gathers across all shards with bounded
+// concurrency, and blocking lookups use first-win rounds whose per-shard
+// waits are time-sliced so losing shards never leak a parked RPC.
+//
+// With one shard the router degenerates to pure pass-through, which is the
+// compatibility mode: semantics are identical to talking to the single
+// server directly. Shard membership comes from the discovery service (see
+// Discover and Watcher); shards are meant to be added between jobs, while
+// the space holds no keyed entries whose ring position would move.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is an immutable consistent-hash ring over member IDs, with vnodes
+// virtual points per member to smooth the key distribution. Lookup is a
+// binary search over the sorted point list — O(log(members·vnodes)).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// hash64 is FNV-1a over s with a splitmix-style finalizer. Raw FNV output
+// correlates for near-identical strings (addresses and vnode labels differ
+// in one character), which clusters ring points; the finalizer spreads
+// them. Both the master (routing over direct handles) and every worker
+// (routing over proxies) must hash identically, which they do because ring
+// members are identified by their registered discovery address on both
+// sides.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds a ring over members (IDs must be distinct).
+func newRing(members []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(v)), id: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+// get returns the member owning key: the first point clockwise from the
+// key's hash.
+func (r *ring) get(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].id
+}

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+func TestRingCoversAllMembers(t *testing.T) {
+	r := newRing(ringMembers(4), 64)
+	hits := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		hits[r.get(fmt.Sprintf("key-%d", i))]++
+	}
+	if len(hits) != 4 {
+		t.Fatalf("1000 keys landed on %d of 4 members: %v", len(hits), hits)
+	}
+	// With 64 vnodes the spread should be roughly even; no member should
+	// be starved below an eighth of its fair share.
+	for m, n := range hits {
+		if n < 1000/4/8 {
+			t.Errorf("member %s got only %d of 1000 keys", m, n)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := newRing([]string{"s0", "s1", "s2"}, 32)
+	b := newRing([]string{"s2", "s0", "s1"}, 32)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.get(k) != b.get(k) {
+			t.Fatalf("key %q: order-dependent placement %s vs %s", k, a.get(k), b.get(k))
+		}
+	}
+}
+
+// TestRingStability: growing the ring moves only the keys the new member
+// takes over — the consistent-hashing property that makes adding shards
+// between jobs cheap.
+func TestRingStability(t *testing.T) {
+	before := newRing(ringMembers(4), 64)
+	after := newRing(ringMembers(5), 64)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if before.get(k) != after.get(k) {
+			moved++
+			if after.get(k) != "shard-4" {
+				t.Fatalf("key %q moved between pre-existing members (%s -> %s)", k, before.get(k), after.get(k))
+			}
+		}
+	}
+	// Expected move fraction is 1/5; fail well above it.
+	if moved > keys*2/5 {
+		t.Fatalf("%d of %d keys moved on grow 4->5; consistent hashing should move ~%d", moved, keys, keys/5)
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := newRing([]string{"only"}, 8)
+	for i := 0; i < 20; i++ {
+		if got := r.get(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("got %q", got)
+		}
+	}
+	if got := (&ring{}).get("x"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+}

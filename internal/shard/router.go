@@ -1,0 +1,800 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// Shard pairs a stable identifier — the shard server's registered
+// discovery address — with a Space handle for it. Using the registered
+// address as the ring ID is what lets the master (holding direct local
+// handles) and every worker (holding proxies) compute identical key
+// placements.
+type Shard struct {
+	ID    string
+	Space space.Space
+}
+
+// Options tunes a Router. The zero value of each field selects the
+// documented default.
+type Options struct {
+	// Clock times scatter rounds and poll sleeps; nil means the real
+	// clock. Under the virtual clock all scatter goroutines are spawned
+	// as registered clock processes.
+	Clock vclock.Clock
+	// VirtualNodes is the number of ring points per shard (default 64).
+	VirtualNodes int
+	// Fanout bounds the number of concurrent per-shard calls in a
+	// scatter (default 8). Shards beyond the fanout are covered by
+	// striding.
+	Fanout int
+	// Slice bounds each shard-side blocking wait during a scatter round
+	// (default 250ms). Losing shards time out within one slice, so a
+	// first-win scatter never leaves an RPC parked behind it.
+	Slice time.Duration
+	// PollInterval is the sleep between sweeps when a blocking scatter
+	// must run under a transaction and therefore polls (default 25ms).
+	PollInterval time.Duration
+	// Seed offsets this router's rotation counter (e.g. the worker's node
+	// name) so that concurrent routers spread their unkeyed probes and
+	// round-robin writes across different shards instead of marching in
+	// lockstep.
+	Seed string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = vclock.NewReal()
+	}
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = 64
+	}
+	if o.Fanout <= 0 {
+		o.Fanout = 8
+	}
+	if o.Slice <= 0 {
+		o.Slice = 250 * time.Millisecond
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	return o
+}
+
+// view is an immutable membership snapshot. Operations grab one snapshot
+// up front so a concurrent SetShards never splits a single op across two
+// rings.
+type view struct {
+	order  []string // shard IDs, sorted
+	shards map[string]space.Space
+	ring   *ring
+}
+
+// Router implements space.Space over a set of shards. Entries and
+// templates whose `space:"index"` key field is set route to exactly one
+// shard via the consistent-hash ring; zero-key operations scatter-gather.
+// A Router over a single shard is pure pass-through.
+type Router struct {
+	opts Options
+
+	mu sync.RWMutex
+	v  *view
+
+	rot atomic.Uint64
+}
+
+// New builds a router over shards (at least one, distinct IDs).
+func New(opts Options, shards []Shard) (*Router, error) {
+	r := &Router{opts: opts.withDefaults()}
+	r.rot.Store(hash64(r.opts.Seed))
+	if err := r.SetShards(shards); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SetShards replaces the membership. Intended for growing the cluster
+// between jobs: entries keyed onto a shard before a membership change are
+// not migrated, so keyed lookups can miss them afterwards — add shards
+// while the space holds no keyed entries.
+func (r *Router) SetShards(shards []Shard) error {
+	if len(shards) == 0 {
+		return errors.New("shard: router needs at least one shard")
+	}
+	v := &view{shards: make(map[string]space.Space, len(shards))}
+	for _, s := range shards {
+		if s.Space == nil {
+			return fmt.Errorf("shard: nil space for %q", s.ID)
+		}
+		if _, dup := v.shards[s.ID]; dup {
+			return fmt.Errorf("shard: duplicate shard ID %q", s.ID)
+		}
+		v.shards[s.ID] = s.Space
+		v.order = append(v.order, s.ID)
+	}
+	sort.Strings(v.order)
+	v.ring = newRing(v.order, r.opts.VirtualNodes)
+	r.mu.Lock()
+	r.v = v
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Router) snapshot() *view {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// NumShards returns the current shard count. The master reports it in
+// RunMetrics.
+func (r *Router) NumShards() int { return len(r.snapshot().order) }
+
+// Shards returns the current membership snapshot.
+func (r *Router) Shards() []Shard {
+	v := r.snapshot()
+	out := make([]Shard, 0, len(v.order))
+	for _, id := range v.order {
+		out = append(out, Shard{ID: id, Space: v.shards[id]})
+	}
+	return out
+}
+
+// nextRot advances the rotation counter, reduced modulo n for indexing.
+func (r *Router) nextRot(n int) int { return int((r.rot.Add(1) - 1) % uint64(n)) }
+
+var _ space.Space = (*Router)(nil)
+
+// --- transactions ---
+
+// routerTxn lazily opens one sub-transaction per shard touched. Commit and
+// Abort complete every sub-transaction; each shard's outcome is atomic but
+// cross-shard atomicity is best-effort (a crash between sub-commits can
+// commit some shards and not others). Keyed task flows touch a single
+// shard, so the common worker transaction degenerates to exactly one
+// sub-transaction and keeps its full atomicity.
+type routerTxn struct {
+	r   *Router
+	ttl time.Duration
+
+	mu   sync.Mutex
+	subs map[string]space.Txn
+	done bool
+}
+
+// BeginTxn implements space.Space.
+func (r *Router) BeginTxn(ttl time.Duration) (space.Txn, error) {
+	return &routerTxn{r: r, ttl: ttl, subs: make(map[string]space.Txn)}, nil
+}
+
+// sub resolves t (nil passes through) to the sub-transaction for shard id,
+// opening it on first touch.
+func (r *Router) sub(t space.Txn, id string, sp space.Space) (space.Txn, error) {
+	if t == nil {
+		return nil, nil
+	}
+	rt, ok := t.(*routerTxn)
+	if !ok || rt.r != r {
+		return nil, space.ErrBadTxn
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.done {
+		return nil, tuplespace.ErrTxnInactive
+	}
+	if tx, ok := rt.subs[id]; ok {
+		return tx, nil
+	}
+	tx, err := sp.BeginTxn(rt.ttl)
+	if err != nil {
+		return nil, err
+	}
+	rt.subs[id] = tx
+	return tx, nil
+}
+
+func (t *routerTxn) finish(commit bool) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return tuplespace.ErrTxnInactive
+	}
+	t.done = true
+	ids := make([]string, 0, len(t.subs))
+	for id := range t.subs {
+		ids = append(ids, id)
+	}
+	subs := t.subs
+	t.mu.Unlock()
+	sort.Strings(ids) // deterministic completion order
+	var firstErr error
+	for _, id := range ids {
+		var err error
+		if commit {
+			err = subs[id].Commit()
+		} else {
+			err = subs[id].Abort()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Commit implements space.Txn.
+func (t *routerTxn) Commit() error { return t.finish(true) }
+
+// Abort implements space.Txn.
+func (t *routerTxn) Abort() error { return t.finish(false) }
+
+// --- single-shard routed operations ---
+
+// Write implements space.Space: keyed entries go to the ring owner,
+// unkeyed entries round-robin from the rotation counter.
+func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (space.Lease, error) {
+	v := r.snapshot()
+	key, keyed, err := tuplespace.IndexKey(e)
+	if err != nil {
+		return nil, err
+	}
+	var id string
+	if keyed {
+		id = v.ring.get(key)
+	} else {
+		id = v.order[r.nextRot(len(v.order))]
+	}
+	sp := v.shards[id]
+	tx, err := r.sub(t, id, sp)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Write(e, tx, ttl)
+}
+
+// Read implements space.Space.
+func (r *Router) Read(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	return r.lookup(false, tmpl, t, timeout, true)
+}
+
+// Take implements space.Space.
+func (r *Router) Take(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	return r.lookup(true, tmpl, t, timeout, true)
+}
+
+// ReadIfExists implements space.Space.
+func (r *Router) ReadIfExists(tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	return r.lookup(false, tmpl, t, 0, false)
+}
+
+// TakeIfExists implements space.Space.
+func (r *Router) TakeIfExists(tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	return r.lookup(true, tmpl, t, 0, false)
+}
+
+func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout time.Duration, block bool) (tuplespace.Entry, error) {
+	v := r.snapshot()
+	key, keyed, err := tuplespace.IndexKey(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	if keyed || len(v.order) == 1 {
+		// One shard can satisfy this: hand it the full timeout directly.
+		id := v.order[0]
+		if keyed {
+			id = v.ring.get(key)
+		}
+		sp := v.shards[id]
+		tx, err := r.sub(t, id, sp)
+		if err != nil {
+			return nil, err
+		}
+		return call(sp, take, tmpl, tx, timeout, block)
+	}
+	if !block {
+		return r.sweep(v, take, tmpl, t)
+	}
+	if t != nil {
+		// Scatter under a transaction polls sequentially: the first-win
+		// path below writes losing takes back outside any transaction,
+		// which would break isolation here.
+		return r.pollScatter(v, take, tmpl, t, timeout)
+	}
+	return r.scatter(v, take, tmpl, timeout)
+}
+
+// call dispatches one concrete lookup variant on a single shard.
+func call(sp space.Space, take bool, tmpl tuplespace.Entry, tx space.Txn, timeout time.Duration, block bool) (tuplespace.Entry, error) {
+	switch {
+	case take && block:
+		return sp.Take(tmpl, tx, timeout)
+	case take:
+		return sp.TakeIfExists(tmpl, tx)
+	case block:
+		return sp.Read(tmpl, tx, timeout)
+	default:
+		return sp.ReadIfExists(tmpl, tx)
+	}
+}
+
+// hard reports whether err ends a scatter (as opposed to the no-entry-yet
+// conditions that just mean "keep looking").
+func hard(err error) bool {
+	return !errors.Is(err, tuplespace.ErrNoMatch) && !errors.Is(err, tuplespace.ErrTimeout)
+}
+
+// --- scatter-gather ---
+
+// sweep makes one non-blocking pass over all shards in rotation order and
+// returns the first match.
+func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	n := len(v.order)
+	start := r.nextRot(n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		id := v.order[(start+i)%n]
+		sp := v.shards[id]
+		tx, err := r.sub(t, id, sp)
+		if err != nil {
+			return nil, err
+		}
+		e, err := call(sp, take, tmpl, tx, 0, false)
+		if err == nil {
+			return e, nil
+		}
+		if hard(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, tuplespace.ErrNoMatch
+}
+
+// pollScatter is the blocking zero-key lookup under a transaction:
+// repeated non-blocking sweeps with poll sleeps in between.
+func (r *Router) pollScatter(v *view, take bool, tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	clk := r.opts.Clock
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = clk.Now().Add(timeout)
+	}
+	for {
+		e, err := r.sweep(v, take, tmpl, t)
+		if err == nil || hard(err) {
+			return e, err
+		}
+		wait := r.opts.PollInterval
+		if !deadline.IsZero() {
+			rem := deadline.Sub(clk.Now())
+			if rem <= 0 {
+				return nil, tuplespace.ErrTimeout
+			}
+			if rem < wait {
+				wait = rem
+			}
+		}
+		clk.Sleep(wait)
+	}
+}
+
+// scatter is the blocking zero-key lookup outside transactions: rounds of
+// concurrent slice-bounded blocking waits across all shards, first win
+// returned. Because each per-shard wait is bounded by one slice, a losing
+// shard's parked RPC drains within that slice of the winner — there is no
+// unbounded leaked wait. A losing Take that nonetheless yields an entry is
+// written back to the shard it came from (with a Forever lease; per-entry
+// lease state does not survive the round trip).
+func (r *Router) scatter(v *view, take bool, tmpl tuplespace.Entry, timeout time.Duration) (tuplespace.Entry, error) {
+	clk := r.opts.Clock
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = clk.Now().Add(timeout)
+	}
+	// Fast pass before spawning anything.
+	if e, err := r.sweep(v, take, tmpl, nil); err == nil || hard(err) {
+		return e, err
+	}
+	n := len(v.order)
+	fanout := r.opts.Fanout
+	if fanout > n {
+		fanout = n
+	}
+	base := r.nextRot(n)
+	for round := 0; ; round++ {
+		slice := r.opts.Slice
+		if !deadline.IsZero() {
+			rem := deadline.Sub(clk.Now())
+			if rem <= 0 {
+				return nil, tuplespace.ErrTimeout
+			}
+			if rem < slice {
+				slice = rem
+			}
+		}
+		e, err := r.scatterRound(v, take, tmpl, slice, fanout, base+round)
+		if err == nil || hard(err) {
+			return e, err
+		}
+	}
+}
+
+// roundState coordinates one scatter round's children with its parent.
+type roundState struct {
+	take   bool
+	parker vclock.Waiter
+
+	mu        sync.Mutex
+	won       bool
+	winner    tuplespace.Entry
+	remaining int
+	hardErr   error
+	hards     int
+}
+
+func (st *roundState) finished() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.won
+}
+
+// win records a successful lookup. The first one wakes the parent; a
+// losing take is undone by writing the entry back where it came from.
+func (st *roundState) win(sp space.Space, e tuplespace.Entry) {
+	st.mu.Lock()
+	if !st.won {
+		st.won = true
+		st.winner = e
+		st.mu.Unlock()
+		st.parker.Wake()
+		return
+	}
+	st.mu.Unlock()
+	if st.take {
+		sp.Write(e, nil, tuplespace.Forever) //nolint:errcheck // best-effort restore
+	}
+}
+
+func (st *roundState) fail(err error) {
+	st.mu.Lock()
+	st.hards++
+	if st.hardErr == nil {
+		st.hardErr = err
+	}
+	st.mu.Unlock()
+}
+
+func (st *roundState) childDone() {
+	st.mu.Lock()
+	st.remaining--
+	last := st.remaining == 0
+	st.mu.Unlock()
+	if last {
+		st.parker.Wake() // idempotent with a winner's wake
+	}
+}
+
+// result resolves the round after the parent wakes: a winner if any child
+// won, the shard error if every child hard-failed, ErrTimeout otherwise
+// (meaning: keep scattering).
+func (st *roundState) result(children int) (tuplespace.Entry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.won {
+		return st.winner, nil
+	}
+	if st.hardErr != nil && st.hards == children {
+		return nil, st.hardErr
+	}
+	return nil, tuplespace.ErrTimeout
+}
+
+// scatterRound runs one round: fanout children each sweep a strided chunk
+// of the shards non-blockingly, then park one slice-bounded blocking wait
+// on their chunk's rotating member. The parent parks on a Waiter and is
+// woken by the first winner or the last child — never left parked, even
+// on the virtual clock, because every child's wait is itself bounded by a
+// clock timer.
+func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice time.Duration, fanout, round int) (tuplespace.Entry, error) {
+	clk := r.opts.Clock
+	st := &roundState{take: take, parker: clk.NewWaiter(), remaining: fanout}
+	g := vclock.NewGroup(clk)
+	n := len(v.order)
+	for j := 0; j < fanout; j++ {
+		j := j
+		g.Go(func() {
+			defer st.childDone()
+			var chunk []space.Space
+			for i := j; i < n; i += fanout {
+				chunk = append(chunk, v.shards[v.order[(round+i)%n]])
+			}
+			for _, sp := range chunk {
+				if st.finished() {
+					return
+				}
+				e, err := call(sp, take, tmpl, nil, 0, false)
+				if err == nil {
+					st.win(sp, e)
+					return
+				}
+				if hard(err) {
+					st.fail(err)
+					return
+				}
+			}
+			if st.finished() {
+				return
+			}
+			sp := chunk[round%len(chunk)]
+			e, err := call(sp, take, tmpl, nil, slice, true)
+			if err == nil {
+				st.win(sp, e)
+			} else if hard(err) {
+				st.fail(err)
+			}
+		})
+	}
+	st.parker.Wait(0)
+	return st.result(fanout)
+}
+
+// --- bulk, count, balance, notify ---
+
+// ReadAll implements space.Space. A keyed template reads one shard;
+// unbounded zero-key reads gather concurrently across shards; bounded
+// (max > 0) reads walk shards sequentially so the budget is respected
+// without over-reading.
+func (r *Router) ReadAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]tuplespace.Entry, error) {
+	return r.bulk(false, tmpl, t, max)
+}
+
+// TakeAll implements space.Space. Zero-key bulk takes always walk shards
+// sequentially: a destructive gather must not over-take and have to undo.
+func (r *Router) TakeAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]tuplespace.Entry, error) {
+	return r.bulk(true, tmpl, t, max)
+}
+
+func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([]tuplespace.Entry, error) {
+	v := r.snapshot()
+	key, keyed, err := tuplespace.IndexKey(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	one := func(id string) ([]tuplespace.Entry, error) {
+		sp := v.shards[id]
+		tx, err := r.sub(t, id, sp)
+		if err != nil {
+			return nil, err
+		}
+		if take {
+			return sp.TakeAll(tmpl, tx, max)
+		}
+		return sp.ReadAll(tmpl, tx, max)
+	}
+	if keyed {
+		return one(v.ring.get(key))
+	}
+	if len(v.order) == 1 {
+		return one(v.order[0])
+	}
+	if take || max > 0 {
+		// Sequential budgeted walk.
+		var out []tuplespace.Entry
+		n := len(v.order)
+		start := r.nextRot(n)
+		for i := 0; i < n; i++ {
+			id := v.order[(start+i)%n]
+			sp := v.shards[id]
+			tx, err := r.sub(t, id, sp)
+			if err != nil {
+				return out, err
+			}
+			rem := 0
+			if max > 0 {
+				rem = max - len(out)
+				if rem <= 0 {
+					break
+				}
+			}
+			var es []tuplespace.Entry
+			if take {
+				es, err = sp.TakeAll(tmpl, tx, rem)
+			} else {
+				es, err = sp.ReadAll(tmpl, tx, rem)
+			}
+			if err != nil {
+				return out, err
+			}
+			out = append(out, es...)
+		}
+		return out, nil
+	}
+	// Unbounded read: concurrent strided gather, merged in shard order.
+	results := make([][]tuplespace.Entry, len(v.order))
+	errs := make([]error, len(v.order))
+	r.strided(v, func(i int, id string) {
+		sp := v.shards[id]
+		tx, err := r.sub(t, id, sp)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = sp.ReadAll(tmpl, tx, 0)
+	})
+	var out []tuplespace.Entry
+	for i := range v.order {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// Count implements space.Space: a keyed template counts one shard,
+// otherwise the per-shard counts are summed concurrently.
+func (r *Router) Count(tmpl tuplespace.Entry) (int, error) {
+	v := r.snapshot()
+	key, keyed, err := tuplespace.IndexKey(tmpl)
+	if err != nil {
+		return 0, err
+	}
+	if keyed {
+		return v.shards[v.ring.get(key)].Count(tmpl)
+	}
+	counts := make([]int, len(v.order))
+	errs := make([]error, len(v.order))
+	r.strided(v, func(i int, id string) {
+		counts[i], errs[i] = v.shards[id].Count(tmpl)
+	})
+	total := 0
+	for i := range v.order {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// strided runs fn(i, id) for every shard with at most Fanout concurrent
+// calls, blocking until all complete.
+func (r *Router) strided(v *view, fn func(i int, id string)) {
+	n := len(v.order)
+	fanout := r.opts.Fanout
+	if fanout > n {
+		fanout = n
+	}
+	g := vclock.NewGroup(r.opts.Clock)
+	for j := 0; j < fanout; j++ {
+		j := j
+		g.Go(func() {
+			for i := j; i < n; i += fanout {
+				fn(i, v.order[i])
+			}
+		})
+	}
+	g.Wait()
+}
+
+// Counter is implemented by shard handles that expose per-type entry
+// counts (space.Local and space.Proxy both do).
+type Counter interface {
+	TypeCounts() (map[string]int, error)
+}
+
+// TypeCounts merges live-entry counts per type across all shards.
+func (r *Router) TypeCounts() (map[string]int, error) {
+	per, err := r.ShardCounts()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, counts := range per {
+		for name, n := range counts {
+			out[name] += n
+		}
+	}
+	return out, nil
+}
+
+// ShardCounts returns per-type entry counts keyed by shard ID — the
+// balance view operators use to see how the ring is spreading entries.
+func (r *Router) ShardCounts() (map[string]map[string]int, error) {
+	v := r.snapshot()
+	results := make([]map[string]int, len(v.order))
+	errs := make([]error, len(v.order))
+	r.strided(v, func(i int, id string) {
+		c, ok := v.shards[id].(Counter)
+		if !ok {
+			errs[i] = fmt.Errorf("shard: %s does not expose TypeCounts", id)
+			return
+		}
+		results[i], errs[i] = c.TypeCounts()
+	})
+	out := make(map[string]map[string]int, len(v.order))
+	for i, id := range v.order {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[id] = results[i]
+	}
+	return out, nil
+}
+
+// Notifier is implemented by shard handles that support event
+// registration (space.Local does; the remote proxy protocol has no event
+// callback channel yet).
+type Notifier interface {
+	Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl time.Duration) (*tuplespace.Registration, error)
+}
+
+// Registrations aggregates the per-shard registrations behind one Notify.
+type Registrations struct {
+	regs []*tuplespace.Registration
+}
+
+// Cancel stops delivery on every shard.
+func (rs *Registrations) Cancel() {
+	for _, reg := range rs.regs {
+		reg.Cancel()
+	}
+}
+
+// Notify fans the registration out to every shard: fn fires when a
+// matching entry becomes visible on any of them. Registration IDs and
+// sequence numbers in delivered events are per-shard streams. Fails if
+// any shard handle does not support notification.
+func (r *Router) Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl time.Duration) (*Registrations, error) {
+	v := r.snapshot()
+	rs := &Registrations{}
+	for _, id := range v.order {
+		nt, ok := v.shards[id].(Notifier)
+		if !ok {
+			rs.Cancel()
+			return nil, fmt.Errorf("shard: %s does not support Notify", id)
+		}
+		reg, err := nt.Notify(tmpl, fn, ttl)
+		if err != nil {
+			rs.Cancel()
+			return nil, err
+		}
+		rs.regs = append(rs.regs, reg)
+	}
+	return rs, nil
+}
+
+// Close implements space.Space: it closes every shard handle.
+func (r *Router) Close() error {
+	v := r.snapshot()
+	var firstErr error
+	for _, id := range v.order {
+		if err := v.shards[id].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// MultiSweeper aggregates per-shard transaction sweepers into the single
+// Sweep the master's collect loop calls between bounded waits.
+type MultiSweeper []interface{ Sweep() int }
+
+// Sweep sweeps every shard's transaction manager and sums the reaped
+// transactions.
+func (m MultiSweeper) Sweep() int {
+	total := 0
+	for _, s := range m {
+		total += s.Sweep()
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gospaces/internal/discovery"
+	"gospaces/internal/space"
+	"gospaces/internal/vclock"
+)
+
+// Discovery attributes used by shard servers. A sharded master registers
+// every shard server under the usual javaspace type attribute plus its
+// shard index and the total shard count, so single-shard-aware clients
+// (which LookupOne the type attribute) still find shard 0 and work
+// unchanged.
+const (
+	AttrShard  = "shard"  // this server's shard index, "0".."K-1"
+	AttrShards = "shards" // total shard count, "K"
+)
+
+// Dialer turns a discovered address into a Space handle.
+type Dialer func(addr string) (space.Space, error)
+
+// Discover looks up every service matching tmpl (typically
+// {"type": "javaspace"}) and dials each into a Shard, ordered by shard
+// index (registration order for items without one). Shard IDs are the
+// registered addresses, so every participant that discovers the same
+// membership builds the same ring.
+func Discover(c *discovery.Client, tmpl map[string]string, dial Dialer) ([]Shard, error) {
+	items, err := c.Lookup(tmpl)
+	if err != nil {
+		return nil, err
+	}
+	return dialItems(items, dial, nil)
+}
+
+// dialItems converts registry items to Shards, reusing handles from known
+// (keyed by address) instead of re-dialing.
+func dialItems(items []discovery.ServiceItem, dial Dialer, known map[string]space.Space) ([]Shard, error) {
+	sort.SliceStable(items, func(i, j int) bool {
+		a, _ := strconv.Atoi(items[i].Attributes[AttrShard])
+		b, _ := strconv.Atoi(items[j].Attributes[AttrShard])
+		return a < b
+	})
+	var shards []Shard
+	seen := make(map[string]bool, len(items))
+	for _, item := range items {
+		if seen[item.Address] {
+			continue
+		}
+		seen[item.Address] = true
+		if sp, ok := known[item.Address]; ok {
+			shards = append(shards, Shard{ID: item.Address, Space: sp})
+			continue
+		}
+		sp, err := dial(item.Address)
+		if err != nil {
+			return nil, fmt.Errorf("shard: dial %s: %w", item.Address, err)
+		}
+		shards = append(shards, Shard{ID: item.Address, Space: sp})
+	}
+	return shards, nil
+}
+
+// Watcher polls the lookup service and grows a Router's membership when
+// new shard servers register — the join path for shards added between
+// jobs. It only ever adds shards; a vanished registration is left in the
+// ring (removing it would orphan that shard's entries).
+type Watcher struct {
+	client   *discovery.Client
+	clock    vclock.Clock
+	router   *Router
+	tmpl     map[string]string
+	dial     Dialer
+	interval time.Duration
+
+	mu     sync.Mutex
+	quit   bool
+	parker vclock.Waiter
+	err    error
+}
+
+// NewWatcher returns a watcher feeding router from lookups of tmpl every
+// interval. Run it as a clock process; Stop it before the clock drains.
+func NewWatcher(client *discovery.Client, clock vclock.Clock, router *Router, tmpl map[string]string, dial Dialer, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Watcher{client: client, clock: clock, router: router, tmpl: tmpl, dial: dial, interval: interval}
+}
+
+// Run polls until Stop. Lookup or dial errors are retained (see Err) and
+// the loop keeps going — discovery hiccups must not kill the router.
+func (w *Watcher) Run() {
+	for {
+		w.mu.Lock()
+		if w.quit {
+			w.mu.Unlock()
+			return
+		}
+		w.parker = w.clock.NewWaiter()
+		p := w.parker
+		w.mu.Unlock()
+
+		if woken := p.Wait(w.interval); woken {
+			return // stopped
+		}
+		w.poll()
+	}
+}
+
+func (w *Watcher) poll() {
+	items, err := w.client.Lookup(w.tmpl)
+	if err != nil {
+		w.setErr(err)
+		return
+	}
+	known := make(map[string]space.Space)
+	cur := w.router.Shards()
+	for _, s := range cur {
+		known[s.ID] = s.Space
+	}
+	fresh := 0
+	for _, item := range items {
+		if _, ok := known[item.Address]; !ok {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		return
+	}
+	shards, err := dialItems(items, w.dial, known)
+	if err != nil {
+		w.setErr(err)
+		return
+	}
+	// Keep shards that have aged out of the registry but are still in the
+	// ring: membership only grows.
+	have := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		have[s.ID] = true
+	}
+	for _, s := range cur {
+		if !have[s.ID] {
+			shards = append(shards, s)
+		}
+	}
+	w.setErr(w.router.SetShards(shards))
+}
+
+func (w *Watcher) setErr(err error) {
+	w.mu.Lock()
+	if err != nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Stop ends the poll loop.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	w.quit = true
+	p := w.parker
+	w.mu.Unlock()
+	if p != nil {
+		p.Wake()
+	}
+}
+
+// Err returns the most recent poll error, if any.
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -19,6 +19,17 @@ type Proxy struct {
 // NewProxy wraps an RPC client as a Space.
 func NewProxy(c transport.Client) *Proxy { return &Proxy{c: c} }
 
+// Dial connects to a space Service at a TCP address with connection
+// timeout and retry, riding out the window between a service registering
+// its address and its listener accepting.
+func Dial(addr string) (*Proxy, error) {
+	c, err := transport.DialTCPRetry(addr, transport.Backoff{})
+	if err != nil {
+		return nil, err
+	}
+	return NewProxy(c), nil
+}
+
 var _ Space = (*Proxy)(nil)
 
 type proxyTxn struct {
@@ -141,6 +152,15 @@ func (p *Proxy) Count(tmpl tuplespace.Entry) (int, error) {
 		return 0, mapRemote(err)
 	}
 	return res.(countReply).N, nil
+}
+
+// TypeCounts returns the remote space's live entries per type.
+func (p *Proxy) TypeCounts() (map[string]int, error) {
+	res, err := p.c.Call("space.TypeCounts", lookupArgs{})
+	if err != nil {
+		return nil, mapRemote(err)
+	}
+	return res.(countsReply).Counts, nil
 }
 
 // BeginTxn implements Space.

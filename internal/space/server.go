@@ -55,6 +55,10 @@ type countReply struct {
 	N int
 }
 
+type countsReply struct {
+	Counts map[string]int
+}
+
 // Service exposes a Local space over a transport.Server. The master module
 // runs one of these; workers and the network-management module reach it
 // through Proxy.
@@ -84,6 +88,7 @@ func NewService(local *Local, srv *transport.Server) *Service {
 	srv.Handle("space.ReadAll", s.bulk(false))
 	srv.Handle("space.TakeAll", s.bulk(true))
 	srv.Handle("space.Count", s.count)
+	srv.Handle("space.TypeCounts", s.typeCounts)
 	srv.Handle("space.TxnBegin", s.txnBegin)
 	srv.Handle("space.TxnCommit", s.txnCommit)
 	srv.Handle("space.TxnAbort", s.txnAbort)
@@ -191,6 +196,10 @@ func (s *Service) count(arg interface{}) (interface{}, error) {
 		return nil, err
 	}
 	return countReply{N: n}, nil
+}
+
+func (s *Service) typeCounts(interface{}) (interface{}, error) {
+	return countsReply{Counts: s.local.TS.TypeCounts()}, nil
 }
 
 func (s *Service) txnBegin(arg interface{}) (interface{}, error) {

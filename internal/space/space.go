@@ -193,6 +193,17 @@ func (l *Local) TakeAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Ent
 // Count implements Space.
 func (l *Local) Count(tmpl tuplespace.Entry) (int, error) { return l.TS.Count(tmpl) }
 
+// Notify registers fn for entries matching tmpl arriving at the underlying
+// space. The shard router relies on this to fan a registration out across
+// shard-local spaces.
+func (l *Local) Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl time.Duration) (*tuplespace.Registration, error) {
+	return l.TS.Notify(tmpl, fn, ttl)
+}
+
+// TypeCounts reports live entries per type — the per-shard balance figure
+// surfaced by the router and by operators.
+func (l *Local) TypeCounts() (map[string]int, error) { return l.TS.TypeCounts(), nil }
+
 // BeginTxn implements Space.
 func (l *Local) BeginTxn(ttl time.Duration) (Txn, error) {
 	return localTxn{t: l.Mgr.Begin(ttl)}, nil
@@ -216,4 +227,5 @@ func init() {
 	transport.RegisterType(txnReply{})
 	transport.RegisterType(countReply{})
 	transport.RegisterType(bulkReply{})
+	transport.RegisterType(countsReply{})
 }

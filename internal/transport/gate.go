@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// ServiceGate models the CPU of a single-threaded server as a FIFO queue
+// in clock time: each admitted operation occupies the server for cost, and
+// an operation arriving while the server is busy waits for everything
+// admitted before it. The waiting is charged to the *caller's* clock —
+// both transport bindings run handlers on (or proxied back to) the calling
+// process — so under the virtual clock a saturated gate shows up as
+// queueing delay exactly where a saturated JavaSpaces server would: in the
+// client's latency.
+//
+// This is what makes shard scaling observable in simulation: K shards give
+// K independent gates, dividing the arrival rate each queue sees.
+type ServiceGate struct {
+	clock vclock.Clock
+	cost  time.Duration
+
+	mu        sync.Mutex
+	busyUntil time.Time
+	admitted  uint64
+}
+
+// NewServiceGate returns a gate on clock charging cost per operation. A
+// cost <= 0 yields a no-op gate.
+func NewServiceGate(clock vclock.Clock, cost time.Duration) *ServiceGate {
+	return &ServiceGate{clock: clock, cost: cost}
+}
+
+// Admit reserves the next service slot and sleeps until the operation's
+// service completes (queue wait + service time). The lock is held only to
+// compute the slot, never across the sleep, so gated callers on the
+// virtual clock all park on timers and time can advance.
+func (g *ServiceGate) Admit() {
+	if g == nil || g.cost <= 0 {
+		return
+	}
+	g.mu.Lock()
+	now := g.clock.Now()
+	start := now
+	if g.busyUntil.After(start) {
+		start = g.busyUntil
+	}
+	end := start.Add(g.cost)
+	g.busyUntil = end
+	g.admitted++
+	g.mu.Unlock()
+	if wait := end.Sub(now); wait > 0 {
+		g.clock.Sleep(wait)
+	}
+}
+
+// Admitted returns the number of operations admitted so far.
+func (g *ServiceGate) Admitted() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted
+}
+
+// Middleware adapts the gate to Server.Wrap, charging every RPC method the
+// gate's cost before the handler runs.
+func (g *ServiceGate) Middleware() func(method string, next Handler) Handler {
+	return func(method string, next Handler) Handler {
+		return func(arg interface{}) (interface{}, error) {
+			g.Admit()
+			return next(arg)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // wireRequest and wireResponse are the on-wire frames of the TCP binding.
@@ -139,11 +140,23 @@ type tcpClient struct {
 	readErr error
 }
 
-// DialTCP connects to a TCPListener at addr. Calls on the returned client
-// may be issued concurrently; blocked calls (e.g. a blocking Take at a
-// remote space) do not prevent other calls from completing.
+// DefaultDialTimeout bounds DialTCP's connection attempt. Before this
+// existed a dead or unroutable listener hung the dialer for the kernel
+// connect timeout (minutes on Linux).
+const DefaultDialTimeout = 5 * time.Second
+
+// DialTCP connects to a TCPListener at addr, bounded by DefaultDialTimeout.
+// Calls on the returned client may be issued concurrently; blocked calls
+// (e.g. a blocking Take at a remote space) do not prevent other calls from
+// completing.
 func DialTCP(addr string) (Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTCPTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTCPTimeout is DialTCP with an explicit connect timeout (<= 0 means
+// no timeout beyond the kernel's).
+func DialTCPTimeout(addr string, timeout time.Duration) (Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}

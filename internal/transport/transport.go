@@ -63,6 +63,16 @@ func NewServer() *Server { return &Server{handlers: make(map[string]Handler)} }
 // server is exposed; it is not synchronized with dispatch.
 func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
 
+// Wrap replaces every registered handler h with mw(method, h) — middleware
+// applied uniformly across the server's methods (used, for example, to
+// charge a modeled per-operation CPU cost to a shard server). Like Handle,
+// it must be called before the server is exposed to dispatch.
+func (s *Server) Wrap(mw func(method string, next Handler) Handler) {
+	for m, h := range s.handlers {
+		s.handlers[m] = mw(m, h)
+	}
+}
+
 // Dispatch invokes the handler for method.
 func (s *Server) Dispatch(method string, arg interface{}) (interface{}, error) {
 	h, ok := s.handlers[method]

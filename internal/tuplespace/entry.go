@@ -235,6 +235,25 @@ func TypeName(e Entry) (string, error) {
 	return ti.name, nil
 }
 
+// IndexKey returns the value of e's `space:"index"` key field. ok is false
+// when the type declares no key field or the field is zero (a wildcard in a
+// template). The shard router uses this to decide between keyed routing and
+// scatter-gather.
+func IndexKey(e Entry) (key string, ok bool, err error) {
+	ti, v, err := infoFor(e)
+	if err != nil {
+		return "", false, err
+	}
+	if ti.keyField < 0 {
+		return "", false, nil
+	}
+	kf := v.Field(ti.keyField)
+	if kf.IsZero() {
+		return "", false, nil
+	}
+	return kf.String(), true, nil
+}
+
 // EncodedSize returns the gob-serialized size of entry e in bytes — the
 // size it occupies on the wire when written to a remote space.
 func EncodedSize(e Entry) (int, error) {

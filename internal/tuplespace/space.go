@@ -44,6 +44,7 @@ type Stats struct {
 	TxnCommits  uint64 // transactions committed at this space
 	TxnAborts   uint64 // transactions aborted at this space
 	EntriesLive int    // entries currently stored (including txn-held)
+	Waiting     int    // Read/Take calls currently parked waiting for a match
 }
 
 type storedEntry struct {
@@ -514,7 +515,33 @@ func (s *Space) Stats() Stats {
 			}
 		}
 	}
+	for _, ws := range s.waiters {
+		st.Waiting += len(ws)
+	}
 	return st
+}
+
+// TypeCounts returns the number of live entries per entry type (including
+// txn-held entries), keyed by the fully qualified type name. Operators and
+// the shard router use it to observe how entries balance across shards.
+func (s *Space) TypeCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	counts := make(map[string]int, len(s.byType))
+	for name, list := range s.byType {
+		n := 0
+		for _, se := range list {
+			if se.removed || (!se.expiry.IsZero() && now.After(se.expiry)) {
+				continue
+			}
+			n++
+		}
+		if n > 0 {
+			counts[name] = n
+		}
+	}
+	return counts
 }
 
 // EntryLease controls the lifetime of a written entry.

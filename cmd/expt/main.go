@@ -14,6 +14,7 @@
 //	expt -run table2         # application classification (Table 2)
 //	expt -run intrusiveness  # extension: adaptive vs aggressive cycle stealing
 //	expt -run granularity    # extension: task granularity vs intrusion under churn
+//	expt -run faultsweep     # extension: completion-time overhead vs worker crash rate
 //	expt -run all            # everything, in order
 package main
 
@@ -29,7 +30,7 @@ import (
 var formatCSV bool
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, all")
+	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, faultsweep, all")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -71,8 +72,10 @@ func dispatch(run string) error {
 		return intrusiveness()
 	case "granularity":
 		return granularity()
+	case "faultsweep":
+		return faultsweep()
 	case "all":
-		for _, r := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "intrusiveness", "granularity"} {
+		for _, r := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "intrusiveness", "granularity", "faultsweep"} {
 			if err := dispatch(r); err != nil {
 				return err
 			}
@@ -134,6 +137,15 @@ func granularity() error {
 		return err
 	}
 	render(experiments.GranularityTable(pts))
+	return nil
+}
+
+func faultsweep() error {
+	pts, err := experiments.FaultSweep()
+	if err != nil {
+		return err
+	}
+	render(experiments.FaultSweepTable(pts))
 	return nil
 }
 

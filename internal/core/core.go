@@ -24,6 +24,7 @@ import (
 
 	"gospaces/internal/cluster"
 	"gospaces/internal/discovery"
+	"gospaces/internal/faults"
 	"gospaces/internal/master"
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
@@ -81,6 +82,17 @@ type Config struct {
 	// gate. The sharded scalability experiments use it to reproduce —
 	// and then shift — the single-server saturation knee.
 	SpaceOpCost time.Duration
+	// Faults, if set, is a fault-injection plan installed on the
+	// cluster's in-process network: every RPC between named endpoints
+	// (master, workers as "node/<name>", shards, the lookup service)
+	// routes through it. New binds the plan to the framework's clock, so
+	// scripted windows are offsets from construction time. See
+	// internal/faults.
+	Faults *faults.Plan
+	// DedupResults makes the master's collection idempotent against
+	// redelivered result writes (see master.Config.DedupResults). Chaos
+	// scenarios that duplicate deliveries turn this on.
+	DedupResults bool
 }
 
 // Framework is an assembled deployment: cluster, lookup service, space
@@ -116,6 +128,9 @@ type Result struct {
 	// Events is the network management module's signal log (empty when
 	// monitoring is disabled).
 	Events []netmgmt.Event
+	// FaultEvents is the injected-fault event counts when Config.Faults
+	// was set (keys are the faults.Event* constants).
+	FaultEvents map[string]uint64
 }
 
 // New assembles a Framework on clock.
@@ -138,6 +153,10 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	}
 
 	clus := cluster.New(clock, model, cfg.Workers)
+	if cfg.Faults != nil {
+		cfg.Faults.Bind(clock)
+		clus.Net.Intercept(cfg.Faults.Interceptor())
+	}
 
 	f := &Framework{
 		Clock:      clock,
@@ -214,6 +233,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		// crashed workers reappear instead of stalling collection.
 		Sweeper:       sweepers,
 		SweepInterval: cfg.TxnTTL / 4,
+		DedupResults:  cfg.DedupResults,
 	})
 	return f
 }
@@ -247,8 +267,8 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 			continue
 		}
 		mod.Register(node.Name,
-			&snmp.RPCExchanger{C: f.Cluster.Net.Dial(node.Addr)},
-			f.Cluster.Net.Dial(node.Addr))
+			&snmp.RPCExchanger{C: f.Cluster.Net.DialAs(f.Cluster.MasterAddr, node.Addr)},
+			f.Cluster.Net.DialAs(f.Cluster.MasterAddr, node.Addr))
 		if f.cfg.TrapDriven {
 			watchers = append(watchers, f.buildTrapWatcher(node, engine, mod))
 		}
@@ -287,6 +307,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 		SignalLogs:  make(map[string][]worker.SignalRecord, len(workers)),
 		Events:      mod.Events(),
 	}
+	if f.cfg.Faults != nil {
+		res.FaultEvents = f.cfg.Faults.Counters().Snapshot()
+	}
 	for i, w := range workers {
 		name := f.Cluster.Nodes[i].Name
 		st := w.Stats()
@@ -305,11 +328,27 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 	// lookup. One registration is the classic deployment and the worker
 	// talks straight to that proxy; several mean a sharded space, and the
 	// worker routes through the same consistent-hash ring as the master.
-	lc := discovery.NewClient(f.Cluster.Net.Dial(discovery.WellKnownAddress))
-	shards, err := shard.Discover(lc, map[string]string{"type": "javaspace"},
-		func(addr string) (space.Space, error) {
-			return space.NewProxy(f.Cluster.Net.Dial(addr)), nil
-		})
+	// Every dial is tagged with the node's own address so an installed
+	// fault plan can apply per-endpoint rules (crashes, partitions) to
+	// this worker's traffic. Discovery retries with backoff: a lookup
+	// service inside a scripted crash-restart window heals within a few
+	// attempts instead of failing the whole deployment.
+	lc := discovery.NewClient(f.Cluster.Net.DialAs(node.Addr, discovery.WellKnownAddress))
+	var shards []shard.Shard
+	retry := transport.Backoff{
+		Clock:    f.Clock,
+		Attempts: 6,
+		Initial:  250 * time.Millisecond,
+		Max:      4 * time.Second,
+	}
+	err := retry.Do(func() error {
+		var derr error
+		shards, derr = shard.Discover(lc, map[string]string{"type": "javaspace"},
+			func(addr string) (space.Space, error) {
+				return space.NewProxy(f.Cluster.Net.DialAs(node.Addr, addr)), nil
+			})
+		return derr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: discovering space: %w", node.Name, err)
 	}
@@ -330,7 +369,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 		Clock:   f.Clock,
 		Machine: node.Machine,
 		Node:    node.Name,
-	}, f.Cluster.Net.Dial(shards[0].ID))
+	}, f.Cluster.Net.DialAs(node.Addr, shards[0].ID))
 
 	w := worker.New(worker.Config{
 		Node:         node.Name,

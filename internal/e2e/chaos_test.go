@@ -1,0 +1,179 @@
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/cluster"
+	"gospaces/internal/core"
+	"gospaces/internal/discovery"
+	"gospaces/internal/faults"
+	"gospaces/internal/vclock"
+)
+
+var chaosEpoch = time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// chaosSeed lets CI pin (or vary) the fault schedule without editing the
+// test: GOSPACES_FAULT_SEED=<n>.
+func chaosSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	s := os.Getenv("GOSPACES_FAULT_SEED")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("GOSPACES_FAULT_SEED=%q: %v", s, err)
+	}
+	return n
+}
+
+// chaosJobConfig sizes the option-pricing bag of tasks for chaos runs:
+// small enough to finish quickly under the virtual clock, spread across
+// shards so worker takes exercise the scatter path.
+func chaosJobConfig() montecarlo.JobConfig {
+	cfg := montecarlo.DefaultJobConfig()
+	cfg.TotalSims = 1200
+	cfg.SimsPerTask = 50 // → 24 subtasks
+	cfg.WorkPerSubtask = 150 * time.Millisecond
+	cfg.PlanningCostPerTask = 10 * time.Millisecond
+	cfg.AggregationCostPerResult = 5 * time.Millisecond
+	cfg.ShardSpread = true
+	return cfg
+}
+
+// runChaos assembles a framework with the given plan and runs the job to
+// completion under a fresh virtual clock.
+func runChaos(t *testing.T, plan *faults.Plan, workers int, cfg core.Config) (core.Result, *montecarlo.Job) {
+	t.Helper()
+	clk := vclock.NewVirtual(chaosEpoch)
+	cfg.Workers = cluster.Uniform(workers, 1.0)
+	cfg.Faults = plan
+	fw := core.New(clk, cfg)
+	job := montecarlo.NewJob(chaosJobConfig())
+	var res core.Result
+	var err error
+	clk.Run(func() { res, err = fw.Run(job, nil) })
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	return res, job
+}
+
+// TestChaosEveryWorkerCrashesOnceMidTask is the paper's §3 fault-tolerance
+// claim as an executable scenario: each of four workers is killed exactly
+// once immediately after it takes a task — holding the entry under its
+// leased transaction — and before it can write the result. The lease
+// expires, the master's sweeper aborts the orphaned transaction, the task
+// reappears in the space and completes on a (recovered or different)
+// worker. The job must finish with zero lost and zero duplicated work.
+func TestChaosEveryWorkerCrashesOnceMidTask(t *testing.T) {
+	plan := faults.NewPlan(chaosSeed(t, 42))
+	// AfterHandler on space.Take*: the worker dies precisely between its
+	// successful Take and its result Write — the worst-case window. Down
+	// for 30s, so the 8s lease expires while the node is dark and the
+	// worker rejoins later as a "new" node.
+	plan.CrashOnCall("node/*", "", "space.Take*", 1, faults.AfterHandler, "", 30*time.Second)
+
+	const workers = 4
+	res, job := runChaos(t, plan, workers, core.Config{
+		Shards:        2,
+		TxnTTL:        8 * time.Second,
+		ResultTimeout: 5 * time.Minute,
+	})
+
+	// Zero lost, zero duplicated: the aggregated simulation count must be
+	// exactly the configured total — a lost task would leave it short, a
+	// double-executed one would overshoot.
+	price, err := job.Answer()
+	if err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	want := chaosJobConfig().TotalSims
+	if price.Sims != want {
+		t.Fatalf("aggregated %d simulations, want exactly %d (lost or duplicated work)", price.Sims, want)
+	}
+	wantTasks := job.ResultCount()
+	if res.Metrics.Tasks != wantTasks {
+		t.Fatalf("planned %d tasks, aggregated %d results", res.Metrics.Tasks, wantTasks)
+	}
+
+	// Every worker crashed exactly once.
+	if got := res.FaultEvents[faults.EventCrash]; got != workers {
+		t.Fatalf("crash events = %d, want %d (one per worker)", got, workers)
+	}
+	for i := 1; i <= workers; i++ {
+		ep := fmt.Sprintf("faults:crash:node/node%02d", i)
+		if got := res.FaultEvents[ep]; got != 1 {
+			t.Fatalf("%s = %d, want exactly 1", ep, got)
+		}
+	}
+	// The crashes were visible to the workers as hard space errors (their
+	// abort/write attempts against a dead network fail).
+	hardErrs := 0
+	done := 0
+	for _, st := range res.WorkerStats {
+		hardErrs += st.SpaceErrors
+		done += st.TasksDone
+	}
+	if hardErrs == 0 {
+		t.Fatal("no worker observed a hard space error despite four crashes")
+	}
+	if done != wantTasks {
+		t.Fatalf("sum of worker TasksDone = %d, want %d", done, wantTasks)
+	}
+}
+
+// TestChaosSameSeedSameSchedule: determinism is the point of the fault
+// layer — the same seed over the virtual clock must reproduce the exact
+// same injected-event history, so a failing chaos run can be replayed.
+func TestChaosSameSeedSameSchedule(t *testing.T) {
+	run := func(seed int64) map[string]uint64 {
+		plan := faults.NewPlan(seed)
+		plan.CrashOnCall("node/*", "", "space.Take*", 1, faults.AfterHandler, "", 20*time.Second)
+		// A probabilistic rule exercises the seeded RNG, not just counters.
+		plan.DropCalls("node/*", "master*", "space.Write", 0.25)
+		res, job := runChaos(t, plan, 3, core.Config{
+			Shards:        2,
+			TxnTTL:        8 * time.Second,
+			ResultTimeout: 5 * time.Minute,
+		})
+		if price, err := job.Answer(); err != nil || price.Sims != chaosJobConfig().TotalSims {
+			t.Fatalf("seed %d: sims %d err %v", seed, price.Sims, err)
+		}
+		return res.FaultEvents
+	}
+	seed := chaosSeed(t, 7)
+	a, b := run(seed), run(seed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different fault histories:\n  run 1: %v\n  run 2: %v", a, b)
+	}
+	if a[faults.EventDrop] == 0 {
+		t.Fatal("probabilistic drop rule never fired; schedule comparison is vacuous")
+	}
+}
+
+// TestChaosLookupServiceCrashRestart: the lookup service is dark for the
+// first two seconds of the deployment. Workers joining during the outage
+// retry discovery with backoff instead of failing the run, and the job
+// still completes.
+func TestChaosLookupServiceCrashRestart(t *testing.T) {
+	plan := faults.NewPlan(chaosSeed(t, 9))
+	plan.CrashEndpoint(discovery.WellKnownAddress, 0, 2*time.Second)
+
+	res, job := runChaos(t, plan, 3, core.Config{
+		Shards:        2,
+		ResultTimeout: 5 * time.Minute,
+	})
+	if price, err := job.Answer(); err != nil || price.Sims != chaosJobConfig().TotalSims {
+		t.Fatalf("sims %d err %v, want %d", price.Sims, err, chaosJobConfig().TotalSims)
+	}
+	if res.FaultEvents[faults.EventDeadCall] == 0 {
+		t.Fatal("no dead calls counted: the lookup outage never bit")
+	}
+}

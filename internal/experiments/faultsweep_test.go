@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestFaultSweepOverheadGrows: the sweep completes every cell (no cell
+// loses or duplicates work — FaultSweep itself checks the simulation
+// budget), the fault-free baseline injects nothing, and raising the crash
+// rate injects real crashes that cost real completion time.
+func TestFaultSweepOverheadGrows(t *testing.T) {
+	pts, err := FaultSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(faultSweepRates) {
+		t.Fatalf("%d points, want %d", len(pts), len(faultSweepRates))
+	}
+	if pts[0].CrashRate != 0 || pts[0].Crashes != 0 || pts[0].OverheadPct != 0 {
+		t.Fatalf("baseline point injected faults: %+v", pts[0])
+	}
+	top := pts[len(pts)-1]
+	if top.Crashes == 0 {
+		t.Fatalf("top rate %.2f injected no crashes", top.CrashRate)
+	}
+	if top.OverheadPct <= 0 {
+		t.Fatalf("top rate %.2f shows no completion-time overhead: %+v", top.CrashRate, top)
+	}
+	if top.ParallelTime <= pts[0].ParallelTime {
+		t.Fatalf("crashing run (%v) not slower than baseline (%v)", top.ParallelTime, pts[0].ParallelTime)
+	}
+}

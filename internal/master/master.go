@@ -8,6 +8,8 @@
 package master
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
@@ -59,8 +61,8 @@ type Iterative interface {
 // Max Worker Time is computed by the caller from worker stats; the rest
 // are measured at the master.
 type RunMetrics struct {
-	Tasks               int
-	Phases              int
+	Tasks  int
+	Phases int
 	// Shards is the number of space shards behind the master's handle
 	// (1 for the classic single-server deployment).
 	Shards              int
@@ -70,6 +72,9 @@ type RunMetrics struct {
 	// MaxMasterOverhead is the maximum instantaneous time the master
 	// spent planning one task or aggregating one result.
 	MaxMasterOverhead time.Duration
+	// DuplicatesDropped counts redelivered results discarded by
+	// Config.DedupResults.
+	DuplicatesDropped int
 }
 
 // Config assembles a master.
@@ -94,6 +99,14 @@ type Config struct {
 	SweepInterval time.Duration
 	// Collector, if set, receives per-phase samples.
 	Collector *metrics.Collector
+	// DedupResults makes collection idempotent against at-least-once
+	// delivery: a result entry byte-identical to one already aggregated in
+	// the same phase is discarded instead of counted. Needed when the
+	// network may redeliver a worker's result Write (the chaos suite's
+	// duplicated-delivery scenarios); off by default because exact-once
+	// transports never produce duplicates and jobs may legitimately emit
+	// identical results.
+	DedupResults bool
 }
 
 // Master runs jobs.
@@ -193,15 +206,37 @@ func (m *Master) planPhase(job Job, rm *RunMetrics) (int, error) {
 	return n, nil
 }
 
-// collectPhase takes and aggregates n results.
+// collectPhase takes and aggregates n results. With DedupResults the loop
+// runs until n distinct results have been aggregated, dropping redelivered
+// copies along the way — so a duplicated Write can neither double-count a
+// result nor starve the phase.
 func (m *Master) collectPhase(job Job, n int, rm *RunMetrics) error {
 	aggregation := metrics.StartStopwatch(m.cfg.Clock)
 	aggCost := job.AggregationCost()
 	tmpl := job.ResultTemplate()
-	for i := 0; i < n; i++ {
+	var seen map[string]bool
+	if m.cfg.DedupResults {
+		// Scoped per phase: iterative jobs legitimately reuse task IDs
+		// across phases.
+		seen = make(map[string]bool)
+	}
+	for collected := 0; collected < n; {
 		res, err := m.takeResult(tmpl)
 		if err != nil {
-			return fmt.Errorf("master: collecting result %d/%d: %w", i+1, n, err)
+			return fmt.Errorf("master: collecting result %d/%d: %w", collected+1, n, err)
+		}
+		if seen != nil {
+			// Fingerprint the whole encoded entry, not its index key: in
+			// non-spread task layouts every result of a job shares one key.
+			fp, err := fingerprint(res)
+			if err != nil {
+				return fmt.Errorf("master: fingerprint result: %w", err)
+			}
+			if seen[fp] {
+				rm.DuplicatesDropped++
+				continue
+			}
+			seen[fp] = true
 		}
 		one := metrics.StartStopwatch(m.cfg.Clock)
 		m.charge(aggCost)
@@ -211,9 +246,21 @@ func (m *Master) collectPhase(job Job, n int, rm *RunMetrics) error {
 		if d := one.Elapsed(); d > rm.MaxMasterOverhead {
 			rm.MaxMasterOverhead = d
 		}
+		collected++
 	}
 	rm.TaskAggregationTime += aggregation.Elapsed()
 	return nil
+}
+
+// fingerprint returns a byte-exact identity for a result entry. gob
+// encoding is deterministic for map-free entry types (all the framework's
+// jobs); entries containing maps should not rely on DedupResults.
+func fingerprint(e tuplespace.Entry) (string, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
 }
 
 // takeResult waits up to ResultTimeout for one result, running the

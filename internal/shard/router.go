@@ -195,7 +195,7 @@ func (r *Router) sub(t space.Txn, id string, sp space.Space) (space.Txn, error) 
 	}
 	tx, err := sp.BeginTxn(rt.ttl)
 	if err != nil {
-		return nil, err
+		return nil, wrapShard(id, err)
 	}
 	rt.subs[id] = tx
 	return tx, nil
@@ -257,7 +257,8 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 	if err != nil {
 		return nil, err
 	}
-	return sp.Write(e, tx, ttl)
+	l, err := sp.Write(e, tx, ttl)
+	return l, wrapShard(id, err)
 }
 
 // Read implements space.Space.
@@ -297,10 +298,12 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 		if err != nil {
 			return nil, err
 		}
-		return call(sp, take, tmpl, tx, timeout, block)
+		e, err := call(sp, take, tmpl, tx, timeout, block)
+		return e, wrapShard(id, err)
 	}
 	if !block {
-		return r.sweep(v, take, tmpl, t)
+		e, err, _ := r.sweep(v, take, tmpl, t)
+		return e, err
 	}
 	if t != nil {
 		// Scatter under a transaction polls sequentially: the first-win
@@ -331,33 +334,96 @@ func hard(err error) bool {
 	return !errors.Is(err, tuplespace.ErrNoMatch) && !errors.Is(err, tuplespace.ErrTimeout)
 }
 
+// ShardError is a hard failure from one identified shard during a routed or
+// scattered operation — a dead listener, a partitioned address, an injected
+// fault. Callers that need the failing shard use errors.As; errors.Is still
+// sees the underlying cause through Unwrap. When only some shards fail, a
+// blocking scatter keeps serving from the healthy ones and surfaces the
+// ShardError joined with ErrTimeout at its deadline, so retry loops that
+// treat timeouts as benign (the master's collect loop) keep running while
+// diagnostics remain one errors.As away.
+type ShardError struct {
+	Shard string // the shard's ring ID (its registered discovery address)
+	Err   error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %s: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// wrapShard tags a hard error with the shard it came from; soft conditions
+// (no match, timeout) pass through untouched so matching on the sentinels
+// stays cheap.
+func wrapShard(id string, err error) error {
+	if err == nil || !hard(err) {
+		return err
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &ShardError{Shard: id, Err: err}
+}
+
 // --- scatter-gather ---
 
 // sweep makes one non-blocking pass over all shards in rotation order and
-// returns the first match.
-func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+// returns the first match. Alongside the error it reports how many shards
+// hard-failed, so blocking callers can tell "one shard is partitioned, keep
+// serving from the rest" apart from "every shard is gone, fail fast".
+func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error, int) {
 	n := len(v.order)
 	start := r.nextRot(n)
 	var firstErr error
+	hards := 0
 	for i := 0; i < n; i++ {
 		id := v.order[(start+i)%n]
 		sp := v.shards[id]
 		tx, err := r.sub(t, id, sp)
 		if err != nil {
-			return nil, err
+			var se *ShardError
+			if !errors.As(err, &se) {
+				// Not a shard-side failure (bad or inactive caller txn):
+				// poisons the whole op.
+				return nil, err, n
+			}
+			// One shard refusing its sub-transaction (dead, partitioned) is
+			// a per-shard hard failure; the rest can still serve the sweep.
+			hards++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		e, err := call(sp, take, tmpl, tx, 0, false)
 		if err == nil {
-			return e, nil
+			return e, nil, 0
 		}
-		if hard(err) && firstErr == nil {
-			firstErr = err
+		if hard(err) {
+			hards++
+			if firstErr == nil {
+				firstErr = wrapShard(id, err)
+			}
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, firstErr, hards
 	}
-	return nil, tuplespace.ErrNoMatch
+	return nil, tuplespace.ErrNoMatch, 0
+}
+
+// timeoutErr resolves a blocking lookup's deadline expiry: plain ErrTimeout
+// normally, or — when some shards hard-failed while the healthy rest were
+// polled dry — ErrTimeout joined with the ShardError. errors.Is(err,
+// ErrTimeout) still holds (retry loops like the master's collect stay
+// alive), and errors.As digs out which shard was unreachable.
+func timeoutErr(lastHard error) error {
+	if lastHard != nil {
+		return errors.Join(tuplespace.ErrTimeout, lastHard)
+	}
+	return tuplespace.ErrTimeout
 }
 
 // pollScatter is the blocking zero-key lookup under a transaction:
@@ -368,16 +434,23 @@ func (r *Router) pollScatter(v *view, take bool, tmpl tuplespace.Entry, t space.
 	if timeout > 0 {
 		deadline = clk.Now().Add(timeout)
 	}
+	var lastHard error
 	for {
-		e, err := r.sweep(v, take, tmpl, t)
-		if err == nil || hard(err) {
-			return e, err
+		e, err, hards := r.sweep(v, take, tmpl, t)
+		if err == nil {
+			return e, nil
+		}
+		if hard(err) {
+			if hards >= len(v.order) {
+				return nil, err // every shard failed: nothing to fail over to
+			}
+			lastHard = err // partial: healthy shards may still match
 		}
 		wait := r.opts.PollInterval
 		if !deadline.IsZero() {
 			rem := deadline.Sub(clk.Now())
 			if rem <= 0 {
-				return nil, tuplespace.ErrTimeout
+				return nil, timeoutErr(lastHard)
 			}
 			if rem < wait {
 				wait = rem
@@ -401,8 +474,14 @@ func (r *Router) scatter(v *view, take bool, tmpl tuplespace.Entry, timeout time
 		deadline = clk.Now().Add(timeout)
 	}
 	// Fast pass before spawning anything.
-	if e, err := r.sweep(v, take, tmpl, nil); err == nil || hard(err) {
-		return e, err
+	var lastHard error
+	if e, err, hards := r.sweep(v, take, tmpl, nil); err == nil {
+		return e, nil
+	} else if hard(err) {
+		if hards >= len(v.order) {
+			return nil, err
+		}
+		lastHard = err
 	}
 	n := len(v.order)
 	fanout := r.opts.Fanout
@@ -415,15 +494,21 @@ func (r *Router) scatter(v *view, take bool, tmpl tuplespace.Entry, timeout time
 		if !deadline.IsZero() {
 			rem := deadline.Sub(clk.Now())
 			if rem <= 0 {
-				return nil, tuplespace.ErrTimeout
+				return nil, timeoutErr(lastHard)
 			}
 			if rem < slice {
 				slice = rem
 			}
 		}
-		e, err := r.scatterRound(v, take, tmpl, slice, fanout, base+round)
-		if err == nil || hard(err) {
-			return e, err
+		e, err, allHard := r.scatterRound(v, take, tmpl, slice, fanout, base+round)
+		if err == nil {
+			return e, nil
+		}
+		if hard(err) {
+			if allHard {
+				return nil, err // no child could reach a live shard
+			}
+			lastHard = err
 		}
 	}
 }
@@ -466,15 +551,19 @@ func (st *roundState) win(sp space.Space, e tuplespace.Entry) {
 
 func (st *roundState) fail(err error) {
 	st.mu.Lock()
-	st.hards++
 	if st.hardErr == nil {
 		st.hardErr = err
 	}
 	st.mu.Unlock()
 }
 
-func (st *roundState) childDone() {
+// childDone retires a child; cutOff says the child reached no live shard
+// at all (every probe in its chunk hard-failed).
+func (st *roundState) childDone(cutOff bool) {
 	st.mu.Lock()
+	if cutOff {
+		st.hards++
+	}
 	st.remaining--
 	last := st.remaining == 0
 	st.mu.Unlock()
@@ -484,18 +573,19 @@ func (st *roundState) childDone() {
 }
 
 // result resolves the round after the parent wakes: a winner if any child
-// won, the shard error if every child hard-failed, ErrTimeout otherwise
-// (meaning: keep scattering).
-func (st *roundState) result(children int) (tuplespace.Entry, error) {
+// won; otherwise the first shard error, with allHard set when every child
+// was cut off from all of its shards (nothing left to fail over to);
+// otherwise ErrTimeout (meaning: keep scattering).
+func (st *roundState) result(children int) (tuplespace.Entry, error, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.won {
-		return st.winner, nil
+		return st.winner, nil, false
 	}
-	if st.hardErr != nil && st.hards == children {
-		return nil, st.hardErr
+	if st.hardErr != nil {
+		return nil, st.hardErr, st.hards == children
 	}
-	return nil, tuplespace.ErrTimeout
+	return nil, tuplespace.ErrTimeout, false
 }
 
 // scatterRound runs one round: fanout children each sweep a strided chunk
@@ -504,7 +594,7 @@ func (st *roundState) result(children int) (tuplespace.Entry, error) {
 // woken by the first winner or the last child — never left parked, even
 // on the virtual clock, because every child's wait is itself bounded by a
 // clock timer.
-func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice time.Duration, fanout, round int) (tuplespace.Entry, error) {
+func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice time.Duration, fanout, round int) (tuplespace.Entry, error, bool) {
 	clk := r.opts.Clock
 	st := &roundState{take: take, parker: clk.NewWaiter(), remaining: fanout}
 	g := vclock.NewGroup(clk)
@@ -512,34 +602,44 @@ func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice t
 	for j := 0; j < fanout; j++ {
 		j := j
 		g.Go(func() {
-			defer st.childDone()
-			var chunk []space.Space
+			sawLive, sawHard := false, false
+			defer func() { st.childDone(sawHard && !sawLive) }()
+			var chunk []Shard
 			for i := j; i < n; i += fanout {
-				chunk = append(chunk, v.shards[v.order[(round+i)%n]])
+				id := v.order[(round+i)%n]
+				chunk = append(chunk, Shard{ID: id, Space: v.shards[id]})
 			}
-			for _, sp := range chunk {
+			for _, s := range chunk {
 				if st.finished() {
 					return
 				}
-				e, err := call(sp, take, tmpl, nil, 0, false)
+				e, err := call(s.Space, take, tmpl, nil, 0, false)
 				if err == nil {
-					st.win(sp, e)
+					st.win(s.Space, e)
 					return
 				}
 				if hard(err) {
-					st.fail(err)
-					return
+					// A dead chunk member doesn't end the child: keep
+					// probing the rest so one partitioned shard never
+					// blinds a whole stride of healthy ones.
+					st.fail(wrapShard(s.ID, err))
+					sawHard = true
+				} else {
+					sawLive = true
 				}
 			}
 			if st.finished() {
 				return
 			}
-			sp := chunk[round%len(chunk)]
-			e, err := call(sp, take, tmpl, nil, slice, true)
+			s := chunk[round%len(chunk)]
+			e, err := call(s.Space, take, tmpl, nil, slice, true)
 			if err == nil {
-				st.win(sp, e)
+				st.win(s.Space, e)
 			} else if hard(err) {
-				st.fail(err)
+				st.fail(wrapShard(s.ID, err))
+				sawHard = true
+			} else {
+				sawLive = true
 			}
 		})
 	}
@@ -575,10 +675,13 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		if err != nil {
 			return nil, err
 		}
+		var es []tuplespace.Entry
 		if take {
-			return sp.TakeAll(tmpl, tx, max)
+			es, err = sp.TakeAll(tmpl, tx, max)
+		} else {
+			es, err = sp.ReadAll(tmpl, tx, max)
 		}
-		return sp.ReadAll(tmpl, tx, max)
+		return es, wrapShard(id, err)
 	}
 	if keyed {
 		return one(v.ring.get(key))
@@ -612,7 +715,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 				es, err = sp.ReadAll(tmpl, tx, rem)
 			}
 			if err != nil {
-				return out, err
+				return out, wrapShard(id, err)
 			}
 			out = append(out, es...)
 		}
@@ -628,7 +731,8 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = sp.ReadAll(tmpl, tx, 0)
+		es, err := sp.ReadAll(tmpl, tx, 0)
+		results[i], errs[i] = es, wrapShard(id, err)
 	})
 	var out []tuplespace.Entry
 	for i := range v.order {
@@ -654,7 +758,8 @@ func (r *Router) Count(tmpl tuplespace.Entry) (int, error) {
 	counts := make([]int, len(v.order))
 	errs := make([]error, len(v.order))
 	r.strided(v, func(i int, id string) {
-		counts[i], errs[i] = v.shards[id].Count(tmpl)
+		c, err := v.shards[id].Count(tmpl)
+		counts[i], errs[i] = c, wrapShard(id, err)
 	})
 	total := 0
 	for i := range v.order {
@@ -719,7 +824,8 @@ func (r *Router) ShardCounts() (map[string]map[string]int, error) {
 			errs[i] = fmt.Errorf("shard: %s does not expose TypeCounts", id)
 			return
 		}
-		results[i], errs[i] = c.TypeCounts()
+		tc, err := c.TypeCounts()
+		results[i], errs[i] = tc, wrapShard(id, err)
 	})
 	out := make(map[string]map[string]int, len(v.order))
 	for i, id := range v.order {

@@ -35,6 +35,15 @@ func LAN2001() Model {
 // Loopback is a free network for unit tests.
 func Loopback() Model { return Model{} }
 
+// Interceptor observes and manipulates every call crossing an in-process
+// Network. invoke performs the real delivery (cost charging, dispatch,
+// response); an interceptor may decline to call it (dropping the call),
+// call it more than once (duplicating the delivery), or delay around it.
+// from is the caller's endpoint name as given to DialAs ("" for untagged
+// dials), to is the dialed address. The fault-injection layer
+// (internal/faults) is the only intended implementor.
+type Interceptor func(from, to, method string, invoke func() (interface{}, error)) (interface{}, error)
+
 // Network is an in-process network: a namespace of addresses backed by
 // Servers, with Model costs charged to the calling process's clock. It is
 // safe for concurrent use.
@@ -44,6 +53,7 @@ type Network struct {
 
 	mu      sync.Mutex
 	servers map[string]*Server
+	ic      Interceptor
 
 	bytesSent uint64
 	calls     uint64
@@ -76,6 +86,21 @@ func (n *Network) Dial(addr string) Client {
 	return &inprocClient{net: n, addr: addr}
 }
 
+// DialAs is Dial with the caller's own endpoint name attached, so an
+// installed Interceptor can apply per-endpoint rules (one-way partitions,
+// caller crashes) to the calls made on the returned client.
+func (n *Network) DialAs(from, addr string) Client {
+	return &inprocClient{net: n, addr: addr, from: from}
+}
+
+// Intercept installs ic on the network (nil removes it). Every subsequent
+// Call on every client routes through it.
+func (n *Network) Intercept(ic Interceptor) {
+	n.mu.Lock()
+	n.ic = ic
+	n.mu.Unlock()
+}
+
 // Stats returns cumulative traffic counters.
 func (n *Network) Stats() (calls, bytesSent uint64) {
 	n.mu.Lock()
@@ -86,6 +111,7 @@ func (n *Network) Stats() (calls, bytesSent uint64) {
 type inprocClient struct {
 	net    *Network
 	addr   string
+	from   string
 	mu     sync.Mutex
 	closed bool
 }
@@ -101,6 +127,21 @@ func (c *inprocClient) Call(method string, arg interface{}) (interface{}, error)
 	}
 	c.mu.Unlock()
 
+	n := c.net
+	n.mu.Lock()
+	ic := n.ic
+	n.mu.Unlock()
+	if ic != nil {
+		return ic(c.from, c.addr, method, func() (interface{}, error) {
+			return c.deliver(method, arg)
+		})
+	}
+	return c.deliver(method, arg)
+}
+
+// deliver performs the real call: charge the request across the modeled
+// network, dispatch, charge the response back.
+func (c *inprocClient) deliver(method string, arg interface{}) (interface{}, error) {
 	n := c.net
 	n.mu.Lock()
 	srv := n.servers[c.addr]

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"gospaces/internal/vclock"
@@ -36,16 +38,29 @@ func (b Backoff) withDefaults() Backoff {
 // Do runs op up to b.Attempts times, sleeping between failures. It returns
 // nil on the first success, or the last error.
 func (b Backoff) Do(op func() error) error {
+	return b.DoContext(context.Background(), op)
+}
+
+// DoContext is Do honoring ctx: cancellation interrupts a backoff sleep
+// promptly (within one clock wakeup, not the remaining schedule) and is
+// checked before every attempt. The returned error is ctx.Err() when the
+// context ended the retry loop.
+func (b Backoff) DoContext(ctx context.Context, op func() error) error {
 	b = b.withDefaults()
 	delay := b.Initial
 	var err error
 	for i := 0; i < b.Attempts; i++ {
 		if i > 0 {
-			b.Clock.Sleep(delay)
+			if !sleepInterruptible(ctx, b.Clock, delay) {
+				return fmt.Errorf("transport: retry canceled after %d attempts: %w", i, ctx.Err())
+			}
 			delay *= 2
 			if delay > b.Max {
 				delay = b.Max
 			}
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("transport: retry canceled after %d attempts: %w", i, ctx.Err())
 		}
 		if err = op(); err == nil {
 			return nil
@@ -54,18 +69,62 @@ func (b Backoff) Do(op func() error) error {
 	return fmt.Errorf("transport: giving up after %d attempts: %w", b.Attempts, err)
 }
 
+// sleepInterruptible sleeps d on clock but returns early (false) if ctx is
+// canceled first. The watcher goroutine is unregistered on a virtual clock
+// on purpose: the Waiter's own timer keeps virtual time advancing, and the
+// watcher only ever shortens the wait.
+func sleepInterruptible(ctx context.Context, clock vclock.Clock, d time.Duration) bool {
+	if ctx.Done() == nil {
+		clock.Sleep(d)
+		return true
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	w := clock.NewWaiter()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.Wake()
+		case <-stop:
+		}
+	}()
+	w.Wait(d)
+	return ctx.Err() == nil
+}
+
 // DialTCPRetry dials addr with DialTCP under b's retry policy. It rides out
 // the window where a freshly registered service has published its address
 // but its listener is not yet accepting.
 func DialTCPRetry(addr string, b Backoff) (Client, error) {
+	return DialTCPRetryContext(context.Background(), addr, b)
+}
+
+// DialTCPRetryContext is DialTCPRetry honoring ctx: cancellation aborts
+// both an in-flight connection attempt and the backoff sleeps between
+// attempts.
+func DialTCPRetryContext(ctx context.Context, addr string, b Backoff) (Client, error) {
 	var c Client
-	err := b.Do(func() error {
+	err := b.DoContext(ctx, func() error {
 		var err error
-		c, err = DialTCP(addr)
+		c, err = DialTCPContext(ctx, addr, DefaultDialTimeout)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// DialTCPContext is DialTCPTimeout honoring ctx during the connection
+// attempt.
+func DialTCPContext(ctx context.Context, addr string, timeout time.Duration) (Client, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPClient(conn), nil
 }

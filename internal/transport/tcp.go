@@ -160,6 +160,11 @@ func DialTCPTimeout(addr string, timeout time.Duration) (Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	return newTCPClient(conn), nil
+}
+
+// newTCPClient wraps an established connection as a Client.
+func newTCPClient(conn net.Conn) Client {
 	c := &tcpClient{
 		conn:    conn,
 		enc:     gob.NewEncoder(conn),
@@ -167,7 +172,7 @@ func DialTCPTimeout(addr string, timeout time.Duration) (Client, error) {
 		pending: make(map[uint64]chan wireResponse),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *tcpClient) readLoop() {

@@ -1,0 +1,118 @@
+package txn_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/txn"
+	"gospaces/internal/vclock"
+)
+
+type recTask struct {
+	ID   int
+	Body string
+}
+
+// TestAbortReexposesEntryToBlockedTake is the heart of the paper's §3
+// fault-tolerance story at the smallest scale: an entry taken under a
+// transaction is invisible to everyone else, and the moment the
+// transaction aborts (as the lease sweeper does for a crashed worker) the
+// entry reappears — delivered directly to a Take that was already parked
+// waiting for it, not just to future polls.
+func TestAbortReexposesEntryToBlockedTake(t *testing.T) {
+	clock := vclock.NewReal()
+	s := tuplespace.New(clock)
+	mgr := txn.NewManager(clock)
+
+	if _, err := s.Write(recTask{ID: 1, Body: "work"}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := mgr.Begin(time.Minute)
+	got, err := s.Take(recTask{}, tx, 0)
+	if err != nil {
+		t.Fatalf("take under txn: %v", err)
+	}
+	if got.(recTask).ID != 1 {
+		t.Fatalf("took %+v", got)
+	}
+
+	// A second consumer blocks on the same template. The entry is locked
+	// under tx, so nothing is available yet.
+	if _, err := s.TakeIfExists(recTask{}, nil); !errors.Is(err, tuplespace.ErrNoMatch) {
+		t.Fatalf("entry visible while locked under txn: %v", err)
+	}
+	type res struct {
+		e   tuplespace.Entry
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		e, err := s.Take(recTask{}, nil, 5*time.Second)
+		done <- res{e, err}
+	}()
+
+	// Let the consumer park, then abort — the crashed worker's fate.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case r := <-done:
+		t.Fatalf("blocked take returned before abort: %+v, %v", r.e, r.err)
+	default:
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("blocked take after abort: %v", r.err)
+		}
+		if r.e.(recTask).ID != 1 {
+			t.Fatalf("blocked take got %+v, want the aborted entry", r.e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not wake the blocked take")
+	}
+
+	// The take was destructive exactly once: the space is empty now.
+	if _, err := s.TakeIfExists(recTask{}, nil); !errors.Is(err, tuplespace.ErrNoMatch) {
+		t.Fatalf("entry still present after recovery take: %v", err)
+	}
+}
+
+// TestSweepReexposesExpiredLease drives the same recovery through the
+// manager's Sweep — the exact path the master's collect loop exercises
+// when a worker dies holding a task.
+func TestSweepReexposesExpiredLease(t *testing.T) {
+	start := time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewVirtual(start)
+	clk.Run(func() {
+		s := tuplespace.New(clk)
+		mgr := txn.NewManager(clk)
+		if _, err := s.Write(recTask{ID: 7}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+		tx := mgr.Begin(10 * time.Second)
+		if _, err := s.Take(recTask{}, tx, 0); err != nil {
+			t.Fatalf("take under txn: %v", err)
+		}
+		// Before the lease expires, Sweep reaps nothing.
+		if n := mgr.Sweep(); n != 0 {
+			t.Fatalf("sweep reaped %d live txns", n)
+		}
+		clk.Sleep(11 * time.Second)
+		if n := mgr.Sweep(); n != 1 {
+			t.Fatalf("sweep reaped %d, want 1", n)
+		}
+		got, err := s.TakeIfExists(recTask{}, nil)
+		if err != nil {
+			t.Fatalf("entry not re-exposed after sweep: %v", err)
+		}
+		if got.(recTask).ID != 7 {
+			t.Fatalf("re-exposed entry = %+v", got)
+		}
+	})
+}

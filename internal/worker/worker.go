@@ -73,6 +73,11 @@ type Stats struct {
 	State        rulebase.State
 	TasksDone    int
 	TaskFailures int
+	// SpaceErrors counts hard space failures (not timeouts) seen by the
+	// task loop — dropped RPCs, the worker's own crash windows, partitions.
+	// Chaos tests read it to confirm workers actually felt the injected
+	// faults they recovered from.
+	SpaceErrors  int
 	FirstTaskAt  time.Time
 	LastResultAt time.Time
 	Loads        int // full program loads performed (Start/Restart pays these)
@@ -334,6 +339,19 @@ func (w *Worker) loadProgram() bool {
 	return true
 }
 
+// spaceFailed classifies a space-operation error, counting hard failures;
+// it reports whether err was hard (anything but the benign no-entry-yet
+// sentinels).
+func (w *Worker) spaceFailed(err error) bool {
+	if errors.Is(err, tuplespace.ErrTimeout) || errors.Is(err, tuplespace.ErrNoMatch) {
+		return false
+	}
+	w.mu.Lock()
+	w.stats.SpaceErrors++
+	w.mu.Unlock()
+	return true
+}
+
 // taskFailed records a failure and backs the worker off for one poll
 // period, so a persistently failing ("poisoned") task that keeps
 // reappearing after its transaction aborts cannot spin the worker hot.
@@ -352,6 +370,7 @@ func (w *Worker) runOneTask() {
 	if w.cfg.TxnTTL > 0 {
 		tx, err = w.cfg.Space.BeginTxn(w.cfg.TxnTTL)
 		if err != nil {
+			w.spaceFailed(err)
 			w.cfg.Clock.Sleep(w.cfg.PollTimeout)
 			return
 		}
@@ -361,7 +380,14 @@ func (w *Worker) runOneTask() {
 		if tx != nil {
 			_ = tx.Abort()
 		}
-		return // timeout or transient failure; loop re-checks signals
+		if w.spaceFailed(err) {
+			// A hard failure (dead endpoint, partition) returns instantly,
+			// unlike a served timeout: back off one poll period so a down
+			// window cannot spin the loop hot — on the virtual clock a
+			// sleepless retry loop would stall time entirely.
+			w.cfg.Clock.Sleep(w.cfg.PollTimeout)
+		}
+		return // loop re-checks signals
 	}
 	now := w.cfg.Clock.Now()
 	w.mu.Lock()
@@ -388,11 +414,13 @@ func (w *Worker) runOneTask() {
 		if tx != nil {
 			_ = tx.Abort()
 		}
+		w.spaceFailed(err)
 		w.taskFailed()
 		return
 	}
 	if tx != nil {
 		if err := tx.Commit(); err != nil {
+			w.spaceFailed(err)
 			w.taskFailed()
 			return
 		}

@@ -15,6 +15,7 @@
 //	expt -run intrusiveness  # extension: adaptive vs aggressive cycle stealing
 //	expt -run granularity    # extension: task granularity vs intrusion under churn
 //	expt -run faultsweep     # extension: completion-time overhead vs worker crash rate
+//	expt -run recover        # extension: recovery time vs WAL size, with and without snapshots
 //	expt -run all            # everything, in order
 package main
 
@@ -30,7 +31,7 @@ import (
 var formatCSV bool
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, faultsweep, all")
+	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, faultsweep, recover, all")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
 	formatCSV = *format == "csv"
@@ -74,8 +75,10 @@ func dispatch(run string) error {
 		return granularity()
 	case "faultsweep":
 		return faultsweep()
+	case "recover":
+		return recover_()
 	case "all":
-		for _, r := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "intrusiveness", "granularity", "faultsweep"} {
+		for _, r := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "intrusiveness", "granularity", "faultsweep", "recover"} {
 			if err := dispatch(r); err != nil {
 				return err
 			}
@@ -146,6 +149,16 @@ func faultsweep() error {
 		return err
 	}
 	render(experiments.FaultSweepTable(pts))
+	return nil
+}
+
+// recover_ avoids shadowing the builtin.
+func recover_() error {
+	pts, err := experiments.Recover()
+	if err != nil {
+		return err
+	}
+	render(experiments.RecoveryTable(pts))
 	return nil
 }
 

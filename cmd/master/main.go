@@ -10,9 +10,16 @@
 // the registrations) routes operations through a consistent-hash ring
 // over the registered addresses.
 //
+// With -datadir DIR every hosted shard is durable: mutations append to a
+// segmented write-ahead log under DIR/shard<i>, snapshots bound replay,
+// and restarting the master with the same -datadir recovers the previous
+// space contents before serving — JavaSpaces' persistent (Outrigger)
+// mode. -fsync picks the sync policy (always, interval, never).
+//
 // Usage:
 //
 //	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -shards 4 -spread
+//	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -datadir /var/lib/gospaces
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -33,6 +41,7 @@ import (
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/vclock"
+	"gospaces/internal/wal"
 )
 
 func main() {
@@ -40,12 +49,14 @@ func main() {
 	lookupAddr := flag.String("lookup", "127.0.0.1:7001", "lookup service address")
 	jobName := flag.String("job", "montecarlo", "application to run: montecarlo, raytrace, pagerank")
 	timeout := flag.Duration("result-timeout", 10*time.Minute, "per-result collection timeout")
-	journal := flag.String("journal", "", "path for the persistent space journal (empty = in-memory space)")
+	journal := flag.String("journal", "", "path for the legacy single-file space journal (empty = in-memory space)")
+	datadir := flag.String("datadir", "", "directory for durable shards (segmented WAL + snapshots, one subdirectory per shard); restarting with the same -datadir recovers the previous contents")
+	fsync := flag.String("fsync", "always", "WAL sync policy with -datadir: always, interval, or never")
 	sims := flag.Int("sims", 0, "override the option-pricing simulation count (montecarlo only; 0 = paper's 10000)")
 	shards := flag.Int("shards", 1, "number of space shard servers to host")
 	spread := flag.Bool("spread", false, "key each montecarlo task individually so the bag spreads across shards")
 	flag.Parse()
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *sims, *shards, *spread); err != nil {
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -88,7 +99,7 @@ func buildJob(name string, sims int, spread bool) (master.Job, func(), error) {
 	}
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath string, sims, numShards int, spread bool) error {
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
@@ -100,27 +111,54 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	if journalPath != "" && numShards > 1 {
 		return fmt.Errorf("-journal requires a single shard")
 	}
+	if journalPath != "" && dataDir != "" {
+		return fmt.Errorf("-journal and -datadir are mutually exclusive")
+	}
+	fsyncPolicy, err := wal.ParseFsyncPolicy(fsync)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
 	host, _, err := net.SplitHostPort(addr)
 	if err != nil {
 		return fmt.Errorf("bad -addr %q: %w", addr, err)
 	}
 
 	// Host the space services — shard 0 shares its server with the code
-	// server; a journal path selects the persistent mode (single shard).
+	// server. -datadir selects the durable (Outrigger persistent) mode:
+	// each shard recovers its WAL + snapshot before serving. -journal is
+	// the legacy single-file persistence (single shard only).
 	cs := nodeconfig.NewCodeServer()
 	cs.Publish(job.Bundle())
 	var (
 		hosted  []shard.Shard
 		sweeper shard.MultiSweeper
+		infos   = make([]space.RecoveryInfo, numShards)
 	)
 	for i := 0; i < numShards; i++ {
-		local := space.NewLocal(clk)
-		if i == 0 && journalPath != "" {
+		var local *space.Local
+		switch {
+		case dataDir != "":
+			var d *space.Durable
+			local, d, err = space.NewLocalDurable(clk, space.DurableOptions{
+				Dir:   filepath.Join(dataDir, fmt.Sprintf("shard%d", i)),
+				Fsync: fsyncPolicy,
+			})
+			if err != nil {
+				return fmt.Errorf("durable shard %d: %w", i, err)
+			}
+			defer d.Close()
+			infos[i] = d.Info()
+			log.Printf("master: shard %d recovered %d entries in %v (%d snapshot + %d tail records)",
+				i, infos[i].Restored, infos[i].Elapsed.Round(time.Millisecond),
+				infos[i].SnapshotRecords, infos[i].TailRecords)
+		case i == 0 && journalPath != "":
 			local, err = space.NewLocalJournaled(clk, journalPath)
 			if err != nil {
 				return err
 			}
 			log.Printf("master: persistent space journal at %s", journalPath)
+		default:
+			local = space.NewLocal(clk)
 		}
 		srv := transport.NewServer()
 		space.NewService(local, srv)
@@ -157,6 +195,15 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		}
 		if spread {
 			attrs["spread"] = "1"
+		}
+		if dataDir != "" {
+			// Durable shards advertise their recovery so operators (and
+			// tests) can see a service came back from its log.
+			attrs["durable"] = "1"
+			attrs["recovered-entries"] = strconv.Itoa(infos[i].Restored)
+			if infos[i].Segments > 0 || infos[i].SnapshotRecords > 0 {
+				attrs["recovered"] = "1"
+			}
 		}
 		regID, err := client.Register(discovery.ServiceItem{
 			Name:       "javaspace",

@@ -18,14 +18,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"gospaces/internal/cluster"
 	"gospaces/internal/discovery"
 	"gospaces/internal/faults"
 	"gospaces/internal/master"
+	"gospaces/internal/metrics"
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/rulebase"
@@ -35,6 +40,7 @@ import (
 	"gospaces/internal/sysmon"
 	"gospaces/internal/transport"
 	"gospaces/internal/vclock"
+	"gospaces/internal/wal"
 	"gospaces/internal/worker"
 )
 
@@ -93,6 +99,20 @@ type Config struct {
 	// redelivered result writes (see master.Config.DedupResults). Chaos
 	// scenarios that duplicate deliveries turn this on.
 	DedupResults bool
+	// DataDir, when set, makes every hosted shard durable — JavaSpaces'
+	// persistent (Outrigger) mode. Shard i keeps a segmented WAL plus
+	// snapshots under <DataDir>/shard<i>; on construction each shard
+	// recovers its previous contents before serving, and RestartShard
+	// crash-restarts one shard from its log mid-run. The master's handle
+	// is always a shard.Router when DataDir is set (pass-through for one
+	// shard) so a recovered shard can be re-admitted in place.
+	DataDir string
+	// FsyncPolicy selects WAL sync behaviour (default wal.FsyncAlways).
+	FsyncPolicy wal.FsyncPolicy
+	// StrictDurability makes journal failures surface as space operation
+	// errors: a write or take that cannot be logged fails loudly instead
+	// of acknowledging lost data.
+	StrictDurability bool
 }
 
 // Framework is an assembled deployment: cluster, lookup service, space
@@ -111,8 +131,41 @@ type Framework struct {
 	// single-shard deployment, a shard.Router otherwise (gated either way
 	// when SpaceOpCost is set).
 	Space space.Space
+	// Durables pairs each shard with its persistence controller when
+	// Config.DataDir is set (nil entries otherwise).
+	Durables []*space.Durable
+	// Durability carries the wal:* and journal_errors counters when
+	// Config.DataDir is set.
+	Durability *metrics.Counters
 
-	cfg Config
+	cfg        Config
+	router     *shard.Router
+	shardSrvs  []*transport.Server
+	shardAddrs []string
+	gates      []*transport.ServiceGate
+	sweeps     []*swapSweeper
+}
+
+// swapSweeper lets the master's sweeper (captured once at master.New)
+// follow a shard restart: RestartShard swaps in the recovered shard's
+// transaction manager.
+type swapSweeper struct {
+	mu sync.Mutex
+	s  interface{ Sweep() int }
+}
+
+// Sweep implements the master's sweeper contract.
+func (w *swapSweeper) Sweep() int {
+	w.mu.Lock()
+	s := w.s
+	w.mu.Unlock()
+	return s.Sweep()
+}
+
+func (w *swapSweeper) swap(s interface{ Sweep() int }) {
+	w.mu.Lock()
+	w.s = s
+	w.mu.Unlock()
 }
 
 // Result gathers everything a run produced.
@@ -131,6 +184,9 @@ type Result struct {
 	// FaultEvents is the injected-fault event counts when Config.Faults
 	// was set (keys are the faults.Event* constants).
 	FaultEvents map[string]uint64
+	// Durability is the wal:* / journal_errors counter snapshot when
+	// Config.DataDir was set.
+	Durability map[string]uint64
 }
 
 // New assembles a Framework on clock.
@@ -177,18 +233,42 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	// the classic single-server deployment when Shards == 1; shards
 	// i > 0 get their own listeners at "<master>.shard<i>". Each shard
 	// registers with its index so clients can rebuild the same ring.
+	if cfg.DataDir != "" {
+		f.Durability = metrics.NewCounters()
+	}
 	shards := make([]shard.Shard, cfg.Shards)
 	sweepers := make(shard.MultiSweeper, cfg.Shards)
+	f.sweeps = make([]*swapSweeper, cfg.Shards)
+	f.shardSrvs = make([]*transport.Server, cfg.Shards)
+	f.shardAddrs = make([]string, cfg.Shards)
+	f.gates = make([]*transport.ServiceGate, cfg.Shards)
+	f.Durables = make([]*space.Durable, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		l := space.NewLocal(clock)
-		f.Shards = append(f.Shards, l)
-		sweepers[i] = l.Mgr
 		srv, addr := clus.MasterServer, clus.MasterAddr
 		if i > 0 {
 			srv = transport.NewServer()
 			addr = fmt.Sprintf("%s.shard%d", clus.MasterAddr, i)
 			clus.Net.Listen(addr, srv)
 		}
+		f.shardSrvs[i], f.shardAddrs[i] = srv, addr
+		var l *space.Local
+		if cfg.DataDir != "" {
+			var d *space.Durable
+			var err error
+			l, d, err = space.NewLocalDurable(clock, f.durableOptions(i))
+			if err != nil {
+				// New has no error return (it predates durability); an
+				// unopenable data directory is a deployment misconfiguration
+				// on par with the unreachable router error below.
+				panic(fmt.Sprintf("core: durable shard %d: %v", i, err))
+			}
+			f.Durables[i] = d
+		} else {
+			l = space.NewLocal(clock)
+		}
+		f.Shards = append(f.Shards, l)
+		f.sweeps[i] = &swapSweeper{s: l.Mgr}
+		sweepers[i] = f.sweeps[i]
 		space.NewService(l, srv)
 		var handle space.Space = l
 		if cfg.SpaceOpCost > 0 {
@@ -199,28 +279,25 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			gate := transport.NewServiceGate(clock, cfg.SpaceOpCost)
 			srv.Wrap(gate.Middleware())
 			handle = gatedSpace{l: l, gate: gate}
+			f.gates[i] = gate
 		}
 		shards[i] = shard.Shard{ID: addr, Space: handle}
-		f.Lookup.Register(discovery.ServiceItem{
-			Name:    "javaspace",
-			Address: addr,
-			Attributes: map[string]string{
-				"type":           "javaspace",
-				shard.AttrShard:  strconv.Itoa(i),
-				shard.AttrShards: strconv.Itoa(cfg.Shards),
-			},
-		}, 0)
+		f.registerShard(i, f.Durables[i], false)
 	}
 	f.Local = f.Shards[0]
 	f.CodeServer.Bind(clus.MasterServer)
 
-	if cfg.Shards == 1 {
+	if cfg.Shards == 1 && cfg.DataDir == "" {
 		f.Space = shards[0].Space
 	} else {
+		// A router even for a single durable shard: RestartShard re-admits
+		// the recovered space through Router.Replace, which the master's
+		// captured handle then observes.
 		router, err := shard.New(shard.Options{Clock: clock, Seed: "master"}, shards)
 		if err != nil {
 			panic(err) // unreachable: shard IDs above are distinct and non-nil
 		}
+		f.router = router
 		f.Space = router
 	}
 
@@ -236,6 +313,109 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		DedupResults:  cfg.DedupResults,
 	})
 	return f
+}
+
+// durableOptions builds shard i's persistence configuration. When a fault
+// plan is installed the WAL's writes route through it under the shard's
+// disk endpoint, so chaos scripts can fail specific disk writes.
+func (f *Framework) durableOptions(i int) space.DurableOptions {
+	opts := space.DurableOptions{
+		Dir:      filepath.Join(f.cfg.DataDir, fmt.Sprintf("shard%d", i)),
+		Fsync:    f.cfg.FsyncPolicy,
+		Strict:   f.cfg.StrictDurability,
+		Counters: f.Durability,
+	}
+	if f.cfg.Faults != nil {
+		ep := faults.DiskEndpoint(f.shardAddrs[i])
+		plan := f.cfg.Faults
+		opts.WrapWriter = func(w io.Writer) io.Writer { return plan.WrapWriter(ep, w) }
+	}
+	return opts
+}
+
+// registerShard (re-)announces shard i in the lookup service. Durable
+// shards carry recovery metadata: clients and operators can see that a
+// service came back from its log and how much it restored.
+func (f *Framework) registerShard(i int, d *space.Durable, recovered bool) {
+	attrs := map[string]string{
+		"type":           "javaspace",
+		shard.AttrShard:  strconv.Itoa(i),
+		shard.AttrShards: strconv.Itoa(f.cfg.Shards),
+	}
+	if d != nil {
+		attrs["durable"] = "1"
+		attrs["recovered-entries"] = strconv.Itoa(d.Info().Restored)
+		if recovered {
+			attrs["recovered"] = "1"
+		}
+	}
+	f.Lookup.Register(discovery.ServiceItem{
+		Name:       "javaspace",
+		Address:    f.shardAddrs[i],
+		Attributes: attrs,
+	}, 0)
+}
+
+// RestartShard crash-restarts hosted shard i: the live space is closed
+// (in-memory state discarded, blocked callers woken with ErrClosed) and a
+// replacement is recovered from the shard's WAL + snapshot, rebound under
+// the same network address and re-admitted to the routing ring. It is the
+// in-process equivalent of kill -9 on a persistent Outrigger followed by
+// a restart from -datadir, and requires Config.DataDir.
+func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
+	if f.cfg.DataDir == "" {
+		return space.RecoveryInfo{}, errors.New("core: RestartShard requires Config.DataDir")
+	}
+	if i < 0 || i >= len(f.Shards) {
+		return space.RecoveryInfo{}, fmt.Errorf("core: no shard %d", i)
+	}
+
+	// Crash: drop the in-memory space. Entries live only in the WAL now.
+	f.Shards[i].TS.Close()
+	if err := f.Durables[i].Close(); err != nil {
+		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d shutdown: %w", i, err)
+	}
+
+	// Restart: recover from disk.
+	l, d, err := space.NewLocalDurable(f.Clock, f.durableOptions(i))
+	if err != nil {
+		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d recovery: %w", i, err)
+	}
+	f.Shards[i] = l
+	f.Durables[i] = d
+	if i == 0 {
+		f.Local = l
+	}
+	f.sweeps[i].swap(l.Mgr)
+
+	// Rebind the service on the shard's existing server so clients'
+	// proxies (dialed to the same address) reach the recovered space.
+	srv := f.shardSrvs[i]
+	space.NewService(l, srv)
+	var handle space.Space = l
+	if gate := f.gates[i]; gate != nil {
+		srv.WrapPrefix("space.", gate.Middleware())
+		handle = gatedSpace{l: l, gate: gate}
+	}
+	if err := f.router.Replace(f.shardAddrs[i], handle); err != nil {
+		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d re-admission: %w", i, err)
+	}
+	f.registerShard(i, d, true)
+	return d.Info(), nil
+}
+
+// Close shuts down the hosted shards and their durable logs. Runs are
+// unaffected if it is never called (tests rely on process teardown), but
+// durable deployments should close so final appends reach disk.
+func (f *Framework) Close() {
+	for _, l := range f.Shards {
+		l.TS.Close()
+	}
+	for _, d := range f.Durables {
+		if d != nil {
+			d.Close()
+		}
+	}
 }
 
 // Run executes job on the framework's cluster. If script is non-nil it
@@ -309,6 +489,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	}
 	if f.cfg.Faults != nil {
 		res.FaultEvents = f.cfg.Faults.Counters().Snapshot()
+	}
+	if f.Durability != nil {
+		res.Durability = f.Durability.Snapshot()
 	}
 	for i, w := range workers {
 		name := f.Cluster.Nodes[i].Name

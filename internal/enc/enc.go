@@ -1,0 +1,68 @@
+// Package enc centralises gob type registration for every subsystem that
+// moves any-typed values: the transport RPC layer (entries crossing the
+// wire) and the tuplespace journal/WAL (entries crossing a restart). Both
+// funnel through RegisterType, so an application registers each entry type
+// exactly once and it works over the network and in the durable log alike.
+//
+// gob reports an unregistered concrete type with an opaque string error
+// deep inside an encode; WrapEncodeError converts that into a typed
+// *UnregisteredTypeError naming the offending type, so journal users get
+// an actionable error instead of a mystery.
+package enc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// UnregisteredTypeError reports an attempt to encode a concrete type that
+// was never registered with RegisterType (or gob.Register).
+type UnregisteredTypeError struct {
+	// Type is the Go type of the offending value, e.g. "main.Task".
+	Type string
+}
+
+// Error implements error.
+func (e *UnregisteredTypeError) Error() string {
+	return fmt.Sprintf("enc: type %s not registered; call RegisterType(%s{}) before writing it to a space, journal or RPC", e.Type, e.Type)
+}
+
+var (
+	mu         sync.Mutex
+	registered = make(map[reflect.Type]bool)
+)
+
+// RegisterType registers v's concrete type for transmission inside
+// any-typed RPC frames and journal/WAL records. It is safe to call from
+// init functions and concurrently.
+func RegisterType(v interface{}) {
+	gob.Register(v)
+	mu.Lock()
+	registered[reflect.TypeOf(v)] = true
+	mu.Unlock()
+}
+
+// IsRegistered reports whether v's concrete type went through
+// RegisterType. Types registered directly with gob.Register are not
+// tracked and report false.
+func IsRegistered(v interface{}) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	return registered[reflect.TypeOf(v)]
+}
+
+// WrapEncodeError upgrades gob's stringly "type not registered" encode
+// failure into a typed *UnregisteredTypeError naming v's concrete type.
+// Other errors (and nil) pass through unchanged.
+func WrapEncodeError(err error, v interface{}) error {
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), "type not registered") {
+		return &UnregisteredTypeError{Type: fmt.Sprintf("%T", v)}
+	}
+	return err
+}

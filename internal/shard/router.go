@@ -128,6 +128,30 @@ func (r *Router) SetShards(shards []Shard) error {
 	return nil
 }
 
+// Replace swaps the Space handle for an existing shard ID without
+// touching the ring — re-admitting a shard that crashed and recovered
+// from its WAL under the same identity. Key placement is unchanged, so
+// entries restored from the shard's log are found exactly where the ring
+// already routes them.
+func (r *Router) Replace(id string, sp space.Space) error {
+	if sp == nil {
+		return fmt.Errorf("shard: nil space for %q", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.v
+	if _, ok := old.shards[id]; !ok {
+		return fmt.Errorf("shard: no shard %q to replace", id)
+	}
+	shards := make(map[string]space.Space, len(old.shards))
+	for k, s := range old.shards {
+		shards[k] = s
+	}
+	shards[id] = sp
+	r.v = &view{order: old.order, shards: shards, ring: old.ring}
+	return nil
+}
+
 func (r *Router) snapshot() *view {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,0 +1,244 @@
+package space
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gospaces/internal/faults"
+	"gospaces/internal/metrics"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+	"gospaces/internal/wal"
+)
+
+func openDurable(t *testing.T, dir string, opts DurableOptions) (*Local, *Durable) {
+	t.Helper()
+	opts.Dir = dir
+	l, d, err := NewLocalDurable(vclock.NewReal(), opts)
+	if err != nil {
+		t.Fatalf("NewLocalDurable(%s): %v", dir, err)
+	}
+	return l, d
+}
+
+// TestDurableCrashRestart is the stack-level crash test: entries written
+// to a durable space survive an abrupt stop (no clean close) and a
+// restart from the same data directory.
+func TestDurableCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	l1, _ := openDurable(t, dir, DurableOptions{})
+	for i := 1; i <= 5; i++ {
+		if _, err := l1.Write(job{Name: "crash", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := l1.Take(job{Name: "crash"}, nil, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: neither the space nor the Durable is closed. FsyncAlways
+	// (the default) means every acknowledged record is already on disk.
+
+	l2, d2 := openDurable(t, dir, DurableOptions{})
+	defer d2.Close()
+	if got := d2.Info().Restored; got != 3 {
+		t.Fatalf("restored %d entries, want 3", got)
+	}
+	if n, _ := l2.Count(job{Name: "crash"}); n != 3 {
+		t.Fatalf("count after restart = %d, want 3", n)
+	}
+	// The recovered space keeps persisting: drain, restart, empty.
+	if _, err := l2.TakeAll(job{Name: "crash"}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	d2.Close()
+
+	l3, d3 := openDurable(t, dir, DurableOptions{})
+	defer d3.Close()
+	if n, _ := l3.Count(job{Name: "crash"}); n != 0 {
+		t.Fatalf("count after drain+restart = %d, want 0", n)
+	}
+}
+
+// TestDurableTornTailRecovers: a crash mid-append leaves a half-written
+// final record; the stack recovers everything before it by truncation.
+func TestDurableTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l1, _ := openDurable(t, dir, DurableOptions{})
+	for i := 1; i <= 4; i++ {
+		if _, err := l1.Write(job{Name: "torn", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the last record: chop bytes off the only segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, found %v", segs)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := metrics.NewCounters()
+	l2, d2 := openDurable(t, dir, DurableOptions{Counters: c})
+	defer d2.Close()
+	if got := d2.Info().Restored; got != 3 {
+		t.Fatalf("restored %d entries, want 3 (torn 4th truncated)", got)
+	}
+	if d2.Info().TruncatedBytes == 0 || c.Get(wal.CounterTruncatedBytes) == 0 {
+		t.Fatal("truncation not surfaced in RecoveryInfo/counters")
+	}
+	if n, _ := l2.Count(job{Name: "torn"}); n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+}
+
+// TestDurableSnapshotBoundsReplay: after a snapshot, recovery replays the
+// snapshot plus only post-snapshot records — the metrics-asserted
+// acceptance criterion, at the space level.
+func TestDurableSnapshotBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l1, d1 := openDurable(t, dir, DurableOptions{SnapshotBytes: -1})
+	// Churn: 50 writes, 40 takes → 90 log records, 10 live entries.
+	for i := 0; i < 50; i++ {
+		if _, err := l1.Write(job{Name: "churn", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l1.Take(job{Name: "churn"}, nil, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.SnapshotNow(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// Two more mutations after the snapshot.
+	if _, err := l1.Write(job{Name: "churn", ID: ip(100)}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l1.Take(job{Name: "churn"}, nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l1.Close()
+	d1.Close()
+
+	c := metrics.NewCounters()
+	l2, d2 := openDurable(t, dir, DurableOptions{Counters: c})
+	defer d2.Close()
+	info := d2.Info()
+	if info.Restored != 10 {
+		t.Fatalf("restored %d, want 10", info.Restored)
+	}
+	if info.SnapshotRecords != 10 {
+		t.Fatalf("snapshot records = %d, want 10 (the live set)", info.SnapshotRecords)
+	}
+	if info.TailRecords != 2 {
+		t.Fatalf("tail records = %d, want 2 — pre-snapshot history replayed", info.TailRecords)
+	}
+	if got := c.Get(wal.CounterTailRestored); got != 2 {
+		t.Fatalf("%s = %d, want 2", wal.CounterTailRestored, got)
+	}
+	if n, _ := l2.Count(job{Name: "churn"}); n != 10 {
+		t.Fatalf("count = %d, want 10", n)
+	}
+}
+
+// TestDurableAutoSnapshotCompacts: crossing the SnapshotBytes threshold
+// triggers the background snapshot, which compacts old segments.
+func TestDurableAutoSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	c := metrics.NewCounters()
+	l1, d1 := openDurable(t, dir, DurableOptions{
+		SegmentSize:   512,
+		SnapshotBytes: 2048,
+		Counters:      c,
+	})
+	for i := 0; i < 200; i++ {
+		if _, err := l1.Write(job{Name: "auto", ID: ip(i)}, nil, tuplespace.Forever); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l1.Take(job{Name: "auto", ID: ip(i)}, nil, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1.Close()
+	d1.Close() // waits for any in-flight background snapshot
+	if got := c.Get(wal.CounterSnapshots); got == 0 {
+		t.Fatal("background snapshot never triggered despite threshold churn")
+	}
+	if got := c.Get(wal.CounterSegmentsCompacted); got == 0 {
+		t.Fatal("snapshots never compacted any segment")
+	}
+	// All 200 entries were taken: recovery restores none.
+	_, d2 := openDurable(t, dir, DurableOptions{})
+	defer d2.Close()
+	if got := d2.Info().Restored; got != 0 {
+		t.Fatalf("restored %d, want 0 (all entries taken)", got)
+	}
+}
+
+// TestDurableStrictDiskErrorFailsLoudly wires the fault layer's disk
+// injection through the whole stack: a scripted WAL write failure makes
+// the strict space return the injected error and nothing is lost
+// silently — the tentpole's "strict mode fails writes loudly" property.
+func TestDurableStrictDiskErrorFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewReal()
+	plan := faults.NewPlan(1)
+	plan.Bind(clk)
+	disk := faults.DiskEndpoint("shard0")
+	// The 2nd WAL write fails — first entry lands, second is rejected.
+	plan.DropNthCall("", disk, faults.MethodDiskWrite, 2)
+
+	c := metrics.NewCounters()
+	l, d, err := NewLocalDurable(clk, DurableOptions{
+		Dir:        dir,
+		Strict:     true,
+		Counters:   c,
+		WrapWriter: func(w io.Writer) io.Writer { return plan.WrapWriter(disk, w) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := l.Write(job{Name: "strict", ID: ip(1)}, nil, tuplespace.Forever); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	_, err = l.Write(job{Name: "strict", ID: ip(2)}, nil, tuplespace.Forever)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("second write error = %v, want the injected disk failure", err)
+	}
+	if n, _ := l.Count(job{Name: "strict"}); n != 1 {
+		t.Fatalf("count = %d, want 1 (unlogged write must not be visible)", n)
+	}
+	if got := c.Get(tuplespace.CounterJournalErrors); got != 1 {
+		t.Fatalf("%s = %d, want 1", tuplespace.CounterJournalErrors, got)
+	}
+	if got := plan.Counters().Get(faults.EventDrop); got != 1 {
+		t.Fatalf("fault layer drop count = %d, want 1", got)
+	}
+	// Disk healed (rule was nth=2, one-shot): the write goes through and
+	// is durable.
+	if _, err := l.Write(job{Name: "strict", ID: ip(3)}, nil, tuplespace.Forever); err != nil {
+		t.Fatalf("write after injected failure: %v", err)
+	}
+	l.Close()
+	d.Close()
+	l2, d2 := openDurable(t, dir, DurableOptions{})
+	defer d2.Close()
+	if n, _ := l2.Count(job{Name: "strict"}); n != 2 {
+		t.Fatalf("recovered count = %d, want 2 (entries 1 and 3)", n)
+	}
+}

@@ -16,6 +16,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
+
+	"gospaces/internal/enc"
 )
 
 // RemoteError carries an error string returned by the remote side of a
@@ -38,8 +42,9 @@ var (
 )
 
 // RegisterType registers a concrete type for transmission inside any-typed
-// RPC arguments and results.
-func RegisterType(v interface{}) { gob.Register(v) }
+// RPC arguments and results. Registration is shared with the journal/WAL
+// layer (see internal/enc): one call covers the wire and the durable log.
+func RegisterType(v interface{}) { enc.RegisterType(v) }
 
 func init() {
 	// Raw datagram payloads (e.g. SNMP BER packets) cross the RPC layer
@@ -51,31 +56,49 @@ func init() {
 type Handler func(arg interface{}) (interface{}, error)
 
 // Server dispatches method calls to registered handlers. It is shared by
-// both bindings.
+// both bindings. Registration is synchronized with dispatch, so a service
+// may be rebound at runtime — the durable space server re-registers its
+// handlers after recovering a crashed shard.
 type Server struct {
+	mu       sync.RWMutex
 	handlers map[string]Handler
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server { return &Server{handlers: make(map[string]Handler)} }
 
-// Handle registers h for method name. Registration must complete before the
-// server is exposed; it is not synchronized with dispatch.
-func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+// Handle registers h for method name, replacing any previous handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
 
 // Wrap replaces every registered handler h with mw(method, h) — middleware
 // applied uniformly across the server's methods (used, for example, to
-// charge a modeled per-operation CPU cost to a shard server). Like Handle,
-// it must be called before the server is exposed to dispatch.
+// charge a modeled per-operation CPU cost to a shard server).
 func (s *Server) Wrap(mw func(method string, next Handler) Handler) {
+	s.WrapPrefix("", mw)
+}
+
+// WrapPrefix wraps only the handlers whose method name starts with prefix
+// — re-gating a rebound service's methods without touching unrelated ones
+// on the same server.
+func (s *Server) WrapPrefix(prefix string, mw func(method string, next Handler) Handler) {
+	s.mu.Lock()
 	for m, h := range s.handlers {
-		s.handlers[m] = mw(m, h)
+		if strings.HasPrefix(m, prefix) {
+			s.handlers[m] = mw(m, h)
+		}
 	}
+	s.mu.Unlock()
 }
 
 // Dispatch invokes the handler for method.
 func (s *Server) Dispatch(method string, arg interface{}) (interface{}, error) {
+	s.mu.RLock()
 	h, ok := s.handlers[method]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchMethod, method)
 	}

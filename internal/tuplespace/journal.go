@@ -1,21 +1,47 @@
 package tuplespace
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
+
+	"gospaces/internal/enc"
+	"gospaces/internal/metrics"
 )
 
 // The paper (§3) notes that JavaSpaces "provides associative lookup of
 // persistent objects": Outrigger could run in persistent mode, surviving
 // restarts. Journal gives the space the same property: every publicly
 // visible mutation (a committed write, a committed take, a cancellation
-// or expiry) is appended as a gob record, and Replay reconstructs the
-// live entries into a fresh space. Transactions interact correctly: only
-// committed effects reach the journal.
+// or expiry) is appended as a self-contained gob record, and Replay /
+// ReplayRecords reconstructs the live entries into a fresh space.
+// Transactions interact correctly: only committed effects reach the
+// journal.
+//
+// Records flow into a RecordSink. NewJournal frames them into a plain
+// io.Writer (the original single-file journal); the durable space service
+// plugs in internal/wal for segmented, checksummed, snapshot-compacted
+// storage.
+
+// CounterJournalErrors is the metrics key under which failed journal
+// appends are counted (strict and non-strict mode alike).
+const CounterJournalErrors = "journal_errors"
+
+// maxJournalRecord bounds one framed record on stream replay; a length
+// prefix beyond it means the stream is garbage, not a record.
+const maxJournalRecord = 64 << 20
+
+// RegisterType registers a concrete entry type for journal and WAL
+// records. It is the same registry the transport layer uses, so one
+// registration covers the wire and the disk.
+func RegisterType(v interface{}) { enc.RegisterType(v) }
 
 // journalOp is one durable mutation.
 type journalOp struct {
@@ -30,38 +56,135 @@ type journalOp struct {
 	Expiry time.Time
 }
 
-// Journal persists a space's public mutations to an io.Writer. Attach it
+// encodeOp gob-encodes op as a self-contained record: a fresh encoder per
+// record, so each record carries its own type descriptors and decodes
+// independently — the property segmented WAL storage needs (any segment
+// may be the first one read after compaction).
+func encodeOp(op journalOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&op); err != nil {
+		return nil, enc.WrapEncodeError(err, op.Entry)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeOp(payload []byte) (journalOp, error) {
+	var op journalOp
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&op); err != nil {
+		return journalOp{}, err
+	}
+	return op, nil
+}
+
+// RecordSink is the destination for journal records. internal/wal's Log
+// satisfies it; NewJournal adapts a bare io.Writer.
+type RecordSink interface {
+	// Append stores one record durably (per the sink's own policy) and
+	// returns any storage error.
+	Append(payload []byte) error
+}
+
+// streamSink frames records into an io.Writer as uvarint-length-prefixed
+// gob blobs — the single-file journal format.
+type streamSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *streamSink) Append(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := s.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := s.w.Write(payload)
+	return err
+}
+
+// Journal persists a space's public mutations to a RecordSink. Attach it
 // with Space.AttachJournal; it is safe for concurrent use.
+//
+// By default the journal is lenient: a failed append is counted (see
+// CounterJournalErrors), retained as Err, and the space operation
+// succeeds anyway — but unlike earlier versions, later mutations keep
+// being appended, so one transient disk error no longer silently voids
+// the rest of the log. In strict mode (SetStrict) the durability error is
+// returned to the space caller and the mutation does not take effect:
+// nothing is acknowledged that was not logged.
 type Journal struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	err error
+	sink RecordSink
+
+	mu       sync.Mutex
+	strict   bool
+	counters *metrics.Counters
+	err      error
 }
 
-// NewJournal returns a journal writing gob records to w. Entry types that
-// will pass through the journal must be gob-registered (applications that
-// use the remote space service already do this via
-// transport.RegisterType; purely local users call gob.Register).
+// NewJournal returns a journal writing framed records to w. Entry types
+// that pass through the journal must be registered via RegisterType (the
+// transport layer's registrations count too).
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{enc: gob.NewEncoder(w)}
+	return NewJournalSink(&streamSink{w: w})
 }
 
-// Err returns the first write error the journal encountered, if any.
+// NewJournalSink returns a journal appending records to sink.
+func NewJournalSink(sink RecordSink) *Journal {
+	return &Journal{sink: sink}
+}
+
+// SetStrict switches the journal's failure mode: when strict, space
+// mutations return the durability error instead of succeeding unlogged.
+// Returns j for chaining.
+func (j *Journal) SetStrict(strict bool) *Journal {
+	j.mu.Lock()
+	j.strict = strict
+	j.mu.Unlock()
+	return j
+}
+
+// SetCounters directs journal error counts (CounterJournalErrors) to c.
+// Returns j for chaining.
+func (j *Journal) SetCounters(c *metrics.Counters) *Journal {
+	j.mu.Lock()
+	j.counters = c
+	j.mu.Unlock()
+	return j
+}
+
+// Err returns the first append error the journal encountered, if any.
 func (j *Journal) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
 }
 
-func (j *Journal) record(op journalOp) {
+// record appends one op. In strict mode the error is returned to the
+// caller; otherwise it is recorded and swallowed — but subsequent ops are
+// still attempted.
+func (j *Journal) record(op journalOp) error {
+	payload, err := encodeOp(op)
+	if err == nil {
+		err = j.sink.Append(payload)
+	}
+	if err == nil {
+		return nil
+	}
+	err = fmt.Errorf("tuplespace: journal: %w", err)
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.err != nil {
-		return
+	if j.err == nil {
+		j.err = err
 	}
-	if err := j.enc.Encode(&op); err != nil {
-		j.err = fmt.Errorf("tuplespace: journal: %w", err)
+	strict, counters := j.strict, j.counters
+	j.mu.Unlock()
+	if counters != nil {
+		counters.Inc(CounterJournalErrors)
 	}
+	if strict {
+		return err
+	}
+	return nil
 }
 
 // AttachJournal starts journaling the space's public mutations. It must
@@ -81,12 +204,24 @@ func (s *Space) AttachJournal(j *Journal) error {
 	return nil
 }
 
-// journalWriteLocked records a newly public entry. Caller holds s.mu.
-func (s *Space) journalWriteLocked(se *storedEntry) {
+// AttachRecoveredJournal attaches j to a space whose current contents
+// were just replayed from that journal's storage — the recovery path,
+// where the space is deliberately non-empty. The caller is responsible
+// for snapshotting promptly so the old log (whose Seq numbering the
+// recovered space no longer shares) is compacted away.
+func (s *Space) AttachRecoveredJournal(j *Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// journalWriteLocked records a newly public entry. Caller holds s.mu. A
+// non-nil return (strict journal only) means the write was not logged.
+func (s *Space) journalWriteLocked(se *storedEntry) error {
 	if s.journal == nil {
-		return
+		return nil
 	}
-	s.journal.record(journalOp{
+	return s.journal.record(journalOp{
 		Kind:   "write",
 		Seq:    se.id,
 		Entry:  se.val.Interface(),
@@ -96,52 +231,95 @@ func (s *Space) journalWriteLocked(se *storedEntry) {
 
 // journalRemoveLocked records a public entry's permanent removal. Caller
 // holds s.mu.
-func (s *Space) journalRemoveLocked(se *storedEntry) {
+func (s *Space) journalRemoveLocked(se *storedEntry) error {
 	if s.journal == nil {
-		return
+		return nil
 	}
-	s.journal.record(journalOp{Kind: "remove", Seq: se.id})
+	return s.journal.record(journalOp{Kind: "remove", Seq: se.id})
 }
 
-// Replay reads a journal stream and writes the surviving entries into s
-// (which must be empty), restoring their remaining leases relative to the
-// space's clock. It returns the number of live entries restored.
-func Replay(r io.Reader, s *Space) (int, error) {
-	dec := gob.NewDecoder(r)
-	type pending struct {
-		entry  Entry
-		expiry time.Time
-	}
-	live := make(map[uint64]pending)
-	var order []uint64
-	for {
-		var op journalOp
-		if err := dec.Decode(&op); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
+// EncodeState captures the space's journal-visible state — every public
+// (or take-locked: the take has not committed) unexpired entry — as
+// self-contained write records in id order. It is the capture function
+// behind WAL snapshots: replaying the returned records into an empty
+// space reproduces the live contents.
+func (s *Space) EncodeState() ([][]byte, error) {
+	s.mu.Lock()
+	var live []*storedEntry
+	now := s.clock.Now()
+	for _, list := range s.byType {
+		for _, se := range list {
+			if se.removed || se.writtenUnder != 0 {
+				continue
 			}
-			return 0, fmt.Errorf("tuplespace: replay: %w", err)
-		}
-		switch op.Kind {
-		case "write":
-			if op.Entry == nil {
-				return 0, errors.New("tuplespace: replay: write record without entry")
+			if !se.expiry.IsZero() && now.After(se.expiry) {
+				continue
 			}
-			live[op.Seq] = pending{entry: op.Entry, expiry: op.Expiry}
-			order = append(order, op.Seq)
-		case "remove":
-			delete(live, op.Seq)
-		default:
-			return 0, fmt.Errorf("tuplespace: replay: unknown op %q", op.Kind)
+			live = append(live, se)
 		}
 	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	ops := make([]journalOp, len(live))
+	for i, se := range live {
+		ops[i] = journalOp{Kind: "write", Seq: se.id, Entry: se.val.Interface(), Expiry: se.expiry}
+	}
+	s.mu.Unlock()
+
+	records := make([][]byte, len(ops))
+	for i, op := range ops {
+		payload, err := encodeOp(op)
+		if err != nil {
+			return nil, fmt.Errorf("tuplespace: snapshot entry %d: %w", op.Seq, err)
+		}
+		records[i] = payload
+	}
+	return records, nil
+}
+
+// replayState folds journal ops into the set of surviving entries.
+type replayState struct {
+	live  map[uint64]replayPending
+	order []uint64
+}
+
+type replayPending struct {
+	entry  Entry
+	expiry time.Time
+}
+
+func newReplayState() *replayState {
+	return &replayState{live: make(map[uint64]replayPending)}
+}
+
+func (st *replayState) apply(op journalOp) error {
+	switch op.Kind {
+	case "write":
+		if op.Entry == nil {
+			return errors.New("write record without entry")
+		}
+		st.live[op.Seq] = replayPending{entry: op.Entry, expiry: op.Expiry}
+		st.order = append(st.order, op.Seq)
+	case "remove":
+		delete(st.live, op.Seq)
+	default:
+		return fmt.Errorf("unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+// materialize writes the surviving entries into s, restoring remaining
+// leases relative to the space's clock. Duplicate write records for one
+// Seq (snapshot/segment overlap) materialize once: each Seq is consumed
+// on first use.
+func (st *replayState) materialize(s *Space) (int, error) {
 	now := s.clock.Now()
 	restored := 0
-	for _, seq := range order {
-		p, ok := live[seq]
+	for _, seq := range st.order {
+		p, ok := st.live[seq]
 		if !ok {
 			continue
 		}
+		delete(st.live, seq)
 		ttl := Forever
 		if !p.expiry.IsZero() {
 			ttl = p.expiry.Sub(now)
@@ -155,4 +333,56 @@ func Replay(r io.Reader, s *Space) (int, error) {
 		restored++
 	}
 	return restored, nil
+}
+
+// Replay reads a framed journal stream (the NewJournal format) and writes
+// the surviving entries into s (which must be empty). It returns the
+// number of live entries restored. Any framing or decode error is fatal:
+// single-file journals have no tail-truncation semantics — use
+// internal/wal for crash-torn logs.
+func Replay(r io.Reader, s *Space) (int, error) {
+	st := newReplayState()
+	br := bufio.NewReader(r)
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return 0, fmt.Errorf("tuplespace: replay: %w", err)
+		}
+		if n > maxJournalRecord {
+			return 0, fmt.Errorf("tuplespace: replay: record length %d exceeds limit", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return 0, fmt.Errorf("tuplespace: replay: %w", err)
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return 0, fmt.Errorf("tuplespace: replay: %w", err)
+		}
+		if err := st.apply(op); err != nil {
+			return 0, fmt.Errorf("tuplespace: replay: %w", err)
+		}
+	}
+	return st.materialize(s)
+}
+
+// ReplayRecords replays already-framed records — a WAL snapshot followed
+// by its tail segments — into s and returns the number of live entries
+// restored. Records overlapping between snapshot and tail are
+// deduplicated by Seq.
+func ReplayRecords(records [][]byte, s *Space) (int, error) {
+	st := newReplayState()
+	for i, payload := range records {
+		op, err := decodeOp(payload)
+		if err != nil {
+			return 0, fmt.Errorf("tuplespace: replay record %d: %w", i, err)
+		}
+		if err := st.apply(op); err != nil {
+			return 0, fmt.Errorf("tuplespace: replay record %d: %w", i, err)
+		}
+	}
+	return st.materialize(s)
 }

@@ -150,15 +150,21 @@ func (s *Space) Write(e Entry, t *txn.Txn, ttl time.Duration) (*EntryLease, erro
 		}
 		buckets[key] = append(buckets[key], se)
 	}
-	s.stats.Writes++
 	var fire []notification
 	if t != nil {
 		se.writtenUnder = t.ID()
 		ts.writes = append(ts.writes, se)
 	} else {
-		s.journalWriteLocked(se)
+		if jerr := s.journalWriteLocked(se); jerr != nil {
+			// Strict durability: the write was not logged, so it must
+			// not be acknowledged. Scans compact the dead entry.
+			se.removed = true
+			s.mu.Unlock()
+			return nil, jerr
+		}
 		fire = s.publishLocked(se)
 	}
+	s.stats.Writes++
 	s.mu.Unlock()
 	deliver(fire)
 	return &EntryLease{space: s, entry: se}, nil
@@ -204,7 +210,10 @@ func (s *Space) lookup(kind opKind, tmpl Entry, t *txn.Txn, timeout time.Duratio
 		return nil, err
 	}
 	if se := s.findLocked(kind, ti, tv, t); se != nil {
-		s.applyLocked(kind, se, t)
+		if err := s.applyLocked(kind, se, t); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		out := deepCopy(se.val).Interface()
 		s.mu.Unlock()
 		return out, nil
@@ -313,7 +322,9 @@ func (s *Space) takeableLocked(se *storedEntry, t *txn.Txn) bool {
 }
 
 // applyLocked records the effect of a successful read/take on entry se.
-func (s *Space) applyLocked(kind opKind, se *storedEntry, t *txn.Txn) {
+// A non-nil return (strict journal, non-txn take only) means the removal
+// was not logged and the entry remains in the space untouched.
+func (s *Space) applyLocked(kind opKind, se *storedEntry, t *txn.Txn) error {
 	switch kind {
 	case opRead:
 		s.stats.Reads++
@@ -325,15 +336,20 @@ func (s *Space) applyLocked(kind opKind, se *storedEntry, t *txn.Txn) {
 			s.txns[t.ID()].reads = append(s.txns[t.ID()].reads, se)
 		}
 	case opTake:
-		s.stats.Takes++
 		if t != nil {
 			se.takenUnder = t.ID()
 			s.txns[t.ID()].takes = append(s.txns[t.ID()].takes, se)
 		} else {
+			// Journal before removing: if the log rejects the record in
+			// strict mode the take fails and the entry stays visible.
+			if err := s.journalRemoveLocked(se); err != nil {
+				return err
+			}
 			se.removed = true
-			s.journalRemoveLocked(se)
 		}
+		s.stats.Takes++
 	}
+	return nil
 }
 
 // publishLocked makes a newly public entry visible: it satisfies blocked
@@ -361,7 +377,13 @@ func (s *Space) publishLocked(se *storedEntry) []notification {
 				out = append(out, w)
 				continue
 			}
-			s.applyLocked(w.kind, se, w.txn)
+			if err := s.applyLocked(w.kind, se, w.txn); err != nil {
+				// Strict journal rejected the removal: fail this waiter
+				// loudly; the entry stays for others.
+				w.err = err
+				w.w.Wake()
+				continue
+			}
 			w.result = se
 			w.w.Wake()
 			if w.kind == opTake {
@@ -417,11 +439,14 @@ func (s *Space) Commit(id uint64) {
 	}
 	delete(s.txns, id)
 	s.stats.TxnCommits++
+	// The transaction has already committed at the coordinator; journal
+	// failures here cannot unwind it. They are counted and retained by
+	// the journal (Journal.Err) even in strict mode.
 	var fire []notification
 	for _, se := range ts.takes {
 		se.takenUnder = 0
 		se.removed = true
-		s.journalRemoveLocked(se)
+		_ = s.journalRemoveLocked(se)
 	}
 	for _, se := range ts.reads {
 		s.unlockReadLocked(se, id)
@@ -431,7 +456,7 @@ func (s *Space) Commit(id uint64) {
 			continue
 		}
 		se.writtenUnder = 0
-		s.journalWriteLocked(se)
+		_ = s.journalWriteLocked(se)
 		fire = append(fire, s.publishLocked(se)...)
 	}
 	s.mu.Unlock()
@@ -583,8 +608,12 @@ func (l *EntryLease) Cancel() error {
 	if se.removed {
 		return ErrLeaseExpired
 	}
+	// Journal first: under a strict journal a cancellation that cannot
+	// be logged does not happen.
+	if err := l.space.journalRemoveLocked(se); err != nil {
+		return err
+	}
 	se.removed = true
-	l.space.journalRemoveLocked(se)
 	return nil
 }
 

@@ -20,6 +20,8 @@ import (
 	"gospaces/internal/cluster"
 	"gospaces/internal/core"
 	"gospaces/internal/experiments"
+	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 	"gospaces/internal/shard"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
@@ -394,8 +396,10 @@ func jobName(i int) string { return "job-" + string(rune('a'+i%26)) + string(run
 // space on the in-proc transport: K shard servers, each behind a 1 ms/op
 // FIFO service gate (the modeled server CPU), with 8 client processes
 // driving routers over proxies, every operation keyed to a distinct
-// index value. Returns operations per virtual second.
-func shardedThroughput(b *testing.B, shards int) float64 {
+// index value. Returns operations per virtual second. A non-nil registry
+// wraps every client's router with the obs per-op latency instrumentation
+// (the overhead benchmark's "on" arm); nil runs bare.
+func shardedThroughput(b *testing.B, shards int, reg *metrics.Registry) float64 {
 	b.Helper()
 	epoch := time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC)
 	clk := vclock.NewVirtual(epoch)
@@ -423,11 +427,13 @@ func shardedThroughput(b *testing.B, shards int) float64 {
 				for i, addr := range addrs {
 					sh[i] = shard.Shard{ID: addr, Space: space.NewProxy(net.Dial(addr))}
 				}
+				var router space.Space
 				router, err := shard.New(shard.Options{Clock: clk, Seed: fmt.Sprintf("client%d", c)}, sh)
 				if err != nil {
 					b.Error(err)
 					return
 				}
+				router = obs.InstrumentSpace(router, clk, reg, metrics.HistSpacePrefix)
 				for i := 0; i < pairsPerClient; i++ {
 					key := fmt.Sprintf("c%d-k%d", c, i)
 					if _, err := router.Write(indexedBenchEntry{Job: key, ID: i}, nil, tuplespace.Forever); err != nil {
@@ -453,8 +459,8 @@ func shardedThroughput(b *testing.B, shards int) float64 {
 // throughput of one.
 func BenchmarkShardedTaskThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		one := shardedThroughput(b, 1)
-		four := shardedThroughput(b, 4)
+		one := shardedThroughput(b, 1, nil)
+		four := shardedThroughput(b, 4, nil)
 		speedup := four / one
 		b.ReportMetric(one, "ops/vsec-1shard")
 		b.ReportMetric(four, "ops/vsec-4shards")
@@ -463,6 +469,32 @@ func BenchmarkShardedTaskThroughput(b *testing.B) {
 			b.Fatalf("4-shard speedup %.2fx < 2x (1 shard %.0f ops/s, 4 shards %.0f ops/s)", speedup, one, four)
 		}
 	}
+}
+
+// BenchmarkObsInstrumentationOverhead runs the sharded write+take
+// workload bare and with the obs per-op latency instrumentation wrapped
+// around every client router. Virtual throughput (ops/vsec) must be
+// identical — the instrumentation never advances modeled time — so the
+// interesting number is the wall-clock ns/op difference between the two
+// arms, which CI's BENCH_obs.json captures. Disabled instrumentation
+// (nil registry) compiles to the bare arm: InstrumentSpace returns the
+// handle unchanged.
+func BenchmarkObsInstrumentationOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(shardedThroughput(b, 4, nil), "ops/vsec")
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg := metrics.NewRegistry()
+			ops := shardedThroughput(b, 4, reg)
+			b.ReportMetric(ops, "ops/vsec")
+			if n := reg.Histogram(metrics.HistSpacePrefix + "write").Count(); n == 0 {
+				b.Fatal("instrumented arm recorded no write latencies")
+			}
+		}
+	})
 }
 
 // BenchmarkShardedKnee regenerates the sharded re-run of the Figure-6

@@ -26,6 +26,7 @@ import (
 
 	"gospaces/internal/experiments"
 	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 )
 
 var formatCSV bool
@@ -33,12 +34,56 @@ var formatCSV bool
 func main() {
 	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, faultsweep, recover, all")
 	format := flag.String("format", "table", "output format: table or csv")
+	obsOn := flag.Bool("obs", false, "instrument the runs and print a per-stage latency summary")
+	traceOut := flag.String("trace", "", "write every span as a Chrome-trace JSON to this file (implies -obs)")
 	flag.Parse()
 	formatCSV = *format == "csv"
+
+	var o *obs.Obs
+	if *obsOn || *traceOut != "" {
+		o = obs.New(1)
+		if *traceOut != "" {
+			// Exports need the full span set, not the recent-spans ring.
+			o.Tracer.KeepAll()
+		}
+		experiments.SetObs(o)
+	}
+
 	if err := dispatch(*run); err != nil {
 		fmt.Fprintln(os.Stderr, "expt:", err)
 		os.Exit(1)
 	}
+
+	if o != nil {
+		fmt.Println()
+		render(metrics.SummaryTable("Observability — per-stage latency", o.Registry.Summary()))
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, o); err != nil {
+			fmt.Fprintln(os.Stderr, "expt:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the session's spans in Chrome trace-event format
+// (load it at chrome://tracing or https://ui.perfetto.dev).
+func writeTrace(path string, o *obs.Obs) error {
+	spans := o.Tracer.Spans()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans (%d traces, %d orphans) to %s\n",
+		len(spans), len(obs.Traces(spans)), len(obs.Orphans(spans)), path)
+	return nil
 }
 
 // render prints a table in the selected format.

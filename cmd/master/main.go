@@ -36,8 +36,11 @@ import (
 	"gospaces/internal/apps/raytrace"
 	"gospaces/internal/discovery"
 	"gospaces/internal/master"
+	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/shard"
+	"gospaces/internal/snmp"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/vclock"
@@ -55,8 +58,9 @@ func main() {
 	sims := flag.Int("sims", 0, "override the option-pricing simulation count (montecarlo only; 0 = paper's 10000)")
 	shards := flag.Int("shards", 1, "number of space shard servers to host")
 	spread := flag.Bool("spread", false, "key each montecarlo task individually so the bag spreads across shards")
+	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6060")
 	flag.Parse()
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread); err != nil {
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -99,11 +103,23 @@ func buildJob(name string, sims int, spread bool) (master.Job, func(), error) {
 	}
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool) error {
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
 		return err
+	}
+	// The ops surface is opt-in; a nil *obs.Obs makes every instrumentation
+	// call below a no-op.
+	var o *obs.Obs
+	if obsAddr != "" {
+		o = obs.New(time.Now().UnixNano())
+		closer, url, err := obs.Serve(obsAddr, o)
+		if err != nil {
+			return fmt.Errorf("ops endpoint: %w", err)
+		}
+		defer closer.Close()
+		log.Printf("master: ops surface at %s (/metrics, /debug/pprof, /tracez)", url)
 	}
 	if numShards < 1 {
 		numShards = 1
@@ -130,9 +146,10 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	cs := nodeconfig.NewCodeServer()
 	cs.Publish(job.Bundle())
 	var (
-		hosted  []shard.Shard
-		sweeper shard.MultiSweeper
-		infos   = make([]space.RecoveryInfo, numShards)
+		hosted    []shard.Shard
+		sweeper   shard.MultiSweeper
+		infos     = make([]space.RecoveryInfo, numShards)
+		shard0Srv *transport.Server
 	)
 	for i := 0; i < numShards; i++ {
 		var local *space.Local
@@ -140,8 +157,11 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		case dataDir != "":
 			var d *space.Durable
 			local, d, err = space.NewLocalDurable(clk, space.DurableOptions{
-				Dir:   filepath.Join(dataDir, fmt.Sprintf("shard%d", i)),
-				Fsync: fsyncPolicy,
+				Dir:        filepath.Join(dataDir, fmt.Sprintf("shard%d", i)),
+				Fsync:      fsyncPolicy,
+				Counters:   o.Ctr(),
+				AppendHist: o.Reg().Histogram(metrics.HistWALAppend),
+				SyncHist:   o.Reg().Histogram(metrics.HistWALFsync),
 			})
 			if err != nil {
 				return fmt.Errorf("durable shard %d: %w", i, err)
@@ -162,9 +182,13 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		}
 		srv := transport.NewServer()
 		space.NewService(local, srv)
+		if reg := o.Reg(); reg != nil {
+			srv.WrapPrefix("space.", obs.ServerMiddleware(clk, reg.Histogram(metrics.HistShardServe(i))))
+		}
 		la := addr
 		if i == 0 {
 			cs.Bind(srv)
+			shard0Srv = srv
 		} else {
 			la = net.JoinHostPort(host, "0")
 		}
@@ -226,13 +250,30 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			return err
 		}
 	}
+	sp = obs.InstrumentSpace(sp, clk, o.Reg(), metrics.HistSpacePrefix)
 	m := master.New(master.Config{
 		Clock:         clk,
 		Space:         sp,
 		ResultTimeout: resultTimeout,
 		Sweeper:       sweeper,
 		SweepInterval: 30 * time.Second,
+		Obs:           o,
 	})
+	if reg := o.Reg(); reg != nil {
+		reg.RegisterGauge(metrics.GaugeTasksPending, m.PendingTasks)
+		reg.RegisterGauge(metrics.GaugeTasksInFlight, m.InFlight)
+		reg.RegisterGauge(metrics.GaugeTasksPlanned, m.TasksPlanned)
+		reg.RegisterGauge(metrics.GaugeResultsCollected, m.ResultsCollected)
+		for i := 0; i < numShards; i++ {
+			h := reg.Histogram(metrics.HistShardServe(i))
+			reg.RegisterGauge(metrics.GaugeShardOps(i), func() int64 { return int64(h.Count()) })
+		}
+		// The framework MIB answers SNMP GETs on shard 0's server — the
+		// same numbers /metrics reports, over the management substrate.
+		mib := snmp.NewMIB()
+		obs.ExportMIB(mib, o, numShards)
+		snmp.NewAgent("public", mib).Bind(shard0Srv)
+	}
 	log.Printf("master: running job %q", jobName)
 	rm, err := m.RunJob(job)
 	if err != nil {
@@ -241,5 +282,8 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	log.Printf("master: done — tasks=%d shards=%d planning=%v aggregation=%v parallel=%v",
 		rm.Tasks, rm.Shards, rm.TaskPlanningTime, rm.TaskAggregationTime, rm.ParallelTime)
 	report()
+	if o != nil {
+		fmt.Print(metrics.SummaryTable("Observability — per-stage latency", o.Registry.Summary()))
+	}
 	return nil
 }

@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"gospaces/internal/discovery"
+	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
 	"gospaces/internal/space"
@@ -49,18 +51,29 @@ func main() {
 	autostart := flag.Bool("autostart", false, "start without waiting for a rule-base Start signal")
 	sim1 := flag.Bool("loadsim1", false, "run load simulator 1 (30-50% CPU)")
 	sim2 := flag.Bool("loadsim2", false, "run load simulator 2 (100% CPU)")
+	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6061")
 	flag.Parse()
-	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2); err != nil {
+	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr); err != nil {
 		log.Fatalf("worker: %v", err)
 	}
 }
 
-func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool) error {
+func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string) error {
 	tmpl, err := taskTemplate(jobName, false)
 	if err != nil {
 		return err
 	}
 	clk := vclock.NewReal()
+	var o *obs.Obs
+	if obsAddr != "" {
+		o = obs.New(time.Now().UnixNano())
+		closer, url, err := obs.Serve(obsAddr, o)
+		if err != nil {
+			return fmt.Errorf("ops endpoint: %w", err)
+		}
+		defer closer.Close()
+		log.Printf("worker %s: ops surface at %s (/metrics, /debug/pprof, /tracez)", name, url)
+	}
 	machine := sysmon.NewMachine(clk, name, speed)
 	if sim1 {
 		sysmon.NewLoadSimulator1(machine).Start()
@@ -134,6 +147,9 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 	defer codeConn.Close()
 
 	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{Clock: clk, Machine: machine, Node: name}, codeConn)
+	// The worker's view of the space: per-op latencies as this node sees
+	// them (network included).
+	sp = obs.InstrumentSpace(sp, clk, o.Reg(), metrics.HistSpacePrefix)
 	w := worker.New(worker.Config{
 		Node:         name,
 		Clock:        clk,
@@ -143,6 +159,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		Program:      jobName,
 		TaskTemplate: tmpl,
 		TxnTTL:       2 * time.Minute,
+		Obs:          o,
 	})
 
 	// Signal endpoint (the SNMP-client side of the rule-base protocol).

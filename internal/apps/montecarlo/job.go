@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
 )
@@ -28,6 +29,10 @@ type Task struct {
 	Sims   int
 	Seed   int64
 	Params Params
+	// Trace is the observability carrier: the master stamps each task
+	// with its plan span and workers parent their spans to it. Zero in
+	// templates (a wildcard) and whenever tracing is off.
+	Trace obs.TraceContext
 }
 
 // Result is the entry a worker writes back.
@@ -39,6 +44,10 @@ type Result struct {
 	StdErr   float64
 	Sims     int
 	Node     string
+	// Trace carries the worker's execute span back to the master, which
+	// parents the aggregate span to it (and zeroes it before dedup
+	// fingerprinting).
+	Trace obs.TraceContext
 }
 
 func init() {

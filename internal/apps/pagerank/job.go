@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
 )
@@ -26,6 +27,8 @@ type Task struct {
 	Round  int    // 1-based
 	R0, R1 int
 	X      []float64
+	// Trace is the observability carrier (zero = untraced/wildcard).
+	Trace obs.TraceContext
 }
 
 // Result carries a computed strip of the next rank vector.
@@ -36,6 +39,8 @@ type Result struct {
 	R0, R1 int
 	Y      []float64
 	Node   string
+	// Trace carries the worker's execute span back to the master.
+	Trace obs.TraceContext
 }
 
 type bundleParams struct {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
 )
@@ -25,6 +26,8 @@ type Task struct {
 	ID     int    // 1-based: zero is the wildcard and never a real ID
 	X0, X1 int
 	W, H   int
+	// Trace is the observability carrier (zero = untraced/wildcard).
+	Trace obs.TraceContext
 }
 
 // Result carries a rendered strip's pixels — the paper notes this
@@ -35,6 +38,8 @@ type Result struct {
 	X0, X1 int
 	Pixels []byte
 	Node   string
+	// Trace carries the worker's execute span back to the master.
+	Trace obs.TraceContext
 }
 
 type bundleParams struct {

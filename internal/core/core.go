@@ -33,6 +33,7 @@ import (
 	"gospaces/internal/metrics"
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/rulebase"
 	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
@@ -113,6 +114,12 @@ type Config struct {
 	// errors: a write or take that cannot be logged fails loudly instead
 	// of acknowledging lost data.
 	StrictDurability bool
+	// Obs, if set, enables the observability layer end to end: causal
+	// tracing of every task (plan → take → execute → aggregate), latency
+	// histograms on the master's space handle, each shard server, the WAL
+	// and every worker, live framework gauges, and an SNMP MIB on the
+	// master's agent. Nil keeps every hot path a no-op.
+	Obs *obs.Obs
 }
 
 // Framework is an assembled deployment: cluster, lookup service, space
@@ -134,9 +141,14 @@ type Framework struct {
 	// Durables pairs each shard with its persistence controller when
 	// Config.DataDir is set (nil entries otherwise).
 	Durables []*space.Durable
-	// Durability carries the wal:* and journal_errors counters when
+	// Durability carries the wal:* and journal:errors counters when
 	// Config.DataDir is set.
 	Durability *metrics.Counters
+	// MIB is the master's management information base when Config.Obs is
+	// set: the framework gauges exported as SNMP objects, served by an
+	// agent bound on the master's server (the same substrate the network
+	// management module polls workers through).
+	MIB *snmp.MIB
 
 	cfg        Config
 	router     *shard.Router
@@ -184,9 +196,12 @@ type Result struct {
 	// FaultEvents is the injected-fault event counts when Config.Faults
 	// was set (keys are the faults.Event* constants).
 	FaultEvents map[string]uint64
-	// Durability is the wal:* / journal_errors counter snapshot when
+	// Durability is the wal:* / journal:errors counter snapshot when
 	// Config.DataDir was set.
 	Durability map[string]uint64
+	// ObsSummary is the per-stage tail-latency table (p50/p90/p99/max of
+	// every non-empty histogram) when Config.Obs was set.
+	ObsSummary []metrics.StageSummary
 }
 
 // New assembles a Framework on clock.
@@ -281,6 +296,12 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			handle = gatedSpace{l: l, gate: gate}
 			f.gates[i] = gate
 		}
+		if reg := cfg.Obs.Reg(); reg != nil {
+			// Outermost wrap (after the gate), so the shard's serve
+			// histogram sees gate queueing plus service time — what remote
+			// callers actually experience at this server.
+			srv.WrapPrefix("space.", obs.ServerMiddleware(clock, reg.Histogram(metrics.HistShardServe(i))))
+		}
 		shards[i] = shard.Shard{ID: addr, Space: handle}
 		f.registerShard(i, f.Durables[i], false)
 	}
@@ -300,6 +321,10 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		f.router = router
 		f.Space = router
 	}
+	// The master's operating handle records per-op latencies. The wrapper
+	// delegates to the router underneath, so RestartShard's in-place
+	// Replace stays visible through it.
+	f.Space = obs.InstrumentSpace(f.Space, clock, cfg.Obs.Reg(), metrics.HistSpacePrefix)
 
 	f.Master = master.New(master.Config{
 		Clock:         clock,
@@ -311,7 +336,28 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		Sweeper:       sweepers,
 		SweepInterval: cfg.TxnTTL / 4,
 		DedupResults:  cfg.DedupResults,
+		Obs:           cfg.Obs,
 	})
+
+	if reg := cfg.Obs.Reg(); reg != nil {
+		// Framework gauges: every surface (/metrics, SNMP, ObsSummary)
+		// reads these same registrations.
+		reg.RegisterGauge(metrics.GaugeTasksPending, f.Master.PendingTasks)
+		reg.RegisterGauge(metrics.GaugeTasksInFlight, f.Master.InFlight)
+		reg.RegisterGauge(metrics.GaugeTasksPlanned, f.Master.TasksPlanned)
+		reg.RegisterGauge(metrics.GaugeResultsCollected, f.Master.ResultsCollected)
+		for i := 0; i < cfg.Shards; i++ {
+			h := reg.Histogram(metrics.HistShardServe(i))
+			reg.RegisterGauge(metrics.GaugeShardOps(i), func() int64 { return int64(h.Count()) })
+		}
+		// The master answers SNMP GETs for the framework subtree on its
+		// own server — the same management substrate the network
+		// management module uses towards workers, now pointing back at
+		// the master.
+		f.MIB = snmp.NewMIB()
+		obs.ExportMIB(f.MIB, cfg.Obs, cfg.Shards)
+		snmp.NewAgent(clus.Community, f.MIB).Bind(clus.MasterServer)
+	}
 	return f
 }
 
@@ -324,6 +370,11 @@ func (f *Framework) durableOptions(i int) space.DurableOptions {
 		Fsync:    f.cfg.FsyncPolicy,
 		Strict:   f.cfg.StrictDurability,
 		Counters: f.Durability,
+		// All shards share the append/fsync histograms: the interesting
+		// question ("how slow is my disk?") is per deployment, not per
+		// shard, and the per-shard serve histograms already split load.
+		AppendHist: f.cfg.Obs.Reg().Histogram(metrics.HistWALAppend),
+		SyncHist:   f.cfg.Obs.Reg().Histogram(metrics.HistWALFsync),
 	}
 	if f.cfg.Faults != nil {
 		ep := faults.DiskEndpoint(f.shardAddrs[i])
@@ -397,6 +448,11 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 		srv.WrapPrefix("space.", gate.Middleware())
 		handle = gatedSpace{l: l, gate: gate}
 	}
+	if reg := f.cfg.Obs.Reg(); reg != nil {
+		// Same serve histogram as before the crash: a shard keeps one
+		// latency record across its restarts.
+		srv.WrapPrefix("space.", obs.ServerMiddleware(f.Clock, reg.Histogram(metrics.HistShardServe(i))))
+	}
 	if err := f.router.Replace(f.shardAddrs[i], handle); err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d re-admission: %w", i, err)
 	}
@@ -454,6 +510,19 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 		}
 	}
 
+	if reg := f.cfg.Obs.Reg(); reg != nil {
+		ws := workers
+		reg.RegisterGauge(metrics.GaugeWorkersRunning, func() int64 {
+			var n int64
+			for _, w := range ws {
+				if w.State() == rulebase.StateRunning {
+					n++
+				}
+			}
+			return n
+		})
+	}
+
 	group := vclock.NewGroup(f.Clock)
 	for _, w := range workers {
 		w := w
@@ -492,6 +561,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	}
 	if f.Durability != nil {
 		res.Durability = f.Durability.Snapshot()
+	}
+	if f.cfg.Obs != nil {
+		res.ObsSummary = f.cfg.Obs.Reg().Summary()
 	}
 	for i, w := range workers {
 		name := f.Cluster.Nodes[i].Name
@@ -564,6 +636,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 		TaskTemplate: job.TaskTemplate(),
 		TxnTTL:       f.cfg.TxnTTL,
 		PollTimeout:  f.cfg.PollTimeout,
+		Obs:          f.cfg.Obs,
 	})
 	w.Bind(node.Server)
 	// Export the worker's progress through the node's SNMP agent.

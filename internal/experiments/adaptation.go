@@ -28,11 +28,11 @@ type AdaptationResult struct {
 func Adaptation(app AppName) (AdaptationResult, error) {
 	clk := vclock.NewVirtual(epoch)
 	specs := clusterFor(app)[:1]
-	fw := core.New(clk, core.Config{
+	fw := core.New(clk, withObs(core.Config{
 		Workers:      specs,
 		Monitoring:   true,
 		PollInterval: time.Second,
-	})
+	}))
 	job := jobFor(app)
 	node := fw.Cluster.Nodes[0]
 

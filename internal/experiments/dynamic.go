@@ -40,11 +40,11 @@ func DynamicWorkerBehavior(app AppName) ([]DynamicLoadPoint, error) {
 func dynamicRun(app AppName, frac float64) (DynamicLoadPoint, error) {
 	clk := vclock.NewVirtual(epoch)
 	specs := clusterFor(app)
-	fw := core.New(clk, core.Config{
+	fw := core.New(clk, withObs(core.Config{
 		Workers:      specs,
 		Monitoring:   true,
 		PollInterval: time.Second,
-	})
+	}))
 	loaded := int(frac * float64(len(specs)))
 	for i := 0; i < loaded; i++ {
 		fw.Cluster.Nodes[i].Sim2.Start() // sustained 100 % load from t=0

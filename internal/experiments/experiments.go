@@ -17,11 +17,29 @@ import (
 	"gospaces/internal/cluster"
 	"gospaces/internal/core"
 	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 	"gospaces/internal/vclock"
 )
 
 // epoch is the virtual start time of every experiment.
 var epoch = time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC)
+
+// sessionObs, when set, is attached to every framework the harness
+// assembles: one tracer and one registry span all of a session's runs
+// (each run still gets its own virtual clock — the tracer takes the
+// clock per call).
+var sessionObs *obs.Obs
+
+// SetObs installs (or, with nil, removes) the session observability
+// layer. cmd/expt calls this when -trace or -obs is given.
+func SetObs(o *obs.Obs) { sessionObs = o }
+
+// withObs attaches the session's observability layer to one run's
+// framework configuration.
+func withObs(cfg core.Config) core.Config {
+	cfg.Obs = sessionObs
+	return cfg
+}
 
 // AppName selects one of the paper's three applications.
 type AppName string
@@ -78,7 +96,7 @@ func Scalability(app AppName, maxWorkers int) ([]ScalabilityPoint, error) {
 	var out []ScalabilityPoint
 	for n := 1; n <= maxWorkers; n++ {
 		clk := vclock.NewVirtual(epoch)
-		fw := core.New(clk, core.Config{Workers: specs[:n]})
+		fw := core.New(clk, withObs(core.Config{Workers: specs[:n]}))
 		job := jobFor(app)
 		var res core.Result
 		var err error

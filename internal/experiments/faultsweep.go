@@ -51,13 +51,13 @@ func FaultSweep() ([]FaultPoint, error) {
 			plan.CrashProbOnCall("node/*", "", "space.Take*", rate,
 				faults.AfterHandler, "", 10*time.Second)
 		}
-		fw := core.New(clk, core.Config{
+		fw := core.New(clk, withObs(core.Config{
 			Workers:       cluster.Uniform(4, 1.0),
 			Shards:        2,
 			TxnTTL:        5 * time.Second,
 			Faults:        plan,
 			ResultTimeout: 10 * time.Minute,
-		})
+		}))
 		job := montecarlo.NewJob(cfg)
 		var res core.Result
 		var err error

@@ -45,11 +45,11 @@ func Granularity() ([]GranularityPoint, error) {
 
 func granularityRun(simsPerTask int) (GranularityPoint, error) {
 	clk := vclock.NewVirtual(epoch)
-	fw := core.New(clk, core.Config{
+	fw := core.New(clk, withObs(core.Config{
 		Workers:      cluster.Uniform(1, 1.0),
 		Monitoring:   true,
 		PollInterval: 500 * time.Millisecond,
-	})
+	}))
 	cfg := montecarlo.DefaultJobConfig()
 	cfg.TotalSims = 10000
 	cfg.SimsPerTask = simsPerTask

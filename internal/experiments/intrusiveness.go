@@ -87,11 +87,11 @@ func userJobBaseline() time.Duration {
 
 func intrusivenessRun(adaptive bool, baseline time.Duration) (IntrusivenessResult, error) {
 	clk := vclock.NewVirtual(epoch)
-	fw := core.New(clk, core.Config{
+	fw := core.New(clk, withObs(core.Config{
 		Workers:      cluster.Uniform(1, 1.0),
 		Monitoring:   adaptive,
 		PollInterval: 500 * time.Millisecond,
-	})
+	}))
 	cfg := montecarlo.DefaultJobConfig()
 	cfg.TotalSims = 6000 // 60 subtasks: outlives the user's visit
 	cfg.PlanningCostPerTask = 10 * time.Millisecond

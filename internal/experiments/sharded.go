@@ -50,11 +50,11 @@ func ShardedKnee() ([]ShardedPoint, error) {
 	for _, shards := range []int{1, 4} {
 		for _, n := range shardedWorkerCounts {
 			clk := vclock.NewVirtual(epoch)
-			fw := core.New(clk, core.Config{
+			fw := core.New(clk, withObs(core.Config{
 				Workers:     cluster.Uniform(n, 1.0),
 				Shards:      shards,
 				SpaceOpCost: 8 * time.Millisecond,
-			})
+			}))
 			job := montecarlo.NewJob(shardedJobConfig())
 			var res core.Result
 			var err error

@@ -36,14 +36,15 @@ import (
 
 // Event keys under which injected events are counted (see Plan.Counters).
 // Crashes are additionally counted per endpoint under
-// "faults:crash:<endpoint>".
+// "faults:crash:<endpoint>". The strings are owned by the canonical
+// metric-name set in internal/metrics/names.go.
 const (
-	EventDrop        = "faults:drop"
-	EventDelay       = "faults:delay"
-	EventDuplicate   = "faults:duplicate"
-	EventCrash       = "faults:crash"
-	EventPartitioned = "faults:partitioned"
-	EventDeadCall    = "faults:dead-call"
+	EventDrop        = metrics.CounterFaultDrop
+	EventDelay       = metrics.CounterFaultDelay
+	EventDuplicate   = metrics.CounterFaultDuplicate
+	EventCrash       = metrics.CounterFaultCrash
+	EventPartitioned = metrics.CounterFaultPartitioned
+	EventDeadCall    = metrics.CounterFaultDeadCall
 )
 
 // ErrInjected is the root of every error the fault layer injects; callers

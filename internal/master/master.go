@@ -12,10 +12,12 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 	"gospaces/internal/sysmon"
 	"gospaces/internal/tuplespace"
@@ -107,11 +109,30 @@ type Config struct {
 	// transports never produce duplicates and jobs may legitimately emit
 	// identical results.
 	DedupResults bool
+	// Obs, if set, enables causal tracing (a root "plan" span per task,
+	// an "aggregate" span per result parented to the worker's execute
+	// span) and per-stage latency histograms. Nil disables both at zero
+	// cost.
+	Obs *obs.Obs
 }
 
 // Master runs jobs.
 type Master struct {
 	cfg Config
+
+	// Stage histograms, resolved once so the hot loops avoid the
+	// registry's name lookup. All nil when Config.Obs is nil.
+	histPlan       *metrics.Histogram
+	histAggregate  *metrics.Histogram
+	histTakeResult *metrics.Histogram
+
+	// planned/collected feed the live gauges; taskTmpl holds the current
+	// job's task template so PendingTasks can Count it; running gates the
+	// space probe to the window where a job is actually executing.
+	planned   atomic.Int64
+	collected atomic.Int64
+	taskTmpl  atomic.Value // tuplespace.Entry
+	running   atomic.Bool
 }
 
 // ErrNoTasks is returned when a job plans zero tasks.
@@ -125,7 +146,49 @@ func New(cfg Config) *Master {
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = 5 * time.Second
 	}
-	return &Master{cfg: cfg}
+	m := &Master{cfg: cfg}
+	if cfg.Obs != nil {
+		m.histPlan = cfg.Obs.Hist(metrics.HistMasterPlan)
+		m.histAggregate = cfg.Obs.Hist(metrics.HistMasterAggregate)
+		m.histTakeResult = cfg.Obs.Hist(metrics.HistMasterTakeResult)
+	}
+	return m
+}
+
+// TasksPlanned returns the total number of tasks written by this master.
+func (m *Master) TasksPlanned() int64 { return m.planned.Load() }
+
+// ResultsCollected returns the total number of results aggregated.
+func (m *Master) ResultsCollected() int64 { return m.collected.Load() }
+
+// PendingTasks counts task entries currently sitting in the space for
+// the active job. It reports zero between jobs without touching the
+// space: gauges are polled from scrape goroutines outside the framework's
+// scheduling domain, and an idle deployment must answer from local state
+// alone rather than issue space operations nothing is left to serve.
+func (m *Master) PendingTasks() int64 {
+	if !m.running.Load() {
+		return 0
+	}
+	tmpl, _ := m.taskTmpl.Load().(tuplespace.Entry)
+	if tmpl == nil {
+		return 0
+	}
+	n, err := m.cfg.Space.Count(tmpl)
+	if err != nil {
+		return 0
+	}
+	return int64(n)
+}
+
+// InFlight estimates tasks taken by workers but not yet returned:
+// planned − collected − still-pending, clamped at zero (the three reads
+// are not atomic with respect to one another).
+func (m *Master) InFlight() int64 {
+	if n := m.planned.Load() - m.collected.Load() - m.PendingTasks(); n > 0 {
+		return n
+	}
+	return 0
 }
 
 // charge burns d of master CPU (at full intensity on the master machine,
@@ -149,6 +212,8 @@ func (m *Master) charge(d time.Duration) {
 // false.
 func (m *Master) RunJob(job Job) (RunMetrics, error) {
 	var rm RunMetrics
+	m.running.Store(true)
+	defer m.running.Store(false)
 	rm.Shards = 1
 	if ns, ok := m.cfg.Space.(interface{ NumShards() int }); ok {
 		rm.Shards = ns.NumShards()
@@ -181,19 +246,32 @@ func (m *Master) RunJob(job Job) (RunMetrics, error) {
 }
 
 // planPhase runs one task-planning round and returns how many tasks it
-// emitted.
+// emitted. Each task gets a root "plan" span whose context rides inside
+// the task entry, so every downstream span (take, execute, aggregate)
+// joins the same trace.
 func (m *Master) planPhase(job Job, rm *RunMetrics) (int, error) {
+	m.taskTmpl.Store(job.TaskTemplate())
 	planning := metrics.StartStopwatch(m.cfg.Clock)
 	planCost := job.PlanningCost()
+	tracer := m.cfg.Obs.T()
 	n := 0
 	err := job.Plan(func(task tuplespace.Entry) error {
 		one := metrics.StartStopwatch(m.cfg.Clock)
+		span := tracer.StartRoot(m.cfg.Clock, "plan", "master")
+		if span != nil {
+			task = obs.Inject(task, span.Context())
+		}
 		m.charge(planCost)
 		if _, err := m.cfg.Space.Write(task, nil, tuplespace.Forever); err != nil {
+			span.End()
 			return fmt.Errorf("master: write task: %w", err)
 		}
+		span.End()
 		n++
-		if d := one.Elapsed(); d > rm.MaxMasterOverhead {
+		m.planned.Add(1)
+		d := one.Elapsed()
+		m.histPlan.Record(d)
+		if d > rm.MaxMasterOverhead {
 			rm.MaxMasterOverhead = d
 		}
 		return nil
@@ -225,6 +303,14 @@ func (m *Master) collectPhase(job Job, n int, rm *RunMetrics) error {
 		if err != nil {
 			return fmt.Errorf("master: collecting result %d/%d: %w", collected+1, n, err)
 		}
+		// Pull the worker's execute-span context out of the result and
+		// clear the carrier: retries of the same task produce results that
+		// differ only in their trace context, and dedup fingerprinting
+		// must treat those as identical.
+		tc := obs.Extract(res)
+		if tc.Valid() {
+			res = obs.Inject(res, obs.TraceContext{})
+		}
 		if seen != nil {
 			// Fingerprint the whole encoded entry, not its index key: in
 			// non-spread task layouts every result of a job shares one key.
@@ -239,14 +325,20 @@ func (m *Master) collectPhase(job Job, n int, rm *RunMetrics) error {
 			seen[fp] = true
 		}
 		one := metrics.StartStopwatch(m.cfg.Clock)
+		span := m.cfg.Obs.T().StartChild(m.cfg.Clock, tc, "aggregate", "master")
 		m.charge(aggCost)
 		if err := job.Aggregate(res); err != nil {
+			span.End()
 			return fmt.Errorf("master: aggregate: %w", err)
 		}
-		if d := one.Elapsed(); d > rm.MaxMasterOverhead {
+		span.End()
+		d := one.Elapsed()
+		m.histAggregate.Record(d)
+		if d > rm.MaxMasterOverhead {
 			rm.MaxMasterOverhead = d
 		}
 		collected++
+		m.collected.Add(1)
 	}
 	rm.TaskAggregationTime += aggregation.Elapsed()
 	return nil
@@ -279,8 +371,10 @@ func (m *Master) takeResult(tmpl tuplespace.Entry) (tuplespace.Entry, error) {
 		if wait <= 0 {
 			return nil, tuplespace.ErrTimeout
 		}
+		start := m.cfg.Clock.Now()
 		res, err := m.cfg.Space.Take(tmpl, nil, wait)
 		if err == nil {
+			m.histTakeResult.Record(m.cfg.Clock.Since(start))
 			return res, nil
 		}
 		if !errors.Is(err, tuplespace.ErrTimeout) {

@@ -1,0 +1,73 @@
+package metrics
+
+import "fmt"
+
+// Canonical metric names. Every package that publishes into a Counters
+// set or a Registry takes its key from here (the producing packages alias
+// these constants rather than inventing ad-hoc strings), so exporters —
+// the Prometheus-text page, the SNMP framework MIB, Result snapshots —
+// agree on spelling. The convention is "<subsystem>:<metric>"; dynamic
+// names (per shard, per node) come from the helper functions below.
+//
+// Counter keys (metrics.Counters):
+const (
+	// Write-ahead log (internal/wal).
+	CounterWALRecords           = "wal:records"
+	CounterWALSegments          = "wal:segments"
+	CounterWALSnapshots         = "wal:snapshots"
+	CounterWALSegmentsCompacted = "wal:segments_compacted"
+	CounterWALAppendErrors      = "wal:append_errors"
+	CounterWALSnapshotRestored  = "wal:recovered_snapshot"
+	CounterWALTailRestored      = "wal:recovered_records"
+	CounterWALTruncatedBytes    = "wal:truncated_bytes"
+	CounterWALRecoveryMs        = "wal:recovery_ms"
+
+	// Space journal (internal/tuplespace). Previously the one key that
+	// broke the "<subsystem>:<metric>" convention ("journal_errors").
+	CounterJournalErrors = "journal:errors"
+
+	// Fault injection (internal/faults). Per-endpoint crash counts append
+	// ":<endpoint>" to CounterFaultCrash.
+	CounterFaultDrop        = "faults:drop"
+	CounterFaultDelay       = "faults:delay"
+	CounterFaultDuplicate   = "faults:duplicate"
+	CounterFaultCrash       = "faults:crash"
+	CounterFaultPartitioned = "faults:partitioned"
+	CounterFaultDeadCall    = "faults:dead-call"
+)
+
+// Histogram names (metrics.Registry).
+const (
+	// HistSpacePrefix prefixes the master-side per-operation space
+	// latencies: "space:write", "space:take", … (one per space.Space
+	// method, recorded by obs.InstrumentSpace).
+	HistSpacePrefix = "space:"
+
+	// Per-stage task pipeline latencies.
+	HistMasterPlan       = "master:plan"        // charge + task write, per task
+	HistMasterAggregate  = "master:aggregate"   // charge + fold, per result
+	HistMasterTakeResult = "master:take_result" // blocking result take, per result
+	HistWorkerTask       = "worker:task"        // take-to-commit, per task
+
+	// Durability latencies (real wall-clock time at the disk, not the
+	// virtual clock: the WAL does real I/O even under simulation).
+	HistWALAppend = "wal:append"
+	HistWALFsync  = "wal:fsync"
+)
+
+// Gauge names (metrics.Registry).
+const (
+	GaugeTasksPending     = "master:tasks_pending"     // task entries sitting in the space
+	GaugeTasksInFlight    = "master:tasks_inflight"    // taken by a worker, result not yet collected
+	GaugeTasksPlanned     = "master:tasks_planned"     // tasks written since start
+	GaugeResultsCollected = "master:results_collected" // results aggregated since start
+	GaugeWorkersRunning   = "cluster:workers_running"  // workers currently in the Running state
+)
+
+// HistShardServe names shard i's server-side space-op service time
+// (queueing at the service gate included).
+func HistShardServe(i int) string { return fmt.Sprintf("shard%d:serve", i) }
+
+// GaugeShardOps names shard i's served-operation count (the count of the
+// HistShardServe histogram, exported as a rate-able counter).
+func GaugeShardOps(i int) string { return fmt.Sprintf("shard%d:ops", i) }

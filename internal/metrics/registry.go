@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry names the histograms and gauges one deployment exports: the
+// /metrics page, the SNMP framework MIB and Result.ObsSummary all read
+// the same instances, so every surface reports identical numbers.
+// Histogram is get-or-create, so producers and exporters can rendezvous
+// on a name without wiring. All methods are safe on a nil *Registry
+// (lookups return nil histograms, registrations are dropped), which keeps
+// disabled-observability call sites branch-free.
+type Registry struct {
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	gauges map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:  make(map[string]*Histogram),
+		gauges: make(map[string]func() int64),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil on a nil registry — and a nil *Histogram accepts Record
+// calls as no-ops.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterGauge installs (or replaces) a named gauge read-out. fn must be
+// safe to call from any goroutine.
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Gauge evaluates the named gauge; ok reports whether it exists.
+func (r *Registry) Gauge(name string) (v int64, ok bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	fn := r.gauges[name]
+	r.mu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn(), true
+}
+
+// Gauges evaluates every gauge and returns name → value.
+func (r *Registry) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fns := make(map[string]func() int64, len(r.gauges))
+	for k, fn := range r.gauges {
+		fns[k] = fn
+	}
+	r.mu.Unlock()
+	out := make(map[string]int64, len(fns))
+	for k, fn := range fns {
+		out[k] = fn()
+	}
+	return out
+}
+
+// Histograms returns a copy of the name → histogram map.
+func (r *Registry) Histograms() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = h
+	}
+	return out
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StageSummary is one row of a run's tail-latency report: the quantiles
+// of a named histogram (a pipeline stage, a space op, a shard, …).
+type StageSummary struct {
+	Stage string
+	Count uint64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary reports every non-empty histogram, sorted by name.
+func (r *Registry) Summary() []StageSummary {
+	if r == nil {
+		return nil
+	}
+	var rows []StageSummary
+	for name, h := range r.Histograms() {
+		if h.Count() == 0 {
+			continue
+		}
+		rows = append(rows, StageSummary{
+			Stage: name,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Stage < rows[j].Stage })
+	return rows
+}
+
+// SummaryTable renders stage summaries as one of the harness's aligned
+// tables (durations in milliseconds, like every figure).
+func SummaryTable(title string, rows []StageSummary) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"Stage", "Count", "p50 (ms)", "p90 (ms)", "p99 (ms)", "Max (ms)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Stage, itoa(r.Count), Ms(r.P50), Ms(r.P90), Ms(r.P99), Ms(r.Max))
+	}
+	return t
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome Trace Event
+// Format — load the file at chrome://tracing or https://ui.perfetto.dev.
+// Timestamps and durations are microseconds; pid groups by trace-less
+// process (always 1 here), tid lanes by node.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome-trace JSON document.
+// Timestamps are relative to the earliest span, so virtual-clock epochs
+// far in the past render sensibly. Each node gets its own lane, with
+// thread_name metadata naming it.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	lanes := make(map[string]int)
+	laneOf := func(node string) int {
+		if id, ok := lanes[node]; ok {
+			return id
+		}
+		id := len(lanes) + 1
+		lanes[node] = id
+		return id
+	}
+	events := make([]chromeEvent, 0, len(spans)+8)
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  laneOf(s.Node),
+			Args: map[string]string{
+				"trace":  fmt.Sprintf("%016x", s.Trace),
+				"span":   fmt.Sprintf("%016x", s.ID),
+				"parent": fmt.Sprintf("%016x", s.Parent),
+				"node":   s.Node,
+			},
+		})
+	}
+	names := make([]string, 0, len(lanes))
+	for n := range lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}
+
+// WriteJSONL writes one span per line as JSON, for ad-hoc processing.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Orphans returns the spans whose parent was never recorded in the same
+// trace — a broken causal chain. A healthy run (even one with crash
+// retries, whose extra attempts re-parent to the original trace) has
+// none.
+func Orphans(spans []Span) []Span {
+	ids := make(map[[2]uint64]bool, len(spans))
+	for _, s := range spans {
+		ids[[2]uint64{s.Trace, s.ID}] = true
+	}
+	var out []Span
+	for _, s := range spans {
+		if s.Parent != 0 && !ids[[2]uint64{s.Trace, s.Parent}] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Roots counts the root spans (one per trace in a healthy run).
+func Roots(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Traces groups spans by trace ID.
+func Traces(spans []Span) map[uint64][]Span {
+	out := make(map[uint64][]Span)
+	for _, s := range spans {
+		out[s.Trace] = append(out[s.Trace], s)
+	}
+	return out
+}

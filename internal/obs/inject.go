@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+)
+
+// The carrier convention: an entry propagates trace context by declaring
+// a struct field of type TraceContext (any name, conventionally "Trace").
+// The zero value is a wildcard under tuple matching, so templates keep
+// matching regardless of what trace a live entry carries, and entry types
+// without the field simply don't participate — Inject returns them
+// unchanged and Extract reports no trace.
+
+var (
+	traceContextType = reflect.TypeOf(TraceContext{})
+	carrierCache     sync.Map // reflect.Type → int (field index, -1 if none)
+)
+
+// carrierIndex returns the index of st's TraceContext field (-1 if none),
+// cached per type like the tuplespace matcher's typeInfo.
+func carrierIndex(st reflect.Type) int {
+	if idx, ok := carrierCache.Load(st); ok {
+		return idx.(int)
+	}
+	idx := -1
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type == traceContextType && f.IsExported() {
+			idx = i
+			break
+		}
+	}
+	carrierCache.Store(st, idx)
+	return idx
+}
+
+// Extract reads the trace context carried by an entry (struct or pointer
+// to struct). Entries without a carrier field yield the zero context.
+func Extract(e interface{}) TraceContext {
+	v := reflect.ValueOf(e)
+	for v.Kind() == reflect.Ptr {
+		if v.IsNil() {
+			return TraceContext{}
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return TraceContext{}
+	}
+	idx := carrierIndex(v.Type())
+	if idx < 0 {
+		return TraceContext{}
+	}
+	return v.Field(idx).Interface().(TraceContext)
+}
+
+// Inject returns a copy of entry e with its carrier field set to tc. The
+// original is never mutated (entries may be shared); entries without a
+// carrier field are returned as-is. Pointer entries come back as a
+// pointer to a modified copy.
+func Inject(e interface{}, tc TraceContext) interface{} {
+	v := reflect.ValueOf(e)
+	ptr := false
+	for v.Kind() == reflect.Ptr {
+		if v.IsNil() {
+			return e
+		}
+		ptr = true
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return e
+	}
+	idx := carrierIndex(v.Type())
+	if idx < 0 {
+		return e
+	}
+	cp := reflect.New(v.Type())
+	cp.Elem().Set(v)
+	cp.Elem().Field(idx).Set(reflect.ValueOf(tc))
+	if ptr {
+		return cp.Interface()
+	}
+	return cp.Elem().Interface()
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/snmp"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+var testEpoch = time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+type tracedEntry struct {
+	Job   string `space:"index"`
+	ID    int
+	Trace TraceContext
+}
+
+type plainEntry struct {
+	Job string
+	N   int
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	tr := NewTracer(1).KeepAll()
+	var done bool
+	clk.Run(func() {
+		root := tr.StartRoot(clk, "plan", "master")
+		clk.Sleep(10 * time.Millisecond)
+		child := tr.StartChild(clk, root.Context(), "execute", "node01")
+		clk.Sleep(5 * time.Millisecond)
+		child.End()
+		root.End()
+		tr.RecordSince(clk, root.Context(), "take", "node01", clk.Now().Add(-2*time.Millisecond))
+		done = true
+	})
+	if !done {
+		t.Fatal("virtual run did not complete")
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if got := Roots(spans); got != 1 {
+		t.Fatalf("Roots = %d, want 1", got)
+	}
+	if orphans := Orphans(spans); len(orphans) != 0 {
+		t.Fatalf("orphans: %+v", orphans)
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["execute"].Duration != 5*time.Millisecond {
+		t.Fatalf("execute duration = %v, want 5ms", byName["execute"].Duration)
+	}
+	if byName["plan"].Parent != 0 || byName["execute"].Parent != byName["plan"].ID {
+		t.Fatal("span parentage broken")
+	}
+	if byName["take"].Duration != 2*time.Millisecond {
+		t.Fatalf("retroactive take duration = %v, want 2ms", byName["take"].Duration)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	clk := vclock.NewReal()
+	var tr *Tracer
+	sp := tr.StartRoot(clk, "plan", "master")
+	if sp != nil {
+		t.Fatal("nil tracer must yield nil spans")
+	}
+	sp.End() // no panic
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+	if tr.StartChild(clk, TraceContext{TraceID: 1, SpanID: 2}, "x", "n") != nil {
+		t.Fatal("nil tracer child must be nil")
+	}
+	tr.RecordSince(clk, TraceContext{TraceID: 1}, "x", "n", clk.Now())
+	// A real tracer refuses children of invalid contexts (no orphans).
+	tr2 := NewTracer(7)
+	if tr2.StartChild(clk, TraceContext{}, "x", "n") != nil {
+		t.Fatal("child of invalid context must be nil")
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tc := TraceContext{TraceID: 42, SpanID: 7}
+
+	// Value entry: original untouched, copy carries the context.
+	orig := tracedEntry{Job: "mc", ID: 3}
+	got := Inject(orig, tc)
+	if orig.Trace.Valid() {
+		t.Fatal("Inject mutated the original")
+	}
+	if Extract(got) != tc {
+		t.Fatalf("Extract = %+v, want %+v", Extract(got), tc)
+	}
+	if e := got.(tracedEntry); e.Job != "mc" || e.ID != 3 {
+		t.Fatalf("Inject lost fields: %+v", e)
+	}
+
+	// Pointer entry: returned as pointer to a modified copy.
+	p := &tracedEntry{Job: "mc", ID: 4}
+	gp := Inject(p, tc)
+	if p.Trace.Valid() {
+		t.Fatal("Inject mutated through the pointer")
+	}
+	if Extract(gp) != tc {
+		t.Fatal("pointer inject/extract roundtrip failed")
+	}
+	if _, ok := gp.(*tracedEntry); !ok {
+		t.Fatalf("pointer entry came back as %T", gp)
+	}
+
+	// Entries without a carrier pass through untouched.
+	pe := plainEntry{Job: "x", N: 1}
+	if got := Inject(pe, tc); got.(plainEntry) != pe {
+		t.Fatal("carrier-less entry must pass through")
+	}
+	if Extract(pe).Valid() {
+		t.Fatal("carrier-less entry must extract zero")
+	}
+
+	// Zeroing clears the carrier (the master does this before dedup
+	// fingerprinting so retried results stay byte-identical).
+	cleared := Inject(got, TraceContext{})
+	if Extract(cleared).Valid() {
+		t.Fatal("zero inject must clear the carrier")
+	}
+}
+
+// The zero carrier must stay a wildcard: a template without a trace must
+// match an entry carrying one.
+func TestCarrierIsMatchingWildcard(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	ts := tuplespace.New(clk)
+	e := Inject(tracedEntry{Job: "mc", ID: 9}, TraceContext{TraceID: 5, SpanID: 6})
+	if _, err := ts.Write(e, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ts.TakeIfExists(tracedEntry{Job: "mc"}, nil)
+	if err != nil {
+		t.Fatalf("traced entry did not match zero-trace template: %v", err)
+	}
+	if Extract(got) != (TraceContext{TraceID: 5, SpanID: 6}) {
+		t.Fatal("trace context lost through the space")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	tr := NewTracer(3).KeepAll()
+	clk.Run(func() {
+		root := tr.StartRoot(clk, "plan", "master")
+		clk.Sleep(time.Millisecond)
+		c := tr.StartChild(clk, root.Context(), "execute", "node01")
+		clk.Sleep(time.Millisecond)
+		c.End()
+		root.End()
+	})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 || meta != 2 {
+		t.Fatalf("got %d complete + %d meta events, want 2 + 2", complete, meta)
+	}
+	var jl bytes.Buffer
+	if err := WriteJSONL(&jl, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(jl.String(), "\n"); lines != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+func TestInstrumentedSpaceRecordsOps(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	reg := metrics.NewRegistry()
+	local := space.NewLocal(clk)
+	sp := InstrumentSpace(local, clk, reg, metrics.HistSpacePrefix)
+	clk.Run(func() {
+		if _, err := sp.Write(tracedEntry{Job: "a", ID: 1}, nil, tuplespace.Forever); err != nil {
+			t.Error(err)
+		}
+		if _, err := sp.Take(tracedEntry{Job: "a"}, nil, time.Second); err != nil {
+			t.Error(err)
+		}
+		if _, err := sp.Count(tracedEntry{}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, name := range []string{"space:write", "space:take", "space:count"} {
+		if got := reg.Histogram(name).Count(); got != 1 {
+			t.Errorf("%s count = %d, want 1", name, got)
+		}
+	}
+	if ns, ok := sp.(interface{ NumShards() int }); !ok || ns.NumShards() != 1 {
+		t.Fatal("instrumented space must report NumShards")
+	}
+	// Disabled registry: wrapping is the identity.
+	if InstrumentSpace(local, clk, nil, "x:") != space.Space(local) {
+		t.Fatal("nil registry must return the space unchanged")
+	}
+}
+
+func TestServerMiddlewareRecords(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	h := metrics.NewHistogram()
+	srv := transport.NewServer()
+	srv.Handle("space.Ping", func(arg interface{}) (interface{}, error) {
+		clk.Sleep(3 * time.Millisecond)
+		return "pong", nil
+	})
+	srv.WrapPrefix("space.", ServerMiddleware(clk, h))
+	clk.Run(func() {
+		if _, err := srv.Dispatch("space.Ping", nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if h.Count() != 1 || h.Max() != 3*time.Millisecond {
+		t.Fatalf("middleware recorded count=%d max=%v, want 1, 3ms", h.Count(), h.Max())
+	}
+}
+
+func TestHTTPMetricsAndTracez(t *testing.T) {
+	o := New(1)
+	o.Tracer.KeepAll()
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		sp := o.Tracer.StartRoot(clk, "plan", "master")
+		clk.Sleep(2 * time.Millisecond)
+		sp.End()
+	})
+	o.Hist(metrics.HistWorkerTask).Record(10 * time.Millisecond)
+	o.Hist(metrics.HistWorkerTask).Record(20 * time.Millisecond)
+	o.Counters.Inc(metrics.CounterWALRecords)
+	o.Registry.RegisterGauge(metrics.GaugeTasksPending, func() int64 { return 5 })
+
+	h := Handler(o)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE gospaces_worker_task_seconds histogram",
+		"gospaces_worker_task_seconds_count 2",
+		"gospaces_worker_task_seconds_bucket{le=\"+Inf\"} 2",
+		"gospaces_wal_records_total 1",
+		"gospaces_master_tasks_pending 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if !strings.Contains(rec.Body.String(), "plan") {
+		t.Errorf("/tracez missing span: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/heap", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof heap status = %d", rec.Code)
+	}
+}
+
+type localExchanger struct{ a *snmp.Agent }
+
+func (l localExchanger) Exchange(req []byte) ([]byte, error) { return l.a.HandlePacket(req), nil }
+
+func (localExchanger) Close() error { return nil }
+
+func TestExportMIBMatchesRegistry(t *testing.T) {
+	o := New(1)
+	o.Registry.RegisterGauge(metrics.GaugeTasksPending, func() int64 { return 11 })
+	o.Registry.RegisterGauge(metrics.GaugeTasksInFlight, func() int64 { return 2 })
+	o.Registry.RegisterGauge(metrics.GaugeTasksPlanned, func() int64 { return 24 })
+	o.Registry.RegisterGauge(metrics.GaugeResultsCollected, func() int64 { return 13 })
+	o.Registry.RegisterGauge(metrics.GaugeWorkersRunning, func() int64 { return 4 })
+	o.Registry.RegisterGauge(metrics.GaugeShardOps(0), func() int64 { return 100 })
+	o.Registry.RegisterGauge(metrics.GaugeShardOps(1), func() int64 { return 50 })
+
+	mib := snmp.NewMIB()
+	ExportMIB(mib, o, 2)
+	mgr := snmp.NewManager("public", localExchanger{snmp.NewAgent("public", mib)})
+	for _, tc := range []struct {
+		oid  snmp.OID
+		want int64
+	}{
+		{snmp.OIDFrameworkTasksPending, 11},
+		{snmp.OIDFrameworkTasksInFlight, 2},
+		{snmp.OIDFrameworkTasksPlanned, 24},
+		{snmp.OIDFrameworkResultsCollected, 13},
+		{snmp.OIDFrameworkWorkersRunning, 4},
+		{snmp.OIDFrameworkShardOps(0), 100},
+		{snmp.OIDFrameworkShardOps(1), 50},
+	} {
+		got, err := mgr.GetInt(tc.oid)
+		if err != nil {
+			t.Fatalf("GET %v: %v", tc.oid, err)
+		}
+		if got != tc.want {
+			t.Errorf("GET %v = %d, want %d", tc.oid, got, tc.want)
+		}
+	}
+}

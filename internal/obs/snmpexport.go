@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"gospaces/internal/metrics"
+	"gospaces/internal/snmp"
+)
+
+// ExportMIB registers the framework's pipeline gauges on mib under the
+// private-enterprise framework subtree (1.3.6.1.4.1.52429.2), reading
+// the exact same registry gauges the /metrics page renders — an SNMP GET
+// and a /metrics scrape taken together must agree. shards is how many
+// per-shard op counters to expose (…2.6.1 … …2.6.shards).
+//
+// This is the paper-faithful half of the ops surface: the netmgmt module
+// already speaks SNMP to every node's agent; with this MIB bound on the
+// master's agent it can watch the computation itself the same way.
+func ExportMIB(mib *snmp.MIB, o *Obs, shards int) {
+	if mib == nil || o == nil || o.Registry == nil {
+		return
+	}
+	reg := o.Registry
+	gauge := func(name string) func() snmp.Value {
+		return func() snmp.Value {
+			v, _ := reg.Gauge(name)
+			if v < 0 {
+				v = 0
+			}
+			return snmp.Gauge32(uint32(v))
+		}
+	}
+	counter := func(name string) func() snmp.Value {
+		return func() snmp.Value {
+			v, _ := reg.Gauge(name)
+			if v < 0 {
+				v = 0
+			}
+			return snmp.Counter32(uint32(v))
+		}
+	}
+	mib.Register(snmp.OIDFrameworkTasksPending, gauge(metrics.GaugeTasksPending))
+	mib.Register(snmp.OIDFrameworkTasksInFlight, gauge(metrics.GaugeTasksInFlight))
+	mib.Register(snmp.OIDFrameworkTasksPlanned, counter(metrics.GaugeTasksPlanned))
+	mib.Register(snmp.OIDFrameworkResultsCollected, counter(metrics.GaugeResultsCollected))
+	mib.Register(snmp.OIDFrameworkWorkersRunning, gauge(metrics.GaugeWorkersRunning))
+	for i := 0; i < shards; i++ {
+		mib.Register(snmp.OIDFrameworkShardOps(i), counter(metrics.GaugeShardOps(i)))
+	}
+}

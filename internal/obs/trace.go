@@ -1,0 +1,196 @@
+// Package obs is the framework's observability layer: causal tracing of
+// every task through the plan → take → execute → aggregate pipeline,
+// latency histograms for every space operation, shard, WAL sync and
+// worker task, and the live ops surfaces that expose them — an HTTP
+// endpoint (Prometheus text + pprof + /tracez) and, faithful to the
+// paper's management substrate, an SNMP MIB served by the same agent
+// machinery the network management module already polls.
+//
+// Everything is opt-in and nil-safe: a nil *Obs (or nil *Tracer /
+// *metrics.Registry inside one) turns every call site into a cheap
+// branch, so disabled observability costs nothing on hot paths.
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// TraceContext identifies a position in a task's span tree. It rides
+// inside task and result entries (any struct field of this type is the
+// carrier — see Inject/Extract), so causality survives the space: a task
+// re-taken after its worker crashed still points at the original trace.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context belongs to a real trace. The zero
+// value is "no trace" — which also makes the carrier field a wildcard
+// under tuple matching.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Span is one completed stage of one task.
+type Span struct {
+	Trace    uint64        `json:"trace"`
+	ID       uint64        `json:"id"`
+	Parent   uint64        `json:"parent,omitempty"` // 0 for roots
+	Name     string        `json:"name"`             // stage: plan, take, execute, aggregate, …
+	Node     string        `json:"node"`             // "master" or the worker's node name
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"dur"`
+}
+
+// defaultKeep bounds the tracer's ring buffer: /tracez and chaos tests
+// need recent spans, not unbounded history. Exporting full traces
+// (cmd/expt -trace) switches to KeepAll.
+const defaultKeep = 4096
+
+// Tracer mints span IDs and records completed spans. Timestamps come
+// from the clock each caller passes (master and workers may run on a
+// shared virtual clock); ID generation is seeded, so a run's trace IDs
+// are reproducible. All methods are safe on a nil *Tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	spans   []Span
+	next    int // ring write position when bounded
+	keepAll bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer with a bounded recent-span buffer.
+func NewTracer(seed int64) *Tracer {
+	return &Tracer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// KeepAll makes the tracer retain every span (for -trace exports and
+// span-tree assertions) instead of the recent-spans ring. Returns t for
+// chaining.
+func (t *Tracer) KeepAll() *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.keepAll = true
+	t.mu.Unlock()
+	return t
+}
+
+// id mints a non-zero identifier. Caller holds t.mu.
+func (t *Tracer) id() uint64 {
+	for {
+		if v := t.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+func (t *Tracer) add(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.keepAll || len(t.spans) < defaultKeep {
+		t.spans = append(t.spans, s)
+		return
+	}
+	t.spans[t.next] = s
+	t.next = (t.next + 1) % defaultKeep
+	t.dropped++
+}
+
+// ActiveSpan is a started, not-yet-recorded span. A nil *ActiveSpan (from
+// a nil tracer, or a child of an invalid context) ignores End and returns
+// a zero Context, so call sites never branch.
+type ActiveSpan struct {
+	t    *Tracer
+	clk  vclock.Clock
+	span Span
+}
+
+// StartRoot opens a new trace with a root span timed on clk.
+func (t *Tracer) StartRoot(clk vclock.Clock, name, node string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tr, id := t.id(), t.id()
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, clk: clk, span: Span{
+		Trace: tr, ID: id, Name: name, Node: node, Start: clk.Now(),
+	}}
+}
+
+// StartChild opens a span under parent. An invalid parent (an entry that
+// carried no trace) yields nil: better no span than an orphan.
+func (t *Tracer) StartChild(clk vclock.Clock, parent TraceContext, name, node string) *ActiveSpan {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	t.mu.Lock()
+	id := t.id()
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, clk: clk, span: Span{
+		Trace: parent.TraceID, ID: id, Parent: parent.SpanID,
+		Name: name, Node: node, Start: clk.Now(),
+	}}
+}
+
+// RecordSince records a completed child span retroactively, spanning
+// start → now on clk. Used where the parent context is only known after
+// the fact — a worker learns a task's trace only once Take returns, but
+// the take stage started earlier.
+func (t *Tracer) RecordSince(clk vclock.Clock, parent TraceContext, name, node string, start time.Time) {
+	if t == nil || !parent.Valid() {
+		return
+	}
+	t.mu.Lock()
+	id := t.id()
+	t.mu.Unlock()
+	t.add(Span{
+		Trace: parent.TraceID, ID: id, Parent: parent.SpanID,
+		Name: name, Node: node, Start: start, Duration: clk.Since(start),
+	})
+}
+
+// Context returns the span's position for propagation into an entry.
+func (s *ActiveSpan) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.span.Trace, SpanID: s.span.ID}
+}
+
+// End records the span with its duration measured on the span's clock.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.Duration = s.clk.Since(s.span.Start)
+	s.t.add(s.span)
+}
+
+// Spans returns a copy of the retained spans (oldest first under
+// KeepAll; ring order otherwise).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans the bounded ring evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

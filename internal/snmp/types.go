@@ -227,7 +227,25 @@ var (
 	// distinguish simply do not register it, and managers fall back to
 	// hrProcessorLoad.
 	OIDBackgroundLoad = MustOID("1.3.6.1.4.1.52429.1.1")
+
+	// Framework subtree (…52429.2): the master exports its own task
+	// pipeline through SNMP, so the network management module can watch
+	// the computation with the same protocol it uses for node CPU load.
+	// Values mirror the metrics registry gauges one-for-one (the /metrics
+	// page and an SNMP walk must agree).
+	OIDFrameworkTasksPending     = MustOID("1.3.6.1.4.1.52429.2.1") // Gauge32: task entries in the space
+	OIDFrameworkTasksInFlight    = MustOID("1.3.6.1.4.1.52429.2.2") // Gauge32: taken, result not yet collected
+	OIDFrameworkTasksPlanned     = MustOID("1.3.6.1.4.1.52429.2.3") // Counter32: tasks written since start
+	OIDFrameworkResultsCollected = MustOID("1.3.6.1.4.1.52429.2.4") // Counter32: results aggregated since start
+	OIDFrameworkWorkersRunning   = MustOID("1.3.6.1.4.1.52429.2.5") // Gauge32: workers in the Running state
 )
+
+// OIDFrameworkShardOps returns shard i's served-operation counter OID
+// (…52429.2.6.<i+1>; instances are 1-based as SNMP tables are).
+func OIDFrameworkShardOps(i int) OID {
+	base := MustOID("1.3.6.1.4.1.52429.2.6")
+	return append(base, uint32(i+1))
+}
 
 // sortOIDs sorts a slice of OIDs lexicographically (used by MIB walks).
 func sortOIDs(oids []OID) {

@@ -33,11 +33,15 @@ type DurableOptions struct {
 	// Strict makes journal failures surface as space operation errors:
 	// nothing is acknowledged that was not logged.
 	Strict bool
-	// Counters, when non-nil, receives wal:* and journal_errors counts.
+	// Counters, when non-nil, receives wal:* and journal:errors counts.
 	Counters *metrics.Counters
 	// WrapWriter optionally wraps the WAL's segment writer — the fault
 	// layer's disk-error injection hook.
 	WrapWriter func(io.Writer) io.Writer
+	// AppendHist / SyncHist, when non-nil, receive per-append and
+	// per-fsync WAL latencies (see wal.Options).
+	AppendHist *metrics.Histogram
+	SyncHist   *metrics.Histogram
 }
 
 // RecoveryInfo describes what a durable space reconstructed on open.
@@ -87,6 +91,8 @@ func NewLocalDurable(clock vclock.Clock, opts DurableOptions) (*Local, *Durable,
 		FsyncEvery:  opts.FsyncEvery,
 		Counters:    opts.Counters,
 		WrapWriter:  opts.WrapWriter,
+		AppendHist:  opts.AppendHist,
+		SyncHist:    opts.SyncHist,
 	}
 	log, rec, err := wal.Open(opts.Dir, wopts)
 	if err != nil {

@@ -31,8 +31,11 @@ import (
 // storage.
 
 // CounterJournalErrors is the metrics key under which failed journal
-// appends are counted (strict and non-strict mode alike).
-const CounterJournalErrors = "journal_errors"
+// appends are counted (strict and non-strict mode alike). The string is
+// owned by the canonical name set in internal/metrics/names.go — this
+// used to be the ad-hoc "journal_errors", the one key that broke the
+// "<subsystem>:<metric>" convention.
+const CounterJournalErrors = metrics.CounterJournalErrors
 
 // maxJournalRecord bounds one framed record on stream replay; a length
 // prefix beyond it means the stream is garbage, not a record.

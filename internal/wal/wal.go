@@ -92,17 +92,19 @@ const (
 	maxRecordSize = 64 << 20
 )
 
-// Counter keys published to Options.Counters.
+// Counter keys published to Options.Counters. The strings are owned by
+// the canonical metric-name set in internal/metrics/names.go; these
+// aliases keep call sites and tests reading naturally.
 const (
-	CounterRecords           = "wal:records"            // records appended
-	CounterSegments          = "wal:segments"           // segment files created
-	CounterSnapshots         = "wal:snapshots"          // snapshots written
-	CounterSegmentsCompacted = "wal:segments_compacted" // segments deleted behind a snapshot
-	CounterAppendErrors      = "wal:append_errors"      // failed appends
-	CounterSnapshotRestored  = "wal:recovered_snapshot" // records restored from the snapshot on open
-	CounterTailRestored      = "wal:recovered_records"  // records replayed from post-snapshot segments on open
-	CounterTruncatedBytes    = "wal:truncated_bytes"    // torn tail bytes discarded on open
-	CounterRecoveryMs        = "wal:recovery_ms"        // wall-clock milliseconds spent in Open
+	CounterRecords           = metrics.CounterWALRecords           // records appended
+	CounterSegments          = metrics.CounterWALSegments          // segment files created
+	CounterSnapshots         = metrics.CounterWALSnapshots         // snapshots written
+	CounterSegmentsCompacted = metrics.CounterWALSegmentsCompacted // segments deleted behind a snapshot
+	CounterAppendErrors      = metrics.CounterWALAppendErrors      // failed appends
+	CounterSnapshotRestored  = metrics.CounterWALSnapshotRestored  // records restored from the snapshot on open
+	CounterTailRestored      = metrics.CounterWALTailRestored      // records replayed from post-snapshot segments on open
+	CounterTruncatedBytes    = metrics.CounterWALTruncatedBytes    // torn tail bytes discarded on open
+	CounterRecoveryMs        = metrics.CounterWALRecoveryMs        // wall-clock milliseconds spent in Open
 )
 
 // Options configures a Log. The zero value is usable: 1 MiB segments,
@@ -121,6 +123,12 @@ type Options struct {
 	// the fault layer uses to inject disk write errors. Syncing still
 	// targets the underlying file.
 	WrapWriter func(io.Writer) io.Writer
+	// AppendHist / SyncHist, when non-nil, receive the wall-clock latency
+	// of each Append (rotation + framing + write) and each fsync. These
+	// are real disk times even under a virtual clock — the log does real
+	// I/O regardless of how the cluster's time is modeled.
+	AppendHist *metrics.Histogram
+	SyncHist   *metrics.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -363,6 +371,10 @@ func syncDir(dir string) error {
 func (l *Log) Append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if h := l.opts.AppendHist; h != nil {
+		start := time.Now()
+		defer func() { h.Record(time.Since(start)) }()
+	}
 	if l.closed {
 		return errors.New("wal: append to closed log")
 	}
@@ -422,8 +434,12 @@ func (l *Log) syncLocked() error {
 	if l.unsynced == 0 {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if h := l.opts.SyncHist; h != nil {
+		h.Record(time.Since(start))
 	}
 	l.unsynced = 0
 	l.lastSync = time.Now()

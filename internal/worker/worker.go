@@ -15,6 +15,7 @@ import (
 
 	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
+	"gospaces/internal/obs"
 	"gospaces/internal/rulebase"
 	"gospaces/internal/space"
 	"gospaces/internal/sysmon"
@@ -50,6 +51,10 @@ type Config struct {
 	ParkPoll time.Duration
 	// Collector, if set, receives per-task timing samples.
 	Collector *metrics.Collector
+	// Obs, if set, enables causal tracing ("take" and "execute" spans
+	// parented to the task's plan span) and the worker task-latency
+	// histogram. Nil disables both at zero cost.
+	Obs *obs.Obs
 }
 
 // SignalRecord logs one received control signal with the protocol's two
@@ -109,6 +114,10 @@ var ErrBadSignal = errors.New("worker: signal not valid in current state")
 type Worker struct {
 	cfg Config
 
+	// histTask is the worker task-latency histogram, resolved once so the
+	// task loop avoids the registry lookup; nil when Config.Obs is nil.
+	histTask *metrics.Histogram
+
 	mu        sync.Mutex
 	target    rulebase.State // state requested by the rule-base protocol
 	state     rulebase.State // state the run loop has actually entered
@@ -130,7 +139,11 @@ func New(cfg Config) *Worker {
 	if cfg.ParkPoll <= 0 {
 		cfg.ParkPoll = 500 * time.Millisecond
 	}
-	return &Worker{cfg: cfg, target: rulebase.StateStopped, state: rulebase.StateStopped}
+	w := &Worker{cfg: cfg, target: rulebase.StateStopped, state: rulebase.StateStopped}
+	if cfg.Obs != nil {
+		w.histTask = cfg.Obs.Hist(metrics.HistWorkerTask)
+	}
+	return w
 }
 
 // Bind exposes the worker's signal endpoint on an RPC server (the SNMP
@@ -375,6 +388,7 @@ func (w *Worker) runOneTask() {
 			return
 		}
 	}
+	takeStart := w.cfg.Clock.Now()
 	task, err := w.cfg.Space.Take(w.cfg.TaskTemplate, tx, w.cfg.PollTimeout)
 	if err != nil {
 		if tx != nil {
@@ -389,6 +403,11 @@ func (w *Worker) runOneTask() {
 		}
 		return // loop re-checks signals
 	}
+	// The task's trace context is only known now that Take returned, so
+	// the take stage is recorded retroactively.
+	tracer := w.cfg.Obs.T()
+	tc := obs.Extract(task)
+	tracer.RecordSince(w.cfg.Clock, tc, "take", w.cfg.Node, takeStart)
 	now := w.cfg.Clock.Now()
 	w.mu.Lock()
 	if w.stats.FirstTaskAt.IsZero() {
@@ -398,17 +417,24 @@ func (w *Worker) runOneTask() {
 	w.mu.Unlock()
 
 	start := w.cfg.Clock.Now()
+	execSpan := tracer.StartChild(w.cfg.Clock, tc, "execute", w.cfg.Node)
 	result, err := prog.Execute(nodeconfig.ExecContext{
 		Clock:   w.cfg.Clock,
 		Machine: w.cfg.Machine,
 		Node:    w.cfg.Node,
 	}, task)
+	execSpan.End()
 	if err != nil {
 		if tx != nil {
 			_ = tx.Abort() // the task reappears for another worker
 		}
 		w.taskFailed()
 		return
+	}
+	if execSpan != nil {
+		// The result carries the execute span so the master can parent its
+		// aggregate span to it.
+		result = obs.Inject(result, execSpan.Context())
 	}
 	if _, err := w.cfg.Space.Write(result, tx, tuplespace.Forever); err != nil {
 		if tx != nil {
@@ -429,6 +455,7 @@ func (w *Worker) runOneTask() {
 	if w.cfg.Collector != nil {
 		w.cfg.Collector.Add("task:"+w.cfg.Node, done.Sub(start))
 	}
+	w.histTask.Record(done.Sub(start))
 	w.mu.Lock()
 	w.stats.TasksDone++
 	w.stats.LastResultAt = done

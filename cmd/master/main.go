@@ -16,10 +16,18 @@
 // space contents before serving — JavaSpaces' persistent (Outrigger)
 // mode. -fsync picks the sync policy (always, interval, never).
 //
+// With -replicas 1 every hosted shard gets a hot standby on its own
+// listener: journal records ship to it synchronously (-replack sync) or
+// in the background (-replack async), and if the primary's heartbeats and
+// lookup lease both go silent for -failover-timeout the standby promotes
+// itself and re-registers under the shard's ring position at a higher
+// epoch. See internal/replica for the protocol.
+//
 // Usage:
 //
 //	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -shards 4 -spread
 //	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -datadir /var/lib/gospaces
+//	master -addr 127.0.0.1:7002 -lookup 127.0.0.1:7001 -job montecarlo -shards 2 -replicas 1
 package main
 
 import (
@@ -39,10 +47,12 @@ import (
 	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/obs"
+	"gospaces/internal/replica"
 	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
 	"gospaces/internal/wal"
 )
@@ -59,8 +69,11 @@ func main() {
 	shards := flag.Int("shards", 1, "number of space shard servers to host")
 	spread := flag.Bool("spread", false, "key each montecarlo task individually so the bag spreads across shards")
 	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6060")
+	replicas := flag.Int("replicas", 0, "hot standbys per hosted shard (0 or 1); 1 enables primary/backup replication with automatic failover")
+	replack := flag.String("replack", "sync", "replication acknowledgement mode: sync (ack after the standby confirms) or async")
+	failoverTimeout := flag.Duration("failover-timeout", 2*time.Second, "heartbeat/lease silence after which a standby promotes itself")
 	flag.Parse()
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr); err != nil {
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -103,11 +116,21 @@ func buildJob(name string, sims int, spread bool) (master.Job, func(), error) {
 	}
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string) error {
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
 		return err
+	}
+	if replicas < 0 || replicas > 1 {
+		return fmt.Errorf("-replicas must be 0 or 1, got %d", replicas)
+	}
+	ackMode, err := replica.ParseAckMode(replack)
+	if err != nil {
+		return fmt.Errorf("bad -replack: %w", err)
+	}
+	if replicas > 0 && journalPath != "" {
+		return fmt.Errorf("-replicas is incompatible with the legacy -journal persistence")
 	}
 	// The ops surface is opt-in; a nil *obs.Obs makes every instrumentation
 	// call below a no-op.
@@ -149,24 +172,44 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		hosted    []shard.Shard
 		sweeper   shard.MultiSweeper
 		infos     = make([]space.RecoveryInfo, numShards)
+		durables  = make([]*space.Durable, numShards)
+		pairs     []*replicaPair
 		shard0Srv *transport.Server
 	)
+	if replicas > 0 {
+		pairs = make([]*replicaPair, numShards)
+	}
+	rcfg := replicaConfig{
+		host: host, dataDir: dataDir, fsync: fsyncPolicy,
+		ft: failoverTimeout, ack: ackMode, jobName: jobName, shards: numShards,
+	}
 	for i := 0; i < numShards; i++ {
+		// With replication on, the shard's journal records tee into a
+		// switchable sink that the primary controller drains to its standby.
+		var psw *replica.SwitchSink
+		if replicas > 0 {
+			psw = replica.NewSwitchSink()
+		}
 		var local *space.Local
 		switch {
 		case dataDir != "":
-			var d *space.Durable
-			local, d, err = space.NewLocalDurable(clk, space.DurableOptions{
+			dopts := space.DurableOptions{
 				Dir:        filepath.Join(dataDir, fmt.Sprintf("shard%d", i)),
 				Fsync:      fsyncPolicy,
 				Counters:   o.Ctr(),
 				AppendHist: o.Reg().Histogram(metrics.HistWALAppend),
 				SyncHist:   o.Reg().Histogram(metrics.HistWALFsync),
-			})
+			}
+			if psw != nil {
+				dopts.Tee = psw
+			}
+			var d *space.Durable
+			local, d, err = space.NewLocalDurable(clk, dopts)
 			if err != nil {
 				return fmt.Errorf("durable shard %d: %w", i, err)
 			}
 			defer d.Close()
+			durables[i] = d
 			infos[i] = d.Info()
 			log.Printf("master: shard %d recovered %d entries in %v (%d snapshot + %d tail records)",
 				i, infos[i].Restored, infos[i].Elapsed.Round(time.Millisecond),
@@ -179,9 +222,28 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			log.Printf("master: persistent space journal at %s", journalPath)
 		default:
 			local = space.NewLocal(clk)
+			if psw != nil {
+				if err := local.TS.AttachJournal(tuplespace.NewJournalSink(psw)); err != nil {
+					return fmt.Errorf("journal for shard %d: %w", i, err)
+				}
+			}
 		}
 		srv := transport.NewServer()
 		space.NewService(local, srv)
+		handle := space.Space(local)
+		if replicas > 0 {
+			// Built directly after NewService so the replication middleware
+			// sits innermost — sync-mode mutations confirm the standby's
+			// apply before the obs layer sees the reply.
+			rp, err := newReplicaPair(i, clk, o, local, srv, psw, rcfg)
+			if err != nil {
+				return err
+			}
+			pairs[i] = rp
+			defer rp.stop()
+			handle = rp.primaryHandle(local)
+			sweeper = append(sweeper, rp.blocal.Mgr)
+		}
 		if reg := o.Reg(); reg != nil {
 			srv.WrapPrefix("space.", obs.ServerMiddleware(clk, reg.Histogram(metrics.HistShardServe(i))))
 		}
@@ -197,9 +259,18 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			return err
 		}
 		defer l.Close()
-		hosted = append(hosted, shard.Shard{ID: l.Addr(), Space: local})
+		sh := shard.Shard{ID: l.Addr(), Space: handle}
+		if replicas > 0 {
+			pairs[i].ringID = l.Addr()
+			sh.Epoch = 1
+		}
+		hosted = append(hosted, sh)
 		sweeper = append(sweeper, local.Mgr)
 		log.Printf("master: space shard %d/%d on %s", i, numShards, l.Addr())
+		if replicas > 0 {
+			log.Printf("master: shard %d standby on %s (%s replication, failover after %v)",
+				i, pairs[i].baddr, ackMode, failoverTimeout)
+		}
 	}
 
 	// Join the lookup federation: one registration per shard, each
@@ -211,6 +282,15 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	defer lc.Close()
 	client := discovery.NewClient(lc)
 	for i, s := range hosted {
+		if pairs != nil {
+			// Replicated shards register on a short lease renewed by the
+			// primary pump (no KeepAlive: a dead primary must let it lapse),
+			// plus a standby registration under a distinct type.
+			if err := pairs[i].register(client, spread, dataDir != ""); err != nil {
+				return err
+			}
+			continue
+		}
 		attrs := map[string]string{
 			"type":           "javaspace",
 			"job":            jobName,
@@ -242,13 +322,29 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		defer ka.Stop()
 	}
 	log.Printf("master: registered %d javaspace shard(s) with lookup at %s", numShards, lookupAddr)
+	for _, rp := range pairs {
+		rp.start()
+	}
 
 	var sp space.Space = hosted[0].Space
 	if numShards > 1 {
-		sp, err = shard.New(shard.Options{Clock: clk, Seed: "master"}, hosted)
+		ropts := shard.Options{Clock: clk, Seed: "master"}
+		if pairs != nil {
+			// On a hard shard failure the router re-resolves the ring
+			// position through the lookup service, picking the registration
+			// with the highest epoch — the promoted standby.
+			ropts.Failover = shard.Resolver(client,
+				map[string]string{"type": "javaspace", "job": jobName},
+				func(a string) (space.Space, error) { return space.Dial(a) })
+			ropts.Counters = o.Ctr()
+		}
+		sp, err = shard.New(ropts, hosted)
 		if err != nil {
 			return err
 		}
+	}
+	if o != nil {
+		setHealth(o, numShards, pairs, durables)
 	}
 	sp = obs.InstrumentSpace(sp, clk, o.Reg(), metrics.HistSpacePrefix)
 	m := master.New(master.Config{

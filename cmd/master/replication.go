@@ -1,0 +1,342 @@
+// Replication assembly for the TCP master: with -replicas 1 every hosted
+// shard gets a hot standby in the same process, on its own listener. The
+// primary's journal records ship to the standby over loopback TCP; the
+// standby watches the heartbeat stream and the primary's lookup lease and
+// promotes itself — re-registering under the shard's ring position at an
+// incremented epoch — if both go silent. Workers (and the master's own
+// router) resolve the promoted registration through the lookup service.
+// The protocol lives in internal/replica; this file is only the wiring.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"gospaces/internal/discovery"
+	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
+	"gospaces/internal/replica"
+	"gospaces/internal/shard"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+	"gospaces/internal/wal"
+)
+
+// replicaPair is one hosted shard's primary/backup pair. The ring ID (the
+// original primary's listen address) names the ring position for the
+// lifetime of the process; the epoch and serving role flip at promotion.
+type replicaPair struct {
+	idx       int
+	ringID    string
+	numShards int
+	jobName   string
+	ft        time.Duration
+	ack       replica.AckMode
+	clk       vclock.Clock
+	o         *obs.Obs
+
+	// Standby node, hosted on its own listener.
+	baddr  string
+	bsrv   *transport.Server
+	blocal *space.Local
+	bsw    *replica.SwitchSink
+	bdur   *space.Durable
+
+	mu          sync.Mutex
+	client      *discovery.Client
+	regID       uint64 // serving primary's lookup lease
+	backupRegID uint64
+	promoted    bool
+	epoch       uint64
+	primary     *replica.Primary
+	backup      *replica.Backup
+	stops       []interface{ Stop() }
+}
+
+// replicaConfig carries the replication flags into the shard loop.
+type replicaConfig struct {
+	host    string
+	dataDir string
+	fsync   wal.FsyncPolicy
+	ft      time.Duration
+	ack     replica.AckMode
+	jobName string
+	shards  int
+}
+
+// newReplicaPair builds shard idx's standby node and both replication
+// controllers. Call it directly after space.NewService(local, srv) so the
+// primary's replication middleware sits innermost (the sync-mode confirm
+// runs before any obs or gate layer sees the reply). The returned pair's
+// primaryHandle gates the master-side handle; the primary's listener
+// address is not known yet, so the caller sets the ring ID afterwards.
+func newReplicaPair(idx int, clk vclock.Clock, o *obs.Obs, local *space.Local, srv *transport.Server, psw *replica.SwitchSink, cfg replicaConfig) (*replicaPair, error) {
+	rp := &replicaPair{
+		idx:       idx,
+		numShards: cfg.shards,
+		jobName:   cfg.jobName,
+		ft:        cfg.ft,
+		ack:       cfg.ack,
+		clk:       clk,
+		o:         o,
+		epoch:     1,
+	}
+
+	// The standby: its own server on an ephemeral port, its own (durable,
+	// when -datadir is set) space, journaling into a switchable sink that
+	// stays dark until this node is promoted and starts shipping onward.
+	rp.bsrv = transport.NewServer()
+	rp.bsw = replica.NewSwitchSink()
+	if cfg.dataDir != "" {
+		var err error
+		rp.blocal, rp.bdur, err = space.NewLocalDurable(clk, space.DurableOptions{
+			Dir:        filepath.Join(cfg.dataDir, fmt.Sprintf("shard%d.backup", idx)),
+			Fsync:      cfg.fsync,
+			Tee:        rp.bsw,
+			Counters:   o.Ctr(),
+			AppendHist: o.Reg().Histogram(metrics.HistWALAppend),
+			SyncHist:   o.Reg().Histogram(metrics.HistWALFsync),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("durable backup for shard %d: %w", idx, err)
+		}
+	} else {
+		rp.blocal = space.NewLocal(clk)
+		if err := rp.blocal.TS.AttachJournal(tuplespace.NewJournalSink(rp.bsw)); err != nil {
+			return nil, fmt.Errorf("backup journal for shard %d: %w", idx, err)
+		}
+	}
+	bl, err := transport.ListenTCP(net.JoinHostPort(cfg.host, "0"), rp.bsrv)
+	if err != nil {
+		return nil, fmt.Errorf("backup listener for shard %d: %w", idx, err)
+	}
+	rp.baddr = bl.Addr()
+
+	p := replica.NewPrimary(local, replica.PrimaryOptions{
+		Clock:    clk,
+		Ack:      cfg.ack,
+		Renew:    rp.renew,
+		Counters: o.Ctr(),
+		ShipHist: o.Reg().Histogram(metrics.HistReplShip),
+	})
+	psw.Set(p.Sink())
+	mc, err := transport.DialTCP(rp.baddr)
+	if err != nil {
+		return nil, fmt.Errorf("dial backup for shard %d: %w", idx, err)
+	}
+	p.SetMirror(mc)
+	srv.WrapPrefix("space.", p.Middleware())
+
+	b := replica.NewBackup(rp.blocal, replica.BackupOptions{
+		Clock:           clk,
+		FailoverTimeout: cfg.ft,
+		LeaseExpired:    rp.leaseExpired,
+		OnPromote:       rp.promote,
+		Counters:        o.Ctr(),
+	})
+	b.Bind(rp.bsrv)
+
+	rp.primary, rp.backup = p, b
+	rp.stops = append(rp.stops, p, b)
+	return rp, nil
+}
+
+// primaryHandle gates the master-side handle of the construction-time
+// primary: mutations confirm replication in sync mode, and are fenced
+// once the node is deposed.
+func (rp *replicaPair) primaryHandle(local *space.Local) space.Space {
+	return rp.primary.Wrap(local)
+}
+
+// register joins the lookup federation: the primary under the shard's
+// ring position on a short lease (renewed by its pump — a dead primary
+// lets it lapse, which is the standby's second failure signal), the
+// standby under a distinct type so worker discovery never routes to it.
+func (rp *replicaPair) register(client *discovery.Client, spread, durable bool) error {
+	rp.mu.Lock()
+	rp.client = client
+	rp.mu.Unlock()
+	attrs := rp.ringAttrs(shard.RolePrimary, 1)
+	if spread {
+		attrs["spread"] = "1"
+	}
+	if durable {
+		attrs["durable"] = "1"
+	}
+	id, err := client.Register(discovery.ServiceItem{
+		Name:       "javaspace",
+		Address:    rp.ringID,
+		Attributes: attrs,
+	}, rp.ft)
+	if err != nil {
+		return fmt.Errorf("register shard %d with lookup: %w", rp.idx, err)
+	}
+	bid, err := client.Register(discovery.ServiceItem{
+		Name:       "javaspace-backup",
+		Address:    rp.baddr,
+		Attributes: rp.ringAttrs(shard.RoleBackup, 0),
+	}, 0)
+	if err != nil {
+		return fmt.Errorf("register shard %d standby with lookup: %w", rp.idx, err)
+	}
+	rp.mu.Lock()
+	rp.regID, rp.backupRegID = id, bid
+	rp.mu.Unlock()
+	return nil
+}
+
+func (rp *replicaPair) ringAttrs(role string, epoch uint64) map[string]string {
+	attrs := map[string]string{
+		"type":           "javaspace",
+		"job":            rp.jobName,
+		shard.AttrShard:  strconv.Itoa(rp.idx),
+		shard.AttrShards: strconv.Itoa(rp.numShards),
+		shard.AttrRing:   rp.ringID,
+		shard.AttrRole:   role,
+	}
+	if role == shard.RoleBackup {
+		attrs["type"] = "javaspace-backup"
+	}
+	if epoch > 0 {
+		attrs[shard.AttrEpoch] = strconv.FormatUint(epoch, 10)
+	}
+	return attrs
+}
+
+// renew extends the serving primary's registration lease — called from
+// the primary pump each heartbeat. A fenced or dead primary stops
+// calling, and the lapse promotes the standby.
+func (rp *replicaPair) renew() {
+	rp.mu.Lock()
+	client, id := rp.client, rp.regID
+	rp.mu.Unlock()
+	if client != nil && id != 0 {
+		_ = client.Renew(id, rp.ft)
+	}
+}
+
+// leaseExpired is the standby's registration-lease failure detector. A
+// lookup-service error is not evidence of a dead primary.
+func (rp *replicaPair) leaseExpired() bool {
+	rp.mu.Lock()
+	client := rp.client
+	rp.mu.Unlock()
+	if client == nil {
+		return false
+	}
+	items, err := client.Lookup(map[string]string{"type": "javaspace", shard.AttrRing: rp.ringID})
+	return err == nil && len(items) == 0
+}
+
+// start launches both controllers' pumps.
+func (rp *replicaPair) start() {
+	go rp.primary.Run()
+	go rp.backup.Run()
+}
+
+// stop shuts every controller ever created, deposed ones included.
+func (rp *replicaPair) stop() {
+	rp.mu.Lock()
+	stops := append([]interface{ Stop() }(nil), rp.stops...)
+	rp.mu.Unlock()
+	for _, s := range stops {
+		s.Stop()
+	}
+}
+
+// promote is the standby's OnPromote glue: bind the space service on the
+// standby's server (replication confirm innermost, obs outermost — the
+// same layering as the original primary), re-register under the ring
+// position at the new epoch, and start gating the promoted node with a
+// fresh primary controller ready to adopt a rejoining standby.
+func (rp *replicaPair) promote(epoch uint64) {
+	space.NewService(rp.blocal, rp.bsrv)
+	p := replica.NewPrimary(rp.blocal, replica.PrimaryOptions{
+		Clock:    rp.clk,
+		Epoch:    epoch,
+		Ack:      rp.ack,
+		Renew:    rp.renew,
+		Counters: rp.o.Ctr(),
+		ShipHist: rp.o.Reg().Histogram(metrics.HistReplShip),
+	})
+	rp.bsw.Set(p.Sink())
+	rp.bsrv.WrapPrefix("space.", p.Middleware())
+	if reg := rp.o.Reg(); reg != nil {
+		rp.bsrv.WrapPrefix("space.", obs.ServerMiddleware(rp.clk, reg.Histogram(metrics.HistShardServe(rp.idx))))
+	}
+
+	rp.mu.Lock()
+	client := rp.client
+	backupRegID := rp.backupRegID
+	rp.mu.Unlock()
+	var id uint64
+	if client != nil {
+		if backupRegID != 0 {
+			_ = client.Cancel(backupRegID)
+		}
+		var err error
+		id, err = client.Register(discovery.ServiceItem{
+			Name:       "javaspace",
+			Address:    rp.baddr,
+			Attributes: rp.ringAttrs(shard.RolePrimary, epoch),
+		}, rp.ft)
+		if err != nil {
+			log.Printf("master: shard %d: re-register promoted standby: %v", rp.idx, err)
+		}
+	}
+
+	rp.mu.Lock()
+	rp.primary = p
+	rp.promoted = true
+	rp.epoch = epoch
+	rp.regID = id
+	rp.backupRegID = 0
+	rp.stops = append(rp.stops, p)
+	rp.mu.Unlock()
+	go p.Run()
+	log.Printf("master: shard %d failover — standby on %s promoted at epoch %d", rp.idx, rp.baddr, epoch)
+}
+
+// setHealth installs the /healthz provider: one entry per hosted shard
+// with the serving node's role, the ring epoch, the primary-observed
+// replication lag, and the serving node's WAL position. pairs is nil when
+// -replicas is 0; durables[i] is nil for non-durable shards.
+func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable) {
+	o.SetHealth(func() obs.Health {
+		h := obs.Health{Status: "ok"}
+		for i := 0; i < numShards; i++ {
+			sh := obs.ShardHealth{Shard: i, Role: shard.RolePrimary}
+			var d *space.Durable
+			if i < len(durables) {
+				d = durables[i]
+			}
+			if pairs != nil {
+				rp := pairs[i]
+				rp.mu.Lock()
+				sh.Epoch = rp.epoch
+				if rp.promoted {
+					// The promoted standby holds the ring position.
+					sh.Role = shard.RoleBackup
+					d = rp.bdur
+				}
+				p := rp.primary
+				rp.mu.Unlock()
+				if p != nil {
+					sh.ReplicationLag = p.Lag()
+				}
+			}
+			if d != nil {
+				sh.WALPosition = d.Log().Position()
+			}
+			h.Shards = append(h.Shards, sh)
+		}
+		return h
+	})
+}

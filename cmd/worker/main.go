@@ -52,13 +52,14 @@ func main() {
 	sim1 := flag.Bool("loadsim1", false, "run load simulator 1 (30-50% CPU)")
 	sim2 := flag.Bool("loadsim2", false, "run load simulator 2 (100% CPU)")
 	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6061")
+	opTimeout := flag.Duration("optimeout", 0, "per-operation deadline on space RPCs (0 = unbounded); timed-out calls fail with space.ErrOpTimeout and, against a dead shard, trigger failover resolution")
 	flag.Parse()
-	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr); err != nil {
+	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr, *opTimeout); err != nil {
 		log.Fatalf("worker: %v", err)
 	}
 }
 
-func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string) error {
+func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string, opTimeout time.Duration) error {
 	tmpl, err := taskTemplate(jobName, false)
 	if err != nil {
 		return err
@@ -117,17 +118,35 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		}
 		clk.Sleep(time.Second)
 	}
-	dial := func(addr string) (space.Space, error) { return space.Dial(addr) }
+	dial := func(addr string) (space.Space, error) {
+		p, err := space.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		if opTimeout > 0 {
+			p = p.WithOpTimeout(clk, opTimeout)
+		}
+		return p, nil
+	}
 	shards, err := shard.Discover(client, spaceTmpl, dial)
 	if err != nil {
 		return err
 	}
+	// A replicated master's registrations carry a ring epoch; route through
+	// the ring even for a single shard so a failed call can resolve the
+	// promoted standby through the lookup service and retry.
+	replicated := item.Attributes[shard.AttrEpoch] != ""
 	var sp space.Space
-	if len(shards) == 1 {
+	if len(shards) == 1 && !replicated {
 		sp = shards[0].Space
 		log.Printf("worker %s: found javaspace at %s", name, shards[0].ID)
 	} else {
-		router, err := shard.New(shard.Options{Clock: clk, Seed: name}, shards)
+		ropts := shard.Options{Clock: clk, Seed: name}
+		if replicated {
+			ropts.Failover = shard.Resolver(client, spaceTmpl, dial)
+			ropts.Counters = o.Ctr()
+		}
+		router, err := shard.New(ropts, shards)
 		if err != nil {
 			return err
 		}
@@ -136,7 +155,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		watcher := shard.NewWatcher(client, clk, router, spaceTmpl, dial, 30*time.Second)
 		go watcher.Run()
 		defer watcher.Stop()
-		log.Printf("worker %s: found %d javaspace shards (ring root %s)", name, len(shards), shards[0].ID)
+		log.Printf("worker %s: found %d javaspace shards (ring root %s, replicated=%v)", name, len(shards), shards[0].ID, replicated)
 	}
 
 	// The code server shares shard 0's listener (the master's address).

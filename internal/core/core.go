@@ -34,12 +34,14 @@ import (
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/obs"
+	"gospaces/internal/replica"
 	"gospaces/internal/rulebase"
 	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
 	"gospaces/internal/space"
 	"gospaces/internal/sysmon"
 	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
 	"gospaces/internal/wal"
 	"gospaces/internal/worker"
@@ -114,6 +116,29 @@ type Config struct {
 	// errors: a write or take that cannot be logged fails loudly instead
 	// of acknowledging lost data.
 	StrictDurability bool
+	// Replicas gives every hosted shard a hot standby: the primary's
+	// journal records stream to a backup space on its own server
+	// ("<shard>.backup"), which promotes itself — incremented epoch,
+	// re-registration under the shard's ring position — when the primary
+	// goes silent. Only 0 (off) and 1 are supported; higher values are
+	// treated as 1. Replication forces a shard.Router on the master and
+	// every worker (pass-through for one shard) so a ring position can be
+	// retargeted onto its promoted backup in place.
+	Replicas int
+	// ReplAck selects when a replicated mutation acknowledges: sync (the
+	// default — after the backup confirmed, so failover loses nothing
+	// acknowledged) or async (immediately, bounded loss window).
+	ReplAck replica.AckMode
+	// FailoverTimeout is how long a backup tolerates heartbeat silence
+	// before promoting itself; it is also the primary's lookup-lease TTL.
+	// Default 2 s.
+	FailoverTimeout time.Duration
+	// OpTimeout bounds each remote space RPC a worker issues (semantic
+	// blocking time excluded — a Take with a 5 s wait gets OpTimeout on
+	// top of it). A stuck server then surfaces as space.ErrOpTimeout,
+	// which the shard router treats as failover-worthy. Zero disables the
+	// deadline.
+	OpTimeout time.Duration
 	// Obs, if set, enables the observability layer end to end: causal
 	// tracing of every task (plan → take → execute → aggregate), latency
 	// histograms on the master's space handle, each shard server, the WAL
@@ -144,6 +169,9 @@ type Framework struct {
 	// Durability carries the wal:* and journal:errors counters when
 	// Config.DataDir is set.
 	Durability *metrics.Counters
+	// Repl carries the repl:* counters (records shipped, promotions,
+	// fenced requests, router failovers) when Config.Replicas is set.
+	Repl *metrics.Counters
 	// MIB is the master's management information base when Config.Obs is
 	// set: the framework gauges exported as SNMP objects, served by an
 	// agent bound on the master's server (the same substrate the network
@@ -156,6 +184,9 @@ type Framework struct {
 	shardAddrs []string
 	gates      []*transport.ServiceGate
 	sweeps     []*swapSweeper
+	repls      []*replShard
+	replMu     sync.Mutex
+	runGroup   *vclock.Group
 }
 
 // swapSweeper lets the master's sweeper (captured once at master.New)
@@ -199,6 +230,10 @@ type Result struct {
 	// Durability is the wal:* / journal:errors counter snapshot when
 	// Config.DataDir was set.
 	Durability map[string]uint64
+	// Replication is the repl:* counter snapshot when Config.Replicas was
+	// set: records shipped, promotions, fenced requests, resyncs, and the
+	// failover count across the master's and every worker's router.
+	Replication map[string]uint64
 	// ObsSummary is the per-stage tail-latency table (p50/p90/p99/max of
 	// every non-empty histogram) when Config.Obs was set.
 	ObsSummary []metrics.StageSummary
@@ -221,6 +256,12 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
+	}
+	if cfg.Replicas > 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.FailoverTimeout <= 0 {
+		cfg.FailoverTimeout = 2 * time.Second
 	}
 
 	clus := cluster.New(clock, model, cfg.Workers)
@@ -251,6 +292,10 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	if cfg.DataDir != "" {
 		f.Durability = metrics.NewCounters()
 	}
+	if cfg.Replicas > 0 {
+		f.Repl = metrics.NewCounters()
+		f.repls = make([]*replShard, cfg.Shards)
+	}
 	shards := make([]shard.Shard, cfg.Shards)
 	sweepers := make(shard.MultiSweeper, cfg.Shards)
 	f.sweeps = make([]*swapSweeper, cfg.Shards)
@@ -266,11 +311,22 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			clus.Net.Listen(addr, srv)
 		}
 		f.shardSrvs[i], f.shardAddrs[i] = srv, addr
+		var rs *replShard
+		var psw *replica.SwitchSink
+		if cfg.Replicas > 0 {
+			rs = &replShard{idx: i, ringID: addr}
+			f.repls[i] = rs
+			psw = replica.NewSwitchSink()
+		}
 		var l *space.Local
 		if cfg.DataDir != "" {
+			dopts := f.durableOptions(i)
+			if psw != nil {
+				dopts.Tee = psw
+			}
 			var d *space.Durable
 			var err error
-			l, d, err = space.NewLocalDurable(clock, f.durableOptions(i))
+			l, d, err = space.NewLocalDurable(clock, dopts)
 			if err != nil {
 				// New has no error return (it predates durability); an
 				// unopenable data directory is a deployment misconfiguration
@@ -280,11 +336,23 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			f.Durables[i] = d
 		} else {
 			l = space.NewLocal(clock)
+			if psw != nil {
+				if err := l.TS.AttachJournal(tuplespace.NewJournalSink(psw)); err != nil {
+					panic(fmt.Sprintf("core: shard %d journal: %v", i, err))
+				}
+			}
 		}
 		f.Shards = append(f.Shards, l)
 		f.sweeps[i] = &swapSweeper{s: l.Mgr}
 		sweepers[i] = f.sweeps[i]
 		space.NewService(l, srv)
+		var p *replica.Primary
+		if rs != nil {
+			// Directly after the service handlers so the replication
+			// middleware sits innermost: a mutation confirms on the backup
+			// before the gate or obs layers see the reply.
+			p = f.setupReplica(rs, l, srv, psw)
+		}
 		var handle space.Space = l
 		if cfg.SpaceOpCost > 0 {
 			// Remote callers pay the gate in the server middleware; the
@@ -302,19 +370,32 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			// callers actually experience at this server.
 			srv.WrapPrefix("space.", obs.ServerMiddleware(clock, reg.Histogram(metrics.HistShardServe(i))))
 		}
-		shards[i] = shard.Shard{ID: addr, Space: handle}
+		if rs != nil {
+			handle = p.Wrap(handle)
+			rs.origHandle = handle
+			shards[i] = shard.Shard{ID: addr, Space: handle, Epoch: 1}
+		} else {
+			shards[i] = shard.Shard{ID: addr, Space: handle}
+		}
 		f.registerShard(i, f.Durables[i], false)
 	}
 	f.Local = f.Shards[0]
 	f.CodeServer.Bind(clus.MasterServer)
 
-	if cfg.Shards == 1 && cfg.DataDir == "" {
+	if cfg.Shards == 1 && cfg.DataDir == "" && cfg.Replicas == 0 {
 		f.Space = shards[0].Space
 	} else {
-		// A router even for a single durable shard: RestartShard re-admits
-		// the recovered space through Router.Replace, which the master's
-		// captured handle then observes.
-		router, err := shard.New(shard.Options{Clock: clock, Seed: "master"}, shards)
+		// A router even for a single durable or replicated shard:
+		// RestartShard re-admits a recovered space through Router.Replace,
+		// and a promotion retargets the ring position through
+		// Router.Retarget — both of which the master's captured handle then
+		// observes.
+		ropts := shard.Options{Clock: clock, Seed: "master"}
+		if cfg.Replicas > 0 {
+			ropts.Counters = f.Repl
+			ropts.Failover = f.localResolver()
+		}
+		router, err := shard.New(ropts, shards)
 		if err != nil {
 			panic(err) // unreachable: shard IDs above are distinct and non-nil
 		}
@@ -350,6 +431,10 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			h := reg.Histogram(metrics.HistShardServe(i))
 			reg.RegisterGauge(metrics.GaugeShardOps(i), func() int64 { return int64(h.Count()) })
 		}
+		if cfg.Replicas > 0 {
+			f.replGauges(reg)
+		}
+		cfg.Obs.SetHealth(f.healthReport)
 		// The master answers SNMP GETs for the framework subtree on its
 		// own server — the same management substrate the network
 		// management module uses towards workers, now pointing back at
@@ -400,11 +485,25 @@ func (f *Framework) registerShard(i int, d *space.Durable, recovered bool) {
 			attrs["recovered"] = "1"
 		}
 	}
-	f.Lookup.Register(discovery.ServiceItem{
+	var ttl time.Duration
+	rs := f.repl(i)
+	if rs != nil {
+		// A replicated primary's registration is a lease: its pump renews
+		// it each heartbeat, and the lapse is the backup's second failure
+		// signal (beside heartbeat silence).
+		attrs[shard.AttrRing] = rs.ringID
+		attrs[shard.AttrRole] = shard.RolePrimary
+		attrs[shard.AttrEpoch] = "1"
+		ttl = f.replLeaseTTL()
+	}
+	id := f.Lookup.Register(discovery.ServiceItem{
 		Name:       "javaspace",
 		Address:    f.shardAddrs[i],
 		Attributes: attrs,
-	}, 0)
+	}, ttl)
+	if rs != nil {
+		rs.setRegID(id)
+	}
 }
 
 // RestartShard crash-restarts hosted shard i: the live space is closed
@@ -472,6 +571,20 @@ func (f *Framework) Close() {
 			d.Close()
 		}
 	}
+	for _, rs := range f.repls {
+		rs.mu.Lock()
+		nodes := []*replNode{rs.primaryNode, rs.backupNode}
+		rs.mu.Unlock()
+		for _, n := range nodes {
+			if n == nil {
+				continue
+			}
+			n.local.TS.Close()
+			if n.durable != nil {
+				n.durable.Close()
+			}
+		}
+	}
 }
 
 // Run executes job on the framework's cluster. If script is non-nil it
@@ -524,6 +637,10 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	}
 
 	group := vclock.NewGroup(f.Clock)
+	f.replMu.Lock()
+	f.runGroup = group
+	f.replMu.Unlock()
+	f.startReplPumps()
 	for _, w := range workers {
 		w := w
 		group.Go(w.Run)
@@ -548,6 +665,10 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	for _, watch := range watchers {
 		watch.Stop()
 	}
+	f.replMu.Lock()
+	f.runGroup = nil
+	f.replMu.Unlock()
+	f.stopReplPumps()
 	group.Wait()
 
 	res := Result{
@@ -561,6 +682,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	}
 	if f.Durability != nil {
 		res.Durability = f.Durability.Snapshot()
+	}
+	if f.Repl != nil {
+		res.Replication = f.Repl.Snapshot()
 	}
 	if f.cfg.Obs != nil {
 		res.ObsSummary = f.cfg.Obs.Reg().Summary()
@@ -589,6 +713,11 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 	// service inside a scripted crash-restart window heals within a few
 	// attempts instead of failing the whole deployment.
 	lc := discovery.NewClient(f.Cluster.Net.DialAs(node.Addr, discovery.WellKnownAddress))
+	tmpl := map[string]string{"type": "javaspace"}
+	dial := func(addr string) (space.Space, error) {
+		p := space.NewProxy(f.Cluster.Net.DialAs(node.Addr, addr))
+		return p.WithOpTimeout(f.Clock, f.cfg.OpTimeout), nil
+	}
 	var shards []shard.Shard
 	retry := transport.Backoff{
 		Clock:    f.Clock,
@@ -598,10 +727,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 	}
 	err := retry.Do(func() error {
 		var derr error
-		shards, derr = shard.Discover(lc, map[string]string{"type": "javaspace"},
-			func(addr string) (space.Space, error) {
-				return space.NewProxy(f.Cluster.Net.DialAs(node.Addr, addr)), nil
-			})
+		shards, derr = shard.Discover(lc, tmpl, dial)
 		return derr
 	})
 	if err != nil {
@@ -611,10 +737,19 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 		return nil, fmt.Errorf("core: %s: discovering space: no javaspace service registered", node.Name)
 	}
 	var sp space.Space
-	if len(shards) == 1 {
+	if len(shards) == 1 && f.cfg.Replicas == 0 {
 		sp = shards[0].Space
 	} else {
-		sp, err = shard.New(shard.Options{Clock: f.Clock, Seed: node.Name}, shards)
+		// A router even for one replicated shard: failover needs a ring
+		// position that can be retargeted onto the promoted backup, which
+		// the worker resolves through the lookup service (highest epoch
+		// claiming the ring position wins).
+		ropts := shard.Options{Clock: f.Clock, Seed: node.Name}
+		if f.cfg.Replicas > 0 {
+			ropts.Counters = f.Repl
+			ropts.Failover = shard.Resolver(lc, tmpl, dial)
+		}
+		sp, err = shard.New(ropts, shards)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: shard router: %w", node.Name, err)
 		}

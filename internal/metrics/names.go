@@ -34,6 +34,14 @@ const (
 	CounterFaultCrash       = "faults:crash"
 	CounterFaultPartitioned = "faults:partitioned"
 	CounterFaultDeadCall    = "faults:dead-call"
+
+	// Primary/backup replication (internal/replica).
+	CounterReplShipped    = "repl:records_shipped" // journal records acked by the backup
+	CounterReplShipErrors = "repl:ship_errors"     // failed ship batches (backup unreachable)
+	CounterReplFenced     = "repl:fenced"          // stale-epoch requests rejected
+	CounterReplPromotions = "repl:promotions"      // backup self-promotions
+	CounterReplResyncs    = "repl:resyncs"         // full snapshot re-syncs after divergence
+	CounterReplFailovers  = "repl:failovers"       // router retargets onto a promoted backup
 )
 
 // Histogram names (metrics.Registry).
@@ -53,6 +61,11 @@ const (
 	// virtual clock: the WAL does real I/O even under simulation).
 	HistWALAppend = "wal:append"
 	HistWALFsync  = "wal:fsync"
+
+	// HistReplShip is the primary-observed replication lag: the time one
+	// shipped batch of journal records takes to reach the backup and be
+	// acknowledged (network round trip + apply).
+	HistReplShip = "repl:ship"
 )
 
 // Gauge names (metrics.Registry).
@@ -71,3 +84,14 @@ func HistShardServe(i int) string { return fmt.Sprintf("shard%d:serve", i) }
 // GaugeShardOps names shard i's served-operation count (the count of the
 // HistShardServe histogram, exported as a rate-able counter).
 func GaugeShardOps(i int) string { return fmt.Sprintf("shard%d:ops", i) }
+
+// GaugeReplRole names shard i's serving role: 1 when the original primary
+// still serves, 2 once its backup has been promoted.
+func GaugeReplRole(i int) string { return fmt.Sprintf("repl:shard%d:role", i) }
+
+// GaugeReplEpoch names shard i's current replication epoch.
+func GaugeReplEpoch(i int) string { return fmt.Sprintf("repl:shard%d:epoch", i) }
+
+// GaugeReplLag names shard i's replication lag in journal records — how
+// many appended records the backup has not yet acknowledged.
+func GaugeReplLag(i int) string { return fmt.Sprintf("repl:shard%d:lag", i) }

@@ -1,0 +1,51 @@
+package obs
+
+import "sync"
+
+// ShardHealth is one hosted shard's liveness summary: which replica
+// currently serves its ring position, at what epoch, how far the standby
+// trails the primary's record stream, and how far the shard's write-ahead
+// log has advanced (0 when the shard is not durable).
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Role is "primary" while the original primary serves the ring
+	// position and "backup" once a promoted standby holds it.
+	Role           string `json:"role"`
+	Epoch          uint64 `json:"epoch,omitempty"`
+	ReplicationLag uint64 `json:"replication_lag"`
+	WALPosition    uint64 `json:"wal_position"`
+}
+
+// Health is the point-in-time report served at /healthz.
+type Health struct {
+	Status string        `json:"status"`
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+var healthMu sync.Mutex
+
+// SetHealth installs the /healthz provider — typically the framework's
+// per-shard replication/durability snapshot. A nil o is a no-op; with no
+// provider the endpoint reports a bare {"status":"ok"}.
+func (o *Obs) SetHealth(fn func() Health) {
+	if o == nil {
+		return
+	}
+	healthMu.Lock()
+	o.health = fn
+	healthMu.Unlock()
+}
+
+// HealthReport returns the current health (nil-safe).
+func (o *Obs) HealthReport() Health {
+	if o == nil {
+		return Health{Status: "ok"}
+	}
+	healthMu.Lock()
+	fn := o.health
+	healthMu.Unlock()
+	if fn == nil {
+		return Health{Status: "ok"}
+	}
+	return fn()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -16,6 +17,7 @@ import (
 // Handler serves the live ops surface:
 //
 //	/metrics          Prometheus text: counters, gauges, histograms
+//	/healthz          JSON liveness: per-shard role, replication lag, WAL position
 //	/tracez           recent slow spans, worst first
 //	/debug/pprof/...  the standard Go profiling endpoints
 func Handler(o *Obs) http.Handler {
@@ -23,6 +25,10 @@ func Handler(o *Obs) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, o)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(o.HealthReport())
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -38,7 +44,7 @@ func Handler(o *Obs) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "gospaces ops surface: /metrics /tracez /debug/pprof/")
+		fmt.Fprintln(w, "gospaces ops surface: /metrics /healthz /tracez /debug/pprof/")
 	})
 	return mux
 }

@@ -12,6 +12,11 @@ type Obs struct {
 	Tracer   *Tracer
 	Registry *metrics.Registry
 	Counters *metrics.Counters
+
+	// health, when set via SetHealth, backs the /healthz endpoint
+	// (guarded by the package healthMu — Obs predates having any mutable
+	// state and its fields are otherwise written once before sharing).
+	health func() Health
 }
 
 // New returns a fully-enabled Obs whose tracer IDs are seeded for

@@ -1,0 +1,620 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// PrimaryOptions configures a shard's primary-side replication controller.
+type PrimaryOptions struct {
+	Clock vclock.Clock
+	// Epoch is the starting epoch (default 1). A controller created at
+	// promotion inherits the promoted epoch.
+	Epoch uint64
+	// Ack selects sync (default) or async acknowledgement.
+	Ack AckMode
+	// HeartbeatEvery paces the pump: lease renewal plus an idle-stream
+	// heartbeat (and, in async mode, the background flush). Default 500ms.
+	HeartbeatEvery time.Duration
+	// MaxQueue bounds the unshipped-record queue; overflow discards the
+	// queue and schedules a full snapshot re-sync. Default 65536.
+	MaxQueue int
+	// Renew, when set, is called from the pump each interval to renew the
+	// primary's lookup-service registration lease. A fenced primary stops
+	// renewing, letting the registration lapse.
+	Renew func()
+	// OnFenced, when set, is called once when the primary learns it has
+	// been deposed (a replication RPC came back ErrFenced).
+	OnFenced func(epoch uint64)
+
+	Counters *metrics.Counters
+	ShipHist *metrics.Histogram
+}
+
+// Primary is the primary-side replication controller for one shard. It
+// owns the journal record queue, the shipping stream to the backup, and
+// the fenced/degraded state machine that gates client mutations.
+//
+// The critical constraint it is built around: the tuplespace invokes its
+// journal sink while holding the space mutex, and on the virtual clock a
+// transport call from there would park an invisible (mutex-blocked)
+// process and deadlock time. So Sink only enqueues; shipping happens in
+// Flush, after the mutating operation has released the space — via the
+// Wrap/Middleware hooks for sync mode and the pump for async.
+type Primary struct {
+	opts  PrimaryOptions
+	local *space.Local
+
+	mu       sync.Mutex
+	queue    [][]byte // unshipped records, seqs [acked+1 .. seq]
+	seq      uint64   // last enqueued sequence number
+	acked    uint64   // last sequence number confirmed by the backup
+	mirror   transport.Client
+	resync   bool // stream diverged (overflow / new mirror): snapshot push next
+	degraded bool // backup unreachable: sync-mode mutations fail fast
+	fenced   bool // deposed by a higher epoch: all mutations fail
+	killed   bool // simulated kill -9: everything fails
+	epoch    uint64
+	stop     vclock.Waiter // pump parker, non-nil while the pump sleeps
+	quit     bool
+
+	// The ship section serializes transport I/O (Flush, re-sync,
+	// heartbeat) so the record stream stays ordered. It cannot be a bare
+	// mutex: the holder sleeps on the clock inside transport calls, and on
+	// the virtual clock a process blocked on a mutex is invisible — time
+	// would freeze with one confirm() shipping and another waiting. So
+	// contenders park on clock waiters (visible), and the holder wakes
+	// them on release.
+	shipping    bool            // guarded by mu
+	shipWaiters []vclock.Waiter // guarded by mu
+}
+
+// NewPrimary returns a controller for local. Call SetMirror to attach the
+// backup, Wrap/Middleware to gate the serving paths, and run the pump
+// under a clock group.
+func NewPrimary(local *space.Local, opts PrimaryOptions) *Primary {
+	if opts.Epoch == 0 {
+		opts.Epoch = 1
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 65536
+	}
+	return &Primary{opts: opts, local: local, epoch: opts.Epoch}
+}
+
+// SetMirror attaches (or replaces) the transport client to the backup. A
+// newly attached backup is brought up by snapshot push on the next flush.
+func (p *Primary) SetMirror(c transport.Client) {
+	p.mu.Lock()
+	p.mirror = c
+	p.resync = c != nil
+	p.mu.Unlock()
+}
+
+// --- enqueue side (called under the tuplespace mutex; must not block) ---
+
+type queueSink struct{ p *Primary }
+
+// Append implements tuplespace.RecordSink by enqueueing only — the
+// records ship later, outside the space mutex.
+func (s queueSink) Append(payload []byte) error {
+	p := s.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed || p.fenced {
+		// A deposed primary's mutations are never replicated; the gate in
+		// Wrap/Middleware already rejects client ops, this catches
+		// internal churn (lease expiry sweeps).
+		return nil
+	}
+	if p.mirror == nil {
+		// No backup attached yet: don't queue, attach re-syncs anyway.
+		return nil
+	}
+	if p.resync {
+		return nil // queue is dead, snapshot push supersedes it
+	}
+	if len(p.queue) >= p.opts.MaxQueue {
+		p.queue = nil
+		p.resync = true
+		return nil
+	}
+	p.seq++
+	p.queue = append(p.queue, payload)
+	return nil
+}
+
+// Sink returns the enqueue-only record sink to hand to the space journal
+// (alone, or teed with a durable WAL sink).
+func (p *Primary) Sink() tuplespace.RecordSink { return queueSink{p: p} }
+
+// --- shipping side ---
+
+// acquireShip enters the ship section, parking clock-visibly while
+// another process ships.
+func (p *Primary) acquireShip() {
+	p.mu.Lock()
+	for p.shipping {
+		w := p.opts.Clock.NewWaiter()
+		p.shipWaiters = append(p.shipWaiters, w)
+		p.mu.Unlock()
+		w.Wait(0)
+		p.mu.Lock()
+	}
+	p.shipping = true
+	p.mu.Unlock()
+}
+
+// releaseShip leaves the ship section and wakes every parked contender
+// (they re-check and re-park; herds are tiny — one per concurrent client).
+func (p *Primary) releaseShip() {
+	p.mu.Lock()
+	p.shipping = false
+	ws := p.shipWaiters
+	p.shipWaiters = nil
+	p.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// Flush ships every queued record to the backup and waits for the ack.
+// In sync mode its error is the client's error: nothing unconfirmed is
+// acknowledged.
+func (p *Primary) Flush() error {
+	p.acquireShip()
+	defer p.releaseShip()
+	return p.flushLocked()
+}
+
+func (p *Primary) flushLocked() error {
+	for {
+		p.mu.Lock()
+		mirror := p.mirror
+		if mirror == nil || p.killed || p.fenced {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.resync {
+			p.mu.Unlock()
+			if err := p.resyncLocked(mirror); err != nil {
+				return err
+			}
+			continue // ship whatever queued while the snapshot was in flight
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return nil
+		}
+		batch := p.queue
+		from := p.acked + 1
+		epoch := p.epoch
+		p.mu.Unlock()
+
+		args := appendArgs{Epoch: epoch, From: from, Records: batch}
+		start := p.opts.Clock.Now()
+		res, err := mirror.Call(methodAppend, args)
+		p.opts.ShipHist.Record(p.opts.Clock.Since(start))
+		if err := p.shipResult(err); err != nil {
+			return err
+		}
+		rep, _ := res.(appendReply)
+		p.mu.Lock()
+		if rep.Applied > p.acked {
+			shipped := rep.Applied - p.acked
+			n := int(shipped)
+			if n > len(p.queue) {
+				n = len(p.queue)
+			}
+			p.queue = p.queue[n:]
+			p.acked = rep.Applied
+			p.count(metrics.CounterReplShipped, shipped)
+		}
+		p.degraded = false
+		more := len(p.queue) > 0 || p.resync
+		p.mu.Unlock()
+		if !more {
+			return nil
+		}
+	}
+}
+
+// resyncLocked pushes the primary's full live state to the backup. The
+// ordering subtlety: records enqueued before EncodeState captures the
+// space are also reflected in the snapshot, so the backup may see an op
+// twice — the Applier is idempotent per sequence number, which makes the
+// overlap harmless; seqMark (read before the capture) conservatively
+// marks where the incremental stream resumes.
+func (p *Primary) resyncLocked(mirror transport.Client) error {
+	p.mu.Lock()
+	seqMark := p.seq
+	epoch := p.epoch
+	p.queue = nil
+	p.acked = seqMark
+	p.resync = false
+	p.mu.Unlock()
+
+	records, err := p.local.TS.EncodeState()
+	if err != nil {
+		return fmt.Errorf("replica: encode state for re-sync: %w", err)
+	}
+	_, err = mirror.Call(methodSync, syncArgs{Epoch: epoch, Seq: seqMark, Records: records})
+	if err := p.shipResult(err); err != nil {
+		p.mu.Lock()
+		p.resync = true
+		p.mu.Unlock()
+		return err
+	}
+	p.count(metrics.CounterReplResyncs, 1)
+	return nil
+}
+
+// heartbeat probes the idle stream (and ships any backlog first).
+func (p *Primary) heartbeat() error {
+	p.acquireShip()
+	defer p.releaseShip()
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	mirror := p.mirror
+	epoch := p.epoch
+	seq := p.seq
+	p.mu.Unlock()
+	if mirror == nil {
+		return nil
+	}
+	_, err := mirror.Call(methodHeartbeat, heartbeatArgs{Epoch: epoch, Seq: seq})
+	if err := p.shipResult(err); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.degraded = false
+	p.mu.Unlock()
+	return nil
+}
+
+// shipResult folds one transport result into the state machine: fencing
+// deposes the primary, any other failure degrades it.
+func (p *Primary) shipResult(err error) error {
+	if err == nil {
+		return nil
+	}
+	err = mapRemote(err)
+	switch err {
+	case ErrFenced:
+		p.mu.Lock()
+		already := p.fenced
+		p.fenced = true
+		epoch := p.epoch
+		p.mu.Unlock()
+		if !already && p.opts.OnFenced != nil {
+			p.opts.OnFenced(epoch)
+		}
+		return ErrFenced
+	case ErrOutOfSync:
+		p.mu.Lock()
+		p.resync = true
+		p.mu.Unlock()
+		return p.flushLocked() // shipMu already held by the caller
+	default:
+		p.mu.Lock()
+		p.degraded = true
+		p.mu.Unlock()
+		p.count(metrics.CounterReplShipErrors, 1)
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+}
+
+// --- mutation gating ---
+
+// gate rejects a mutation before it touches the space: fenced primaries
+// reject everything (split-brain safety), degraded sync-mode primaries
+// fail fast (nothing may be acknowledged that the backup did not see).
+func (p *Primary) gate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed {
+		return tuplespace.ErrClosed
+	}
+	if p.fenced {
+		return ErrFenced
+	}
+	if p.degraded && p.opts.Ack == AckSync && p.mirror != nil {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// confirm runs after a successful mutation: in sync mode it ships the
+// op's records and surfaces any replication failure as the op's error.
+func (p *Primary) confirm() error {
+	if p.opts.Ack != AckSync {
+		return nil
+	}
+	return p.Flush()
+}
+
+// mutatingMethods are the space service methods whose success implies
+// journal records (renewals are not journaled, so not listed).
+var mutatingMethods = map[string]bool{
+	"space.Write":        true,
+	"space.Take":         true,
+	"space.TakeIfExists": true,
+	"space.TakeAll":      true,
+	"space.TxnCommit":    true,
+	"space.LeaseCancel":  true,
+}
+
+// Middleware gates the shard's space service: install with
+// srv.WrapPrefix("space.", p.Middleware()) directly above the service
+// handlers, so replication confirms before the gate or obs layers see the
+// reply.
+func (p *Primary) Middleware() func(method string, next transport.Handler) transport.Handler {
+	return func(method string, next transport.Handler) transport.Handler {
+		if !mutatingMethods[method] {
+			return next
+		}
+		return func(arg interface{}) (interface{}, error) {
+			if err := p.gate(); err != nil {
+				return nil, err
+			}
+			res, err := next(arg)
+			if err != nil {
+				return res, err
+			}
+			if err := p.confirm(); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
+}
+
+// --- in-process space wrapper (the master's local handle) ---
+
+type primarySpace struct {
+	p     *Primary
+	inner space.Space
+}
+
+// unwrapTxn strips the controller's transaction wrapper before the handle
+// reaches the inner space (whose own unwrap type-asserts its handles).
+func unwrapTxn(t space.Txn) space.Txn {
+	if pt, ok := t.(*primaryTxn); ok {
+		return pt.Txn
+	}
+	return t
+}
+
+// Wrap returns inner gated by the controller, for the in-process handle
+// the master uses (remote clients are gated by Middleware instead).
+func (p *Primary) Wrap(inner space.Space) space.Space {
+	return &primarySpace{p: p, inner: inner}
+}
+
+func (w *primarySpace) mutate(op func() error) error {
+	if err := w.p.gate(); err != nil {
+		return err
+	}
+	if err := op(); err != nil {
+		return err
+	}
+	return w.p.confirm()
+}
+
+func (w *primarySpace) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (space.Lease, error) {
+	var l space.Lease
+	err := w.mutate(func() (err error) {
+		l, err = w.inner.Write(e, unwrapTxn(t), ttl)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &primaryLease{p: w.p, inner: l}, nil
+}
+
+func (w *primarySpace) Take(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	var e tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		e, err = w.inner.Take(tmpl, unwrapTxn(t), timeout)
+		return
+	})
+	return e, err
+}
+
+func (w *primarySpace) TakeIfExists(tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	var e tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		e, err = w.inner.TakeIfExists(tmpl, unwrapTxn(t))
+		return
+	})
+	return e, err
+}
+
+func (w *primarySpace) TakeAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]tuplespace.Entry, error) {
+	var es []tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		es, err = w.inner.TakeAll(tmpl, unwrapTxn(t), max)
+		return
+	})
+	return es, err
+}
+
+func (w *primarySpace) Read(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
+	return w.inner.Read(tmpl, unwrapTxn(t), timeout)
+}
+
+func (w *primarySpace) ReadIfExists(tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	return w.inner.ReadIfExists(tmpl, unwrapTxn(t))
+}
+
+func (w *primarySpace) ReadAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]tuplespace.Entry, error) {
+	return w.inner.ReadAll(tmpl, unwrapTxn(t), max)
+}
+
+func (w *primarySpace) Count(tmpl tuplespace.Entry) (int, error) { return w.inner.Count(tmpl) }
+
+func (w *primarySpace) BeginTxn(ttl time.Duration) (space.Txn, error) {
+	t, err := w.inner.BeginTxn(ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &primaryTxn{p: w.p, Txn: t}, nil
+}
+
+func (w *primarySpace) Close() error { return w.inner.Close() }
+
+// Notify passes through when the inner space supports registrations (the
+// router's shard handles require it).
+func (w *primarySpace) Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl time.Duration) (*tuplespace.Registration, error) {
+	type notifier interface {
+		Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl time.Duration) (*tuplespace.Registration, error)
+	}
+	if n, ok := w.inner.(notifier); ok {
+		return n.Notify(tmpl, fn, ttl)
+	}
+	return nil, fmt.Errorf("replica: inner space does not support Notify")
+}
+
+// TypeCounts passes through for the router's shard-count surface.
+func (w *primarySpace) TypeCounts() (map[string]int, error) {
+	type counter interface {
+		TypeCounts() (map[string]int, error)
+	}
+	if c, ok := w.inner.(counter); ok {
+		return c.TypeCounts()
+	}
+	return nil, fmt.Errorf("replica: inner space does not expose TypeCounts")
+}
+
+type primaryTxn struct {
+	p *Primary
+	space.Txn
+}
+
+func (t *primaryTxn) Commit() error {
+	if err := t.p.gate(); err != nil {
+		return err
+	}
+	if err := t.Txn.Commit(); err != nil {
+		return err
+	}
+	return t.p.confirm()
+}
+
+type primaryLease struct {
+	p     *Primary
+	inner space.Lease
+}
+
+func (l *primaryLease) Renew(ttl time.Duration) error { return l.inner.Renew(ttl) }
+
+func (l *primaryLease) Cancel() error {
+	if err := l.p.gate(); err != nil {
+		return err
+	}
+	if err := l.inner.Cancel(); err != nil {
+		return err
+	}
+	return l.p.confirm()
+}
+
+// --- pump ---
+
+// Run is the pump: a clock process that each interval renews the lookup
+// lease, ships any backlog, and heartbeats the backup so it can tell a
+// healthy-but-idle primary from a dead one. Run returns when Stop or
+// Kill is called.
+func (p *Primary) Run() {
+	for {
+		p.mu.Lock()
+		if p.quit || p.killed {
+			p.mu.Unlock()
+			return
+		}
+		w := p.opts.Clock.NewWaiter()
+		p.stop = w
+		p.mu.Unlock()
+
+		woken := w.Wait(p.opts.HeartbeatEvery)
+
+		p.mu.Lock()
+		p.stop = nil
+		done := p.quit || p.killed
+		fenced := p.fenced
+		p.mu.Unlock()
+		if done || woken {
+			return
+		}
+		if !fenced && p.opts.Renew != nil {
+			p.opts.Renew()
+		}
+		_ = p.heartbeat() // state machine absorbs failures; pump keeps probing
+	}
+}
+
+// Stop terminates the pump cleanly (shutdown path).
+func (p *Primary) Stop() {
+	p.mu.Lock()
+	p.quit = true
+	w := p.stop
+	p.mu.Unlock()
+	if w != nil {
+		w.Wake()
+	}
+}
+
+// Kill simulates kill -9 of the primary process: the pump stops mid-beat
+// (no more heartbeats, no more lease renewals) and every subsequent
+// operation fails as if the process were gone. The caller closes the
+// space and any durable log, as the real signal would.
+func (p *Primary) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	w := p.stop
+	p.mu.Unlock()
+	if w != nil {
+		w.Wake()
+	}
+}
+
+// --- accessors ---
+
+func (p *Primary) count(key string, n uint64) {
+	if p.opts.Counters != nil {
+		p.opts.Counters.AddN(key, n)
+	}
+}
+
+// Epoch returns the controller's current epoch.
+func (p *Primary) Epoch() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.epoch }
+
+// Seq returns the last enqueued record sequence number.
+func (p *Primary) Seq() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.seq }
+
+// Acked returns the last backup-confirmed sequence number.
+func (p *Primary) Acked() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.acked }
+
+// Lag returns how many enqueued records the backup has not confirmed.
+func (p *Primary) Lag() uint64 { p.mu.Lock(); defer p.mu.Unlock(); return p.seq - p.acked }
+
+// Fenced reports whether the primary has been deposed by a higher epoch.
+func (p *Primary) Fenced() bool { p.mu.Lock(); defer p.mu.Unlock(); return p.fenced }
+
+// Degraded reports whether the backup is currently unreachable.
+func (p *Primary) Degraded() bool { p.mu.Lock(); defer p.mu.Unlock(); return p.degraded }
+
+// Killed reports whether Kill has been called.
+func (p *Primary) Killed() bool { p.mu.Lock(); defer p.mu.Unlock(); return p.killed }

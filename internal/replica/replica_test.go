@@ -1,0 +1,428 @@
+package replica_test
+
+import (
+	"encoding/gob"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/replica"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+var testEpoch = time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// kv is the test entry type replicated across the pair.
+type kv struct {
+	K string
+	N int
+}
+
+func init() { gob.Register(kv{}) }
+
+// pair assembles one primary/backup replication pair on an in-process
+// network — the same wiring as core.setupReplica, without the framework.
+type pair struct {
+	clk     *vclock.Virtual
+	net     *transport.Network
+	ctrs    *metrics.Counters
+	local   *space.Local // primary's space
+	wrapped space.Space  // primary's gated handle
+	p       *replica.Primary
+	blocal  *space.Local // standby's space
+	bsw     *replica.SwitchSink
+	b       *replica.Backup
+}
+
+type pairOptions struct {
+	ack     replica.AckMode
+	maxQ    int
+	ft      time.Duration
+	lease   func() bool
+	fenced  func(uint64)
+	promote func(uint64)
+}
+
+func newPair(t *testing.T, clk *vclock.Virtual, net *transport.Network, opts pairOptions) *pair {
+	t.Helper()
+	ctrs := metrics.NewCounters()
+
+	psw := replica.NewSwitchSink()
+	local := space.NewLocal(clk)
+	if err := local.TS.AttachJournal(tuplespace.NewJournalSink(psw)); err != nil {
+		t.Fatalf("primary journal: %v", err)
+	}
+
+	bsw := replica.NewSwitchSink()
+	blocal := space.NewLocal(clk)
+	if err := blocal.TS.AttachJournal(tuplespace.NewJournalSink(bsw)); err != nil {
+		t.Fatalf("backup journal: %v", err)
+	}
+	bsrv := transport.NewServer()
+	net.Listen("backup", bsrv)
+
+	p := replica.NewPrimary(local, replica.PrimaryOptions{
+		Clock:    clk,
+		Ack:      opts.ack,
+		MaxQueue: opts.maxQ,
+		OnFenced: opts.fenced,
+		Counters: ctrs,
+	})
+	psw.Set(p.Sink())
+	p.SetMirror(net.DialAs("primary", "backup"))
+
+	b := replica.NewBackup(blocal, replica.BackupOptions{
+		Clock:           clk,
+		FailoverTimeout: opts.ft,
+		LeaseExpired:    opts.lease,
+		OnPromote:       opts.promote,
+		Counters:        ctrs,
+	})
+	b.Bind(bsrv)
+
+	return &pair{
+		clk: clk, net: net, ctrs: ctrs,
+		local: local, wrapped: p.Wrap(local), p: p,
+		blocal: blocal, bsw: bsw, b: b,
+	}
+}
+
+// entries collects every kv currently in sp, as a multiset keyed by value.
+func entries(t *testing.T, sp space.Space) map[kv]int {
+	t.Helper()
+	all, err := sp.ReadAll(kv{}, nil, 1<<20)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	out := make(map[kv]int)
+	for _, e := range all {
+		out[e.(kv)]++
+	}
+	return out
+}
+
+func sameEntries(t *testing.T, what string, a, b map[kv]int) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d distinct entries on primary, %d on backup\nprimary: %v\nbackup:  %v", what, len(a), len(b), a, b)
+	}
+	for e, n := range a {
+		if b[e] != n {
+			t.Fatalf("%s: entry %v ×%d on primary, ×%d on backup", what, e, n, b[e])
+		}
+	}
+}
+
+// TestSyncMirrorsMutations: in sync mode every acknowledged mutation is
+// already applied on the standby — writes and takes through the wrapped
+// handle leave the two spaces identical with zero lag.
+func TestSyncMirrorsMutations(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{ack: replica.AckSync})
+		for i := 0; i < 20; i++ {
+			if _, err := pr.wrapped.Write(kv{K: "w", N: i}, nil, time.Hour); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := pr.wrapped.TakeIfExists(kv{K: "w", N: i}, nil); err != nil {
+				t.Fatalf("take %d: %v", i, err)
+			}
+		}
+		if lag := pr.p.Lag(); lag != 0 {
+			t.Fatalf("sync primary reports lag %d", lag)
+		}
+		sameEntries(t, "after sync mutations", entries(t, pr.local), entries(t, pr.blocal))
+		if got := len(entries(t, pr.blocal)); got != 15 {
+			t.Fatalf("backup holds %d entries, want 15", got)
+		}
+	})
+}
+
+// TestAsyncDrainsThroughPump: async writes ack before shipping; the pump
+// drains the backlog within a heartbeat interval.
+func TestAsyncDrainsThroughPump(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{ack: replica.AckAsync})
+		g := vclock.NewGroup(clk)
+		g.Go(pr.p.Run)
+		converge := func(want int, what string) {
+			for i := 0; ; i++ {
+				if n, _ := pr.blocal.Count(kv{}); n == want && pr.p.Lag() == 0 {
+					return
+				}
+				if i >= 20 {
+					n, _ := pr.blocal.Count(kv{})
+					t.Fatalf("%s: standby stuck at %d/%d entries (lag %d)", what, n, want, pr.p.Lag())
+				}
+				clk.Sleep(time.Second)
+			}
+		}
+		// Writes before the first ship are covered by the attach-time
+		// snapshot push, not the queue.
+		for i := 0; i < 10; i++ {
+			if _, err := pr.wrapped.Write(kv{K: "a", N: i}, nil, time.Hour); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		converge(10, "initial sync")
+		// Past the resync the incremental queue carries the stream: writes
+		// ack immediately and the pump drains the backlog.
+		for i := 10; i < 15; i++ {
+			if _, err := pr.wrapped.Write(kv{K: "a", N: i}, nil, time.Hour); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		converge(15, "async drain")
+		sameEntries(t, "after async drain", entries(t, pr.local), entries(t, pr.blocal))
+		if pr.ctrs.Get(metrics.CounterReplShipped) == 0 {
+			t.Fatal("incremental stream never shipped a record")
+		}
+		pr.p.Stop()
+		g.Wait()
+	})
+}
+
+// TestEpochFencingDeposesPrimary: once the standby promotes, the old
+// primary's next replication RPC comes back ErrFenced — sync mutations
+// through it fail permanently and OnFenced fires exactly once.
+func TestEpochFencingDeposesPrimary(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		var fencedEpochs []uint64
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{
+			ack:    replica.AckSync,
+			fenced: func(e uint64) { fencedEpochs = append(fencedEpochs, e) },
+		})
+		if _, err := pr.wrapped.Write(kv{K: "pre", N: 1}, nil, time.Hour); err != nil {
+			t.Fatalf("pre-promotion write: %v", err)
+		}
+		epoch, flipped := pr.b.Promote()
+		if !flipped || epoch != 2 {
+			t.Fatalf("Promote = (%d, %v), want (2, true)", epoch, flipped)
+		}
+		for i := 0; i < 2; i++ {
+			_, err := pr.wrapped.Write(kv{K: "post", N: i}, nil, time.Hour)
+			if !replica.IsFenced(err) {
+				t.Fatalf("deposed write %d: err = %v, want fenced", i, err)
+			}
+		}
+		if !pr.p.Fenced() {
+			t.Fatal("primary not marked fenced")
+		}
+		if len(fencedEpochs) != 1 || fencedEpochs[0] != 1 {
+			t.Fatalf("OnFenced calls = %v, want exactly one at the deposed epoch 1", fencedEpochs)
+		}
+		if n := pr.ctrs.Get(metrics.CounterReplFenced); n == 0 {
+			t.Fatal("fenced counter never incremented")
+		}
+		// The promoted standby must not have seen the fenced writes.
+		if got := entries(t, pr.blocal); len(got) != 1 {
+			t.Fatalf("backup entries after fencing = %v, want only the pre-promotion write", got)
+		}
+	})
+}
+
+// TestOverflowForcesResync: a primary whose unshipped queue overflows
+// discards it and recovers by pushing a full snapshot, after which the
+// standby is converged again.
+func TestOverflowForcesResync(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{
+			ack:  replica.AckAsync,
+			maxQ: 4,
+		})
+		// No pump running: the queue can only grow, and 12 writes blow
+		// through MaxQueue=4.
+		for i := 0; i < 12; i++ {
+			if _, err := pr.wrapped.Write(kv{K: "o", N: i}, nil, time.Hour); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		if err := pr.p.Flush(); err != nil {
+			t.Fatalf("flush after overflow: %v", err)
+		}
+		if n := pr.ctrs.Get(metrics.CounterReplResyncs); n == 0 {
+			t.Fatal("overflow did not trigger a snapshot resync")
+		}
+		sameEntries(t, "after resync", entries(t, pr.local), entries(t, pr.blocal))
+		if lag := pr.p.Lag(); lag != 0 {
+			t.Fatalf("lag %d after resync", lag)
+		}
+	})
+}
+
+// TestHeartbeatSilencePromotes: kill the primary mid-stream and the
+// monitor promotes the standby within the failover timeout.
+func TestHeartbeatSilencePromotes(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		promoted := make(chan uint64, 1)
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{
+			ack:     replica.AckSync,
+			ft:      2 * time.Second,
+			promote: func(e uint64) { promoted <- e },
+		})
+		g := vclock.NewGroup(clk)
+		g.Go(pr.p.Run)
+		g.Go(pr.b.Run)
+
+		clk.Sleep(1200 * time.Millisecond)
+		if _, err := pr.wrapped.Write(kv{K: "h", N: 1}, nil, time.Hour); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if pr.b.Promoted() {
+			t.Fatal("standby promoted while heartbeats were flowing")
+		}
+		pr.p.Kill()
+		clk.Sleep(4 * time.Second)
+		if !pr.b.Promoted() {
+			t.Fatal("standby never promoted after heartbeat silence")
+		}
+		select {
+		case e := <-promoted:
+			if e != 2 {
+				t.Fatalf("promoted epoch = %d, want 2", e)
+			}
+		default:
+			t.Fatal("OnPromote never fired")
+		}
+		pr.b.Stop()
+		g.Wait()
+		// The standby kept the state the primary had shipped.
+		if got := entries(t, pr.blocal); got[kv{K: "h", N: 1}] != 1 {
+			t.Fatalf("promoted standby lost replicated state: %v", got)
+		}
+	})
+}
+
+// TestLeaseExpiryPromotesEarly: a lapsed lookup-registration lease
+// promotes the standby well before the heartbeat-silence window, even
+// while heartbeats keep arriving.
+func TestLeaseExpiryPromotesEarly(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		var leaseGone atomic.Bool
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{
+			ack:   replica.AckSync,
+			ft:    20 * time.Second, // CheckEvery = 5s; silence alone would take 20s
+			lease: leaseGone.Load,
+		})
+		g := vclock.NewGroup(clk)
+		g.Go(pr.p.Run) // heartbeats keep flowing throughout
+		g.Go(pr.b.Run)
+
+		clk.Sleep(3 * time.Second)
+		if pr.b.Promoted() {
+			t.Fatal("standby promoted with a live lease")
+		}
+		leaseGone.Store(true)
+		clk.Sleep(6 * time.Second) // just over one CheckEvery
+		if !pr.b.Promoted() {
+			t.Fatal("standby ignored the lapsed lease")
+		}
+		if now := clk.Now().Sub(testEpoch); now >= 20*time.Second {
+			t.Fatalf("promotion took %v — no earlier than plain silence", now)
+		}
+		pr.p.Stop()
+		pr.b.Stop()
+		g.Wait()
+	})
+}
+
+// TestRejoinCatchesUp: after a promotion, pointing the new primary's
+// mirror at a fresh standby initializes it by snapshot push and the
+// incremental stream resumes behind it — the failed node's rejoin path.
+func TestRejoinCatchesUp(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		net := transport.NewNetwork(clk, transport.Model{})
+		pr := newPair(t, clk, net, pairOptions{ack: replica.AckSync})
+		for i := 0; i < 8; i++ {
+			if _, err := pr.wrapped.Write(kv{K: "r", N: i}, nil, time.Hour); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		epoch, _ := pr.b.Promote()
+
+		// The promoted node becomes a primary in its own right…
+		p2 := replica.NewPrimary(pr.blocal, replica.PrimaryOptions{
+			Clock: clk, Epoch: epoch, Ack: replica.AckSync, Counters: pr.ctrs,
+		})
+		pr.bsw.Set(p2.Sink())
+		w2 := p2.Wrap(pr.blocal)
+
+		// …and the returning node rejoins empty, as a standby at the
+		// promoted epoch.
+		rlocal := space.NewLocal(clk)
+		rsw := replica.NewSwitchSink()
+		if err := rlocal.TS.AttachJournal(tuplespace.NewJournalSink(rsw)); err != nil {
+			t.Fatalf("rejoin journal: %v", err)
+		}
+		rsrv := transport.NewServer()
+		net.Listen("rejoined", rsrv)
+		b2 := replica.NewBackup(rlocal, replica.BackupOptions{
+			Clock: clk, Epoch: epoch, Counters: pr.ctrs,
+		})
+		b2.Bind(rsrv)
+		p2.SetMirror(net.DialAs("backup", "rejoined"))
+		if err := p2.Flush(); err != nil {
+			t.Fatalf("catch-up flush: %v", err)
+		}
+		sameEntries(t, "after catch-up", entries(t, pr.blocal), entries(t, rlocal))
+
+		// The incremental stream continues past the snapshot.
+		if _, err := w2.Write(kv{K: "r", N: 100}, nil, time.Hour); err != nil {
+			t.Fatalf("post-rejoin write: %v", err)
+		}
+		sameEntries(t, "after post-rejoin write", entries(t, pr.blocal), entries(t, rlocal))
+		if n := pr.ctrs.Get(metrics.CounterReplResyncs); n == 0 {
+			t.Fatal("rejoin did not count a resync")
+		}
+	})
+}
+
+// TestDegradedSyncFailsClosed: with the standby unreachable, sync-mode
+// mutations fail with ErrUnavailable rather than silently diverging, and
+// recover once the link heals.
+func TestDegradedSyncFailsClosed(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		net := transport.NewNetwork(clk, transport.Model{})
+		pr := newPair(t, clk, net, pairOptions{ack: replica.AckSync})
+		if _, err := pr.wrapped.Write(kv{K: "d", N: 0}, nil, time.Hour); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		net.Unlisten("backup")
+		_, err := pr.wrapped.Write(kv{K: "d", N: 1}, nil, time.Hour)
+		if err == nil || !errors.Is(err, replica.ErrUnavailable) {
+			t.Fatalf("write with dead standby: err = %v, want ErrUnavailable", err)
+		}
+		if !pr.p.Degraded() {
+			t.Fatal("primary not marked degraded")
+		}
+		// Heal: re-listen, and a successful ship (here an explicit flush;
+		// in production the pump's next probe) clears the degradation.
+		bsrv := transport.NewServer()
+		pr.b.Bind(bsrv)
+		net.Listen("backup", bsrv)
+		if err := pr.p.Flush(); err != nil {
+			t.Fatalf("flush after heal: %v", err)
+		}
+		if _, err := pr.wrapped.Write(kv{K: "d", N: 2}, nil, time.Hour); err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+		if pr.p.Degraded() {
+			t.Fatal("primary still degraded after heal")
+		}
+		sameEntries(t, "after heal", entries(t, pr.local), entries(t, pr.blocal))
+	})
+}

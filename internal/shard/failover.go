@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
+)
+
+// Failover: when a shard's primary dies and its backup promotes itself,
+// the backup re-registers under the same ring ID (the original primary's
+// registered address — the stable shard identity) with an incremented
+// epoch. The router keeps the ring untouched and swaps only the handle
+// behind the ring position, so key placement is preserved exactly as with
+// Replace; in-flight scatters re-snapshot the view each round and retry
+// against the promoted primary instead of surfacing a ShardError.
+
+// Retarget swaps the handle behind ring ID id onto a newer epoch. It is
+// the failover analogue of Replace: same ring position, new server. A
+// stale epoch (≤ the current one) is rejected, which makes concurrent
+// resolution attempts idempotent.
+func (r *Router) Retarget(id string, sp space.Space, epoch uint64) error {
+	if sp == nil {
+		return fmt.Errorf("shard: nil space for %q", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.v
+	if _, ok := old.shards[id]; !ok {
+		return fmt.Errorf("shard: no shard %q to retarget", id)
+	}
+	if epoch <= old.epochs[id] {
+		return fmt.Errorf("shard: stale epoch %d for %q (at %d)", epoch, id, old.epochs[id])
+	}
+	r.v = old.with(id, sp, epoch)
+	return nil
+}
+
+// Epochs returns the per-ring-ID epochs of the current view.
+func (r *Router) Epochs() map[string]uint64 {
+	v := r.snapshot()
+	out := make(map[string]uint64, len(v.epochs))
+	for id, e := range v.epochs {
+		out[id] = e
+	}
+	return out
+}
+
+// FailoverCount reports how many times this router retargeted a ring
+// position onto a promoted backup.
+func (r *Router) FailoverCount() uint64 { return r.failovers.Load() }
+
+// tryFailover attempts to resolve a replacement primary for ring ID id
+// and retarget onto it. It returns true only when the view actually
+// changed. Attempts are throttled per ring ID by FailoverBackoff; losing
+// a throttle race is fine — the caller's retry re-snapshots and sees
+// whatever the winning attempt installed.
+func (r *Router) tryFailover(id string) bool {
+	if r.opts.Failover == nil {
+		return false
+	}
+	now := r.opts.Clock.Now()
+	r.foMu.Lock()
+	if r.foLast == nil {
+		r.foLast = make(map[string]time.Time)
+	}
+	if last, ok := r.foLast[id]; ok && now.Sub(last) < r.opts.FailoverBackoff {
+		r.foMu.Unlock()
+		return false
+	}
+	r.foLast[id] = now
+	r.foMu.Unlock()
+
+	s, err := r.opts.Failover(id)
+	if err != nil || s.Space == nil {
+		return false
+	}
+	if err := r.Retarget(id, s.Space, s.Epoch); err != nil {
+		return false
+	}
+	r.failovers.Add(1)
+	if r.opts.Counters != nil {
+		r.opts.Counters.Inc(metrics.CounterReplFailovers)
+	}
+	return true
+}
+
+// failoverWorthy reports whether err is the kind of hard failure a
+// promoted backup could cure. Caller-side transaction misuse is not.
+func failoverWorthy(err error) bool {
+	return err != nil && hard(err) &&
+		!errors.Is(err, space.ErrBadTxn) && !errors.Is(err, tuplespace.ErrTxnInactive)
+}
+
+// healed attempts failover for ring ID id after err and reports whether
+// the ring position was actually retargeted — the caller may then retry
+// once against the fresh handle. Errors that failover cannot cure (soft
+// conditions, caller-side transaction misuse) never trigger resolution.
+func (r *Router) healed(id string, err error) bool {
+	return failoverWorthy(err) && r.tryFailover(id)
+}
+
+// fresh returns the current handle behind ring ID id.
+func (r *Router) fresh(id string) space.Space { return r.snapshot().shards[id] }

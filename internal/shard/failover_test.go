@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"testing"
+
+	"gospaces/internal/space"
+	"gospaces/internal/vclock"
+)
+
+// TestRetargetEpochOrdering: a ring position only ever moves forward in
+// epochs — a stale resolution (the deposed primary re-registering, a
+// lagging lookup snapshot) must not displace the promoted serving node.
+func TestRetargetEpochOrdering(t *testing.T) {
+	clk := vclock.NewReal()
+	r, locals := newLocalRouter(t, clk, 2)
+	id := "shard-0"
+	promoted := space.NewLocal(clk)
+
+	if err := r.Retarget(id, promoted, 2); err != nil {
+		t.Fatalf("retarget to epoch 2: %v", err)
+	}
+	if got := r.Epochs()[id]; got != 2 {
+		t.Fatalf("epoch after retarget = %d, want 2", got)
+	}
+	if r.fresh(id) != space.Space(promoted) {
+		t.Fatal("retarget did not install the promoted handle")
+	}
+
+	// Equal and lower epochs are stale: rejected, handle untouched.
+	for _, stale := range []uint64{2, 1, 0} {
+		if err := r.Retarget(id, locals[0], stale); err == nil {
+			t.Fatalf("stale retarget at epoch %d accepted", stale)
+		}
+	}
+	if r.fresh(id) != space.Space(promoted) {
+		t.Fatal("stale retarget displaced the serving handle")
+	}
+
+	// Strictly newer epochs keep winning.
+	newer := space.NewLocal(clk)
+	if err := r.Retarget(id, newer, 3); err != nil {
+		t.Fatalf("retarget to epoch 3: %v", err)
+	}
+	if got := r.Epochs()[id]; got != 3 {
+		t.Fatalf("epoch = %d, want 3", got)
+	}
+
+	// Unknown ring positions are an error, not a silent add.
+	if err := r.Retarget("shard-99", newer, 5); err == nil {
+		t.Fatal("retarget of unknown ring position accepted")
+	}
+
+	// The routing state still works after retargets.
+	if _, err := r.Write(kv{Key: "a", Val: 1}, nil, 0); err != nil {
+		t.Fatalf("write after retargets: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gospaces/internal/metrics"
 	"gospaces/internal/space"
 	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
@@ -21,6 +22,11 @@ import (
 type Shard struct {
 	ID    string
 	Space space.Space
+	// Epoch is the replication epoch the handle was resolved at (0 when
+	// the shard is unreplicated). A promoted backup re-registers under the
+	// same ring ID with a higher epoch; the router only ever retargets a
+	// ring position onto a strictly newer epoch.
+	Epoch uint64
 }
 
 // Options tunes a Router. The zero value of each field selects the
@@ -48,6 +54,20 @@ type Options struct {
 	// round-robin writes across different shards instead of marching in
 	// lockstep.
 	Seed string
+	// Failover, when set, resolves a ring ID to the shard's current
+	// primary (typically a lookup-service query picking the registration
+	// with the highest epoch). The router calls it when an operation
+	// hard-fails against a shard; a resolved handle with a newer epoch
+	// replaces the dead one in place, and the operation retries instead of
+	// surfacing a ShardError.
+	Failover func(ringID string) (Shard, error)
+	// FailoverBackoff throttles resolution attempts per ring ID (default
+	// 100ms), so a scatter polling a dead shard does not hammer the lookup
+	// service while the backup is still counting down to promotion.
+	FailoverBackoff time.Duration
+	// Counters, when set, receives the failover count under
+	// metrics.CounterReplFailovers.
+	Counters *metrics.Counters
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +86,9 @@ func (o Options) withDefaults() Options {
 	if o.PollInterval <= 0 {
 		o.PollInterval = 25 * time.Millisecond
 	}
+	if o.FailoverBackoff <= 0 {
+		o.FailoverBackoff = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -75,6 +98,7 @@ func (o Options) withDefaults() Options {
 type view struct {
 	order  []string // shard IDs, sorted
 	shards map[string]space.Space
+	epochs map[string]uint64 // ring ID → epoch the handle was resolved at
 	ring   *ring
 }
 
@@ -89,6 +113,11 @@ type Router struct {
 	v  *view
 
 	rot atomic.Uint64
+
+	// failover throttle state and retarget count (see failover.go).
+	foMu      sync.Mutex
+	foLast    map[string]time.Time
+	failovers atomic.Uint64
 }
 
 // New builds a router over shards (at least one, distinct IDs).
@@ -109,7 +138,10 @@ func (r *Router) SetShards(shards []Shard) error {
 	if len(shards) == 0 {
 		return errors.New("shard: router needs at least one shard")
 	}
-	v := &view{shards: make(map[string]space.Space, len(shards))}
+	v := &view{
+		shards: make(map[string]space.Space, len(shards)),
+		epochs: make(map[string]uint64, len(shards)),
+	}
 	for _, s := range shards {
 		if s.Space == nil {
 			return fmt.Errorf("shard: nil space for %q", s.ID)
@@ -118,6 +150,7 @@ func (r *Router) SetShards(shards []Shard) error {
 			return fmt.Errorf("shard: duplicate shard ID %q", s.ID)
 		}
 		v.shards[s.ID] = s.Space
+		v.epochs[s.ID] = s.Epoch
 		v.order = append(v.order, s.ID)
 	}
 	sort.Strings(v.order)
@@ -143,13 +176,23 @@ func (r *Router) Replace(id string, sp space.Space) error {
 	if _, ok := old.shards[id]; !ok {
 		return fmt.Errorf("shard: no shard %q to replace", id)
 	}
-	shards := make(map[string]space.Space, len(old.shards))
-	for k, s := range old.shards {
+	r.v = old.with(id, sp, old.epochs[id])
+	return nil
+}
+
+// with derives a view with one shard's handle (and epoch) swapped.
+func (v *view) with(id string, sp space.Space, epoch uint64) *view {
+	shards := make(map[string]space.Space, len(v.shards))
+	for k, s := range v.shards {
 		shards[k] = s
 	}
 	shards[id] = sp
-	r.v = &view{order: old.order, shards: shards, ring: old.ring}
-	return nil
+	epochs := make(map[string]uint64, len(v.epochs))
+	for k, e := range v.epochs {
+		epochs[k] = e
+	}
+	epochs[id] = epoch
+	return &view{order: v.order, shards: shards, epochs: epochs, ring: v.ring}
 }
 
 func (r *Router) snapshot() *view {
@@ -167,7 +210,7 @@ func (r *Router) Shards() []Shard {
 	v := r.snapshot()
 	out := make([]Shard, 0, len(v.order))
 	for _, id := range v.order {
-		out = append(out, Shard{ID: id, Space: v.shards[id]})
+		out = append(out, Shard{ID: id, Space: v.shards[id], Epoch: v.epochs[id]})
 	}
 	return out
 }
@@ -218,6 +261,11 @@ func (r *Router) sub(t space.Txn, id string, sp space.Space) (space.Txn, error) 
 		return tx, nil
 	}
 	tx, err := sp.BeginTxn(rt.ttl)
+	if err != nil && r.healed(id, err) {
+		// No sub-transaction state existed yet, so opening it against the
+		// promoted replacement is safe.
+		tx, err = r.fresh(id).BeginTxn(rt.ttl)
+	}
 	if err != nil {
 		return nil, wrapShard(id, err)
 	}
@@ -282,6 +330,9 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 		return nil, err
 	}
 	l, err := sp.Write(e, tx, ttl)
+	if r.healed(id, err) && t == nil {
+		l, err = r.fresh(id).Write(e, nil, ttl)
+	}
 	return l, wrapShard(id, err)
 }
 
@@ -317,12 +368,21 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 		if keyed {
 			id = v.ring.get(key)
 		}
+		if t == nil && block && r.opts.Failover != nil {
+			// Replicated ring: a dead primary here is curable, so hard
+			// failures degrade to a failover-polling loop instead of
+			// surfacing (see singleBlocking).
+			return r.singleBlocking(id, take, tmpl, timeout)
+		}
 		sp := v.shards[id]
 		tx, err := r.sub(t, id, sp)
 		if err != nil {
 			return nil, err
 		}
 		e, err := call(sp, take, tmpl, tx, timeout, block)
+		if r.healed(id, err) && t == nil {
+			e, err = call(r.fresh(id), take, tmpl, nil, timeout, block)
+		}
 		return e, wrapShard(id, err)
 	}
 	if !block {
@@ -336,6 +396,56 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 		return r.pollScatter(v, take, tmpl, t, timeout)
 	}
 	return r.scatter(v, take, tmpl, timeout)
+}
+
+// singleBlocking is the blocking lookup that only one shard can satisfy
+// (keyed template, or a one-shard ring) outside any transaction. The
+// healthy path hands the shard the full timeout in one call; after a hard
+// failure it degrades to a poll loop that attempts failover each round,
+// so the window between a primary dying and its backup promoting looks
+// like a timeout (which retry loops such as the master's collect treat as
+// benign) instead of a fatal ShardError.
+func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, timeout time.Duration) (tuplespace.Entry, error) {
+	clk := r.opts.Clock
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = clk.Now().Add(timeout)
+	}
+	var lastHard error
+	wait := timeout
+	for {
+		e, err := call(r.fresh(id), take, tmpl, nil, wait, true)
+		if err == nil {
+			return e, nil
+		}
+		if !hard(err) {
+			// The shard itself timed out cleanly; keep any earlier hard
+			// failure in the diagnostics.
+			return nil, timeoutErr(lastHard)
+		}
+		lastHard = wrapShard(id, err)
+		if !r.healed(id, err) {
+			// No replacement yet: poll until one promotes or time runs out.
+			wait = r.opts.PollInterval
+			if !deadline.IsZero() {
+				if rem := deadline.Sub(clk.Now()); rem < wait {
+					wait = rem
+				}
+			}
+			if wait > 0 {
+				clk.Sleep(wait)
+			}
+		}
+		if !deadline.IsZero() {
+			rem := deadline.Sub(clk.Now())
+			if rem <= 0 {
+				return nil, timeoutErr(lastHard)
+			}
+			wait = rem
+		} else {
+			wait = timeout
+		}
+	}
 }
 
 // call dispatches one concrete lookup variant on a single shard.
@@ -426,6 +536,14 @@ func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (
 			return e, nil, 0
 		}
 		if hard(err) {
+			if r.healed(id, err) && t == nil {
+				// Retry immediately against the promoted replacement.
+				if e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false); err2 == nil {
+					return e, nil, 0
+				} else if !hard(err2) {
+					continue // healed; this shard just has no match yet
+				}
+			}
 			hards++
 			if firstErr == nil {
 				firstErr = wrapShard(id, err)
@@ -460,6 +578,9 @@ func (r *Router) pollScatter(v *view, take bool, tmpl tuplespace.Entry, t space.
 	}
 	var lastHard error
 	for {
+		// Re-snapshot each sweep so a failover retarget (possibly performed
+		// by another operation) is picked up mid-poll.
+		v = r.snapshot()
 		e, err, hards := r.sweep(v, take, tmpl, t)
 		if err == nil {
 			return e, nil
@@ -524,6 +645,9 @@ func (r *Router) scatter(v *view, take bool, tmpl tuplespace.Entry, timeout time
 				slice = rem
 			}
 		}
+		// Re-snapshot each round so a failover retarget is picked up by the
+		// next wave of children instead of them probing the dead handle.
+		v = r.snapshot()
 		e, err, allHard := r.scatterRound(v, take, tmpl, slice, fanout, base+round)
 		if err == nil {
 			return e, nil
@@ -612,6 +736,20 @@ func (st *roundState) result(children int) (tuplespace.Entry, error, bool) {
 	return nil, tuplespace.ErrTimeout, false
 }
 
+// probe is one non-transactional scatter-child lookup against a shard,
+// retried once against a promoted replacement on a hard failure. It
+// returns the handle actually used, so a losing take is written back to
+// the shard that produced it.
+func (r *Router) probe(s Shard, take bool, tmpl tuplespace.Entry, timeout time.Duration, block bool) (space.Space, tuplespace.Entry, error) {
+	e, err := call(s.Space, take, tmpl, nil, timeout, block)
+	if r.healed(s.ID, err) {
+		sp := r.fresh(s.ID)
+		e, err = call(sp, take, tmpl, nil, timeout, block)
+		return sp, e, err
+	}
+	return s.Space, e, err
+}
+
 // scatterRound runs one round: fanout children each sweep a strided chunk
 // of the shards non-blockingly, then park one slice-bounded blocking wait
 // on their chunk's rotating member. The parent parks on a Waiter and is
@@ -637,9 +775,9 @@ func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice t
 				if st.finished() {
 					return
 				}
-				e, err := call(s.Space, take, tmpl, nil, 0, false)
+				sp, e, err := r.probe(s, take, tmpl, 0, false)
 				if err == nil {
-					st.win(s.Space, e)
+					st.win(sp, e)
 					return
 				}
 				if hard(err) {
@@ -656,9 +794,9 @@ func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice t
 				return
 			}
 			s := chunk[round%len(chunk)]
-			e, err := call(s.Space, take, tmpl, nil, slice, true)
+			sp, e, err := r.probe(s, take, tmpl, slice, true)
 			if err == nil {
-				st.win(s.Space, e)
+				st.win(sp, e)
 			} else if hard(err) {
 				st.fail(wrapShard(s.ID, err))
 				sawHard = true
@@ -705,6 +843,14 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		} else {
 			es, err = sp.ReadAll(tmpl, tx, max)
 		}
+		if r.healed(id, err) && t == nil {
+			sp = r.fresh(id)
+			if take {
+				es, err = sp.TakeAll(tmpl, nil, max)
+			} else {
+				es, err = sp.ReadAll(tmpl, nil, max)
+			}
+		}
 		return es, wrapShard(id, err)
 	}
 	if keyed {
@@ -738,6 +884,14 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			} else {
 				es, err = sp.ReadAll(tmpl, tx, rem)
 			}
+			if r.healed(id, err) && t == nil {
+				sp = r.fresh(id)
+				if take {
+					es, err = sp.TakeAll(tmpl, nil, rem)
+				} else {
+					es, err = sp.ReadAll(tmpl, nil, rem)
+				}
+			}
 			if err != nil {
 				return out, wrapShard(id, err)
 			}
@@ -756,6 +910,9 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			return
 		}
 		es, err := sp.ReadAll(tmpl, tx, 0)
+		if r.healed(id, err) && t == nil {
+			es, err = r.fresh(id).ReadAll(tmpl, nil, 0)
+		}
 		results[i], errs[i] = es, wrapShard(id, err)
 	})
 	var out []tuplespace.Entry
@@ -777,12 +934,20 @@ func (r *Router) Count(tmpl tuplespace.Entry) (int, error) {
 		return 0, err
 	}
 	if keyed {
-		return v.shards[v.ring.get(key)].Count(tmpl)
+		id := v.ring.get(key)
+		c, err := v.shards[id].Count(tmpl)
+		if r.healed(id, err) {
+			c, err = r.fresh(id).Count(tmpl)
+		}
+		return c, wrapShard(id, err)
 	}
 	counts := make([]int, len(v.order))
 	errs := make([]error, len(v.order))
 	r.strided(v, func(i int, id string) {
 		c, err := v.shards[id].Count(tmpl)
+		if r.healed(id, err) {
+			c, err = r.fresh(id).Count(tmpl)
+		}
 		counts[i], errs[i] = c, wrapShard(id, err)
 	})
 	total := 0
@@ -849,6 +1014,11 @@ func (r *Router) ShardCounts() (map[string]map[string]int, error) {
 			return
 		}
 		tc, err := c.TypeCounts()
+		if r.healed(id, err) {
+			if c, ok := r.fresh(id).(Counter); ok {
+				tc, err = c.TypeCounts()
+			}
+		}
 		results[i], errs[i] = tc, wrapShard(id, err)
 	})
 	out := make(map[string]map[string]int, len(v.order))

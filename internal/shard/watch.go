@@ -20,7 +20,35 @@ import (
 const (
 	AttrShard  = "shard"  // this server's shard index, "0".."K-1"
 	AttrShards = "shards" // total shard count, "K"
+
+	// Replication attributes. The ring ID of a shard is the address its
+	// original primary registered under; a promoted backup serves from its
+	// own address but re-registers with AttrRing naming the ring position
+	// it now owns and AttrEpoch carrying the promoted epoch, so every
+	// client resolves the same ring regardless of which replica currently
+	// holds it.
+	AttrRing  = "ring"  // ring position (original primary's address)
+	AttrRole  = "role"  // "primary" or "backup"
+	AttrEpoch = "epoch" // replication epoch, "1", "2", ...
+
+	RolePrimary = "primary"
+	RoleBackup  = "backup"
 )
+
+// RingID returns the ring position an item serves: its AttrRing when set
+// (a promoted backup), its registered address otherwise.
+func RingID(item discovery.ServiceItem) string {
+	if ring := item.Attributes[AttrRing]; ring != "" {
+		return ring
+	}
+	return item.Address
+}
+
+// ItemEpoch returns the item's replication epoch (0 when unreplicated).
+func ItemEpoch(item discovery.ServiceItem) uint64 {
+	e, _ := strconv.ParseUint(item.Attributes[AttrEpoch], 10, 64)
+	return e
+}
 
 // Dialer turns a discovered address into a Space handle.
 type Dialer func(addr string) (space.Space, error)
@@ -35,35 +63,81 @@ func Discover(c *discovery.Client, tmpl map[string]string, dial Dialer) ([]Shard
 	if err != nil {
 		return nil, err
 	}
-	return dialItems(items, dial, nil)
+	return dialItems(items, dial, nil, nil)
 }
 
 // dialItems converts registry items to Shards, reusing handles from known
-// (keyed by address) instead of re-dialing.
-func dialItems(items []discovery.ServiceItem, dial Dialer, known map[string]space.Space) ([]Shard, error) {
+// (keyed by ring ID) instead of re-dialing. When several registrations
+// claim the same ring position (an expired primary's entry still cached
+// beside its promoted backup's), the highest epoch wins. A known handle
+// is reused only while its epoch is current; a registration at a newer
+// epoch is re-dialed (the old handle points at a deposed primary).
+func dialItems(items []discovery.ServiceItem, dial Dialer, known map[string]space.Space, knownEpochs map[string]uint64) ([]Shard, error) {
 	sort.SliceStable(items, func(i, j int) bool {
 		a, _ := strconv.Atoi(items[i].Attributes[AttrShard])
 		b, _ := strconv.Atoi(items[j].Attributes[AttrShard])
 		return a < b
 	})
-	var shards []Shard
-	seen := make(map[string]bool, len(items))
+	best := make(map[string]discovery.ServiceItem, len(items))
+	var order []string
 	for _, item := range items {
-		if seen[item.Address] {
+		id := RingID(item)
+		cur, ok := best[id]
+		if !ok {
+			best[id] = item
+			order = append(order, id)
 			continue
 		}
-		seen[item.Address] = true
-		if sp, ok := known[item.Address]; ok {
-			shards = append(shards, Shard{ID: item.Address, Space: sp})
+		if ItemEpoch(item) > ItemEpoch(cur) {
+			best[id] = item
+		}
+	}
+	var shards []Shard
+	for _, id := range order {
+		item := best[id]
+		if sp, ok := known[id]; ok && ItemEpoch(item) <= knownEpochs[id] {
+			shards = append(shards, Shard{ID: id, Space: sp, Epoch: knownEpochs[id]})
 			continue
 		}
 		sp, err := dial(item.Address)
 		if err != nil {
 			return nil, fmt.Errorf("shard: dial %s: %w", item.Address, err)
 		}
-		shards = append(shards, Shard{ID: item.Address, Space: sp})
+		shards = append(shards, Shard{ID: id, Space: sp, Epoch: ItemEpoch(item)})
 	}
 	return shards, nil
+}
+
+// Resolver returns an Options.Failover function backed by the lookup
+// service: it looks up every registration matching tmpl, keeps the one
+// claiming the wanted ring position with the highest epoch, and dials it.
+// The caller's router rejects stale epochs on Retarget, so resolving a
+// not-yet-promoted (or already-known) registration is harmless.
+func Resolver(c *discovery.Client, tmpl map[string]string, dial Dialer) func(ringID string) (Shard, error) {
+	return func(ringID string) (Shard, error) {
+		items, err := c.Lookup(tmpl)
+		if err != nil {
+			return Shard{}, err
+		}
+		var best discovery.ServiceItem
+		found := false
+		for _, item := range items {
+			if RingID(item) != ringID {
+				continue
+			}
+			if !found || ItemEpoch(item) > ItemEpoch(best) {
+				best, found = item, true
+			}
+		}
+		if !found {
+			return Shard{}, fmt.Errorf("shard: no registration for ring %q", ringID)
+		}
+		sp, err := dial(best.Address)
+		if err != nil {
+			return Shard{}, fmt.Errorf("shard: dial %s: %w", best.Address, err)
+		}
+		return Shard{ID: ringID, Space: sp, Epoch: ItemEpoch(best)}, nil
+	}
 }
 
 // Watcher polls the lookup service and grows a Router's membership when
@@ -120,20 +194,22 @@ func (w *Watcher) poll() {
 		return
 	}
 	known := make(map[string]space.Space)
+	knownEpochs := make(map[string]uint64)
 	cur := w.router.Shards()
 	for _, s := range cur {
 		known[s.ID] = s.Space
+		knownEpochs[s.ID] = s.Epoch
 	}
 	fresh := 0
 	for _, item := range items {
-		if _, ok := known[item.Address]; !ok {
+		if _, ok := known[RingID(item)]; !ok {
 			fresh++
 		}
 	}
 	if fresh == 0 {
 		return
 	}
-	shards, err := dialItems(items, w.dial, known)
+	shards, err := dialItems(items, w.dial, known, knownEpochs)
 	if err != nil {
 		w.setErr(err)
 		return

@@ -42,6 +42,12 @@ type DurableOptions struct {
 	// per-fsync WAL latencies (see wal.Options).
 	AppendHist *metrics.Histogram
 	SyncHist   *metrics.Histogram
+	// Tee, when non-nil, additionally receives every journal payload
+	// after it is safely in the WAL — the replication layer's tap: the
+	// records the log stores are exactly the ones shipped to the backup.
+	// Like the journal itself it is invoked under the space mutex, so it
+	// must not block.
+	Tee tuplespace.RecordSink
 }
 
 // RecoveryInfo describes what a durable space reconstructed on open.
@@ -69,6 +75,7 @@ type Durable struct {
 	journal       *tuplespace.Journal
 	info          RecoveryInfo
 	snapshotBytes int64
+	tee           tuplespace.RecordSink
 
 	snapping atomic.Bool
 	mu       sync.Mutex // guards closed against wg.Add/wg.Wait races
@@ -113,7 +120,7 @@ func NewLocalDurable(clock vclock.Clock, opts DurableOptions) (*Local, *Durable,
 	if snapBytes == 0 {
 		snapBytes = DefaultSnapshotBytes
 	}
-	d := &Durable{log: log, ts: l.TS, snapshotBytes: snapBytes}
+	d := &Durable{log: log, ts: l.TS, snapshotBytes: snapBytes, tee: opts.Tee}
 	d.journal = tuplespace.NewJournalSink(durableSink{d}).
 		SetStrict(opts.Strict).
 		SetCounters(opts.Counters)
@@ -150,6 +157,11 @@ type durableSink struct{ d *Durable }
 func (s durableSink) Append(payload []byte) error {
 	if err := s.d.log.Append(payload); err != nil {
 		return err
+	}
+	if t := s.d.tee; t != nil {
+		if err := t.Append(payload); err != nil {
+			return err
+		}
 	}
 	s.d.maybeSnapshot()
 	return nil

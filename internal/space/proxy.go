@@ -2,22 +2,86 @@ package space
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
 )
+
+// ErrOpTimeout fails a remote operation whose RPC exceeded the proxy's
+// per-op deadline: the transport accepted the call but never replied (a
+// hung or partitioned replica). It is deliberately distinct from
+// tuplespace.ErrTimeout — a clean "no entry within the wait" — because a
+// deadline expiry is a hard failure the shard router may cure by failing
+// over, while a space timeout just means "keep looking".
+var ErrOpTimeout = errors.New("space: remote operation deadline exceeded")
 
 // Proxy is a client-side Space backed by a transport.Client talking to a
 // Service. It is the analogue of the JavaSpaces proxy object a Jini client
 // downloads from the lookup service.
 type Proxy struct {
 	c transport.Client
+
+	// Per-op deadline state (see WithOpTimeout). clock is only consulted
+	// when opTimeout > 0.
+	clock     vclock.Clock
+	opTimeout time.Duration
 }
 
 // NewProxy wraps an RPC client as a Space.
 func NewProxy(c transport.Client) *Proxy { return &Proxy{c: c} }
+
+// WithOpTimeout bounds every remote call on the proxy: an RPC that has
+// not replied within d past its own semantic wait fails with
+// ErrOpTimeout. Blocking lookups add their space-level timeout to the
+// bound (the server legitimately parks that long before answering), and
+// a block-forever lookup stays unbounded — only the transport overhead is
+// being policed, never the space semantics. Returns p for chaining.
+func (p *Proxy) WithOpTimeout(clock vclock.Clock, d time.Duration) *Proxy {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	p.clock = clock
+	p.opTimeout = d
+	return p
+}
+
+// call runs one RPC under the per-op deadline. extra is the operation's
+// own semantic wait (a blocking lookup's timeout); unbounded skips the
+// deadline entirely (block-forever lookups). The RPC itself cannot be
+// cancelled mid-flight — like a TCP client abandoning a socket, the
+// caller stops waiting and the reply, if it ever comes, is discarded.
+func (p *Proxy) call(method string, arg interface{}, extra time.Duration, unbounded bool) (interface{}, error) {
+	if p.opTimeout <= 0 || unbounded {
+		return p.c.Call(method, arg)
+	}
+	type outcome struct {
+		res interface{}
+		err error
+	}
+	w := p.clock.NewWaiter()
+	var mu sync.Mutex
+	var done *outcome
+	g := vclock.NewGroup(p.clock)
+	g.Go(func() {
+		res, err := p.c.Call(method, arg)
+		mu.Lock()
+		done = &outcome{res, err}
+		mu.Unlock()
+		w.Wake()
+	})
+	w.Wait(p.opTimeout + extra)
+	mu.Lock()
+	defer mu.Unlock()
+	if done == nil {
+		return nil, fmt.Errorf("%w: %s after %v", ErrOpTimeout, method, p.opTimeout+extra)
+	}
+	return done.res, done.err
+}
 
 // Dial connects to a space Service at a TCP address with connection
 // timeout and retry, riding out the window between a service registering
@@ -38,12 +102,12 @@ type proxyTxn struct {
 }
 
 func (t *proxyTxn) Commit() error {
-	_, err := t.p.c.Call("space.TxnCommit", txnArgs{TxnID: t.id})
+	_, err := t.p.call("space.TxnCommit", txnArgs{TxnID: t.id}, 0, false)
 	return mapRemote(err)
 }
 
 func (t *proxyTxn) Abort() error {
-	_, err := t.p.c.Call("space.TxnAbort", txnArgs{TxnID: t.id})
+	_, err := t.p.call("space.TxnAbort", txnArgs{TxnID: t.id}, 0, false)
 	return mapRemote(err)
 }
 
@@ -53,12 +117,12 @@ type proxyLease struct {
 }
 
 func (l *proxyLease) Renew(ttl time.Duration) error {
-	_, err := l.p.c.Call("space.LeaseRenew", leaseArgs{LeaseID: l.id, TTL: ttl})
+	_, err := l.p.call("space.LeaseRenew", leaseArgs{LeaseID: l.id, TTL: ttl}, 0, false)
 	return mapRemote(err)
 }
 
 func (l *proxyLease) Cancel() error {
-	_, err := l.p.c.Call("space.LeaseCancel", leaseArgs{LeaseID: l.id})
+	_, err := l.p.call("space.LeaseCancel", leaseArgs{LeaseID: l.id}, 0, false)
 	return mapRemote(err)
 }
 
@@ -79,7 +143,7 @@ func (p *Proxy) Write(e tuplespace.Entry, t Txn, ttl time.Duration) (Lease, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.c.Call("space.Write", writeArgs{Entry: e, TxnID: id, TTL: ttl})
+	res, err := p.call("space.Write", writeArgs{Entry: e, TxnID: id, TTL: ttl}, 0, false)
 	if err != nil {
 		return nil, mapRemote(err)
 	}
@@ -91,7 +155,10 @@ func (p *Proxy) lookup(method string, tmpl tuplespace.Entry, t Txn, timeout time
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.c.Call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Timeout: timeout})
+	// A blocking lookup with timeout 0 parks server-side forever by
+	// design; the deadline only applies when the wait itself is bounded.
+	blocking := method == "space.Read" || method == "space.Take"
+	res, err := p.call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Timeout: timeout}, timeout, blocking && timeout <= 0)
 	if err != nil {
 		return nil, mapRemote(err)
 	}
@@ -123,7 +190,7 @@ func (p *Proxy) bulkCall(method string, tmpl tuplespace.Entry, t Txn, max int) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.c.Call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Max: max})
+	res, err := p.call(method, lookupArgs{Tmpl: tmpl, TxnID: id, Max: max}, 0, false)
 	if err != nil {
 		return nil, mapRemote(err)
 	}
@@ -147,7 +214,7 @@ func (p *Proxy) TakeAll(tmpl tuplespace.Entry, t Txn, max int) ([]tuplespace.Ent
 
 // Count implements Space.
 func (p *Proxy) Count(tmpl tuplespace.Entry) (int, error) {
-	res, err := p.c.Call("space.Count", lookupArgs{Tmpl: tmpl})
+	res, err := p.call("space.Count", lookupArgs{Tmpl: tmpl}, 0, false)
 	if err != nil {
 		return 0, mapRemote(err)
 	}
@@ -156,7 +223,7 @@ func (p *Proxy) Count(tmpl tuplespace.Entry) (int, error) {
 
 // TypeCounts returns the remote space's live entries per type.
 func (p *Proxy) TypeCounts() (map[string]int, error) {
-	res, err := p.c.Call("space.TypeCounts", lookupArgs{})
+	res, err := p.call("space.TypeCounts", lookupArgs{}, 0, false)
 	if err != nil {
 		return nil, mapRemote(err)
 	}
@@ -165,7 +232,7 @@ func (p *Proxy) TypeCounts() (map[string]int, error) {
 
 // BeginTxn implements Space.
 func (p *Proxy) BeginTxn(ttl time.Duration) (Txn, error) {
-	res, err := p.c.Call("space.TxnBegin", txnArgs{TTL: ttl})
+	res, err := p.call("space.TxnBegin", txnArgs{TTL: ttl}, 0, false)
 	if err != nil {
 		return nil, mapRemote(err)
 	}

@@ -1,0 +1,122 @@
+package tuplespace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Applier replays a primary's journal records into a hot-standby space
+// incrementally, record by record, as they are shipped — the backup half
+// of the replication protocol. It differs from ReplayRecords (which folds
+// a complete log into a final state once, at recovery) in that it keeps a
+// live space continuously converged with the stream: a "write" record
+// materializes immediately, a "remove" record cancels the matching entry.
+//
+// Entry identity bridges the two spaces: the primary's records carry the
+// primary's Seq numbers, the backup space assigns its own — the Applier
+// keeps the mapping as the lease handle each write returned, so a later
+// remove cancels exactly the entry its Seq named.
+type Applier struct {
+	s *Space
+
+	mu     sync.Mutex
+	leases map[uint64]*EntryLease // primary Seq → backup entry lease
+}
+
+// NewApplier returns an applier feeding s. The space should be mutated
+// only through the applier (and its own lease expiries) while replication
+// is active; promotion detaches it by simply ceasing to Apply.
+func NewApplier(s *Space) *Applier {
+	return &Applier{s: s, leases: make(map[uint64]*EntryLease)}
+}
+
+// Apply applies one encoded journal record (the payload a RecordSink
+// receives on the primary).
+func (a *Applier) Apply(payload []byte) error {
+	op, err := decodeOp(payload)
+	if err != nil {
+		return fmt.Errorf("tuplespace: apply record: %w", err)
+	}
+	switch op.Kind {
+	case "write":
+		a.mu.Lock()
+		_, dup := a.leases[op.Seq]
+		a.mu.Unlock()
+		if dup {
+			// A record can arrive twice when a snapshot push and the
+			// incremental stream overlap; the Seq mapping makes the write
+			// idempotent.
+			return nil
+		}
+		ttl := Forever
+		if !op.Expiry.IsZero() {
+			ttl = op.Expiry.Sub(a.s.clock.Now())
+			if ttl <= 0 {
+				return nil // already expired in transit
+			}
+		}
+		l, err := a.s.Write(op.Entry, nil, ttl)
+		if err != nil {
+			return fmt.Errorf("tuplespace: apply write %d: %w", op.Seq, err)
+		}
+		a.mu.Lock()
+		a.leases[op.Seq] = l
+		a.mu.Unlock()
+	case "remove":
+		a.mu.Lock()
+		l := a.leases[op.Seq]
+		delete(a.leases, op.Seq)
+		a.mu.Unlock()
+		if l == nil {
+			// Unknown Seq: the entry expired locally first, or the remove
+			// duplicates one already applied. Both leave the spaces
+			// converged, so this is not an error.
+			return nil
+		}
+		if err := l.Cancel(); err != nil && !errors.Is(err, ErrLeaseExpired) {
+			return fmt.Errorf("tuplespace: apply remove %d: %w", op.Seq, err)
+		}
+	default:
+		return fmt.Errorf("tuplespace: apply: unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+// Reset empties the replicated state: every tracked entry is cancelled
+// and the Seq mapping cleared. It precedes a full re-sync (snapshot push)
+// after the incremental stream diverged.
+func (a *Applier) Reset() {
+	a.mu.Lock()
+	leases := a.leases
+	a.leases = make(map[uint64]*EntryLease)
+	a.mu.Unlock()
+	for _, l := range leases {
+		_ = l.Cancel() // already-expired entries are fine
+	}
+}
+
+// Len reports how many replicated entries are currently tracked.
+func (a *Applier) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.leases)
+}
+
+// expireTracked drops mappings whose backup-side lease has expired so the
+// map does not grow with long-lived churn. Called opportunistically.
+func (a *Applier) expireTracked(now time.Time) {
+	a.mu.Lock()
+	for seq, l := range a.leases {
+		exp := l.Expiration()
+		if !exp.IsZero() && now.After(exp) {
+			delete(a.leases, seq)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// Prune removes mappings for entries that have already expired on the
+// backup's clock.
+func (a *Applier) Prune() { a.expireTracked(a.s.clock.Now()) }

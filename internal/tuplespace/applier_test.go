@@ -1,0 +1,104 @@
+package tuplespace
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// captureSink records journal payloads in order.
+type captureSink struct{ recs [][]byte }
+
+func (c *captureSink) Append(p []byte) error {
+	c.recs = append(c.recs, append([]byte(nil), p...))
+	return nil
+}
+
+// TestApplierMirrorsStream: replaying a source space's journal stream
+// record by record leaves the target space identical.
+func TestApplierMirrorsStream(t *testing.T) {
+	clk := vclock.NewReal()
+	src := New(clk)
+	cap := &captureSink{}
+	if err := src.AttachJournal(NewJournalSink(cap)); err != nil {
+		t.Fatal(err)
+	}
+	// IDs start at 1: gob omits zero values, so a pointer to 0 would not
+	// survive the journal round-trip as a matchable field.
+	for i := 1; i <= 6; i++ {
+		if _, err := src.Write(task{Job: "mc", ID: ip(i)}, nil, Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Take(task{Job: "mc", ID: ip(2)}, nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(clk)
+	a := NewApplier(dst)
+	for i, rec := range cap.recs {
+		if err := a.Apply(rec); err != nil {
+			t.Fatalf("apply record %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		want := 1
+		if i == 2 {
+			want = 0
+		}
+		if n, _ := dst.Count(task{Job: "mc", ID: ip(i)}); n != want {
+			t.Fatalf("target has %d copies of task %d, want %d", n, i, want)
+		}
+	}
+	if a.Len() != 5 {
+		t.Fatalf("applier tracks %d leases, want 5", a.Len())
+	}
+}
+
+// TestApplierIdempotent: a snapshot push overlapping the incremental
+// stream delivers records twice; the Seq mapping makes the replay a
+// no-op, and a remove for an unknown Seq is tolerated.
+func TestApplierIdempotent(t *testing.T) {
+	clk := vclock.NewReal()
+	src := New(clk)
+	cap := &captureSink{}
+	if err := src.AttachJournal(NewJournalSink(cap)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Write(task{Job: "mc", ID: ip(1)}, nil, Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Write(task{Job: "mc", ID: ip(2)}, nil, Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Take(task{Job: "mc", ID: ip(1)}, nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(clk)
+	a := NewApplier(dst)
+	for pass := 0; pass < 2; pass++ {
+		for i, rec := range cap.recs {
+			if err := a.Apply(rec); err != nil {
+				t.Fatalf("pass %d record %d: %v", pass, i, err)
+			}
+		}
+	}
+	if n, _ := dst.Count(task{Job: "mc"}); n != 1 {
+		t.Fatalf("double replay left %d entries, want 1", n)
+	}
+
+	// Reset forgets the mapping — the snapshot-push preamble. Replaying
+	// into a fresh space afterwards works from scratch.
+	a2 := NewApplier(New(clk))
+	for _, rec := range cap.recs {
+		if err := a2.Apply(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a2.Reset()
+	if a2.Len() != 0 {
+		t.Fatalf("Reset left %d tracked leases", a2.Len())
+	}
+}

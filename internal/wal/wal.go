@@ -174,6 +174,7 @@ type Log struct {
 	unsynced int64     // bytes appended since last sync
 	lastSync time.Time // last sync (FsyncInterval)
 	sinceSnp int64     // bytes appended since last snapshot
+	pos      uint64    // records in the log's history (recovered + appended)
 	closed   bool
 }
 
@@ -276,6 +277,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		return nil, nil, err
 	}
 	l.sinceSnp = retained
+	l.pos = uint64(len(rec.SnapshotRecords) + len(rec.Records))
 
 	rec.Elapsed = time.Since(start)
 	if c := opts.Counters; c != nil {
@@ -397,6 +399,7 @@ func (l *Log) Append(payload []byte) error {
 	l.size += frame
 	l.sinceSnp += frame
 	l.unsynced += frame
+	l.pos++
 	if err := l.maybeSyncLocked(); err != nil {
 		return l.countErr(err)
 	}
@@ -480,6 +483,16 @@ func (l *Log) Segment() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.idx
+}
+
+// Position is the log's record position: records restored at open plus
+// records appended since. It is the per-shard "how far has the log
+// advanced" figure the replication layer and /healthz report; snapshots
+// and compaction do not rewind it.
+func (l *Log) Position() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pos
 }
 
 // Snapshot checkpoints the log: it rotates to a fresh segment, calls

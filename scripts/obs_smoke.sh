@@ -7,6 +7,8 @@
 #
 #   /metrics          must serve Prometheus text with framework gauges
 #                     and at least one latency histogram
+#   /healthz          must serve the JSON health report with per-shard
+#                     role, replication lag and WAL position
 #   /debug/pprof/heap must serve a heap profile
 #   /tracez           must serve the slow-span listing
 #
@@ -73,6 +75,15 @@ for want in \
     fi
 done
 echo "obs_smoke: /metrics OK ($(grep -c ' histogram' <<<"$metrics") histograms)"
+
+healthz=$(curl -fsS "$OBS_URL/healthz")
+for want in '"status":"ok"' '"role":"primary"' '"replication_lag"' '"wal_position"'; do
+    if ! grep -q "$want" <<<"$healthz"; then
+        echo "obs_smoke: FAIL — /healthz lacks $want: $healthz" >&2
+        exit 1
+    fi
+done
+echo "obs_smoke: /healthz OK ($healthz)"
 
 heap=$(curl -fsS -o "$workdir/heap.pprof" -w '%{size_download}' "$OBS_URL/debug/pprof/heap")
 if [ "$heap" -le 0 ]; then

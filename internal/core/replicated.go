@@ -391,7 +391,11 @@ func (f *Framework) RejoinShard(i int) error {
 	if err := fresh.TS.AttachJournal(tuplespace.NewJournalSink(sw)); err != nil {
 		return fmt.Errorf("core: shard %d rejoin journal: %w", i, err)
 	}
+	// The replNode fields are read under rs.mu by healthReport and
+	// promote from other goroutines; swap them under the same lock.
+	rs.mu.Lock()
 	node.local, node.sink, node.durable = fresh, sw, nil
+	rs.mu.Unlock()
 
 	b2 := replica.NewBackup(fresh, replica.BackupOptions{
 		Clock:           f.Clock,
@@ -472,13 +476,18 @@ func (f *Framework) healthReport() obs.Health {
 				sh.Role = shard.RoleBackup
 			}
 			p := rs.primary
-			node := rs.primaryNode
+			var durable *space.Durable
+			if rs.primaryNode != nil {
+				// Capture under rs.mu: RejoinShard swaps replNode fields
+				// under the same lock.
+				durable = rs.primaryNode.durable
+			}
 			rs.mu.Unlock()
 			if p != nil {
 				sh.ReplicationLag = p.Lag()
 			}
-			if node != nil && node.durable != nil {
-				sh.WALPosition = node.durable.Log().Position()
+			if durable != nil {
+				sh.WALPosition = durable.Log().Position()
 			}
 		} else if i < len(f.Durables) && f.Durables[i] != nil {
 			sh.WALPosition = f.Durables[i].Log().Position()

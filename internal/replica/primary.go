@@ -181,7 +181,21 @@ func (p *Primary) flushLocked() error {
 	for {
 		p.mu.Lock()
 		mirror := p.mirror
-		if mirror == nil || p.killed || p.fenced {
+		if p.killed {
+			p.mu.Unlock()
+			return tuplespace.ErrClosed
+		}
+		if p.fenced {
+			// A sync-mode mutation can race the fencing signal: gate()
+			// passed, the op mutated the space, and the pump's heartbeat
+			// learned of the higher epoch before confirm() flushed. The
+			// record was never replicated (queueSink drops on fenced), so
+			// acknowledging it would hand the client a write that exists
+			// only on the deposed primary — fail the op instead.
+			p.mu.Unlock()
+			return ErrFenced
+		}
+		if mirror == nil {
 			p.mu.Unlock()
 			return nil
 		}
@@ -208,7 +222,13 @@ func (p *Primary) flushLocked() error {
 		if err := p.shipResult(err); err != nil {
 			return err
 		}
-		rep, _ := res.(appendReply)
+		rep, ok := res.(appendReply)
+		if !ok {
+			// A nil or mistyped reply with a nil error would look like
+			// "applied nothing" and spin this loop re-shipping the same
+			// batch; treat it as a ship failure (degrades, surfaces).
+			return p.shipResult(fmt.Errorf("replica: malformed %s reply %T", methodAppend, res))
+		}
 		p.mu.Lock()
 		if rep.Applied > p.acked {
 			shipped := rep.Applied - p.acked
@@ -338,8 +358,20 @@ func (p *Primary) gate() error {
 
 // confirm runs after a successful mutation: in sync mode it ships the
 // op's records and surfaces any replication failure as the op's error.
+// Both modes re-check the fenced/killed state here — gate() ran before
+// the mutation, and a fencing signal that landed in between must not be
+// acknowledged (the record was dropped, not replicated).
 func (p *Primary) confirm() error {
 	if p.opts.Ack != AckSync {
+		p.mu.Lock()
+		killed, fenced := p.killed, p.fenced
+		p.mu.Unlock()
+		if killed {
+			return tuplespace.ErrClosed
+		}
+		if fenced {
+			return ErrFenced
+		}
 		return nil
 	}
 	return p.Flush()

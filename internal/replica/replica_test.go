@@ -230,6 +230,35 @@ func TestEpochFencingDeposesPrimary(t *testing.T) {
 	})
 }
 
+// TestFencedFlushFails: a primary that has learned it was deposed must
+// fail Flush with ErrFenced instead of returning nil — Flush is the
+// sync-mode confirm path, and a mutation that raced the fencing signal
+// (gate passed, then the pump's heartbeat saw the higher epoch before
+// confirm ran) must never be acknowledged: its record was dropped, not
+// replicated, so the ack would hand the client a write that exists only
+// on the deposed primary.
+func TestFencedFlushFails(t *testing.T) {
+	clk := vclock.NewVirtual(testEpoch)
+	clk.Run(func() {
+		pr := newPair(t, clk, transport.NewNetwork(clk, transport.Model{}), pairOptions{ack: replica.AckSync})
+		if _, err := pr.wrapped.Write(kv{K: "pre", N: 1}, nil, time.Hour); err != nil {
+			t.Fatalf("pre-promotion write: %v", err)
+		}
+		if _, flipped := pr.b.Promote(); !flipped {
+			t.Fatal("backup did not promote")
+		}
+		// The next ship discovers the fencing.
+		if _, err := pr.wrapped.Write(kv{K: "post", N: 1}, nil, time.Hour); !replica.IsFenced(err) {
+			t.Fatalf("deposed write: err = %v, want fenced", err)
+		}
+		// Every subsequent confirm keeps failing: an empty-queue Flush on
+		// a fenced primary is ErrFenced, never a silent nil.
+		if err := pr.p.Flush(); !replica.IsFenced(err) {
+			t.Fatalf("fenced Flush = %v, want ErrFenced", err)
+		}
+	})
+}
+
 // TestOverflowForcesResync: a primary whose unshipped queue overflows
 // discards it and recovers by pushing a full snapshot, after which the
 // standby is converged again.

@@ -95,12 +95,49 @@ func failoverWorthy(err error) bool {
 		!errors.Is(err, space.ErrBadTxn) && !errors.Is(err, tuplespace.ErrTxnInactive)
 }
 
+// ambiguous reports whether err leaves the remote operation's fate
+// unknown: a per-op deadline expiry means the RPC was accepted but never
+// answered, so it may have executed on the old primary with only the
+// reply lost. Every other hard failure here (dial refusal, ErrFenced,
+// ErrUnavailable, a closed space) guarantees the mutation did not take
+// effect.
+func ambiguous(err error) bool { return errors.Is(err, space.ErrOpTimeout) }
+
 // healed attempts failover for ring ID id after err and reports whether
 // the ring position was actually retargeted — the caller may then retry
 // once against the fresh handle. Errors that failover cannot cure (soft
 // conditions, caller-side transaction misuse) never trigger resolution.
+// Use for idempotent operations (reads, counts); mutations go through
+// healedMut.
 func (r *Router) healed(id string, err error) bool {
 	return failoverWorthy(err) && r.tryFailover(id)
+}
+
+// healedMut is healed for mutating operations (Write, the Take variants,
+// commit). An ambiguous failure still triggers failover resolution — the
+// *next* operation reaches the promoted primary — but reports false, so
+// the caller surfaces the error instead of replaying an op that may
+// already have executed: auto-retrying a Write whose reply was lost
+// duplicates the entry, and retrying a Take masks that the taken entry's
+// data is gone (DESIGN §7, retry semantics).
+func (r *Router) healedMut(id string, err error) bool {
+	if !failoverWorthy(err) {
+		return false
+	}
+	if ambiguous(err) {
+		r.tryFailover(id)
+		return false
+	}
+	return r.tryFailover(id)
+}
+
+// healedOp dispatches between healed and healedMut on whether the
+// operation mutates shard state.
+func (r *Router) healedOp(id string, mutating bool, err error) bool {
+	if mutating {
+		return r.healedMut(id, err)
+	}
+	return r.healed(id, err)
 }
 
 // fresh returns the current handle behind ring ID id.

@@ -1,11 +1,143 @@
 package shard
 
 import (
+	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
 )
+
+// flakySpace wraps a Local, failing operations with a scripted error
+// until the armed failure count is consumed.
+type flakySpace struct {
+	*space.Local
+	err  error
+	left int
+}
+
+func (f *flakySpace) fail() bool {
+	if f.left > 0 {
+		f.left--
+		return true
+	}
+	return false
+}
+
+func (f *flakySpace) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (space.Lease, error) {
+	if f.fail() {
+		return nil, f.err
+	}
+	return f.Local.Write(e, t, ttl)
+}
+
+func (f *flakySpace) ReadIfExists(tmpl tuplespace.Entry, t space.Txn) (tuplespace.Entry, error) {
+	if f.fail() {
+		return nil, f.err
+	}
+	return f.Local.ReadIfExists(tmpl, t)
+}
+
+// failoverRouter builds a one-shard router whose Failover resolver
+// promotes onto the returned replacement space at epoch 2.
+func failoverRouter(t *testing.T, clk vclock.Clock, flaky space.Space) (*Router, *space.Local) {
+	t.Helper()
+	promoted := space.NewLocal(clk)
+	r, err := New(Options{
+		Clock: clk,
+		Failover: func(ringID string) (Shard, error) {
+			return Shard{ID: ringID, Space: promoted, Epoch: 2}, nil
+		},
+	}, []Shard{{ID: "shard-0", Space: flaky, Epoch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, promoted
+}
+
+// TestFailoverAmbiguousWriteNotReplayed: a Write that fails with the
+// ambiguous space.ErrOpTimeout (the RPC may have executed, only the
+// reply was lost) must not be auto-retried against the promoted
+// primary — replaying it could duplicate the entry. The ring still
+// heals, so the next operation reaches the replacement.
+func TestFailoverAmbiguousWriteNotReplayed(t *testing.T) {
+	clk := vclock.NewReal()
+	flaky := &flakySpace{
+		Local: space.NewLocal(clk),
+		err:   fmt.Errorf("%w: space.Write after 50ms", space.ErrOpTimeout),
+		left:  1,
+	}
+	r, promoted := failoverRouter(t, clk, flaky)
+
+	_, err := r.Write(kv{Key: "a", Val: 1}, nil, 0)
+	if !errors.Is(err, space.ErrOpTimeout) {
+		t.Fatalf("ambiguous write: err = %v, want ErrOpTimeout surfaced", err)
+	}
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != "shard-0" {
+		t.Fatalf("ambiguous write error not tagged with the shard: %v", err)
+	}
+	if n, _ := promoted.Count(kv{}); n != 0 {
+		t.Fatalf("ambiguous write was replayed onto the promoted shard (%d entries)", n)
+	}
+	// The ambiguity still triggered resolution: the ring position now
+	// serves from the promoted handle.
+	if got := r.FailoverCount(); got != 1 {
+		t.Fatalf("FailoverCount = %d, want 1 (resolution without replay)", got)
+	}
+	if _, err := r.Write(kv{Key: "a", Val: 2}, nil, 0); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if n, _ := promoted.Count(kv{}); n != 1 {
+		t.Fatalf("promoted shard holds %d entries after healed write, want 1", n)
+	}
+}
+
+// TestFailoverUnambiguousWriteRetries: a Write failing with an error
+// that proves it never executed (connection refused) retries
+// transparently against the promoted primary.
+func TestFailoverUnambiguousWriteRetries(t *testing.T) {
+	clk := vclock.NewReal()
+	flaky := &flakySpace{
+		Local: space.NewLocal(clk),
+		err:   errors.New("dial tcp: connection refused"),
+		left:  1,
+	}
+	r, promoted := failoverRouter(t, clk, flaky)
+
+	if _, err := r.Write(kv{Key: "a", Val: 1}, nil, 0); err != nil {
+		t.Fatalf("unambiguous write did not fail over: %v", err)
+	}
+	if n, _ := promoted.Count(kv{}); n != 1 {
+		t.Fatalf("promoted shard holds %d entries, want the retried write", n)
+	}
+}
+
+// TestFailoverAmbiguousReadRetries: idempotent operations retry freely
+// even on ambiguous failures — re-reading cannot lose or duplicate.
+func TestFailoverAmbiguousReadRetries(t *testing.T) {
+	clk := vclock.NewReal()
+	flaky := &flakySpace{
+		Local: space.NewLocal(clk),
+		err:   fmt.Errorf("%w: space.ReadIfExists after 50ms", space.ErrOpTimeout),
+		left:  1,
+	}
+	r, promoted := failoverRouter(t, clk, flaky)
+	if _, err := promoted.Write(kv{Key: "a", Val: 7}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := r.ReadIfExists(kv{Key: "a"}, nil)
+	if err != nil {
+		t.Fatalf("ambiguous read did not fail over: %v", err)
+	}
+	if e.(kv).Val != 7 {
+		t.Fatalf("read %v from promoted shard, want Val 7", e)
+	}
+}
 
 // TestRetargetEpochOrdering: a ring position only ever moves forward in
 // epochs — a stale resolution (the deposed primary re-registering, a

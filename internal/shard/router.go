@@ -330,7 +330,7 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 		return nil, err
 	}
 	l, err := sp.Write(e, tx, ttl)
-	if r.healed(id, err) && t == nil {
+	if r.healedMut(id, err) && t == nil {
 		l, err = r.fresh(id).Write(e, nil, ttl)
 	}
 	return l, wrapShard(id, err)
@@ -380,7 +380,7 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 			return nil, err
 		}
 		e, err := call(sp, take, tmpl, tx, timeout, block)
-		if r.healed(id, err) && t == nil {
+		if r.healedOp(id, take, err) && t == nil {
 			e, err = call(r.fresh(id), take, tmpl, nil, timeout, block)
 		}
 		return e, wrapShard(id, err)
@@ -424,6 +424,13 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 			return nil, timeoutErr(lastHard)
 		}
 		lastHard = wrapShard(id, err)
+		if take && ambiguous(err) {
+			// The take may have executed with only the reply lost; heal
+			// the ring for the next op but surface the ambiguity instead
+			// of re-taking, which would silently discard the taken entry.
+			r.tryFailover(id)
+			return nil, lastHard
+		}
 		if !r.healed(id, err) {
 			// No replacement yet: poll until one promotes or time runs out.
 			wait = r.opts.PollInterval
@@ -536,7 +543,7 @@ func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (
 			return e, nil, 0
 		}
 		if hard(err) {
-			if r.healed(id, err) && t == nil {
+			if r.healedOp(id, take, err) && t == nil {
 				// Retry immediately against the promoted replacement.
 				if e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false); err2 == nil {
 					return e, nil, 0
@@ -742,7 +749,7 @@ func (st *roundState) result(children int) (tuplespace.Entry, error, bool) {
 // the shard that produced it.
 func (r *Router) probe(s Shard, take bool, tmpl tuplespace.Entry, timeout time.Duration, block bool) (space.Space, tuplespace.Entry, error) {
 	e, err := call(s.Space, take, tmpl, nil, timeout, block)
-	if r.healed(s.ID, err) {
+	if r.healedOp(s.ID, take, err) {
 		sp := r.fresh(s.ID)
 		e, err = call(sp, take, tmpl, nil, timeout, block)
 		return sp, e, err
@@ -843,7 +850,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		} else {
 			es, err = sp.ReadAll(tmpl, tx, max)
 		}
-		if r.healed(id, err) && t == nil {
+		if r.healedOp(id, take, err) && t == nil {
 			sp = r.fresh(id)
 			if take {
 				es, err = sp.TakeAll(tmpl, nil, max)
@@ -884,7 +891,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			} else {
 				es, err = sp.ReadAll(tmpl, tx, rem)
 			}
-			if r.healed(id, err) && t == nil {
+			if r.healedOp(id, take, err) && t == nil {
 				sp = r.fresh(id)
 				if take {
 					es, err = sp.TakeAll(tmpl, nil, rem)

@@ -1,0 +1,535 @@
+// Elastic resharding for the TCP master: with -autoshard the hosted
+// shard set is no longer fixed at -shards. Every hosted shard's journal
+// records tee into a rebalance.Tap, a rebalance.Controller watches
+// per-shard op rates, and when a shard runs hot the master snapshot-forks
+// it into a fresh listener, publishes a higher-epoch topology record with
+// the lookup service, and retargets its own router — workers follow
+// through their ring watchers without restarting. Cold split-born shards
+// merge back the same way in reverse. See internal/rebalance for the
+// migration protocol and DESIGN §8 for the state machine.
+//
+// The TCP binary keeps the elastic path simple: -autoshard requires
+// -replicas 0 (the in-process framework supports the replicated variant;
+// see core.Config{AutoShard}).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gospaces/internal/discovery"
+	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
+	"gospaces/internal/rebalance"
+	"gospaces/internal/shard"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+	"gospaces/internal/wal"
+)
+
+// dynSweeper is a txn-lease sweeper whose member list can grow while the
+// master's sweep loop is already running — split-born shards join it.
+type dynSweeper struct {
+	mu   sync.Mutex
+	list []interface{ Sweep() int }
+}
+
+func (d *dynSweeper) add(s interface{ Sweep() int }) {
+	d.mu.Lock()
+	d.list = append(d.list, s)
+	d.mu.Unlock()
+}
+
+func (d *dynSweeper) remove(s interface{ Sweep() int }) {
+	d.mu.Lock()
+	for i, have := range d.list {
+		if have == s {
+			d.list = append(d.list[:i], d.list[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (d *dynSweeper) Sweep() int {
+	d.mu.Lock()
+	snap := append([]interface{ Sweep() int }(nil), d.list...)
+	d.mu.Unlock()
+	n := 0
+	for _, s := range snap {
+		n += s.Sweep()
+	}
+	return n
+}
+
+// elasticShard is one hosted shard the elastic host can split or merge.
+type elasticShard struct {
+	idx     int
+	addr    string
+	local   *space.Local
+	tap     *rebalance.Tap
+	durable *space.Durable
+	lis     *transport.TCPListener
+	regID   uint64
+	ka      *discovery.KeepAlive
+}
+
+// elasticHost owns the -autoshard machinery: the shard table, the
+// topology epoch, and the controller loop.
+type elasticHost struct {
+	clk      vclock.Clock
+	o        *obs.Obs
+	client   *discovery.Client
+	router   *shard.Router
+	sweeper  *dynSweeper
+	host     string
+	jobName  string
+	dataDir  string
+	fsync    wal.FsyncPolicy
+	spread   bool
+	txnTTL   time.Duration
+	drain    time.Duration
+	interval time.Duration
+
+	mu      sync.Mutex
+	shards  map[string]*elasticShard
+	parents map[string]string // split-born ring → parent ring
+	nextIdx int
+	topoReg uint64
+	ctrl    *rebalance.Controller
+	rates   map[string]float64 // last controller EWMA snapshot, for /healthz
+
+	quit   chan struct{}
+	done   chan struct{}
+	loopMu sync.Mutex // serializes splits/merges with shutdown
+}
+
+// publishTopology registers t as the ring's topology record and cancels
+// the previous record only after the new one is visible, so watchers
+// always find some topology.
+func (e *elasticHost) publishTopology(t shard.Topology) error {
+	enc, err := shard.EncodeTopology(t)
+	if err != nil {
+		return err
+	}
+	id, err := e.client.Register(discovery.ServiceItem{
+		Name:    "javaspace-topology",
+		Address: e.host,
+		Attributes: map[string]string{
+			"type":              shard.TopoType,
+			shard.AttrTopo:      enc,
+			shard.AttrTopoEpoch: strconv.FormatUint(t.Epoch, 10),
+		},
+	}, 0)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	old := e.topoReg
+	e.topoReg = id
+	e.mu.Unlock()
+	if old != 0 {
+		_ = e.client.Cancel(old)
+	}
+	return nil
+}
+
+// buildShard hosts one fresh shard on its own listener: tapped journal,
+// durable when -datadir is set, serve histogram when -obs is on. It is
+// not registered with the lookup service — callers do that at cutover.
+func (e *elasticHost) buildShard(idx int) (*elasticShard, error) {
+	srv := transport.NewServer()
+	tap := rebalance.NewTap(nil)
+	var (
+		local *space.Local
+		d     *space.Durable
+		err   error
+	)
+	if e.dataDir != "" {
+		local, d, err = space.NewLocalDurable(e.clk, space.DurableOptions{
+			Dir:        filepath.Join(e.dataDir, fmt.Sprintf("shard%d", idx)),
+			Fsync:      e.fsync,
+			Counters:   e.o.Ctr(),
+			AppendHist: e.o.Reg().Histogram(metrics.HistWALAppend),
+			SyncHist:   e.o.Reg().Histogram(metrics.HistWALFsync),
+			Tee:        tap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("durable shard %d: %w", idx, err)
+		}
+	} else {
+		local = space.NewLocal(e.clk)
+		if err := local.TS.AttachJournal(tuplespace.NewJournalSink(tap)); err != nil {
+			return nil, fmt.Errorf("journal for shard %d: %w", idx, err)
+		}
+	}
+	space.NewService(local, srv)
+	if reg := e.o.Reg(); reg != nil {
+		srv.WrapPrefix("space.", obs.ServerMiddleware(e.clk, reg.Histogram(metrics.HistShardServe(idx))))
+	}
+	l, err := transport.ListenTCP(net.JoinHostPort(e.host, "0"), srv)
+	if err != nil {
+		if d != nil {
+			d.Close()
+		}
+		return nil, err
+	}
+	return &elasticShard{idx: idx, addr: l.Addr(), local: local, tap: tap, durable: d, lis: l}, nil
+}
+
+// registerShard makes sh discoverable as a javaspace shard.
+func (e *elasticHost) registerShard(sh *elasticShard, totalHint int) error {
+	attrs := map[string]string{
+		"type":           "javaspace",
+		"job":            e.jobName,
+		shard.AttrShard:  strconv.Itoa(sh.idx),
+		shard.AttrShards: strconv.Itoa(totalHint),
+	}
+	if e.spread {
+		attrs["spread"] = "1"
+	}
+	if sh.durable != nil {
+		attrs["durable"] = "1"
+	}
+	id, err := e.client.Register(discovery.ServiceItem{
+		Name:       "javaspace",
+		Address:    sh.addr,
+		Attributes: attrs,
+	}, time.Minute)
+	if err != nil {
+		return err
+	}
+	sh.regID = id
+	sh.ka = discovery.NewKeepAlive(e.client, e.clk, id, time.Minute)
+	go sh.ka.Run()
+	return nil
+}
+
+// split snapshot-forks the hot shard at parentAddr into a fresh listener
+// and cuts the moved key range over via a higher-epoch topology.
+func (e *elasticHost) split(parentAddr string) error {
+	e.mu.Lock()
+	parent := e.shards[parentAddr]
+	idx := e.nextIdx
+	e.mu.Unlock()
+	if parent == nil {
+		return fmt.Errorf("split: unknown shard %q", parentAddr)
+	}
+	cur := e.router.Topology()
+	next := shard.Topology{Epoch: cur.Epoch + 1}
+	var give []string
+	for _, m := range cur.Members {
+		if m.ID == parentAddr {
+			if len(m.Labels) < 2 {
+				return fmt.Errorf("split: %s owns a single hash point", parentAddr)
+			}
+			var keep []string
+			keep, give = shard.SplitLabels(m.Labels)
+			m.Labels = keep
+		}
+		next.Members = append(next.Members, m)
+	}
+	if give == nil {
+		return fmt.Errorf("split: %s not in topology", parentAddr)
+	}
+	child, err := e.buildShard(idx)
+	if err != nil {
+		return err
+	}
+	next.Members = append(next.Members, shard.TopoMember{ID: child.addr, Labels: give})
+
+	m := &rebalance.Migration{
+		Clock:    e.clk,
+		Src:      parent.local.TS,
+		Tap:      parent.tap,
+		Dst:      tuplespace.NewApplier(child.local.TS),
+		Pred:     rebalance.KeyedTo(shard.OwnerFunc(next), child.addr),
+		Counters: e.o.Ctr(),
+	}
+	moved, err := m.Fork()
+	if err != nil {
+		m.Abort()
+		e.retire(child)
+		return fmt.Errorf("split %s: fork: %w", parentAddr, err)
+	}
+	if _, err := m.SettleUntilClear(e.txnTTL); err != nil {
+		// Entries have been evicted from the source: the split must
+		// complete. Close the tap and cut over; the drain below clears
+		// stragglers.
+		m.Tap.Close()
+		log.Printf("master: split %s: settle: %v (cutting over anyway)", parentAddr, err)
+	}
+	if err := e.publishTopology(next); err != nil {
+		m.Tap.Close()
+		e.retire(child)
+		return fmt.Errorf("split %s: publish topology: %w", parentAddr, err)
+	}
+	if _, err := e.router.ApplyTopology(next, func(ring string) (shard.Shard, error) {
+		return shard.Shard{ID: ring, Space: space.Space(child.local)}, nil
+	}); err != nil {
+		return fmt.Errorf("split %s: retarget: %w", parentAddr, err)
+	}
+	e.mu.Lock()
+	e.shards[child.addr] = child
+	e.parents[child.addr] = parentAddr
+	e.nextIdx = idx + 1
+	total := len(e.shards)
+	e.mu.Unlock()
+	e.sweeper.add(child.local.Mgr)
+	if err := e.registerShard(child, total); err != nil {
+		return fmt.Errorf("split %s: register child: %w", parentAddr, err)
+	}
+	evicted, derr := m.Drain(e.drain)
+	if derr != nil {
+		log.Printf("master: split %s: drain: %v", parentAddr, derr)
+	}
+	log.Printf("master: split shard %s → %s (moved %d entries, drained %d) at topology epoch %d",
+		parentAddr, child.addr, moved, evicted, next.Epoch)
+	return nil
+}
+
+// merge folds the cold split-born shard at childAddr back into its
+// parent and removes it from the ring.
+func (e *elasticHost) merge(childAddr string) error {
+	e.mu.Lock()
+	child := e.shards[childAddr]
+	parent := e.shards[e.parents[childAddr]]
+	e.mu.Unlock()
+	if child == nil || parent == nil {
+		return fmt.Errorf("merge: %q is not a live split-born shard", childAddr)
+	}
+	cur := e.router.Topology()
+	next := shard.Topology{Epoch: cur.Epoch + 1}
+	var moved []string
+	for _, m := range cur.Members {
+		if m.ID == childAddr {
+			moved = m.Labels
+			continue
+		}
+		next.Members = append(next.Members, m)
+	}
+	if moved == nil {
+		return fmt.Errorf("merge: %s not in topology", childAddr)
+	}
+	for i := range next.Members {
+		if next.Members[i].ID == parent.addr {
+			next.Members[i].Labels = append(append([]string(nil), next.Members[i].Labels...), moved...)
+		}
+	}
+
+	m := &rebalance.Migration{
+		Clock:    e.clk,
+		Src:      child.local.TS,
+		Tap:      child.tap,
+		Dst:      tuplespace.NewApplier(parent.local.TS),
+		Pred:     rebalance.Everything,
+		Counters: e.o.Ctr(),
+	}
+	if _, err := m.Fork(); err != nil {
+		m.Abort()
+		return fmt.Errorf("merge %s: fork: %w", childAddr, err)
+	}
+	if _, err := m.SettleUntilClear(e.txnTTL); err != nil {
+		m.Tap.Close()
+		log.Printf("master: merge %s: settle: %v (cutting over anyway)", childAddr, err)
+	}
+	if err := e.publishTopology(next); err != nil {
+		m.Tap.Close()
+		return fmt.Errorf("merge %s: publish topology: %w", childAddr, err)
+	}
+	if _, err := e.router.ApplyTopology(next, nil); err != nil {
+		return fmt.Errorf("merge %s: retarget: %w", childAddr, err)
+	}
+	if _, err := m.Drain(e.drain); err != nil {
+		log.Printf("master: merge %s: drain: %v", childAddr, err)
+	}
+	e.mu.Lock()
+	delete(e.shards, childAddr)
+	delete(e.parents, childAddr)
+	e.mu.Unlock()
+	e.sweeper.remove(child.local.Mgr)
+	e.retire(child)
+	log.Printf("master: merged shard %s back into %s at topology epoch %d", childAddr, parent.addr, next.Epoch)
+	return nil
+}
+
+// retire tears a shard host down: lease cancelled, listener closed,
+// space closed, WAL closed.
+func (e *elasticHost) retire(sh *elasticShard) {
+	if sh.ka != nil {
+		sh.ka.Stop()
+	}
+	if sh.regID != 0 {
+		_ = e.client.Cancel(sh.regID)
+	}
+	sh.lis.Close()
+	sh.local.TS.Close()
+	if sh.durable != nil {
+		sh.durable.Close()
+	}
+}
+
+// samples reads each live shard's cumulative op and entry counts.
+func (e *elasticHost) samples() []rebalance.Sample {
+	e.mu.Lock()
+	live := make([]*elasticShard, 0, len(e.shards))
+	for _, sh := range e.shards {
+		live = append(live, sh)
+	}
+	e.mu.Unlock()
+	out := make([]rebalance.Sample, 0, len(live))
+	for _, sh := range live {
+		st := sh.local.TS.Stats()
+		out = append(out, rebalance.Sample{
+			ID:      sh.addr,
+			Ops:     st.Writes + st.Reads + st.Takes,
+			Entries: st.EntriesLive,
+		})
+	}
+	return out
+}
+
+// installHealth replaces the static /healthz provider with one that
+// follows the elastic shard set: the ring's topology epoch, each live
+// shard's ownership fraction and entry count, and the rebalancer's
+// smoothed op rates — the numbers the split/merge thresholds are judged
+// against. -autoshard requires -replicas 0, so every shard reports as
+// primary with no replication lag.
+func (e *elasticHost) installHealth() {
+	e.o.SetHealth(func() obs.Health {
+		h := obs.Health{Status: "ok", TopologyEpoch: e.router.TopoEpoch()}
+		owned := e.router.Ownership()
+		e.mu.Lock()
+		live := make([]*elasticShard, 0, len(e.shards))
+		for _, sh := range e.shards {
+			live = append(live, sh)
+		}
+		splitBorn := make(map[string]bool, len(e.parents))
+		for child := range e.parents {
+			splitBorn[child] = true
+		}
+		rates := e.rates
+		e.mu.Unlock()
+		sort.Slice(live, func(i, j int) bool { return live[i].idx < live[j].idx })
+		for _, sh := range live {
+			s := obs.ShardHealth{
+				Shard:         sh.idx,
+				Role:          shard.RolePrimary,
+				RingID:        sh.addr,
+				OwnedFraction: owned[sh.addr],
+				Entries:       sh.local.TS.Stats().EntriesLive,
+				OpRate:        rates[sh.addr],
+				SplitBorn:     splitBorn[sh.addr],
+			}
+			if sh.durable != nil {
+				s.WALPosition = sh.durable.Log().Position()
+			}
+			h.Shards = append(h.Shards, s)
+		}
+		return h
+	})
+}
+
+// run is the controller loop: sample, decide, act.
+func (e *elasticHost) run() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.quit:
+			return
+		default:
+		}
+		e.clk.Sleep(e.interval)
+		e.loopMu.Lock()
+		actions := e.ctrl.Advance(e.clk.Now(), e.samples())
+		rates := e.ctrl.Rates()
+		e.mu.Lock()
+		e.rates = rates
+		e.mu.Unlock()
+		for _, a := range actions {
+			var err error
+			switch a.Kind {
+			case rebalance.ActionSplit:
+				err = e.split(a.ID)
+			case rebalance.ActionMerge:
+				err = e.merge(a.ID)
+			}
+			if err != nil {
+				log.Printf("master: autoshard %s: %v", a.Kind, err)
+			}
+		}
+		e.loopMu.Unlock()
+	}
+}
+
+func (e *elasticHost) stop() {
+	close(e.quit)
+	<-e.done
+	e.loopMu.Lock()
+	defer e.loopMu.Unlock()
+	e.mu.Lock()
+	live := make([]*elasticShard, 0, len(e.shards))
+	for addr, sh := range e.shards {
+		if _, splitBorn := e.parents[addr]; splitBorn {
+			live = append(live, sh)
+		}
+	}
+	e.mu.Unlock()
+	// Split-born hosts are ours to tear down; the originals are owned by
+	// run()'s defers.
+	for _, sh := range live {
+		e.retire(sh)
+	}
+}
+
+// startElastic wires -autoshard over the already-hosted shard set:
+// assigns default ring labels, publishes topology epoch 1, and starts
+// the controller loop. hosted[i] must be served by locals[i] with
+// taps[i] in its journal chain.
+func startElastic(clk vclock.Clock, o *obs.Obs, client *discovery.Client, router *shard.Router,
+	sweeper *dynSweeper, host, jobName, dataDir string, fsync wal.FsyncPolicy, spread bool,
+	hosted []shard.Shard, locals []*space.Local, taps []*rebalance.Tap,
+	splitThreshold, mergeThreshold float64, interval time.Duration) (*elasticHost, error) {
+	e := &elasticHost{
+		clk: clk, o: o, client: client, router: router, sweeper: sweeper,
+		host: host, jobName: jobName, dataDir: dataDir, fsync: fsync, spread: spread,
+		txnTTL: 2 * time.Minute, drain: 2 * interval, interval: interval,
+		shards:  make(map[string]*elasticShard, len(hosted)),
+		parents: make(map[string]string),
+		nextIdx: len(hosted),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, s := range hosted {
+		e.shards[s.ID] = &elasticShard{idx: i, addr: s.ID, local: locals[i], tap: taps[i]}
+	}
+	e.ctrl = rebalance.NewController(rebalance.ControllerConfig{
+		SplitThreshold: splitThreshold,
+		MergeThreshold: mergeThreshold,
+		Mergeable: func(id string) bool {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			_, ok := e.parents[id]
+			return ok
+		},
+	})
+	t := router.Topology()
+	t.Epoch = 1
+	if _, err := router.ApplyTopology(t, nil); err != nil {
+		return nil, fmt.Errorf("autoshard: seed topology: %w", err)
+	}
+	if err := e.publishTopology(t); err != nil {
+		return nil, fmt.Errorf("autoshard: publish topology: %w", err)
+	}
+	e.installHealth()
+	go e.run()
+	return e, nil
+}

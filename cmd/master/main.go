@@ -47,6 +47,7 @@ import (
 	"gospaces/internal/metrics"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/obs"
+	"gospaces/internal/rebalance"
 	"gospaces/internal/replica"
 	"gospaces/internal/shard"
 	"gospaces/internal/snmp"
@@ -72,8 +73,16 @@ func main() {
 	replicas := flag.Int("replicas", 0, "hot standbys per hosted shard (0 or 1); 1 enables primary/backup replication with automatic failover")
 	replack := flag.String("replack", "sync", "replication acknowledgement mode: sync (ack after the standby confirms) or async")
 	failoverTimeout := flag.Duration("failover-timeout", 2*time.Second, "heartbeat/lease silence after which a standby promotes itself")
+	autoshard := flag.Bool("autoshard", false, "let a load-driven rebalancer split hot shards and merge cold split-born ones at runtime (requires -replicas 0)")
+	splitThreshold := flag.Float64("split-threshold", 500, "with -autoshard: smoothed ops/sec above which a shard splits")
+	mergeThreshold := flag.Float64("merge-threshold", 10, "with -autoshard: smoothed ops/sec below which a split-born shard merges back")
+	reshardInterval := flag.Duration("reshard-interval", 5*time.Second, "with -autoshard: rebalancer sampling interval")
 	flag.Parse()
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout); err != nil {
+	ecfg := elasticFlags{
+		on: *autoshard, splitThreshold: *splitThreshold,
+		mergeThreshold: *mergeThreshold, interval: *reshardInterval,
+	}
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout, ecfg); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -116,7 +125,14 @@ func buildJob(name string, sims int, spread bool) (master.Job, func(), error) {
 	}
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration) error {
+// elasticFlags carries the -autoshard flag group into run.
+type elasticFlags struct {
+	on                             bool
+	splitThreshold, mergeThreshold float64
+	interval                       time.Duration
+}
+
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration, ecfg elasticFlags) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
@@ -124,6 +140,12 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	}
 	if replicas < 0 || replicas > 1 {
 		return fmt.Errorf("-replicas must be 0 or 1, got %d", replicas)
+	}
+	if ecfg.on && replicas > 0 {
+		return fmt.Errorf("-autoshard requires -replicas 0 in the TCP master (the in-process framework supports the replicated variant)")
+	}
+	if ecfg.on && journalPath != "" {
+		return fmt.Errorf("-autoshard is incompatible with the legacy -journal persistence")
 	}
 	ackMode, err := replica.ParseAckMode(replack)
 	if err != nil {
@@ -175,6 +197,8 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		durables  = make([]*space.Durable, numShards)
 		pairs     []*replicaPair
 		shard0Srv *transport.Server
+		locals    []*space.Local
+		taps      []*rebalance.Tap
 	)
 	if replicas > 0 {
 		pairs = make([]*replicaPair, numShards)
@@ -190,6 +214,12 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		if replicas > 0 {
 			psw = replica.NewSwitchSink()
 		}
+		// With -autoshard every shard's journal records tee into a
+		// rebalance.Tap so a later split can snapshot-fork it live.
+		var tap *rebalance.Tap
+		if ecfg.on {
+			tap = rebalance.NewTap(nil)
+		}
 		var local *space.Local
 		switch {
 		case dataDir != "":
@@ -202,6 +232,8 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			}
 			if psw != nil {
 				dopts.Tee = psw
+			} else if tap != nil {
+				dopts.Tee = tap
 			}
 			var d *space.Durable
 			local, d, err = space.NewLocalDurable(clk, dopts)
@@ -224,6 +256,10 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			local = space.NewLocal(clk)
 			if psw != nil {
 				if err := local.TS.AttachJournal(tuplespace.NewJournalSink(psw)); err != nil {
+					return fmt.Errorf("journal for shard %d: %w", i, err)
+				}
+			} else if tap != nil {
+				if err := local.TS.AttachJournal(tuplespace.NewJournalSink(tap)); err != nil {
 					return fmt.Errorf("journal for shard %d: %w", i, err)
 				}
 			}
@@ -265,6 +301,8 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			sh.Epoch = 1
 		}
 		hosted = append(hosted, sh)
+		locals = append(locals, local)
+		taps = append(taps, tap)
 		sweeper = append(sweeper, local.Mgr)
 		log.Printf("master: space shard %d/%d on %s", i, numShards, l.Addr())
 		if replicas > 0 {
@@ -327,7 +365,10 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	}
 
 	var sp space.Space = hosted[0].Space
-	if numShards > 1 {
+	var router *shard.Router
+	if numShards > 1 || ecfg.on {
+		// Elastic mode needs a router even for one shard: splits retarget
+		// its membership at runtime.
 		ropts := shard.Options{Clock: clk, Seed: "master"}
 		if pairs != nil {
 			// On a hard shard failure the router re-resolves the ring
@@ -338,20 +379,38 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 				func(a string) (space.Space, error) { return space.Dial(a) })
 			ropts.Counters = o.Ctr()
 		}
-		sp, err = shard.New(ropts, hosted)
+		router, err = shard.New(ropts, hosted)
 		if err != nil {
 			return err
 		}
+		sp = router
 	}
 	if o != nil {
 		setHealth(o, numShards, pairs, durables)
+	}
+	var sweepFor interface{ Sweep() int } = sweeper
+	var eh *elasticHost
+	if ecfg.on {
+		ds := &dynSweeper{}
+		for _, s := range sweeper {
+			ds.add(s)
+		}
+		sweepFor = ds
+		eh, err = startElastic(clk, o, client, router, ds, host, jobName, dataDir, fsyncPolicy,
+			spread, hosted, locals, taps, ecfg.splitThreshold, ecfg.mergeThreshold, ecfg.interval)
+		if err != nil {
+			return err
+		}
+		defer eh.stop()
+		log.Printf("master: autoshard on (split above %.0f ops/s, merge below %.0f ops/s, sampled every %v)",
+			ecfg.splitThreshold, ecfg.mergeThreshold, ecfg.interval)
 	}
 	sp = obs.InstrumentSpace(sp, clk, o.Reg(), metrics.HistSpacePrefix)
 	m := master.New(master.Config{
 		Clock:         clk,
 		Space:         sp,
 		ResultTimeout: resultTimeout,
-		Sweeper:       sweeper,
+		Sweeper:       sweepFor,
 		SweepInterval: 30 * time.Second,
 		Obs:           o,
 	})

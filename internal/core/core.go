@@ -34,6 +34,7 @@ import (
 	"gospaces/internal/netmgmt"
 	"gospaces/internal/nodeconfig"
 	"gospaces/internal/obs"
+	"gospaces/internal/rebalance"
 	"gospaces/internal/replica"
 	"gospaces/internal/rulebase"
 	"gospaces/internal/shard"
@@ -139,6 +140,39 @@ type Config struct {
 	// which the shard router treats as failover-worthy. Zero disables the
 	// deadline.
 	OpTimeout time.Duration
+	// Elastic enables the resharding machinery: every hosted node's
+	// journal chain carries a migration tap, the master publishes a ring
+	// topology record that workers watch, and SplitShard/MergeShards move
+	// key ranges between shards online. Forces a shard.Router on the
+	// master and every worker (pass-through for one shard). Implied by
+	// AutoShard.
+	Elastic bool
+	// AutoShard additionally runs the load-driven rebalancer during Run:
+	// a controller samples per-shard op rates every ReshardInterval and
+	// splits a shard whose EWMA stays above SplitThreshold (merging
+	// split-born shards back when they cool below MergeThreshold).
+	AutoShard bool
+	// SplitThreshold and MergeThreshold are op-rate EWMAs in ops/sec
+	// (defaults 500 and 10; see rebalance.ControllerConfig).
+	SplitThreshold float64
+	MergeThreshold float64
+	// ReshardInterval is the rebalancer's sampling tick. Default 1 s.
+	ReshardInterval time.Duration
+	// ReshardHysteresis is how many consecutive ticks a threshold must be
+	// breached before the rebalancer acts (default 3).
+	ReshardHysteresis int
+	// ReshardCooldown is the minimum pause between reshard actions
+	// (default 30 s).
+	ReshardCooldown time.Duration
+	// MaxShards caps automatic splits (default 8).
+	MaxShards int
+	// ReshardDrain is the post-cutover lame-duck window during which the
+	// old owner keeps sweeping straggler writes across to the new one.
+	// Default 2×WatchInterval — it must outlast worker ring convergence.
+	ReshardDrain time.Duration
+	// WatchInterval is how often each worker polls the lookup service for
+	// a newer ring topology. Default 500 ms.
+	WatchInterval time.Duration
 	// Obs, if set, enables the observability layer end to end: causal
 	// tracing of every task (plan → take → execute → aggregate), latency
 	// histograms on the master's space handle, each shard server, the WAL
@@ -172,6 +206,9 @@ type Framework struct {
 	// Repl carries the repl:* counters (records shipped, promotions,
 	// fenced requests, router failovers) when Config.Replicas is set.
 	Repl *metrics.Counters
+	// Reshard carries the reshard:* counters (splits, merges, entries
+	// migrated/evicted, aborted migrations) when Config.Elastic is set.
+	Reshard *metrics.Counters
 	// MIB is the master's management information base when Config.Obs is
 	// set: the framework gauges exported as SNMP objects, served by an
 	// agent bound on the master's server (the same substrate the network
@@ -184,9 +221,12 @@ type Framework struct {
 	shardAddrs []string
 	gates      []*transport.ServiceGate
 	sweeps     []*swapSweeper
+	taps       []*rebalance.Tap // per seed shard, elastic only
 	repls      []*replShard
 	replMu     sync.Mutex
 	runGroup   *vclock.Group
+	sweeper    *growSweeper
+	reshard    *reshardState // elastic only (see elastic.go)
 }
 
 // swapSweeper lets the master's sweeper (captured once at master.New)
@@ -234,6 +274,9 @@ type Result struct {
 	// set: records shipped, promotions, fenced requests, resyncs, and the
 	// failover count across the master's and every worker's router.
 	Replication map[string]uint64
+	// Resharding is the reshard:* counter snapshot when Config.Elastic was
+	// set: splits, merges, entries migrated and evicted, aborted forks.
+	Resharding map[string]uint64
 	// ObsSummary is the per-stage tail-latency table (p50/p90/p99/max of
 	// every non-empty histogram) when Config.Obs was set.
 	ObsSummary []metrics.StageSummary
@@ -262,6 +305,18 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	}
 	if cfg.FailoverTimeout <= 0 {
 		cfg.FailoverTimeout = 2 * time.Second
+	}
+	if cfg.AutoShard {
+		cfg.Elastic = true
+	}
+	if cfg.WatchInterval <= 0 {
+		cfg.WatchInterval = 500 * time.Millisecond
+	}
+	if cfg.ReshardDrain <= 0 {
+		cfg.ReshardDrain = 2 * cfg.WatchInterval
+	}
+	if cfg.ReshardInterval <= 0 {
+		cfg.ReshardInterval = time.Second
 	}
 
 	clus := cluster.New(clock, model, cfg.Workers)
@@ -296,8 +351,12 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		f.Repl = metrics.NewCounters()
 		f.repls = make([]*replShard, cfg.Shards)
 	}
+	if cfg.Elastic {
+		f.Reshard = metrics.NewCounters()
+		f.taps = make([]*rebalance.Tap, cfg.Shards)
+	}
 	shards := make([]shard.Shard, cfg.Shards)
-	sweepers := make(shard.MultiSweeper, cfg.Shards)
+	f.sweeper = &growSweeper{}
 	f.sweeps = make([]*swapSweeper, cfg.Shards)
 	f.shardSrvs = make([]*transport.Server, cfg.Shards)
 	f.shardAddrs = make([]string, cfg.Shards)
@@ -318,12 +377,23 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			f.repls[i] = rs
 			psw = replica.NewSwitchSink()
 		}
+		// The journal chain, innermost first: space journal → WAL (when
+		// durable) → migration tap (when elastic) → replication switch
+		// sink. The tap stays a pass-through until a reshard turns it on.
+		var sink tuplespace.RecordSink
+		if psw != nil {
+			sink = psw
+		}
+		var tap *rebalance.Tap
+		if cfg.Elastic {
+			tap = rebalance.NewTap(sink)
+			f.taps[i] = tap
+			sink = tap
+		}
 		var l *space.Local
 		if cfg.DataDir != "" {
 			dopts := f.durableOptions(i)
-			if psw != nil {
-				dopts.Tee = psw
-			}
+			dopts.Tee = sink
 			var d *space.Durable
 			var err error
 			l, d, err = space.NewLocalDurable(clock, dopts)
@@ -336,22 +406,22 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			f.Durables[i] = d
 		} else {
 			l = space.NewLocal(clock)
-			if psw != nil {
-				if err := l.TS.AttachJournal(tuplespace.NewJournalSink(psw)); err != nil {
+			if sink != nil {
+				if err := l.TS.AttachJournal(tuplespace.NewJournalSink(sink)); err != nil {
 					panic(fmt.Sprintf("core: shard %d journal: %v", i, err))
 				}
 			}
 		}
 		f.Shards = append(f.Shards, l)
 		f.sweeps[i] = &swapSweeper{s: l.Mgr}
-		sweepers[i] = f.sweeps[i]
+		f.sweeper.add(f.sweeps[i])
 		space.NewService(l, srv)
 		var p *replica.Primary
 		if rs != nil {
 			// Directly after the service handlers so the replication
 			// middleware sits innermost: a mutation confirms on the backup
 			// before the gate or obs layers see the reply.
-			p = f.setupReplica(rs, l, srv, psw)
+			p = f.setupReplica(rs, l, srv, psw, tap, f.Durables[i])
 		}
 		var handle space.Space = l
 		if cfg.SpaceOpCost > 0 {
@@ -382,7 +452,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	f.Local = f.Shards[0]
 	f.CodeServer.Bind(clus.MasterServer)
 
-	if cfg.Shards == 1 && cfg.DataDir == "" && cfg.Replicas == 0 {
+	if cfg.Shards == 1 && cfg.DataDir == "" && cfg.Replicas == 0 && !cfg.Elastic {
 		f.Space = shards[0].Space
 	} else {
 		// A router even for a single durable or replicated shard:
@@ -402,6 +472,12 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		f.router = router
 		f.Space = router
 	}
+	if cfg.Elastic {
+		// Publish the initial topology (epoch 1, default labels) so every
+		// watcher treats topology records as authoritative from the start —
+		// the legacy add-only growth path never races a reshard.
+		f.initElastic(shards)
+	}
 	// The master's operating handle records per-op latencies. The wrapper
 	// delegates to the router underneath, so RestartShard's in-place
 	// Replace stays visible through it.
@@ -413,8 +489,9 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		Machine:       clus.MasterMachine,
 		ResultTimeout: cfg.ResultTimeout,
 		// Sweeping expired worker transactions lets tasks held by
-		// crashed workers reappear instead of stalling collection.
-		Sweeper:       sweepers,
+		// crashed workers reappear instead of stalling collection. The
+		// growable sweeper lets split-born shards join the sweep loop.
+		Sweeper:       f.sweeper,
 		SweepInterval: cfg.TxnTTL / 4,
 		DedupResults:  cfg.DedupResults,
 		Obs:           cfg.Obs,
@@ -434,6 +511,12 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		if cfg.Replicas > 0 {
 			f.replGauges(reg)
 		}
+		if f.router != nil {
+			router := f.router
+			reg.RegisterGauge(metrics.GaugeTopologyEpoch, func() int64 {
+				return int64(router.TopoEpoch())
+			})
+		}
 		cfg.Obs.SetHealth(f.healthReport)
 		// The master answers SNMP GETs for the framework subtree on its
 		// own server — the same management substrate the network
@@ -450,6 +533,13 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 // plan is installed the WAL's writes route through it under the shard's
 // disk endpoint, so chaos scripts can fail specific disk writes.
 func (f *Framework) durableOptions(i int) space.DurableOptions {
+	return f.durableOptionsAt(i, f.shardAddrs[i])
+}
+
+// durableOptionsAt is durableOptions with the disk endpoint's address made
+// explicit — split-born shards configure durability before they appear in
+// the framework's shard tables.
+func (f *Framework) durableOptionsAt(i int, addr string) space.DurableOptions {
 	opts := space.DurableOptions{
 		Dir:      filepath.Join(f.cfg.DataDir, fmt.Sprintf("shard%d", i)),
 		Fsync:    f.cfg.FsyncPolicy,
@@ -462,17 +552,18 @@ func (f *Framework) durableOptions(i int) space.DurableOptions {
 		SyncHist:   f.cfg.Obs.Reg().Histogram(metrics.HistWALFsync),
 	}
 	if f.cfg.Faults != nil {
-		ep := faults.DiskEndpoint(f.shardAddrs[i])
+		ep := faults.DiskEndpoint(addr)
 		plan := f.cfg.Faults
 		opts.WrapWriter = func(w io.Writer) io.Writer { return plan.WrapWriter(ep, w) }
 	}
 	return opts
 }
 
-// registerShard (re-)announces shard i in the lookup service. Durable
-// shards carry recovery metadata: clients and operators can see that a
-// service came back from its log and how much it restored.
-func (f *Framework) registerShard(i int, d *space.Durable, recovered bool) {
+// registerShard (re-)announces shard i in the lookup service, returning
+// the registration ID. Durable shards carry recovery metadata: clients and
+// operators can see that a service came back from its log and how much it
+// restored.
+func (f *Framework) registerShard(i int, d *space.Durable, recovered bool) uint64 {
 	attrs := map[string]string{
 		"type":           "javaspace",
 		shard.AttrShard:  strconv.Itoa(i),
@@ -504,6 +595,7 @@ func (f *Framework) registerShard(i int, d *space.Durable, recovered bool) {
 	if rs != nil {
 		rs.setRegID(id)
 	}
+	return id
 }
 
 // RestartShard crash-restarts hosted shard i: the live space is closed
@@ -526,8 +618,17 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d shutdown: %w", i, err)
 	}
 
-	// Restart: recover from disk.
-	l, d, err := space.NewLocalDurable(f.Clock, f.durableOptions(i))
+	// Restart: recover from disk. An elastic shard's chain gets a fresh
+	// migration tap (the old one observed the dead space's journal); the
+	// crash dropped any in-flight migration with it, which is exactly the
+	// abort-and-retry path resharding already handles.
+	dopts := f.durableOptions(i)
+	if f.cfg.Elastic {
+		tap := rebalance.NewTap(nil)
+		dopts.Tee = tap
+		f.taps[i] = tap
+	}
+	l, d, err := space.NewLocalDurable(f.Clock, dopts)
 	if err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d recovery: %w", i, err)
 	}
@@ -563,15 +664,19 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 // unaffected if it is never called (tests rely on process teardown), but
 // durable deployments should close so final appends reach disk.
 func (f *Framework) Close() {
-	for _, l := range f.Shards {
+	f.replMu.Lock()
+	locals := append([]*space.Local(nil), f.Shards...)
+	durables := append([]*space.Durable(nil), f.Durables...)
+	f.replMu.Unlock()
+	for _, l := range locals {
 		l.TS.Close()
 	}
-	for _, d := range f.Durables {
+	for _, d := range durables {
 		if d != nil {
 			d.Close()
 		}
 	}
-	for _, rs := range f.repls {
+	for _, rs := range f.replsSnapshot() {
 		rs.mu.Lock()
 		nodes := []*replNode{rs.primaryNode, rs.backupNode}
 		rs.mu.Unlock()
@@ -605,12 +710,16 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 		Community:    f.Cluster.Community,
 	})
 	var watchers []*sysmon.Watcher
+	var ringWatchers []*shard.Watcher
 	for _, node := range f.Cluster.Nodes {
-		w, err := f.buildWorker(node, job)
+		w, rw, err := f.buildWorker(node, job)
 		if err != nil {
 			return Result{}, err
 		}
 		workers = append(workers, w)
+		if rw != nil {
+			ringWatchers = append(ringWatchers, rw)
+		}
 		if !f.cfg.Monitoring {
 			w.AutoStart()
 			continue
@@ -652,6 +761,17 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 		watch := watch
 		group.Go(watch.Run)
 	}
+	// Elastic mode: each worker's ring watcher follows published topology
+	// records, and AutoShard adds the load-driven rebalancer itself.
+	for _, rw := range ringWatchers {
+		rw := rw
+		group.Go(rw.Run)
+	}
+	var reshardLoop *rebalancer
+	if f.cfg.AutoShard {
+		reshardLoop = f.newRebalancer()
+		group.Go(reshardLoop.Run)
+	}
 	if script != nil {
 		group.Go(func() { script(f) })
 	}
@@ -664,6 +784,12 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	mod.Shutdown()
 	for _, watch := range watchers {
 		watch.Stop()
+	}
+	for _, rw := range ringWatchers {
+		rw.Stop()
+	}
+	if reshardLoop != nil {
+		reshardLoop.Stop()
 	}
 	f.replMu.Lock()
 	f.runGroup = nil
@@ -686,6 +812,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	if f.Repl != nil {
 		res.Replication = f.Repl.Snapshot()
 	}
+	if f.Reshard != nil {
+		res.Resharding = f.Reshard.Snapshot()
+	}
 	if f.cfg.Obs != nil {
 		res.ObsSummary = f.cfg.Obs.Reg().Summary()
 	}
@@ -701,8 +830,11 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	return res, runErr
 }
 
-// buildWorker assembles the worker module for one node.
-func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, error) {
+// buildWorker assembles the worker module for one node. In elastic mode it
+// also returns the node's ring watcher, which Run drives so the worker's
+// router follows topology changes (split-born shards joining, merged ones
+// leaving) published after startup.
+func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *shard.Watcher, error) {
 	// Jini-style discovery: find the space service(s) by attribute
 	// lookup. One registration is the classic deployment and the worker
 	// talks straight to that proxy; several mean a sharded space, and the
@@ -731,28 +863,46 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 		return derr
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: discovering space: %w", node.Name, err)
+		return nil, nil, fmt.Errorf("core: %s: discovering space: %w", node.Name, err)
 	}
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("core: %s: discovering space: no javaspace service registered", node.Name)
+		return nil, nil, fmt.Errorf("core: %s: discovering space: no javaspace service registered", node.Name)
 	}
 	var sp space.Space
-	if len(shards) == 1 && f.cfg.Replicas == 0 {
+	var ringWatcher *shard.Watcher
+	if len(shards) == 1 && f.cfg.Replicas == 0 && !f.cfg.Elastic {
 		sp = shards[0].Space
 	} else {
-		// A router even for one replicated shard: failover needs a ring
-		// position that can be retargeted onto the promoted backup, which
-		// the worker resolves through the lookup service (highest epoch
-		// claiming the ring position wins).
+		// A router even for one replicated or elastic shard: failover needs
+		// a ring position that can be retargeted onto the promoted backup,
+		// and resharding needs a ring whose membership can change — both
+		// resolved through the lookup service (highest epoch claiming the
+		// ring position wins).
 		ropts := shard.Options{Clock: f.Clock, Seed: node.Name}
 		if f.cfg.Replicas > 0 {
 			ropts.Counters = f.Repl
+		}
+		if f.cfg.Replicas > 0 || f.cfg.Elastic {
 			ropts.Failover = shard.Resolver(lc, tmpl, dial)
 		}
-		sp, err = shard.New(ropts, shards)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: shard router: %w", node.Name, err)
+		router, rerr := shard.New(ropts, shards)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("core: %s: shard router: %w", node.Name, rerr)
 		}
+		if f.cfg.Elastic {
+			// Adopt the published topology now rather than waiting out the
+			// first watch tick: a worker that joins mid-run must not route
+			// one request over pre-reshard default placements.
+			if items, lerr := lc.Lookup(map[string]string{"type": shard.TopoType}); lerr == nil {
+				if t, ok := shard.BestTopology(items); ok {
+					if _, aerr := router.ApplyTopology(t, shard.Resolver(lc, tmpl, dial)); aerr != nil {
+						return nil, nil, fmt.Errorf("core: %s: adopt topology: %w", node.Name, aerr)
+					}
+				}
+			}
+			ringWatcher = shard.NewWatcher(lc, f.Clock, router, tmpl, dial, f.cfg.WatchInterval)
+		}
+		sp = router
 	}
 	// The code server lives on shard 0's server (the master's address).
 	engine := nodeconfig.NewEngine(nodeconfig.ExecContext{
@@ -781,7 +931,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, er
 	node.MIB.Register(snmp.OIDWorkerState, func() snmp.Value {
 		return snmp.Integer(int64(w.State()))
 	})
-	return w, nil
+	return w, ringWatcher, nil
 }
 
 // buildTrapWatcher wires a node-side load watcher that fires an SNMP

@@ -8,12 +8,10 @@ import (
 	"sync"
 	"time"
 
-	"io"
-
 	"gospaces/internal/discovery"
-	"gospaces/internal/faults"
 	"gospaces/internal/metrics"
 	"gospaces/internal/obs"
+	"gospaces/internal/rebalance"
 	"gospaces/internal/replica"
 	"gospaces/internal/shard"
 	"gospaces/internal/space"
@@ -40,6 +38,10 @@ type replNode struct {
 	local   *space.Local
 	sink    *replica.SwitchSink
 	durable *space.Durable
+	// tap is the node's migration tap (elastic deployments only). Both
+	// nodes of a pair carry one so a reshard can re-fork against the
+	// promoted node after a mid-split failover.
+	tap *rebalance.Tap
 }
 
 // replShard tracks the replication state of one ring position. The two
@@ -69,11 +71,22 @@ func (rs *replShard) setRegID(id uint64) {
 }
 
 // repl returns shard i's replication state (nil when replication is off).
+// The repls table grows when a split builds a replicated child, so indexed
+// access synchronizes on replMu.
 func (f *Framework) repl(i int) *replShard {
+	f.replMu.Lock()
+	defer f.replMu.Unlock()
 	if i < 0 || i >= len(f.repls) {
 		return nil
 	}
 	return f.repls[i]
+}
+
+// replsSnapshot copies the current repls table for lock-free iteration.
+func (f *Framework) replsSnapshot() []*replShard {
+	f.replMu.Lock()
+	defer f.replMu.Unlock()
+	return append([]*replShard(nil), f.repls...)
 }
 
 // replLeaseTTL is the primary registration lease: renewed each heartbeat
@@ -95,7 +108,7 @@ func (f *Framework) ringRegistered(ringID string) bool {
 // middleware sits innermost (confirm before the gate or obs layers see
 // the reply). It returns the primary controller so the caller can wrap
 // the master-side handle.
-func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.Server, psw *replica.SwitchSink) *replica.Primary {
+func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.Server, psw *replica.SwitchSink, ptap *rebalance.Tap, pdur *space.Durable) *replica.Primary {
 	i := rs.idx
 	clus := f.Cluster
 
@@ -103,17 +116,22 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 	bsrv := transport.NewServer()
 	clus.Net.Listen(baddr, bsrv)
 	bsw := replica.NewSwitchSink()
+	// The backup's chain mirrors the primary's: WAL (when durable) → tap
+	// (when elastic) → switch sink. Its tap exists so a reshard that loses
+	// the source primary mid-split can re-fork against this node once it
+	// promotes.
+	var btee tuplespace.RecordSink = bsw
+	var btap *rebalance.Tap
+	if f.cfg.Elastic {
+		btap = rebalance.NewTap(bsw)
+		btee = btap
+	}
 	var bl *space.Local
 	var bd *space.Durable
 	if f.cfg.DataDir != "" {
-		dopts := f.durableOptions(i)
+		dopts := f.durableOptionsAt(i, baddr)
 		dopts.Dir = filepath.Join(f.cfg.DataDir, fmt.Sprintf("shard%d.backup", i))
-		dopts.Tee = bsw
-		if f.cfg.Faults != nil {
-			ep := faults.DiskEndpoint(baddr)
-			plan := f.cfg.Faults
-			dopts.WrapWriter = func(w io.Writer) io.Writer { return plan.WrapWriter(ep, w) }
-		}
+		dopts.Tee = btee
 		var err error
 		bl, bd, err = space.NewLocalDurable(f.Clock, dopts)
 		if err != nil {
@@ -121,12 +139,12 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		}
 	} else {
 		bl = space.NewLocal(f.Clock)
-		if err := bl.TS.AttachJournal(tuplespace.NewJournalSink(bsw)); err != nil {
+		if err := bl.TS.AttachJournal(tuplespace.NewJournalSink(btee)); err != nil {
 			panic(fmt.Sprintf("core: backup journal for shard %d: %v", i, err))
 		}
 	}
-	rs.primaryNode = &replNode{addr: rs.ringID, srv: srv, local: l, sink: psw, durable: f.Durables[i]}
-	rs.backupNode = &replNode{addr: baddr, srv: bsrv, local: bl, sink: bsw, durable: bd}
+	rs.primaryNode = &replNode{addr: rs.ringID, srv: srv, local: l, sink: psw, durable: pdur, tap: ptap}
+	rs.backupNode = &replNode{addr: baddr, srv: bsrv, local: bl, sink: bsw, durable: bd, tap: btap}
 
 	p := replica.NewPrimary(l, replica.PrimaryOptions{
 		Clock:    f.Clock,
@@ -262,7 +280,7 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 
 	// Expired-entry bookkeeping moves with the serving space, and the
 	// master's captured sweeper follows.
-	f.sweeps[rs.idx].swap(node.local.Mgr)
+	f.sweepAt(rs.idx).swap(node.local.Mgr)
 
 	// The master's router retargets immediately; remote clients resolve
 	// the new registration through their Failover resolver on the next
@@ -289,7 +307,7 @@ func (f *Framework) spawnRepl(fn func()) {
 
 // startReplPumps launches the current controllers' pumps on Run's group.
 func (f *Framework) startReplPumps() {
-	for _, rs := range f.repls {
+	for _, rs := range f.replsSnapshot() {
 		rs.mu.Lock()
 		p, b := rs.primary, rs.backup
 		rs.mu.Unlock()
@@ -305,7 +323,7 @@ func (f *Framework) startReplPumps() {
 // stopReplPumps stops every controller ever created (deposed ones
 // included) so Run's group drains.
 func (f *Framework) stopReplPumps() {
-	for _, rs := range f.repls {
+	for _, rs := range f.replsSnapshot() {
 		rs.mu.Lock()
 		stops := append([]interface{ Stop() }(nil), rs.stops...)
 		rs.mu.Unlock()
@@ -319,7 +337,7 @@ func (f *Framework) stopReplPumps() {
 // resolve to the in-process promoted handle recorded by promote.
 func (f *Framework) localResolver() func(string) (shard.Shard, error) {
 	return func(ringID string) (shard.Shard, error) {
-		for _, rs := range f.repls {
+		for _, rs := range f.replsSnapshot() {
 			if rs.ringID != ringID {
 				continue
 			}
@@ -343,7 +361,7 @@ func (f *Framework) localResolver() func(string) (shard.Shard, error) {
 // the ring retargets — the whole point of replication is that no
 // RestartShard call is needed. Requires Config.Replicas.
 func (f *Framework) KillShardPrimary(i int) error {
-	if len(f.repls) == 0 {
+	if len(f.replsSnapshot()) == 0 {
 		return errors.New("core: KillShardPrimary requires Config.Replicas")
 	}
 	rs := f.repl(i)
@@ -388,13 +406,22 @@ func (f *Framework) RejoinShard(i int) error {
 
 	fresh := space.NewLocal(f.Clock)
 	sw := replica.NewSwitchSink()
-	if err := fresh.TS.AttachJournal(tuplespace.NewJournalSink(sw)); err != nil {
+	var tee tuplespace.RecordSink = sw
+	var tap *rebalance.Tap
+	if f.cfg.Elastic {
+		// The rejoined node gets a fresh tap in its fresh chain — the old
+		// tap observed the dead space's journal and must not linger.
+		tap = rebalance.NewTap(sw)
+		tee = tap
+	}
+	if err := fresh.TS.AttachJournal(tuplespace.NewJournalSink(tee)); err != nil {
 		return fmt.Errorf("core: shard %d rejoin journal: %w", i, err)
 	}
 	// The replNode fields are read under rs.mu by healthReport and
 	// promote from other goroutines; swap them under the same lock.
 	rs.mu.Lock()
 	node.local, node.sink, node.durable = fresh, sw, nil
+	node.tap = tap
 	rs.mu.Unlock()
 
 	b2 := replica.NewBackup(fresh, replica.BackupOptions{
@@ -462,12 +489,43 @@ func (f *Framework) DeposedHandle(i int) space.Space {
 
 // healthReport backs the obs surface's /healthz endpoint: one entry per
 // hosted shard with the serving node's role, the ring position's epoch,
-// the primary-observed replication lag, and the serving node's WAL
-// position (0 for a non-durable shard).
+// the primary-observed replication lag, the serving node's WAL position
+// (0 for a non-durable shard), and — in elastic mode — the shard's ring
+// ownership fraction, live entry count, and the rebalancer's smoothed
+// op rate.
 func (f *Framework) healthReport() obs.Health {
 	h := obs.Health{Status: "ok"}
-	for i := range f.Shards {
+	f.replMu.Lock()
+	locals := append([]*space.Local(nil), f.Shards...)
+	durables := append([]*space.Durable(nil), f.Durables...)
+	addrs := append([]string(nil), f.shardAddrs...)
+	f.replMu.Unlock()
+	var owned map[string]float64
+	if f.router != nil {
+		h.TopologyEpoch = f.router.TopoEpoch()
+		owned = f.router.Ownership()
+	}
+	var splitBorn, retired map[string]bool
+	var rates map[string]float64
+	if f.reshard != nil {
+		f.reshard.mu.Lock()
+		splitBorn = make(map[string]bool, len(f.reshard.parents))
+		for ring := range f.reshard.parents {
+			splitBorn[ring] = true
+		}
+		retired = make(map[string]bool, len(f.reshard.retired))
+		for ring := range f.reshard.retired {
+			retired[ring] = true
+		}
+		rates = make(map[string]float64, len(f.reshard.rates))
+		for ring, r := range f.reshard.rates {
+			rates[ring] = r
+		}
+		f.reshard.mu.Unlock()
+	}
+	for i := range locals {
 		sh := obs.ShardHealth{Shard: i, Role: shard.RolePrimary}
+		serving := locals[i]
 		if rs := f.repl(i); rs != nil {
 			rs.mu.Lock()
 			sh.Epoch = rs.epoch
@@ -481,6 +539,7 @@ func (f *Framework) healthReport() obs.Health {
 				// Capture under rs.mu: RejoinShard swaps replNode fields
 				// under the same lock.
 				durable = rs.primaryNode.durable
+				serving = rs.primaryNode.local
 			}
 			rs.mu.Unlock()
 			if p != nil {
@@ -489,8 +548,19 @@ func (f *Framework) healthReport() obs.Health {
 			if durable != nil {
 				sh.WALPosition = durable.Log().Position()
 			}
-		} else if i < len(f.Durables) && f.Durables[i] != nil {
-			sh.WALPosition = f.Durables[i].Log().Position()
+		} else if i < len(durables) && durables[i] != nil {
+			sh.WALPosition = durables[i].Log().Position()
+		}
+		if i < len(addrs) {
+			ring := addrs[i]
+			sh.RingID = ring
+			sh.OwnedFraction = owned[ring]
+			sh.OpRate = rates[ring]
+			sh.SplitBorn = splitBorn[ring]
+			sh.Retired = retired[ring]
+		}
+		if serving != nil && !sh.Retired {
+			sh.Entries = serving.TS.Stats().EntriesLive
 		}
 		h.Shards = append(h.Shards, sh)
 	}

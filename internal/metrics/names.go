@@ -42,6 +42,13 @@ const (
 	CounterReplPromotions = "repl:promotions"      // backup self-promotions
 	CounterReplResyncs    = "repl:resyncs"         // full snapshot re-syncs after divergence
 	CounterReplFailovers  = "repl:failovers"       // router retargets onto a promoted backup
+
+	// Elastic resharding (internal/rebalance).
+	CounterReshardSplits   = "reshard:splits"           // completed shard splits
+	CounterReshardMerges   = "reshard:merges"           // completed shard merges
+	CounterReshardMigrated = "reshard:entries_migrated" // entries snapshot-forked to a new owner
+	CounterReshardEvicted  = "reshard:entries_evicted"  // entries evicted off the old owner
+	CounterReshardAborted  = "reshard:aborted"          // migrations abandoned (source failover, errors)
 )
 
 // Histogram names (metrics.Registry).
@@ -75,6 +82,7 @@ const (
 	GaugeTasksPlanned     = "master:tasks_planned"     // tasks written since start
 	GaugeResultsCollected = "master:results_collected" // results aggregated since start
 	GaugeWorkersRunning   = "cluster:workers_running"  // workers currently in the Running state
+	GaugeTopologyEpoch    = "reshard:topology_epoch"   // ring topology epoch (0 until first reshard)
 )
 
 // HistShardServe names shard i's server-side space-op service time

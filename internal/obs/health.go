@@ -14,12 +14,30 @@ type ShardHealth struct {
 	Epoch          uint64 `json:"epoch,omitempty"`
 	ReplicationLag uint64 `json:"replication_lag"`
 	WALPosition    uint64 `json:"wal_position"`
+	// RingID is the shard's ring position (its registered address); empty
+	// before the elastic layer assigns one.
+	RingID string `json:"ring_id,omitempty"`
+	// OwnedFraction is the share of the hash space this shard's ring
+	// position currently owns, in [0,1]. Splits shrink it, merges grow it.
+	OwnedFraction float64 `json:"owned_fraction,omitempty"`
+	// Entries is the serving replica's live tuple count.
+	Entries int `json:"entries"`
+	// OpRate is the rebalancer's smoothed ops/sec estimate for the shard —
+	// the number the split/merge thresholds are judged against.
+	OpRate float64 `json:"op_rate,omitempty"`
+	// SplitBorn marks shards created by an online split (merge candidates).
+	SplitBorn bool `json:"split_born,omitempty"`
+	// Retired marks shards merged away; they no longer serve the ring.
+	Retired bool `json:"retired,omitempty"`
 }
 
 // Health is the point-in-time report served at /healthz.
 type Health struct {
-	Status string        `json:"status"`
-	Shards []ShardHealth `json:"shards,omitempty"`
+	Status string `json:"status"`
+	// TopologyEpoch is the ring's current topology epoch (0 until the
+	// first reshard).
+	TopologyEpoch uint64        `json:"topology_epoch,omitempty"`
+	Shards        []ShardHealth `json:"shards,omitempty"`
 }
 
 var healthMu sync.Mutex

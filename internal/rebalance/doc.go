@@ -1,0 +1,51 @@
+// Package rebalance makes the sharded space elastic: it splits a hot
+// shard online, merges a cold one back, and runs the load-driven
+// controller that decides when to do either — the adaptive half of
+// "adaptive cluster computing" that the static core.Config{Shards} count
+// never delivered.
+//
+// A split composes primitives the replication and durability layers
+// already provide, in a protocol with three phases:
+//
+//  1. Fork. A Tap sitting in the source shard's journal chain starts
+//     buffering records; the source state matching the migrating key
+//     range is snapshotted (tuplespace.EncodeStateWhere) and replayed
+//     into the child shard through a range-filtered tuplespace.Applier;
+//     then the tap goes live, forwarding every subsequent source record
+//     to the same applier. Seq-based deduplication makes the
+//     snapshot/stream overlap idempotent, so after this phase the child
+//     continuously converges with the source's migrating range while
+//     the source keeps serving every operation.
+//  2. Settle + cutover. EvictWhere atomically removes migrated-range
+//     entries from the source (journaling "evict" records, which a
+//     filtered applier deliberately ignores — the child's copy is now
+//     the entry) and returns their write-records, which are re-applied
+//     to the child as an idempotent safety net. When no matching entry
+//     is lock-held the new Topology — the child owning half of the
+//     parent's ring point labels — is published at a strictly higher
+//     topology epoch. Routers apply it or a newer one, never an older:
+//     the same fencing discipline as replication epochs.
+//  3. Lame duck. Workers converge on the new topology within one
+//     Watcher poll interval; until then stragglers may still write
+//     migrating-range entries to the parent. Periodic settle passes
+//     keep evicting them across to the child until a pass finds the
+//     range empty, then the tap closes.
+//
+// Entries are never in zero places durably: the child applies records
+// through its own journal chain (WAL, replica) before the source copy is
+// evicted. They are transiently in two places — but the child is not in
+// any router's ring until cutover, and post-cutover stragglers at the
+// parent are swept within the drain window, so the window in which an
+// unkeyed scatter could observe both copies is the same one the failover
+// path already has, absorbed the same way (result deduplication).
+//
+// A merge is the cold inverse: the same migration engine run with an
+// all-entries predicate from the child back into its parent, and a
+// topology that returns the child's labels and drops the member.
+//
+// The Controller watches per-shard op-rate EWMAs and entry counts,
+// applies hysteresis and a cooldown so split and merge cannot flap, and
+// emits split/merge actions that core executes replica-aware: a
+// split-born shard comes up with the same Replicas/ReplAck posture as
+// every seed shard and registers with discovery like one.
+package rebalance

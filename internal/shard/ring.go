@@ -51,15 +51,61 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// newRing builds a ring over members (IDs must be distinct).
-func newRing(members []string, vnodes int) *ring {
+// DefaultLabels returns member's default ring point labels: "m#0" …
+// "m#<vnodes-1>", the labels newRing has always hashed. Resharding makes
+// them explicit: a split hands a subset of the parent's labels to the
+// child, so exactly the key ranges behind those points change owner and
+// every other key keeps its placement.
+func DefaultLabels(member string, vnodes int) []string {
 	if vnodes <= 0 {
 		vnodes = 1
 	}
-	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	labels := make([]string, vnodes)
+	for v := 0; v < vnodes; v++ {
+		labels[v] = member + "#" + strconv.Itoa(v)
+	}
+	return labels
+}
+
+// SplitLabels partitions labels into two halves that each own
+// approximately half of the combined hash arc: labels are sorted by their
+// point hash and alternated, so the split is even regardless of how the
+// hashes cluster. keep stays with the parent, give moves to the child.
+func SplitLabels(labels []string) (keep, give []string) {
+	sorted := append([]string(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return hash64(sorted[i]) < hash64(sorted[j]) })
+	for i, l := range sorted {
+		if i%2 == 0 {
+			keep = append(keep, l)
+		} else {
+			give = append(give, l)
+		}
+	}
+	return keep, give
+}
+
+// newRing builds a ring over members (IDs must be distinct) with the
+// default vnode labels per member.
+func newRing(members []string, vnodes int) *ring {
+	labels := make(map[string][]string, len(members))
 	for _, m := range members {
-		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(v)), id: m})
+		labels[m] = DefaultLabels(m, vnodes)
+	}
+	return newRingLabels(members, labels)
+}
+
+// newRingLabels builds a ring whose members own explicit point labels —
+// the resharded form. A member with no labels entry gets none (and owns
+// nothing), so callers must pass every member's labels.
+func newRingLabels(members []string, labels map[string][]string) *ring {
+	n := 0
+	for _, m := range members {
+		n += len(labels[m])
+	}
+	r := &ring{points: make([]ringPoint, 0, n)}
+	for _, m := range members {
+		for _, l := range labels[m] {
+			r.points = append(r.points, ringPoint{hash: hash64(l), id: m})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -69,6 +115,26 @@ func newRing(members []string, vnodes int) *ring {
 		return r.points[i].id < r.points[j].id // deterministic on (vanishingly rare) collisions
 	})
 	return r
+}
+
+// fractions returns the share of the hash space each member owns — the
+// imbalance view the rebalancer and /healthz report. A point at hash h
+// owns the arc from its predecessor (exclusive) to h (inclusive).
+func (r *ring) fractions() map[string]float64 {
+	out := make(map[string]float64)
+	if len(r.points) == 0 {
+		return out
+	}
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		if len(r.points) == 1 {
+			arc = ^uint64(0)
+		}
+		out[p.id] += float64(arc) / float64(^uint64(0))
+		prev = p.hash
+	}
+	return out
 }
 
 // get returns the member owning key: the first point clockwise from the

@@ -100,6 +100,12 @@ type view struct {
 	shards map[string]space.Space
 	epochs map[string]uint64 // ring ID → epoch the handle was resolved at
 	ring   *ring
+	// labels are each member's explicit ring point labels; before the first
+	// reshard they are the DefaultLabels every participant derives anyway.
+	labels map[string][]string
+	// topoEpoch fences topology changes: ApplyTopology only accepts a
+	// strictly newer topology (0 until the first reshard).
+	topoEpoch uint64
 }
 
 // Router implements space.Space over a set of shards. Entries and
@@ -133,7 +139,9 @@ func New(opts Options, shards []Shard) (*Router, error) {
 // SetShards replaces the membership. Intended for growing the cluster
 // between jobs: entries keyed onto a shard before a membership change are
 // not migrated, so keyed lookups can miss them afterwards — add shards
-// while the space holds no keyed entries.
+// while the space holds no keyed entries. Members the router already
+// knows keep their (possibly resharded) point labels; new members get the
+// defaults. Label moves go through ApplyTopology.
 func (r *Router) SetShards(shards []Shard) error {
 	if len(shards) == 0 {
 		return errors.New("shard: router needs at least one shard")
@@ -141,6 +149,7 @@ func (r *Router) SetShards(shards []Shard) error {
 	v := &view{
 		shards: make(map[string]space.Space, len(shards)),
 		epochs: make(map[string]uint64, len(shards)),
+		labels: make(map[string][]string, len(shards)),
 	}
 	for _, s := range shards {
 		if s.Space == nil {
@@ -154,10 +163,23 @@ func (r *Router) SetShards(shards []Shard) error {
 		v.order = append(v.order, s.ID)
 	}
 	sort.Strings(v.order)
-	v.ring = newRing(v.order, r.opts.VirtualNodes)
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.v; old != nil {
+		v.topoEpoch = old.topoEpoch
+		for _, id := range v.order {
+			if ls, ok := old.labels[id]; ok {
+				v.labels[id] = ls
+			}
+		}
+	}
+	for _, id := range v.order {
+		if v.labels[id] == nil {
+			v.labels[id] = DefaultLabels(id, r.opts.VirtualNodes)
+		}
+	}
+	v.ring = newRingLabels(v.order, v.labels)
 	r.v = v
-	r.mu.Unlock()
 	return nil
 }
 
@@ -192,7 +214,8 @@ func (v *view) with(id string, sp space.Space, epoch uint64) *view {
 		epochs[k] = e
 	}
 	epochs[id] = epoch
-	return &view{order: v.order, shards: shards, epochs: epochs, ring: v.ring}
+	return &view{order: v.order, shards: shards, epochs: epochs, ring: v.ring,
+		labels: v.labels, topoEpoch: v.topoEpoch}
 }
 
 func (r *Router) snapshot() *view {

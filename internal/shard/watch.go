@@ -188,6 +188,13 @@ func (w *Watcher) Run() {
 }
 
 func (w *Watcher) poll() {
+	// A published topology is authoritative: it names exactly the members
+	// and point labels of the ring, so once one exists the add-only legacy
+	// path below is disabled — it could resurrect a merged-away shard (or
+	// hand default labels to a resharded one) from a stale registration.
+	if done := w.pollTopology(); done {
+		return
+	}
 	items, err := w.client.Lookup(w.tmpl)
 	if err != nil {
 		w.setErr(err)
@@ -226,6 +233,31 @@ func (w *Watcher) poll() {
 		}
 	}
 	w.setErr(w.router.SetShards(shards))
+}
+
+// pollTopology applies the newest published topology, if any. It reports
+// whether topology records govern this ring (true disables the legacy
+// add-only membership growth for this poll).
+func (w *Watcher) pollTopology() bool {
+	items, err := w.client.Lookup(map[string]string{"type": TopoType})
+	if err != nil {
+		// Lookup trouble also dooms the legacy path; retain and retry.
+		w.setErr(err)
+		return true
+	}
+	t, ok := BestTopology(items)
+	if !ok {
+		// No topology published yet: before the first reshard the plain
+		// membership lookup is authoritative — unless this router already
+		// applied one (the record aged out of the registry), in which case
+		// the legacy path must stay off.
+		return w.router.TopoEpoch() > 0
+	}
+	if t.Epoch > w.router.TopoEpoch() {
+		_, err := w.router.ApplyTopology(t, Resolver(w.client, w.tmpl, w.dial))
+		w.setErr(err)
+	}
+	return true
 }
 
 func (w *Watcher) setErr(err error) {

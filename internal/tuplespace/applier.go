@@ -22,6 +22,7 @@ type Applier struct {
 	s *Space
 
 	mu     sync.Mutex
+	filter func(Entry) bool
 	leases map[uint64]*EntryLease // primary Seq → backup entry lease
 }
 
@@ -30,6 +31,21 @@ type Applier struct {
 // is active; promotion detaches it by simply ceasing to Apply.
 func NewApplier(s *Space) *Applier {
 	return &Applier{s: s, leases: make(map[uint64]*EntryLease)}
+}
+
+// SetFilter switches the applier into resharding-migration mode: only
+// write records whose entry matches pred materialize, remove records still
+// cancel (the source consumed an entry this side holds a copy of), and
+// evict records become no-ops — an eviction means the source dropped the
+// entry *because this side now owns it*, so cancelling here would lose it.
+// Without a filter (the replication default) an evict applies as a remove:
+// a backup must mirror its primary exactly, migrated ranges included.
+// Returns a for chaining.
+func (a *Applier) SetFilter(pred func(Entry) bool) *Applier {
+	a.mu.Lock()
+	a.filter = pred
+	a.mu.Unlock()
+	return a
 }
 
 // Apply applies one encoded journal record (the payload a RecordSink
@@ -43,7 +59,11 @@ func (a *Applier) Apply(payload []byte) error {
 	case "write":
 		a.mu.Lock()
 		_, dup := a.leases[op.Seq]
+		filter := a.filter
 		a.mu.Unlock()
+		if filter != nil && !filter(op.Entry) {
+			return nil
+		}
 		if dup {
 			// A record can arrive twice when a snapshot push and the
 			// incremental stream overlap; the Seq mapping makes the write
@@ -64,8 +84,14 @@ func (a *Applier) Apply(payload []byte) error {
 		a.mu.Lock()
 		a.leases[op.Seq] = l
 		a.mu.Unlock()
-	case "remove":
+	case "remove", "evict":
 		a.mu.Lock()
+		if op.Kind == "evict" && a.filter != nil {
+			// Migration mode: the source evicted the entry because this
+			// side owns it now. Keep the copy.
+			a.mu.Unlock()
+			return nil
+		}
 		l := a.leases[op.Seq]
 		delete(a.leases, op.Seq)
 		a.mu.Unlock()

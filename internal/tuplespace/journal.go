@@ -48,7 +48,13 @@ func RegisterType(v interface{}) { enc.RegisterType(v) }
 
 // journalOp is one durable mutation.
 type journalOp struct {
-	// Kind is "write" or "remove".
+	// Kind is "write", "remove" or "evict". An evict is a remove whose
+	// cause is resharding rather than consumption: the entry left this
+	// space because another shard now owns its key range, not because a
+	// take consumed it. Recovery and replication treat the two alike (the
+	// entry is gone from this space either way); a resharding migration
+	// tap distinguishes them so an eviction on the source never cancels
+	// the migrated copy on the destination.
 	Kind string
 	// Seq is the entry's space-assigned identity, stable across the
 	// journal so removes can reference prior writes.
@@ -241,12 +247,30 @@ func (s *Space) journalRemoveLocked(se *storedEntry) error {
 	return s.journal.record(journalOp{Kind: "remove", Seq: se.id})
 }
 
+// journalEvictLocked records an entry's eviction — removal because the
+// key range moved to another shard during resharding. Caller holds s.mu.
+func (s *Space) journalEvictLocked(se *storedEntry) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.record(journalOp{Kind: "evict", Seq: se.id})
+}
+
 // EncodeState captures the space's journal-visible state — every public
 // (or take-locked: the take has not committed) unexpired entry — as
 // self-contained write records in id order. It is the capture function
 // behind WAL snapshots: replaying the returned records into an empty
 // space reproduces the live contents.
 func (s *Space) EncodeState() ([][]byte, error) {
+	return s.EncodeStateWhere(nil)
+}
+
+// EncodeStateWhere is EncodeState restricted to entries matching pred
+// (nil matches everything). It is the capture half of a resharding
+// snapshot-fork: the records for exactly the entries whose key range is
+// moving, consistent with the journal stream because capture happens
+// under the same space mutex every journal append holds.
+func (s *Space) EncodeStateWhere(pred func(Entry) bool) ([][]byte, error) {
 	s.mu.Lock()
 	var live []*storedEntry
 	now := s.clock.Now()
@@ -256,6 +280,9 @@ func (s *Space) EncodeState() ([][]byte, error) {
 				continue
 			}
 			if !se.expiry.IsZero() && now.After(se.expiry) {
+				continue
+			}
+			if pred != nil && !pred(se.val.Interface()) {
 				continue
 			}
 			live = append(live, se)
@@ -302,7 +329,7 @@ func (st *replayState) apply(op journalOp) error {
 		}
 		st.live[op.Seq] = replayPending{entry: op.Entry, expiry: op.Expiry}
 		st.order = append(st.order, op.Seq)
-	case "remove":
+	case "remove", "evict":
 		delete(st.live, op.Seq)
 	default:
 		return fmt.Errorf("unknown op %q", op.Kind)

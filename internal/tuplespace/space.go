@@ -528,6 +528,60 @@ func (s *Space) Count(tmpl Entry) (int, error) {
 	return n, nil
 }
 
+// EvictWhere removes every public, unlocked entry matching pred from the
+// space, journaling each removal as an eviction (resharding, not
+// consumption — see journalOp). It returns self-contained write records
+// for the evicted entries, so a resharding migration can re-apply them to
+// the destination shard, plus the number of matching entries it could NOT
+// evict because a transaction holds them (take-locked, read-locked, or an
+// uncommitted write): the caller retries once those transactions resolve.
+// Capture and removal happen atomically under the space mutex, so no
+// concurrent operation observes a half-evicted range.
+func (s *Space) EvictWhere(pred func(Entry) bool) ([][]byte, int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	now := s.clock.Now()
+	var ops []journalOp
+	locked := 0
+	for _, list := range s.byType {
+		for _, se := range list {
+			if se.removed || (!se.expiry.IsZero() && now.After(se.expiry)) {
+				continue
+			}
+			if !pred(se.val.Interface()) {
+				continue
+			}
+			if se.writtenUnder != 0 || se.takenUnder != 0 || len(se.readLocks) > 0 {
+				locked++
+				continue
+			}
+			// Journal first: under a strict journal an eviction that cannot
+			// be logged does not happen (the entry stays, the caller sees
+			// the error and retries the pass).
+			if err := s.journalEvictLocked(se); err != nil {
+				s.mu.Unlock()
+				return nil, locked, err
+			}
+			se.removed = true
+			ops = append(ops, journalOp{Kind: "write", Seq: se.id, Entry: se.val.Interface(), Expiry: se.expiry})
+		}
+	}
+	s.mu.Unlock()
+
+	records := make([][]byte, len(ops))
+	for i, op := range ops {
+		payload, err := encodeOp(op)
+		if err != nil {
+			return records[:i], locked, fmt.Errorf("tuplespace: evict entry %d: %w", op.Seq, err)
+		}
+		records[i] = payload
+	}
+	return records, locked, nil
+}
+
 // Stats returns a snapshot of the operation counters.
 func (s *Space) Stats() Stats {
 	s.mu.Lock()

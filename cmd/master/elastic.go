@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -99,13 +100,14 @@ type elasticHost struct {
 	drain    time.Duration
 	interval time.Duration
 
-	mu      sync.Mutex
-	shards  map[string]*elasticShard
-	parents map[string]string // split-born ring → parent ring
-	nextIdx int
-	topoReg uint64
-	ctrl    *rebalance.Controller
-	rates   map[string]float64 // last controller EWMA snapshot, for /healthz
+	mu        sync.Mutex
+	shards    map[string]*elasticShard
+	parents   map[string]string // split-born ring → parent ring
+	nextIdx   int
+	topoReg   uint64
+	republish bool // a cutover's topology publish failed; retry each tick
+	ctrl      *rebalance.Controller
+	rates     map[string]float64 // last controller EWMA snapshot, for /healthz
 
 	quit   chan struct{}
 	done   chan struct{}
@@ -180,9 +182,69 @@ func (e *elasticHost) buildShard(idx int) (*elasticShard, error) {
 		if d != nil {
 			d.Close()
 		}
+		e.removeWAL(idx)
 		return nil, err
 	}
 	return &elasticShard{idx: idx, addr: l.Addr(), local: local, tap: tap, durable: d, lis: l}, nil
+}
+
+// removeWAL deletes shard idx's WAL directory. Used only for stillborn
+// children (a split that failed before any eviction): their log residue
+// must never seed a later shard recovered from the same path. Indexes are
+// not recycled either, so this is belt and braces.
+func (e *elasticHost) removeWAL(idx int) {
+	if e.dataDir != "" {
+		_ = os.RemoveAll(filepath.Join(e.dataDir, fmt.Sprintf("shard%d", idx)))
+	}
+}
+
+// retireStillborn tears down a child whose split failed before the first
+// eviction: regular teardown plus WAL removal.
+func (e *elasticHost) retireStillborn(sh *elasticShard) {
+	e.retire(sh)
+	e.removeWAL(sh.idx)
+}
+
+// cutoverAttempts/cutoverRetryWait bound the inline retries of the two
+// cutover steps; a topology publish that still fails afterwards is queued
+// for the controller loop to retry every tick.
+const (
+	cutoverAttempts  = 5
+	cutoverRetryWait = 200 * time.Millisecond
+)
+
+// cutover moves the ring to next. It runs only after a migration has
+// begun evicting entries off its source — from the first eviction the
+// destination holds the only copy of the moved entries and the reshard
+// must run to completion — so cutover never gives up: both steps are
+// retried, and a publish the lookup service keeps refusing is queued for
+// the controller loop (workers keep the previous ring, consistent but
+// stale, until the republish lands; the drain keeps sweeping what they
+// still write to the old owner meanwhile).
+func (e *elasticHost) cutover(next shard.Topology, resolve func(string) (shard.Shard, error)) {
+	var perr error
+	for attempt := 0; attempt < cutoverAttempts; attempt++ {
+		if perr = e.publishTopology(next); perr == nil {
+			break
+		}
+		e.clk.Sleep(cutoverRetryWait)
+	}
+	if perr != nil {
+		e.mu.Lock()
+		e.republish = true
+		e.mu.Unlock()
+		log.Printf("master: publish topology epoch %d: %v (queued for retry)", next.Epoch, perr)
+	}
+	var aerr error
+	for attempt := 0; attempt < cutoverAttempts; attempt++ {
+		if _, aerr = e.router.ApplyTopology(next, resolve); aerr == nil {
+			break
+		}
+		e.clk.Sleep(cutoverRetryWait)
+	}
+	if aerr != nil {
+		log.Printf("master: retarget to topology epoch %d: %v", next.Epoch, aerr)
+	}
 }
 
 // registerShard makes sh discoverable as a javaspace shard.
@@ -218,7 +280,11 @@ func (e *elasticHost) registerShard(sh *elasticShard, totalHint int) error {
 func (e *elasticHost) split(parentAddr string) error {
 	e.mu.Lock()
 	parent := e.shards[parentAddr]
+	// Reserve the child's index up front: a stillborn child must not have
+	// its index — and with it its WAL directory — recycled into a later
+	// split, which would recover the aborted attempt's log residue.
 	idx := e.nextIdx
+	e.nextIdx++
 	e.mu.Unlock()
 	if parent == nil {
 		return fmt.Errorf("split: unknown shard %q", parentAddr)
@@ -256,8 +322,10 @@ func (e *elasticHost) split(parentAddr string) error {
 	}
 	moved, err := m.Fork()
 	if err != nil {
+		// No eviction has happened yet: aborting is loss-free, the parent
+		// still holds everything.
 		m.Abort()
-		e.retire(child)
+		e.retireStillborn(child)
 		return fmt.Errorf("split %s: fork: %w", parentAddr, err)
 	}
 	if _, err := m.SettleUntilClear(e.txnTTL); err != nil {
@@ -267,25 +335,23 @@ func (e *elasticHost) split(parentAddr string) error {
 		m.Tap.Close()
 		log.Printf("master: split %s: settle: %v (cutting over anyway)", parentAddr, err)
 	}
-	if err := e.publishTopology(next); err != nil {
-		m.Tap.Close()
-		e.retire(child)
-		return fmt.Errorf("split %s: publish topology: %w", parentAddr, err)
-	}
-	if _, err := e.router.ApplyTopology(next, func(ring string) (shard.Shard, error) {
+	// From the first eviction on the child holds the only copy of the
+	// moved entries: nothing below may retire it or return before it is
+	// in the shard table.
+	e.cutover(next, func(ring string) (shard.Shard, error) {
 		return shard.Shard{ID: ring, Space: space.Space(child.local)}, nil
-	}); err != nil {
-		return fmt.Errorf("split %s: retarget: %w", parentAddr, err)
-	}
+	})
 	e.mu.Lock()
 	e.shards[child.addr] = child
 	e.parents[child.addr] = parentAddr
-	e.nextIdx = idx + 1
 	total := len(e.shards)
 	e.mu.Unlock()
 	e.sweeper.add(child.local.Mgr)
 	if err := e.registerShard(child, total); err != nil {
-		return fmt.Errorf("split %s: register child: %w", parentAddr, err)
+		// Workers cannot resolve the child until its registration lands,
+		// so they keep the old ring and keep writing the moved range to
+		// the parent — which the drain below keeps sweeping across.
+		log.Printf("master: split %s: register child: %v", parentAddr, err)
 	}
 	evicted, derr := m.Drain(e.drain)
 	if derr != nil {
@@ -341,13 +407,11 @@ func (e *elasticHost) merge(childAddr string) error {
 		m.Tap.Close()
 		log.Printf("master: merge %s: settle: %v (cutting over anyway)", childAddr, err)
 	}
-	if err := e.publishTopology(next); err != nil {
-		m.Tap.Close()
-		return fmt.Errorf("merge %s: publish topology: %w", childAddr, err)
-	}
-	if _, err := e.router.ApplyTopology(next, nil); err != nil {
-		return fmt.Errorf("merge %s: retarget: %w", childAddr, err)
-	}
+	// From the first eviction on the parent holds the only copy of the
+	// moved entries while the ring still routes the child's arc to the
+	// child — the merge must run to completion, returning the arc to the
+	// parent, or keyed lookups would miss them.
+	e.cutover(next, nil)
 	if _, err := m.Drain(e.drain); err != nil {
 		log.Printf("master: merge %s: drain: %v", childAddr, err)
 	}
@@ -449,6 +513,20 @@ func (e *elasticHost) run() {
 		}
 		e.clk.Sleep(e.interval)
 		e.loopMu.Lock()
+		e.mu.Lock()
+		needPub := e.republish
+		e.mu.Unlock()
+		if needPub {
+			// A cutover's topology publish failed past its inline retries;
+			// keep trying until the lookup service takes the current ring.
+			if err := e.publishTopology(e.router.Topology()); err != nil {
+				log.Printf("master: republish topology: %v", err)
+			} else {
+				e.mu.Lock()
+				e.republish = false
+				e.mu.Unlock()
+			}
+		}
 		actions := e.ctrl.Advance(e.clk.Now(), e.samples())
 		rates := e.ctrl.Rates()
 		e.mu.Lock()

@@ -608,13 +608,19 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 	if f.cfg.DataDir == "" {
 		return space.RecoveryInfo{}, errors.New("core: RestartShard requires Config.DataDir")
 	}
+	// The shard tables grow under replMu when a split builds a child, so a
+	// restart's reads and writes of them synchronize on the same lock.
+	f.replMu.Lock()
 	if i < 0 || i >= len(f.Shards) {
+		f.replMu.Unlock()
 		return space.RecoveryInfo{}, fmt.Errorf("core: no shard %d", i)
 	}
+	old, oldDur, addr := f.Shards[i], f.Durables[i], f.shardAddrs[i]
+	f.replMu.Unlock()
 
 	// Crash: drop the in-memory space. Entries live only in the WAL now.
-	f.Shards[i].TS.Close()
-	if err := f.Durables[i].Close(); err != nil {
+	old.TS.Close()
+	if err := oldDur.Close(); err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d shutdown: %w", i, err)
 	}
 
@@ -622,29 +628,34 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 	// migration tap (the old one observed the dead space's journal); the
 	// crash dropped any in-flight migration with it, which is exactly the
 	// abort-and-retry path resharding already handles.
-	dopts := f.durableOptions(i)
+	dopts := f.durableOptionsAt(i, addr)
+	var tap *rebalance.Tap
 	if f.cfg.Elastic {
-		tap := rebalance.NewTap(nil)
+		tap = rebalance.NewTap(nil)
 		dopts.Tee = tap
-		f.taps[i] = tap
 	}
 	l, d, err := space.NewLocalDurable(f.Clock, dopts)
 	if err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d recovery: %w", i, err)
 	}
+	f.replMu.Lock()
+	if tap != nil {
+		f.taps[i] = tap
+	}
 	f.Shards[i] = l
 	f.Durables[i] = d
+	srv, sweep, gate := f.shardSrvs[i], f.sweeps[i], f.gates[i]
+	f.replMu.Unlock()
 	if i == 0 {
 		f.Local = l
 	}
-	f.sweeps[i].swap(l.Mgr)
+	sweep.swap(l.Mgr)
 
 	// Rebind the service on the shard's existing server so clients'
 	// proxies (dialed to the same address) reach the recovered space.
-	srv := f.shardSrvs[i]
 	space.NewService(l, srv)
 	var handle space.Space = l
-	if gate := f.gates[i]; gate != nil {
+	if gate != nil {
 		srv.WrapPrefix("space.", gate.Middleware())
 		handle = gatedSpace{l: l, gate: gate}
 	}
@@ -653,7 +664,7 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 		// latency record across its restarts.
 		srv.WrapPrefix("space.", obs.ServerMiddleware(f.Clock, reg.Histogram(metrics.HistShardServe(i))))
 	}
-	if err := f.router.Replace(f.shardAddrs[i], handle); err != nil {
+	if err := f.router.Replace(addr, handle); err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d re-admission: %w", i, err)
 	}
 	f.registerShard(i, d, true)

@@ -176,15 +176,17 @@ func (f *Framework) publishTopology(t shard.Topology) error {
 
 // servingChain resolves ring to the node currently serving it: the raw
 // space a migration snapshots and evicts from, the migration tap sitting
-// in that node's journal chain, and its primary controller (nil when
-// unreplicated). After a failover this follows the promoted node — which
-// is the point: a reshard always works against whoever serves now.
-func (f *Framework) servingChain(ring string) (*space.Local, *rebalance.Tap, *replica.Primary) {
+// in that node's journal chain, its primary controller (nil when
+// unreplicated), and the applier that fed the node while it stood by (nil
+// for a construction-time primary — the node's Seqs are then its own).
+// After a failover this follows the promoted node — which is the point: a
+// reshard always works against whoever serves now.
+func (f *Framework) servingChain(ring string) (*space.Local, *rebalance.Tap, *replica.Primary, *tuplespace.Applier) {
 	f.reshard.mu.Lock()
 	idx, ok := f.reshard.idxOf[ring]
 	f.reshard.mu.Unlock()
 	if !ok {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	f.replMu.Lock()
 	var rs *replShard
@@ -196,10 +198,11 @@ func (f *Framework) servingChain(ring string) (*space.Local, *rebalance.Tap, *re
 	if rs != nil {
 		rs.mu.Lock()
 		node, p := rs.primaryNode, rs.primary
+		app := node.applier
 		rs.mu.Unlock()
-		return node.local, node.tap, p
+		return node.local, node.tap, p, app
 	}
-	return l, tap, nil
+	return l, tap, nil, nil
 }
 
 // childShard is a split's freshly built destination before it enters the
@@ -448,7 +451,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	// serves the ring position.
 	var m *rebalance.Migration
 	for attempt := 1; ; attempt++ {
-		src, tap, _ := f.servingChain(parentRing)
+		src, tap, _, _ := f.servingChain(parentRing)
 		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
 		n, ferr := m.Fork()
 		if ferr == nil {
@@ -534,6 +537,16 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 // armed on the node now serving the ring position — no new snapshot
 // needed, the drain passes themselves evict-and-re-apply whatever state
 // that node still holds in the migrating range.
+//
+// A promoted node assigns its own Seqs, so before re-arming against a
+// node other than the one the migration has been reading, dst is rebound
+// to the new incarnation: the node's own standby-era applier supplies the
+// promoted-Seq → old-Seq mapping, keeping the dedup exact — an entry both
+// incarnations carried is recognized (no duplicate), and a new write whose
+// Seq happens to equal an unrelated old one is not mistaken for a dup (no
+// loss). Without a mapping (an unreplicated source that was crash-
+// restarted) the rebind still fences the namespaces so no collision can
+// drop an entry.
 func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, dst *tuplespace.Applier, pred func(tuplespace.Entry) bool) (int, error) {
 	total := 0
 	if healthy {
@@ -543,13 +556,22 @@ func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, 
 			return total, nil
 		}
 	}
+	curSrc := m.Src
 	var lastErr error
 	for attempt := 1; attempt <= splitAttempts; attempt++ {
 		if attempt > 1 || healthy {
 			// Give a mid-sweep failover time to promote before re-arming.
 			f.Clock.Sleep(f.cfg.FailoverTimeout)
 		}
-		src, tap, _ := f.servingChain(ring)
+		src, tap, _, srcApp := f.servingChain(ring)
+		if src.TS != curSrc {
+			var xlat map[uint64]uint64
+			if srcApp != nil {
+				xlat = srcApp.SeqMapping()
+			}
+			dst.Rebind(xlat)
+			curSrc = src.TS
+		}
 		m2 := &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
 		tap.StartBuffer()
 		if err := tap.GoLive(dst.Apply); err != nil {
@@ -618,7 +640,7 @@ func (f *Framework) MergeShards(childRing string) error {
 		next.Members = append(next.Members, m)
 	}
 
-	parentLocal, _, parentPrim := f.servingChain(parentRing)
+	parentLocal, _, parentPrim, _ := f.servingChain(parentRing)
 	dst := tuplespace.NewApplier(parentLocal.TS)
 	pred := rebalance.Everything
 
@@ -626,7 +648,7 @@ func (f *Framework) MergeShards(childRing string) error {
 	// child keeps everything; the parent just resets the copies).
 	var m *rebalance.Migration
 	for attempt := 1; ; attempt++ {
-		src, tap, _ := f.servingChain(childRing)
+		src, tap, _, _ := f.servingChain(childRing)
 		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
 		_, ferr := m.Fork()
 		if ferr == nil {

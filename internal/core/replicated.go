@@ -42,6 +42,11 @@ type replNode struct {
 	// nodes of a pair carry one so a reshard can re-fork against the
 	// promoted node after a mid-split failover.
 	tap *rebalance.Tap
+	// applier is the record applier that populated this node's space while
+	// it stood by (nil on a construction-time primary). Its Seq mapping is
+	// how a reshard that re-arms against this node after promotion
+	// translates the node's Seqs back to the dead primary's namespace.
+	applier *tuplespace.Applier
 }
 
 // replShard tracks the replication state of one ring position. The two
@@ -167,6 +172,7 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		Counters:        f.Repl,
 	})
 	b.Bind(bsrv)
+	rs.backupNode.applier = b.Applier()
 
 	rs.primary, rs.backup = p, b
 	rs.epoch = 1
@@ -433,6 +439,9 @@ func (f *Framework) RejoinShard(i int) error {
 		Counters:        f.Repl,
 	})
 	b2.Bind(node.srv) // replaces the deposed node's replica handlers
+	rs.mu.Lock()
+	node.applier = b2.Applier()
+	rs.mu.Unlock()
 
 	id := f.registerBackup(rs)
 	rs.mu.Lock()

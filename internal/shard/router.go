@@ -676,9 +676,16 @@ func (r *Router) scatter(v *view, take bool, tmpl tuplespace.Entry, timeout time
 			}
 		}
 		// Re-snapshot each round so a failover retarget is picked up by the
-		// next wave of children instead of them probing the dead handle.
+		// next wave of children instead of them probing the dead handle. The
+		// ring may have shrunk since the entry clamp (a live merge retired a
+		// shard), so re-clamp the fanout to this round's view — a child with
+		// no chunk members would have nothing to probe.
 		v = r.snapshot()
-		e, err, allHard := r.scatterRound(v, take, tmpl, slice, fanout, base+round)
+		f := fanout
+		if m := len(v.order); f > m {
+			f = m
+		}
+		e, err, allHard := r.scatterRound(v, take, tmpl, slice, f, base+round)
 		if err == nil {
 			return e, nil
 		}
@@ -800,6 +807,12 @@ func (r *Router) scatterRound(v *view, take bool, tmpl tuplespace.Entry, slice t
 			for i := j; i < n; i += fanout {
 				id := v.order[(round+i)%n]
 				chunk = append(chunk, Shard{ID: id, Space: v.shards[id]})
+			}
+			if len(chunk) == 0 {
+				// fanout exceeds the view (the ring shrank under us):
+				// nothing to probe; the deferred childDone keeps the
+				// round's accounting intact.
+				return
 			}
 			for _, s := range chunk {
 				if st.finished() {

@@ -11,6 +11,7 @@ import (
 
 	"gospaces/internal/discovery"
 	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
 )
 
@@ -196,6 +197,49 @@ func TestApplyTopologyKeepsNewerFailoverHandle(t *testing.T) {
 	}
 	if got := r.Epochs()["shard-1"]; got != 7 {
 		t.Fatalf("shard-1 epoch = %d after apply, want 7 (failover epoch preserved)", got)
+	}
+}
+
+// TestMergeDuringBlockingScatter: a merge that shrinks the ring below
+// the scatter's entry-time fanout while a blocking zero-key Take is
+// parked must not crash the round workers (regression: an empty strided
+// chunk divided by zero picking its park target). The take still
+// completes against the surviving member.
+func TestMergeDuringBlockingScatter(t *testing.T) {
+	clk := vclock.NewReal()
+	r, locals := topoRouter(t, clk) // 2 members, default Fanout clamps to 2
+	cur := r.Topology()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Take(blob{}, nil, 5*time.Second) // zero key: scatter
+		done <- err
+	}()
+	time.Sleep(60 * time.Millisecond) // let a round park across both members
+
+	// Merge shard-1 away: shard-0 absorbs its labels, ring size 2 → 1.
+	merged := Topology{Epoch: cur.Epoch + 1}
+	for _, m := range cur.Members {
+		if m.ID == "shard-1" {
+			continue
+		}
+		for _, n := range cur.Members {
+			if n.ID == "shard-1" {
+				m.Labels = append(append([]string(nil), m.Labels...), n.Labels...)
+			}
+		}
+		merged.Members = append(merged.Members, m)
+	}
+	if ok, err := r.ApplyTopology(merged, nil); err != nil || !ok {
+		t.Fatalf("merge apply: ok=%v err=%v", ok, err)
+	}
+	time.Sleep(120 * time.Millisecond) // at least one round against the 1-ring
+
+	if _, err := locals[0].TS.Write(blob{Val: 42}, nil, tuplespace.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("scatter take after merge: %v", err)
 	}
 }
 

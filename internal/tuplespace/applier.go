@@ -18,19 +18,81 @@ import (
 // primary's Seq numbers, the backup space assigns its own — the Applier
 // keeps the mapping as the lease handle each write returned, so a later
 // remove cancels exactly the entry its Seq named.
+//
+// Seq numbers are only meaningful within one source incarnation: a
+// promoted standby assigns its own Seqs, disjoint in meaning (but not in
+// value) from the dead primary's. Rebind moves the applier to a new
+// incarnation so records from the new source can neither collide with an
+// unrelated old Seq (a false dup would drop the entry) nor miss the dedup
+// for an entry both incarnations carried (a miss would duplicate it).
 type Applier struct {
 	s *Space
 
 	mu     sync.Mutex
 	filter func(Entry) bool
-	leases map[uint64]*EntryLease // primary Seq → backup entry lease
+	leases map[seqKey]*EntryLease // source Seq (incarnation-qualified) → local entry lease
+	gen    int                    // current source incarnation
+	xlat   map[uint64]seqKey      // current-incarnation Seq → key the entry was first tracked under
+}
+
+// seqKey qualifies a source Seq with the source incarnation that assigned
+// it, so Seqs from successive incarnations of a failed-over source never
+// alias.
+type seqKey struct {
+	gen int
+	seq uint64
 }
 
 // NewApplier returns an applier feeding s. The space should be mutated
 // only through the applier (and its own lease expiries) while replication
 // is active; promotion detaches it by simply ceasing to Apply.
 func NewApplier(s *Space) *Applier {
-	return &Applier{s: s, leases: make(map[uint64]*EntryLease)}
+	return &Applier{s: s, leases: make(map[seqKey]*EntryLease)}
+}
+
+// keyFor resolves an incoming Seq to its dedup key under the current
+// incarnation: translated to the key the entry was first applied under
+// when the translation table knows it, fresh otherwise. Caller holds a.mu.
+func (a *Applier) keyFor(seq uint64) seqKey {
+	if k, ok := a.xlat[seq]; ok {
+		return k
+	}
+	return seqKey{gen: a.gen, seq: seq}
+}
+
+// Rebind switches the applier to a new source incarnation — a promoted
+// standby now feeds it. xlat maps the new incarnation's Seqs to the
+// previous incarnation's Seqs for the entries both carried (a promoted
+// backup's own applier provides it via SeqMapping); Seqs outside the
+// table are treated as genuinely new writes under a fresh namespace.
+// Translations compose across chained failovers.
+func (a *Applier) Rebind(xlat map[uint64]uint64) *Applier {
+	a.mu.Lock()
+	next := make(map[uint64]seqKey, len(xlat))
+	for newSeq, prevSeq := range xlat {
+		// prevSeq is in the namespace the applier currently reads, so the
+		// current table resolves it to its canonical first-seen key.
+		next[newSeq] = a.keyFor(prevSeq)
+	}
+	a.gen++
+	a.xlat = next
+	a.mu.Unlock()
+	return a
+}
+
+// SeqMapping reports, for every tracked entry, the local space's Seq for
+// it → the source Seq it was applied under. When this applier's space is
+// promoted to source itself, the mapping lets a downstream applier that
+// followed the old source translate the promoted node's Seqs back to the
+// namespace it already deduplicates in (see Rebind).
+func (a *Applier) SeqMapping() map[uint64]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint64]uint64, len(a.leases))
+	for k, l := range a.leases {
+		out[l.Seq()] = k.seq
+	}
+	return out
 }
 
 // SetFilter switches the applier into resharding-migration mode: only
@@ -58,7 +120,8 @@ func (a *Applier) Apply(payload []byte) error {
 	switch op.Kind {
 	case "write":
 		a.mu.Lock()
-		_, dup := a.leases[op.Seq]
+		key := a.keyFor(op.Seq)
+		_, dup := a.leases[key]
 		filter := a.filter
 		a.mu.Unlock()
 		if filter != nil && !filter(op.Entry) {
@@ -82,7 +145,7 @@ func (a *Applier) Apply(payload []byte) error {
 			return fmt.Errorf("tuplespace: apply write %d: %w", op.Seq, err)
 		}
 		a.mu.Lock()
-		a.leases[op.Seq] = l
+		a.leases[key] = l
 		a.mu.Unlock()
 	case "remove", "evict":
 		a.mu.Lock()
@@ -92,8 +155,9 @@ func (a *Applier) Apply(payload []byte) error {
 			a.mu.Unlock()
 			return nil
 		}
-		l := a.leases[op.Seq]
-		delete(a.leases, op.Seq)
+		key := a.keyFor(op.Seq)
+		l := a.leases[key]
+		delete(a.leases, key)
 		a.mu.Unlock()
 		if l == nil {
 			// Unknown Seq: the entry expired locally first, or the remove
@@ -111,12 +175,13 @@ func (a *Applier) Apply(payload []byte) error {
 }
 
 // Reset empties the replicated state: every tracked entry is cancelled
-// and the Seq mapping cleared. It precedes a full re-sync (snapshot push)
-// after the incremental stream diverged.
+// and the Seq mapping (translation table included) cleared. It precedes a
+// full re-sync (snapshot push) after the incremental stream diverged.
 func (a *Applier) Reset() {
 	a.mu.Lock()
 	leases := a.leases
-	a.leases = make(map[uint64]*EntryLease)
+	a.leases = make(map[seqKey]*EntryLease)
+	a.xlat = nil
 	a.mu.Unlock()
 	for _, l := range leases {
 		_ = l.Cancel() // already-expired entries are fine

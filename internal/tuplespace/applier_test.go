@@ -56,6 +56,117 @@ func TestApplierMirrorsStream(t *testing.T) {
 	}
 }
 
+// mustOp encodes one journal op for direct injection into an applier.
+func mustOp(t *testing.T, op journalOp) []byte {
+	t.Helper()
+	rec, err := encodeOp(op)
+	if err != nil {
+		t.Fatalf("encode op: %v", err)
+	}
+	return rec
+}
+
+// TestApplierRebindAcrossIncarnations: after the source of a stream fails
+// over, the promoted node assigns its own Seqs. Rebind with a translation
+// table must keep the dedup exact across the switch: an entry both
+// incarnations carried is recognized as already applied (no duplicate), a
+// new write whose Seq merely collides with an unrelated old Seq is not
+// mistaken for a dup (no loss), removes resolve to the entry they meant,
+// and translations compose across chained failovers.
+func TestApplierRebindAcrossIncarnations(t *testing.T) {
+	clk := vclock.NewReal()
+	dst := New(clk)
+	a := NewApplier(dst)
+
+	// Incarnation 0 (the original primary): entry A under Seq 1, entry B
+	// under Seq 2.
+	for _, op := range []journalOp{
+		{Kind: "write", Seq: 1, Entry: task{Job: "mc", ID: ip(1)}},
+		{Kind: "write", Seq: 2, Entry: task{Job: "mc", ID: ip(2)}},
+	} {
+		if err := a.Apply(mustOp(t, op)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Failover: the promoted node knows A as Seq 8 and B as Seq 7.
+	a.Rebind(map[uint64]uint64{8: 1, 7: 2})
+
+	// The promoted node re-ships B under its own Seq 7 (a post-failover
+	// drain pass re-evicts it): must dedup, not duplicate.
+	if err := a.Apply(mustOp(t, journalOp{Kind: "write", Seq: 7, Entry: task{Job: "mc", ID: ip(2)}})); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(task{Job: "mc", ID: ip(2)}); n != 1 {
+		t.Fatalf("re-shipped entry B duplicated: %d copies", n)
+	}
+
+	// A genuinely new post-failover write whose Seq collides with the old
+	// incarnation's Seq 2: must apply, not be dropped as a dup.
+	if err := a.Apply(mustOp(t, journalOp{Kind: "write", Seq: 2, Entry: task{Job: "mc", ID: ip(9)}})); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(task{Job: "mc", ID: ip(9)}); n != 1 {
+		t.Fatalf("new write lost to a cross-incarnation Seq collision: %d copies", n)
+	}
+
+	// A remove in the new namespace cancels exactly the entry it names.
+	if err := a.Apply(mustOp(t, journalOp{Kind: "remove", Seq: 7})); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(task{Job: "mc", ID: ip(2)}); n != 0 {
+		t.Fatalf("remove of translated Seq missed: %d copies of B left", n)
+	}
+	if n, _ := dst.Count(task{Job: "mc", ID: ip(1)}); n != 1 {
+		t.Fatalf("remove of translated Seq hit the wrong entry: %d copies of A left", n)
+	}
+
+	// Chained failover: the next incarnation knows A as Seq 21 (via the
+	// previous incarnation's Seq 8). The translation composes back to the
+	// original key, so A still dedups.
+	a.Rebind(map[uint64]uint64{21: 8})
+	if err := a.Apply(mustOp(t, journalOp{Kind: "write", Seq: 21, Entry: task{Job: "mc", ID: ip(1)}})); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(task{Job: "mc", ID: ip(1)}); n != 1 {
+		t.Fatalf("chained rebind broke dedup: %d copies of A", n)
+	}
+}
+
+// TestApplierSeqMapping: a standby's applier reports, per entry, the local
+// space's Seq → the Seq the source shipped it under — the translation
+// table a downstream applier rebinds with when this node is promoted.
+func TestApplierSeqMapping(t *testing.T) {
+	clk := vclock.NewReal()
+	backup := New(clk)
+	// Shift the backup's Seq counter so local Seqs diverge from the
+	// source's, as they do after any skipped record.
+	l, err := backup.Write(task{Job: "warmup", ID: ip(0)}, nil, Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewApplier(backup)
+	if err := a.Apply(mustOp(t, journalOp{Kind: "write", Seq: 5, Entry: task{Job: "mc", ID: ip(1)}})); err != nil {
+		t.Fatal(err)
+	}
+	m := a.SeqMapping()
+	if len(m) != 1 {
+		t.Fatalf("SeqMapping has %d entries, want 1", len(m))
+	}
+	for local, src := range m {
+		if src != 5 {
+			t.Fatalf("SeqMapping reports source Seq %d, want 5", src)
+		}
+		if local == 5 {
+			t.Fatalf("local Seq unexpectedly equals source Seq; counter shift failed")
+		}
+	}
+}
+
 // TestApplierIdempotent: a snapshot push overlapping the incremental
 // stream delivers records twice; the Seq mapping makes the replay a
 // no-op, and a remove for an unknown Seq is tolerated.

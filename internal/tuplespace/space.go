@@ -629,6 +629,12 @@ type EntryLease struct {
 	entry *storedEntry
 }
 
+// Seq returns the space-assigned identity of the leased entry — the Seq
+// its journal records carry.
+func (l *EntryLease) Seq() uint64 {
+	return l.entry.id
+}
+
 // Expiration returns the entry's current expiry time (zero for Forever).
 func (l *EntryLease) Expiration() time.Time {
 	l.space.mu.Lock()

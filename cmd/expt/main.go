@@ -17,6 +17,12 @@
 //	expt -run faultsweep     # extension: completion-time overhead vs worker crash rate
 //	expt -run recover        # extension: recovery time vs WAL size, with and without snapshots
 //	expt -run all            # everything, in order
+//
+// The scenario subcommand runs seeded random cluster manifests through
+// the property-based invariant checker (internal/scenario):
+//
+//	expt scenario -seed 42 -count 10   # ten manifests from seed 42
+//	expt scenario -seed 1 -minutes 30  # soak for half an hour
 package main
 
 import (
@@ -32,6 +38,15 @@ import (
 var formatCSV bool
 
 func main() {
+	// Subcommands dispatch on the first argument, ahead of the
+	// experiment flags.
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		if err := runScenario(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "expt scenario:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	run := flag.String("run", "all", "experiment to run: fig6…fig11, exp3, table2, intrusiveness, granularity, faultsweep, recover, all")
 	format := flag.String("format", "table", "output format: table or csv")
 	obsOn := flag.Bool("obs", false, "instrument the runs and print a per-stage latency summary")

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gospaces/internal/scenario"
+)
+
+// runScenario is the `expt scenario` subcommand: run seeded random
+// cluster manifests through the invariant checker. Modes:
+//
+//	expt scenario -seed 42 -count 10      # seeds 42..51, then exit
+//	expt scenario -seed 1 -minutes 30     # as many seeds as fit the budget
+//
+// Every failing manifest is minimized by the shrinker and written as a
+// JSON artifact next to -out; the process exits 1 if any seed failed, so
+// CI catches it, and the logged seed alone reproduces the run.
+func runScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "first manifest seed")
+	count := fs.Int("count", 10, "number of consecutive seeds to run (ignored with -minutes)")
+	minutes := fs.Float64("minutes", 0, "wall-clock soak budget; 0 runs -count seeds instead")
+	out := fs.String("out", ".", "directory for minimized failing-manifest artifacts")
+	verbose := fs.Bool("v", false, "print each manifest's shape")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	deadline := time.Time{}
+	if *minutes > 0 {
+		deadline = time.Now().Add(time.Duration(*minutes * float64(time.Minute)))
+	}
+
+	failed := 0
+	ran := 0
+	for s := *seed; ; s++ {
+		if deadline.IsZero() {
+			if ran >= *count {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		ran++
+		m := scenario.Generate(s)
+		if *verbose {
+			fmt.Printf("seed %d: workers=%d shards=%d replicas=%d elastic=%t durable=%t app=%s/%d events=%d rules=%d\n",
+				s, m.Workers, m.Shards, m.Replicas, m.Elastic, m.Durable,
+				m.App.Name, m.App.Tasks, len(m.Events), len(m.Faults.Rules))
+		}
+		rep := scenario.Run(m)
+		if !rep.Failed() {
+			fmt.Printf("seed %d: PASS (virtual %s, %d fault events)\n",
+				s, rep.VirtualElapsed.Round(time.Millisecond), totalFaults(rep.FaultEvents))
+			continue
+		}
+		failed++
+		fmt.Printf("seed %d: FAIL\n", s)
+		for _, v := range rep.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+		min, runs := scenario.Shrink(m, 0)
+		fmt.Printf("  shrunk to %d events, %d fault rules in %d runs\n",
+			len(min.Events), len(min.Faults.Rules), runs)
+		path := filepath.Join(*out, fmt.Sprintf("scenario-failure-%d.json", s))
+		if data, err := min.MarshalIndent(); err == nil {
+			if werr := os.WriteFile(path, data, 0o644); werr == nil {
+				fmt.Printf("  minimized manifest: %s\n", path)
+			} else {
+				fmt.Printf("  could not write artifact: %v\n", werr)
+			}
+		}
+	}
+	fmt.Printf("scenario: %d/%d manifests passed\n", ran-failed, ran)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d manifests violated invariants", failed, ran)
+	}
+	return nil
+}
+
+func totalFaults(events map[string]uint64) uint64 {
+	var n uint64
+	for k, v := range events {
+		// Count the per-kind totals ("faults:crash"); the per-endpoint
+		// breakdowns ("faults:crash:node/node01") double-count them.
+		if strings.Count(k, ":") == 1 {
+			n += v
+		}
+	}
+	return n
+}

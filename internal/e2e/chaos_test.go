@@ -2,68 +2,14 @@ package e2e
 
 import (
 	"fmt"
-	"os"
 	"reflect"
-	"strconv"
 	"testing"
 	"time"
 
-	"gospaces/internal/apps/montecarlo"
-	"gospaces/internal/cluster"
 	"gospaces/internal/core"
 	"gospaces/internal/discovery"
 	"gospaces/internal/faults"
-	"gospaces/internal/vclock"
 )
-
-var chaosEpoch = time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC)
-
-// chaosSeed lets CI pin (or vary) the fault schedule without editing the
-// test: GOSPACES_FAULT_SEED=<n>.
-func chaosSeed(t *testing.T, def int64) int64 {
-	t.Helper()
-	s := os.Getenv("GOSPACES_FAULT_SEED")
-	if s == "" {
-		return def
-	}
-	n, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		t.Fatalf("GOSPACES_FAULT_SEED=%q: %v", s, err)
-	}
-	return n
-}
-
-// chaosJobConfig sizes the option-pricing bag of tasks for chaos runs:
-// small enough to finish quickly under the virtual clock, spread across
-// shards so worker takes exercise the scatter path.
-func chaosJobConfig() montecarlo.JobConfig {
-	cfg := montecarlo.DefaultJobConfig()
-	cfg.TotalSims = 1200
-	cfg.SimsPerTask = 50 // → 24 subtasks
-	cfg.WorkPerSubtask = 150 * time.Millisecond
-	cfg.PlanningCostPerTask = 10 * time.Millisecond
-	cfg.AggregationCostPerResult = 5 * time.Millisecond
-	cfg.ShardSpread = true
-	return cfg
-}
-
-// runChaos assembles a framework with the given plan and runs the job to
-// completion under a fresh virtual clock.
-func runChaos(t *testing.T, plan *faults.Plan, workers int, cfg core.Config) (core.Result, *montecarlo.Job) {
-	t.Helper()
-	clk := vclock.NewVirtual(chaosEpoch)
-	cfg.Workers = cluster.Uniform(workers, 1.0)
-	cfg.Faults = plan
-	fw := core.New(clk, cfg)
-	job := montecarlo.NewJob(chaosJobConfig())
-	var res core.Result
-	var err error
-	clk.Run(func() { res, err = fw.Run(job, nil) })
-	if err != nil {
-		t.Fatalf("chaos run: %v", err)
-	}
-	return res, job
-}
 
 // TestChaosEveryWorkerCrashesOnceMidTask is the paper's §3 fault-tolerance
 // claim as an executable scenario: each of four workers is killed exactly

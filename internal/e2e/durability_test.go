@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"gospaces/internal/apps/montecarlo"
 	"gospaces/internal/cluster"
 	"gospaces/internal/core"
 	"gospaces/internal/faults"
@@ -28,22 +27,6 @@ func TestChaosShardCrashRestartRecoversFromWAL(t *testing.T) {
 	// right up to the kill.
 	plan.CrashEndpoint("master.shard1", 500*time.Millisecond, 2500*time.Millisecond)
 
-	clk := vclock.NewVirtual(chaosEpoch)
-	cfg := core.Config{
-		Workers: cluster.Uniform(4, 1.0),
-		Faults:  plan,
-		Shards:  2,
-		TxnTTL:  8 * time.Second,
-		// Shard-local sub-commits are not atomic across shards, so a
-		// crash can redeliver a result write; dedup keeps collection
-		// exactly-once.
-		DedupResults:  true,
-		ResultTimeout: 5 * time.Minute,
-		DataDir:       t.TempDir(),
-	}
-	fw := core.New(clk, cfg)
-	job := montecarlo.NewJob(chaosJobConfig())
-
 	var restartInfo space.RecoveryInfo
 	var restartErr error
 	script := func(f *core.Framework) {
@@ -53,12 +36,16 @@ func TestChaosShardCrashRestartRecoversFromWAL(t *testing.T) {
 		restartInfo, restartErr = f.RestartShard(1)
 	}
 
-	var res core.Result
-	var err error
-	clk.Run(func() { res, err = fw.Run(job, script) })
-	if err != nil {
-		t.Fatalf("durable chaos run: %v", err)
-	}
+	res, job, _ := runFailover(t, plan, 4, core.Config{
+		Shards: 2,
+		TxnTTL: 8 * time.Second,
+		// Shard-local sub-commits are not atomic across shards, so a
+		// crash can redeliver a result write; dedup keeps collection
+		// exactly-once.
+		DedupResults:  true,
+		ResultTimeout: 5 * time.Minute,
+		DataDir:       t.TempDir(),
+	}, chaosJobConfig(), script)
 	if restartErr != nil {
 		t.Fatalf("RestartShard: %v", restartErr)
 	}

@@ -22,48 +22,6 @@ import (
 // idempotent against that (the same discipline the crash-restart chaos
 // scenarios use).
 
-// failoverJobConfig sizes the bag of tasks so the job comfortably spans
-// the scripted kill/heal windows under the virtual clock. The modeled
-// work is charged as WorkPerSubtask×Sims/100, so total execution time is
-// TotalSims/100 × WorkPerSubtask / workers — 3 s here gives ≈9 s of
-// execution on 4 workers, well past every scripted kill.
-func failoverJobConfig() montecarlo.JobConfig {
-	cfg := chaosJobConfig()
-	cfg.WorkPerSubtask = 3 * time.Second
-	return cfg
-}
-
-func runFailover(t *testing.T, plan *faults.Plan, workers int, cfg core.Config,
-	jc montecarlo.JobConfig, script func(*core.Framework)) (core.Result, *montecarlo.Job, *core.Framework) {
-	t.Helper()
-	clk := vclock.NewVirtual(chaosEpoch)
-	cfg.Workers = cluster.Uniform(workers, 1.0)
-	cfg.Faults = plan
-	fw := core.New(clk, cfg)
-	job := montecarlo.NewJob(jc)
-	var res core.Result
-	var err error
-	clk.Run(func() { res, err = fw.Run(job, script) })
-	if err != nil {
-		t.Fatalf("failover run: %v", err)
-	}
-	return res, job, fw
-}
-
-// assertExactResults fails unless the aggregated simulation count matches
-// the configured total exactly — short means lost work, over means
-// duplicated work.
-func assertExactResults(t *testing.T, job *montecarlo.Job, jc montecarlo.JobConfig) {
-	t.Helper()
-	price, err := job.Answer()
-	if err != nil {
-		t.Fatalf("answer: %v", err)
-	}
-	if price.Sims != jc.TotalSims {
-		t.Fatalf("aggregated %d simulations, want exactly %d (lost or duplicated work)", price.Sims, jc.TotalSims)
-	}
-}
-
 // TestChaosFailoverKillEveryPrimaryMidJob is the acceptance scenario:
 // with Replicas=1, every shard primary is killed (the in-process
 // equivalent of kill -9: pump dead mid-beat, space closed, WAL shut)

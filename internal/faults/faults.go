@@ -201,11 +201,24 @@ func NewPlan(seed int64) *Plan {
 // scripted windows (PartitionOneWay, CrashEndpoint) are measured from.
 // core.New calls it when Config.Faults is set; direct users must call it
 // before installing the plan.
+//
+// A Plan drives exactly one run. Rebinding would silently restamp the
+// epoch — shifting every scripted window — and, raced from another
+// goroutine, would tear the (clock, epoch) pair out from under in-flight
+// decisions; both bugs reproduce only under the colliding schedule. Bind
+// therefore panics loudly on any rebind attempt once the plan has a
+// clock: build a fresh Plan (or PlanSpec.Build) per run instead.
 func (p *Plan) Bind(clock vclock.Clock) {
+	if clock == nil {
+		panic("faults: Bind(nil clock)")
+	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.clock != nil {
+		panic("faults: plan already bound — a Plan drives exactly one run; build a fresh Plan per run")
+	}
 	p.clock = clock
 	p.epoch = clock.Now()
-	p.mu.Unlock()
 }
 
 // Counters returns the injected-event counters.

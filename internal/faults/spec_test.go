@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// TestPlanSpecBuildMatchesBuilders: a spec-built plan must inject the
+// exact schedule the equivalent builder-configured plan does — Build is
+// the manifest replay path, so any drift breaks failure reproduction.
+func TestPlanSpecBuildMatchesBuilders(t *testing.T) {
+	spec := PlanSpec{
+		Seed: 42,
+		Rules: []RuleSpec{
+			{Kind: RuleDrop, From: "node/*", To: "master", Method: "space.Write", Prob: 0.3},
+			{Kind: RuleCrashOnCall, From: "node/*", Method: "space.Take*", Nth: 2, Point: "after", DownFor: 10 * time.Second},
+		},
+		Crashes: []CrashWindowSpec{{Endpoint: "lookup", Start: 0, End: 2 * time.Second}},
+	}
+
+	handConfigured := func() *Plan {
+		p := NewPlan(42)
+		p.DropCalls("node/*", "master", "space.Write", 0.3)
+		p.CrashOnCall("node/*", "", "space.Take*", 2, AfterHandler, "", 10*time.Second)
+		p.CrashEndpoint("lookup", 0, 2*time.Second)
+		return p
+	}
+
+	history := func(p *Plan) []string {
+		clk := vclock.NewVirtual(time.Date(2001, time.March, 1, 0, 0, 0, 0, time.UTC))
+		p.Bind(clk)
+		var got []string
+		clk.Run(func() {
+			clk.Sleep(3 * time.Second) // past the lookup crash window
+			for i := 0; i < 40; i++ {
+				_, err := p.intercept("node/node01", "master", "space.Write", ok)
+				got = append(got, errKind(err))
+				_, err = p.intercept("node/node01", "master.shard1", "space.Take", ok)
+				got = append(got, errKind(err))
+			}
+		})
+		return got
+	}
+
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a, b := history(built), history(handConfigured())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("spec-built plan diverged from builder-configured plan:\n spec: %v\n hand: %v", a, b)
+	}
+}
+
+// TestPlanSpecJSONRoundTrip: manifests persist specs as JSON artifacts;
+// the decode must reproduce the schedule-defining fields exactly.
+func TestPlanSpecJSONRoundTrip(t *testing.T) {
+	spec := PlanSpec{
+		Seed: 7,
+		Rules: []RuleSpec{
+			{Kind: RuleDelay, From: "a", To: "b", Method: "m", Prob: 0.5, Delay: 250 * time.Millisecond},
+			{Kind: RuleCrashOnProb, From: "node/*", Prob: 0.1, Point: "before", DownFor: 5 * time.Second},
+		},
+		Partitions: []PartitionSpec{{From: "x", To: "y", Start: time.Second, End: 3 * time.Second}},
+		Crashes:    []CrashWindowSpec{{Endpoint: "lookup", End: 2 * time.Second}},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got PlanSpec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(spec, got) {
+		t.Fatalf("round trip changed the spec:\n  in:  %+v\n  out: %+v", spec, got)
+	}
+	if _, err := got.Build(); err != nil {
+		t.Fatalf("Build after round trip: %v", err)
+	}
+}
+
+// TestPlanSpecBuildRejectsBadRules: a corrupted artifact should fail
+// loudly at Build, not silently skip rules.
+func TestPlanSpecBuildRejectsBadRules(t *testing.T) {
+	cases := []PlanSpec{
+		{Rules: []RuleSpec{{Kind: "explode"}}},
+		{Rules: []RuleSpec{{Kind: RuleCrashOnCall, Nth: 0}}},
+		{Rules: []RuleSpec{{Kind: RuleCrashOnCall, Nth: 1, Point: "sideways"}}},
+	}
+	for i, spec := range cases {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("case %d: Build accepted invalid spec %+v", i, spec)
+		}
+	}
+}
+
+// TestPlanRebindPanics: a Plan drives exactly one run. Rebinding restamps
+// the window epoch and races in-flight decisions, so it must fail loudly
+// instead of corrupting the schedule.
+func TestPlanRebindPanics(t *testing.T) {
+	p := NewPlan(1)
+	p.Bind(vclock.NewReal())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Bind did not panic")
+		}
+	}()
+	p.Bind(vclock.NewReal())
+}
+
+// TestPlanConcurrentStreamsDeterministic drives two distinct endpoint-pair
+// decision streams from two goroutines. Because streams are keyed by
+// (rule, from, to) with their own counters, each caller's injected
+// schedule must be identical across same-seed runs no matter how the
+// goroutines interleave — the property that lets the scenario runner use
+// one shared plan for a whole simulated cluster.
+func TestPlanConcurrentStreamsDeterministic(t *testing.T) {
+	const calls = 200
+	run := func() (a, b []string) {
+		p := NewPlan(99)
+		p.DropCalls("node/*", "master", "space.Write", 0.4)
+		p.Bind(vclock.NewReal())
+		ic := p.Interceptor()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				_, err := ic("node/node01", "master", "space.Write", ok)
+				a = append(a, errKind(err))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				_, err := ic("node/node02", "master", "space.Write", ok)
+				b = append(b, errKind(err))
+			}
+		}()
+		wg.Wait()
+		return a, b
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("same seed produced different per-stream schedules under concurrency")
+	}
+	drops := 0
+	for _, k := range a1 {
+		if k == "drop" {
+			drops++
+		}
+	}
+	if drops == 0 || drops == calls {
+		t.Fatalf("stream A dropped %d/%d calls; determinism check is vacuous", drops, calls)
+	}
+}
+
+func ok() (interface{}, error) { return nil, nil }
+
+func errKind(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if fe, isInjected := err.(*Error); isInjected {
+		return fe.Kind
+	}
+	return "err"
+}

@@ -1,0 +1,284 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"gospaces/internal/apps/montecarlo"
+	"gospaces/internal/apps/raytrace"
+	"gospaces/internal/core"
+	"gospaces/internal/e2e/harness"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/wal"
+)
+
+// EventOutcome records what one planned event actually did. Skipped
+// events (a merge with no split-born shard to merge, a rejoin with no
+// promotion to rejoin behind) are not failures: the shrinker produces
+// such manifests routinely, and a skip is deterministic given the seed.
+type EventOutcome struct {
+	Event   Event  `json:"event"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// Report is one manifest's verdict: the empty-Violations case is a pass.
+type Report struct {
+	Manifest   Manifest       `json:"manifest"`
+	Violations []string       `json:"violations,omitempty"`
+	Events     []EventOutcome `json:"events,omitempty"`
+	// FaultEvents is the injected-fault history — the replay fingerprint
+	// two same-seed runs must agree on.
+	FaultEvents map[string]uint64 `json:"fault_events,omitempty"`
+	// VirtualElapsed is the run's span on the virtual clock.
+	VirtualElapsed time.Duration `json:"virtual_elapsed"`
+	// Result is the full framework result for post-hoc inspection.
+	Result core.Result `json:"-"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Run executes the manifest in-process under a fresh virtual clock and
+// checks every invariant. It never returns an error: anything that goes
+// wrong — including infrastructure failures — is a violation in the
+// report, so callers treat pass/fail uniformly and the shrinker can
+// re-run candidates blindly.
+func Run(m Manifest) Report {
+	rep := Report{Manifest: m}
+	fail := func(format string, args ...interface{}) Report {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		return rep
+	}
+	if err := m.Validate(); err != nil {
+		return fail("invalid manifest: %v", err)
+	}
+	plan, err := m.Faults.Build()
+	if err != nil {
+		return fail("fault plan: %v", err)
+	}
+
+	app, err := buildApp(m.App)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	dataDir := ""
+	fsync := wal.FsyncAlways
+	if m.Durable {
+		if dataDir, err = os.MkdirTemp("", "scenario"); err != nil {
+			return fail("data dir: %v", err)
+		}
+		defer os.RemoveAll(dataDir)
+		pol := m.Fsync
+		if pol == "" {
+			pol = "always"
+		}
+		if fsync, err = wal.ParseFsyncPolicy(pol); err != nil {
+			return fail("fsync: %v", err)
+		}
+	}
+
+	ttl := m.TxnTTL
+	if ttl == 0 {
+		ttl = 8 * time.Second
+	}
+	st := &runState{m: m, kills: make([]int, m.Shards)}
+	out, runErr := harness.Run(harness.RunSpec{
+		Workers: m.Workers,
+		Plan:    plan,
+		Config: core.Config{
+			Shards:        m.Shards,
+			Replicas:      m.Replicas,
+			Elastic:       m.Elastic,
+			DataDir:       dataDir,
+			FsyncPolicy:   fsync,
+			DedupResults:  true,
+			TxnTTL:        ttl,
+			ResultTimeout: 10 * time.Minute,
+		},
+		Job:    app.job,
+		Script: st.script,
+	})
+	rep.Events = st.outcomes
+	rep.Result = out.Result
+	rep.FaultEvents = out.Result.FaultEvents
+	rep.VirtualElapsed = out.Clock.Now().Sub(harness.Epoch)
+	if runErr != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("run failed: %v", runErr))
+	}
+	rep.Violations = append(rep.Violations, checkInvariants(m, out, st, app)...)
+
+	// The WAL-recovery check closes the framework and reopens each
+	// shard's log; everything else must be read before it runs.
+	if m.Durable && m.Replicas == 0 && !m.Elastic && runErr == nil {
+		rep.Violations = append(rep.Violations, checkWALEquivalence(m, out, dataDir, fsync)...)
+	} else {
+		out.Framework.Close()
+	}
+	return rep
+}
+
+// appRun couples a core.Job with its app-specific exactness check.
+type appRun struct {
+	job core.Job
+	// wantTasks is the planned task count.
+	wantTasks int
+	mc        *montecarlo.Job
+	rt        *raytrace.Job
+}
+
+func buildApp(spec AppSpec) (appRun, error) {
+	switch spec.Name {
+	case AppMonteCarlo:
+		jc := montecarlo.DefaultJobConfig()
+		jc.SimsPerTask = 50
+		jc.TotalSims = spec.Tasks * jc.SimsPerTask
+		jc.WorkPerSubtask = spec.Work
+		jc.PlanningCostPerTask = 10 * time.Millisecond
+		jc.AggregationCostPerResult = 5 * time.Millisecond
+		jc.ShardSpread = spec.Spread
+		job := montecarlo.NewJob(jc)
+		// Plan emits a high and a low task per 2×SimsPerTask block.
+		blocks := (jc.TotalSims + 2*jc.SimsPerTask - 1) / (2 * jc.SimsPerTask)
+		return appRun{job: job, mc: job, wantTasks: 2 * blocks}, nil
+	case AppRayTrace:
+		jc := raytrace.DefaultJobConfig()
+		jc.StripWidth = (jc.Width + spec.Tasks - 1) / spec.Tasks
+		jc.WorkPerPixel = spec.Work
+		jc.PlanningCostPerTask = 10 * time.Millisecond
+		jc.AggregationCostPerResult = 5 * time.Millisecond
+		job := raytrace.NewJob(jc)
+		strips := (jc.Width + jc.StripWidth - 1) / jc.StripWidth
+		return appRun{job: job, rt: job, wantTasks: strips}, nil
+	}
+	return appRun{}, fmt.Errorf("unknown app %q", spec.Name)
+}
+
+// epochSample is one observation of every monotone counter, taken at
+// event boundaries.
+type epochSample struct {
+	topo   uint64
+	shards []uint64
+}
+
+// runState is the script goroutine's bookkeeping: which events actually
+// executed (the invariants' expected values) and the epoch samples the
+// monotonicity check compares.
+type runState struct {
+	m        Manifest
+	kills    []int // executed kills per base shard
+	splits   int
+	merges   int
+	outcomes []EventOutcome
+	samples  []epochSample
+	// eventFailures are hard event errors — a restart that could not
+	// recover, a split that failed outright. They become violations.
+	eventFailures []string
+	forged        int
+}
+
+func (st *runState) script(f *core.Framework) {
+	start := f.Clock.Now()
+	st.sample(f)
+	for _, ev := range st.m.Events {
+		if wait := ev.At - f.Clock.Now().Sub(start); wait > 0 {
+			f.Clock.Sleep(wait)
+		}
+		st.apply(f, ev)
+		st.sample(f)
+	}
+}
+
+func (st *runState) sample(f *core.Framework) {
+	s := epochSample{topo: f.TopologyEpoch(), shards: make([]uint64, st.m.Shards)}
+	for i := range s.shards {
+		s.shards[i] = f.ShardEpoch(i)
+	}
+	st.samples = append(st.samples, s)
+}
+
+func (st *runState) apply(f *core.Framework, ev Event) {
+	out := EventOutcome{Event: ev}
+	skip := func(note string) {
+		out.Skipped, out.Note = true, note
+	}
+	hard := func(err error) {
+		out.Note = err.Error()
+		st.eventFailures = append(st.eventFailures, fmt.Sprintf("event %s(shard %d) at %s: %v", ev.Kind, ev.Shard, ev.At, err))
+	}
+	switch ev.Kind {
+	case KillPrimary:
+		// Never leave two ring positions headless at once: earlier kills
+		// must have promoted before the next primary dies (the same
+		// discipline the failover e2e scripts keep).
+		for i := range st.kills {
+			want := uint64(1 + st.kills[i])
+			i := i
+			st.waitFor(f, 10*time.Second, func() bool { return f.ShardEpoch(i) >= want })
+		}
+		if err := f.KillShardPrimary(ev.Shard); err != nil {
+			skip(err.Error())
+		} else {
+			st.kills[ev.Shard]++
+		}
+	case Rejoin:
+		want := uint64(1 + st.kills[ev.Shard])
+		if !st.waitFor(f, 15*time.Second, func() bool { return f.ShardEpoch(ev.Shard) >= want }) {
+			skip("no promotion to rejoin behind")
+		} else if err := f.RejoinShard(ev.Shard); err != nil {
+			skip(err.Error())
+		}
+	case RestartShard:
+		if _, err := f.RestartShard(ev.Shard); err != nil {
+			hard(err)
+		}
+	case Split:
+		ring, ok := f.RingID(ev.Shard)
+		if !ok {
+			skip(fmt.Sprintf("no shard %d", ev.Shard))
+		} else if _, err := f.SplitShard(ring); err != nil {
+			hard(err)
+		} else {
+			st.splits++
+		}
+	case Merge:
+		rings := f.SplitBorn()
+		if len(rings) == 0 {
+			skip("no split-born shard to merge")
+			break
+		}
+		sort.Strings(rings)
+		if err := f.MergeShards(rings[0]); err != nil {
+			hard(err)
+		} else {
+			st.merges++
+		}
+	case CorruptResult:
+		// Forge an extra result: the master aggregates it in place of a
+		// real one, so the zero-lost/zero-duplicated invariant MUST trip.
+		_, err := f.Space.Write(montecarlo.Result{
+			Job: montecarlo.JobName, ID: 990000 + st.forged, Kind: "high", Sims: 1, Node: "forged",
+		}, nil, tuplespace.Forever)
+		if err != nil {
+			skip(err.Error())
+		} else {
+			st.forged++
+		}
+	}
+	st.outcomes = append(st.outcomes, out)
+}
+
+// waitFor polls cond on the virtual clock, bounded by d.
+func (st *runState) waitFor(f *core.Framework, d time.Duration, cond func() bool) bool {
+	deadline := f.Clock.Now().Add(d)
+	for !cond() {
+		if !f.Clock.Now().Before(deadline) {
+			return false
+		}
+		f.Clock.Sleep(200 * time.Millisecond)
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package scenario
+
+// Shrink greedily minimizes a failing manifest: it tries deleting one
+// event, then one fault rule, partition, or crash window at a time,
+// keeping each deletion whose manifest still fails, and repeats until a
+// whole pass removes nothing. Runs are deterministic (virtual clock +
+// seeded plan), so "still fails" is a pure function of the candidate and
+// the greedy loop terminates at a locally minimal manifest — typically
+// the single event or rule that breaks the invariant.
+//
+// maxRuns bounds the work (each probe is a full simulated run); 0 means
+// DefaultShrinkRuns. It returns the minimized manifest and how many
+// probe runs it spent.
+func Shrink(m Manifest, maxRuns int) (Manifest, int) {
+	if maxRuns <= 0 {
+		maxRuns = DefaultShrinkRuns
+	}
+	runs := 0
+	stillFails := func(c Manifest) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		return Run(c).Failed()
+	}
+
+	for pass := true; pass && runs < maxRuns; {
+		pass = false
+		// Events first: they are the usual culprits and deleting one can
+		// make whole fault rules irrelevant.
+		for i := 0; i < len(m.Events); {
+			c := m
+			c.Events = deleteAt(m.Events, i)
+			if stillFails(c) {
+				m, pass = c, true
+				continue // same index now names the next event
+			}
+			i++
+		}
+		for i := 0; i < len(m.Faults.Rules); {
+			c := m
+			c.Faults = m.Faults
+			c.Faults.Rules = deleteAt(m.Faults.Rules, i)
+			if stillFails(c) {
+				m, pass = c, true
+				continue
+			}
+			i++
+		}
+		for i := 0; i < len(m.Faults.Partitions); {
+			c := m
+			c.Faults.Partitions = deleteAt(m.Faults.Partitions, i)
+			if stillFails(c) {
+				m, pass = c, true
+				continue
+			}
+			i++
+		}
+		for i := 0; i < len(m.Faults.Crashes); {
+			c := m
+			c.Faults.Crashes = deleteAt(m.Faults.Crashes, i)
+			if stillFails(c) {
+				m, pass = c, true
+				continue
+			}
+			i++
+		}
+	}
+	return m, runs
+}
+
+// DefaultShrinkRuns bounds a minimization at roughly a minute of
+// simulated runs.
+const DefaultShrinkRuns = 40
+
+// deleteAt returns s without element i, never aliasing s's array.
+func deleteAt[T any](s []T, i int) []T {
+	out := make([]T, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// TestBlockingTakeReroutesAcrossReplace: a single-key blocking take is
+// parked on a shard whose space is then closed and replaced behind the
+// same ring ID — the restart-from-WAL shape. ErrClosed guarantees the
+// take did not execute, so instead of surfacing it the router must
+// re-park on the replacement handle and complete against it
+// (Router.awaitReroute). Found by the scenario generator: a merge
+// retiring a split-born shard under the master's collect loop has the
+// same signature.
+func TestBlockingTakeReroutesAcrossReplace(t *testing.T) {
+	clk := vclock.NewReal()
+	r, locals := newLocalRouter(t, clk, 2)
+
+	// Resolve which ring position owns the key, so the test can kill
+	// exactly the space the take is parked on.
+	key, keyed, err := tuplespace.IndexKey(kv{Key: "reroute"})
+	if err != nil || !keyed {
+		t.Fatalf("index key: keyed=%t err=%v", keyed, err)
+	}
+	v := r.snapshot()
+	id := v.ring.get(key)
+	victim := -1
+	for i, l := range locals {
+		if v.shards[id] == space.Space(l) {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		t.Fatalf("no local behind ring ID %q", id)
+	}
+
+	done := make(chan struct{})
+	var got tuplespace.Entry
+	var takeErr error
+	go func() {
+		defer close(done)
+		got, takeErr = r.Take(kv{Key: "reroute"}, nil, 5*time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the take park on the victim
+
+	// Swap a fresh space in behind the same ring ID, give it the entry,
+	// then close the old space under the parked call.
+	fresh := space.NewLocal(clk)
+	if err := r.Replace(id, fresh); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if _, err := fresh.Write(kv{Key: "reroute", Val: 7}, nil, tuplespace.Forever); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := locals[victim].Close(); err != nil {
+		t.Fatalf("close victim: %v", err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("take still parked after the shard was replaced")
+	}
+	if takeErr != nil {
+		t.Fatalf("take surfaced %v instead of rerouting to the replacement", takeErr)
+	}
+	if e, ok := got.(kv); !ok || e.Val != 7 {
+		t.Fatalf("take returned %#v, want the replacement's entry", got)
+	}
+}
+
+// TestBlockingTakeSurfacesClosedOnShutdown: when the shard's space
+// closes and nothing ever replaces it — a plain shutdown — the parked
+// take must still fail with ErrClosed after the reroute grace, not hang
+// until its full timeout.
+func TestBlockingTakeSurfacesClosedOnShutdown(t *testing.T) {
+	clk := vclock.NewReal()
+	r, locals := newLocalRouter(t, clk, 2)
+	key, _, err := tuplespace.IndexKey(kv{Key: "shutdown"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.snapshot()
+	id := v.ring.get(key)
+	victim := -1
+	for i, l := range locals {
+		if v.shards[id] == space.Space(l) {
+			victim = i
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Take(kv{Key: "shutdown"}, nil, 30*time.Second)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := locals[victim].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, tuplespace.ErrClosed) {
+			t.Fatalf("take returned %v, want ErrClosed", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("take hung past the reroute grace on a plain shutdown")
+	}
+}

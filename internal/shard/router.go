@@ -387,26 +387,56 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 	}
 	if keyed || len(v.order) == 1 {
 		// One shard can satisfy this: hand it the full timeout directly.
-		id := v.order[0]
-		if keyed {
-			id = v.ring.get(key)
-		}
 		if t == nil && block && r.opts.Failover != nil {
+			id := v.order[0]
+			if keyed {
+				id = v.ring.get(key)
+			}
 			// Replicated ring: a dead primary here is curable, so hard
 			// failures degrade to a failover-polling loop instead of
 			// surfacing (see singleBlocking).
 			return r.singleBlocking(id, take, tmpl, timeout)
 		}
-		sp := v.shards[id]
-		tx, err := r.sub(t, id, sp)
-		if err != nil {
-			return nil, err
+		clk := r.opts.Clock
+		var deadline time.Time
+		if block && timeout > 0 {
+			deadline = clk.Now().Add(timeout)
 		}
-		e, err := call(sp, take, tmpl, tx, timeout, block)
-		if r.healedOp(id, take, err) && t == nil {
-			e, err = call(r.fresh(id), take, tmpl, nil, timeout, block)
+		wait := timeout
+		for {
+			id := v.order[0]
+			if keyed {
+				id = v.ring.get(key)
+			}
+			sp := v.shards[id]
+			tx, err := r.sub(t, id, sp)
+			if err != nil {
+				return nil, err
+			}
+			e, err := call(sp, take, tmpl, tx, wait, block)
+			if r.healedOp(id, take, err) && t == nil {
+				e, err = call(r.fresh(id), take, tmpl, nil, wait, block)
+			}
+			if block && t == nil && errors.Is(err, tuplespace.ErrClosed) {
+				// The shard was closed under a parked call: a merge retired
+				// it, or a restart swapped a recovered space in behind the
+				// same ring ID. ErrClosed guarantees the op did not execute
+				// (see ambiguous), so re-parking on the current owner is
+				// safe even for takes. awaitReroute fails when nothing
+				// replaces the shard — then the close means shutdown and
+				// the error surfaces as before.
+				if next, ok := r.awaitReroute(key, keyed, id, sp, deadline); ok {
+					v = next
+					if !deadline.IsZero() {
+						if wait = deadline.Sub(clk.Now()); wait <= 0 {
+							return nil, timeoutErr(wrapShard(id, err))
+						}
+					}
+					continue
+				}
+			}
+			return e, wrapShard(id, err)
 		}
-		return e, wrapShard(id, err)
 	}
 	if !block {
 		e, err, _ := r.sweep(v, take, tmpl, t)
@@ -419,6 +449,36 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 		return r.pollScatter(v, take, tmpl, t, timeout)
 	}
 	return r.scatter(v, take, tmpl, timeout)
+}
+
+// awaitReroute polls the view after a single-shard blocking lookup found
+// its shard closed, until the lookup resolves somewhere new: a different
+// ring ID (an elastic merge routed the key back to the parent) or a fresh
+// handle behind the same ID (a restart recovered the shard from its WAL).
+// A merge installs its topology before closing the retired child, so the
+// first snapshot usually already differs; a restart closes the old space
+// before swapping the recovered one in, so a short grace of poll rounds
+// covers the replay window. If nothing replaces the shard within the
+// grace — a plain shutdown — it reports false and the caller surfaces
+// ErrClosed exactly as before.
+func (r *Router) awaitReroute(key string, keyed bool, id string, sp space.Space, deadline time.Time) (*view, bool) {
+	clk := r.opts.Clock
+	grace := clk.Now().Add(10 * r.opts.PollInterval)
+	for {
+		next := r.snapshot()
+		nid := next.order[0]
+		if keyed {
+			nid = next.ring.get(key)
+		}
+		if nid != id || next.shards[nid] != sp {
+			return next, true
+		}
+		now := clk.Now()
+		if !now.Before(grace) || (!deadline.IsZero() && !now.Before(deadline)) {
+			return nil, false
+		}
+		clk.Sleep(r.opts.PollInterval)
+	}
 }
 
 // singleBlocking is the blocking lookup that only one shard can satisfy

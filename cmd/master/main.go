@@ -77,12 +77,13 @@ func main() {
 	splitThreshold := flag.Float64("split-threshold", 500, "with -autoshard: smoothed ops/sec above which a shard splits")
 	mergeThreshold := flag.Float64("merge-threshold", 10, "with -autoshard: smoothed ops/sec below which a split-born shard merges back")
 	reshardInterval := flag.Duration("reshard-interval", 5*time.Second, "with -autoshard: rebalancer sampling interval")
+	exactlyOnce := flag.Bool("exactly-once", false, "deduplicate retried mutations server-side: clients mint idempotency tokens, shards memoize tokened outcomes, and ambiguous op timeouts are retried instead of surfaced")
 	flag.Parse()
 	ecfg := elasticFlags{
 		on: *autoshard, splitThreshold: *splitThreshold,
 		mergeThreshold: *mergeThreshold, interval: *reshardInterval,
 	}
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout, ecfg); err != nil {
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout, ecfg, *exactlyOnce); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -132,7 +133,7 @@ type elasticFlags struct {
 	interval                       time.Duration
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration, ecfg elasticFlags) error {
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration, ecfg elasticFlags, exactlyOnce bool) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
@@ -206,6 +207,7 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	rcfg := replicaConfig{
 		host: host, dataDir: dataDir, fsync: fsyncPolicy,
 		ft: failoverTimeout, ack: ackMode, jobName: jobName, shards: numShards,
+		eo: exactlyOnce,
 	}
 	for i := 0; i < numShards; i++ {
 		// With replication on, the shard's journal records tee into a
@@ -263,6 +265,9 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 					return fmt.Errorf("journal for shard %d: %w", i, err)
 				}
 			}
+		}
+		if exactlyOnce {
+			local.TS.SetMemoCounters(o.Ctr())
 		}
 		srv := transport.NewServer()
 		space.NewService(local, srv)
@@ -366,10 +371,11 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 
 	var sp space.Space = hosted[0].Space
 	var router *shard.Router
-	if numShards > 1 || ecfg.on {
+	if numShards > 1 || ecfg.on || exactlyOnce {
 		// Elastic mode needs a router even for one shard: splits retarget
-		// its membership at runtime.
-		ropts := shard.Options{Clock: clk, Seed: "master"}
+		// its membership at runtime. Exactly-once needs one too: the token
+		// minting and retry machinery live in the router.
+		ropts := shard.Options{Clock: clk, Seed: "master", ExactlyOnce: exactlyOnce}
 		if pairs != nil {
 			// On a hard shard failure the router re-resolves the ring
 			// position through the lookup service, picking the registration
@@ -379,6 +385,9 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 				func(a string) (space.Space, error) { return space.Dial(a) })
 			ropts.Counters = o.Ctr()
 		}
+		if ropts.Counters == nil && exactlyOnce {
+			ropts.Counters = o.Ctr()
+		}
 		router, err = shard.New(ropts, hosted)
 		if err != nil {
 			return err
@@ -386,7 +395,7 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		sp = router
 	}
 	if o != nil {
-		setHealth(o, numShards, pairs, durables)
+		setHealth(o, numShards, pairs, durables, locals)
 	}
 	var sweepFor interface{ Sweep() int } = sweeper
 	var eh *elasticHost

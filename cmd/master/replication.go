@@ -69,6 +69,9 @@ type replicaConfig struct {
 	ack     replica.AckMode
 	jobName string
 	shards  int
+	// eo marks -exactly-once deployments: the standby's memo table (rebuilt
+	// from the record stream) wires into the dedup counters.
+	eo bool
 }
 
 // newReplicaPair builds shard idx's standby node and both replication
@@ -112,6 +115,9 @@ func newReplicaPair(idx int, clk vclock.Clock, o *obs.Obs, local *space.Local, s
 		if err := rp.blocal.TS.AttachJournal(tuplespace.NewJournalSink(rp.bsw)); err != nil {
 			return nil, fmt.Errorf("backup journal for shard %d: %w", idx, err)
 		}
+	}
+	if cfg.eo {
+		rp.blocal.TS.SetMemoCounters(o.Ctr())
 	}
 	bl, err := transport.ListenTCP(net.JoinHostPort(cfg.host, "0"), rp.bsrv)
 	if err != nil {
@@ -306,9 +312,11 @@ func (rp *replicaPair) promote(epoch uint64) {
 
 // setHealth installs the /healthz provider: one entry per hosted shard
 // with the serving node's role, the ring epoch, the primary-observed
-// replication lag, and the serving node's WAL position. pairs is nil when
-// -replicas is 0; durables[i] is nil for non-durable shards.
-func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable) {
+// replication lag, the serving node's WAL position, and — with
+// -exactly-once — the serving node's memo-table size and dedup hits.
+// pairs is nil when -replicas is 0; durables[i] is nil for non-durable
+// shards.
+func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable, locals []*space.Local) {
 	o.SetHealth(func() obs.Health {
 		h := obs.Health{Status: "ok"}
 		for i := 0; i < numShards; i++ {
@@ -316,6 +324,10 @@ func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*spac
 			var d *space.Durable
 			if i < len(durables) {
 				d = durables[i]
+			}
+			var serving *space.Local
+			if i < len(locals) {
+				serving = locals[i]
 			}
 			if pairs != nil {
 				rp := pairs[i]
@@ -325,6 +337,7 @@ func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*spac
 					// The promoted standby holds the ring position.
 					sh.Role = shard.RoleBackup
 					d = rp.bdur
+					serving = rp.blocal
 				}
 				p := rp.primary
 				rp.mu.Unlock()
@@ -334,6 +347,10 @@ func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*spac
 			}
 			if d != nil {
 				sh.WALPosition = d.Log().Position()
+			}
+			if serving != nil {
+				sh.Entries = serving.TS.Stats().EntriesLive
+				sh.MemoEntries, sh.DedupHits, _ = serving.TS.MemoStats()
 			}
 			h.Shards = append(h.Shards, sh)
 		}

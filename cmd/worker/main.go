@@ -53,13 +53,14 @@ func main() {
 	sim2 := flag.Bool("loadsim2", false, "run load simulator 2 (100% CPU)")
 	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6061")
 	opTimeout := flag.Duration("optimeout", 0, "per-operation deadline on space RPCs (0 = unbounded); timed-out calls fail with space.ErrOpTimeout and, against a dead shard, trigger failover resolution")
+	exactlyOnce := flag.Bool("exactly-once", false, "mint an idempotency token per mutation and retry ambiguous op timeouts with it; the master must run with -exactly-once too so shards memoize tokened outcomes")
 	flag.Parse()
-	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr, *opTimeout); err != nil {
+	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr, *opTimeout, *exactlyOnce); err != nil {
 		log.Fatalf("worker: %v", err)
 	}
 }
 
-func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string, opTimeout time.Duration) error {
+func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string, opTimeout time.Duration, exactlyOnce bool) error {
 	tmpl, err := taskTemplate(jobName, false)
 	if err != nil {
 		return err
@@ -137,13 +138,18 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 	// promoted standby through the lookup service and retry.
 	replicated := item.Attributes[shard.AttrEpoch] != ""
 	var sp space.Space
-	if len(shards) == 1 && !replicated {
+	if len(shards) == 1 && !replicated && !exactlyOnce {
 		sp = shards[0].Space
 		log.Printf("worker %s: found javaspace at %s", name, shards[0].ID)
 	} else {
-		ropts := shard.Options{Clock: clk, Seed: name}
+		// Exactly-once also forces the router: the token minting and retry
+		// machinery live there.
+		ropts := shard.Options{Clock: clk, Seed: name, ExactlyOnce: exactlyOnce}
 		if replicated {
 			ropts.Failover = shard.Resolver(client, spaceTmpl, dial)
+			ropts.Counters = o.Ctr()
+		}
+		if ropts.Counters == nil && exactlyOnce {
 			ropts.Counters = o.Ctr()
 		}
 		router, err := shard.New(ropts, shards)
@@ -159,7 +165,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 	}
 
 	// The code server shares shard 0's listener (the master's address).
-	codeConn, err := transport.DialTCPRetry(shards[0].ID, transport.Backoff{})
+	codeConn, err := transport.DialTCPRetry(shards[0].ID, transport.DefaultPolicy())
 	if err != nil {
 		return err
 	}

@@ -140,6 +140,16 @@ type Config struct {
 	// which the shard router treats as failover-worthy. Zero disables the
 	// deadline.
 	OpTimeout time.Duration
+	// ExactlyOnce upgrades every client-originated mutation from
+	// at-most-once to exactly-once: the master's and each worker's router
+	// mints an idempotency token per mutation, the shard servers memoize
+	// each tokened outcome in a bounded dedup table (rebuilt from the WAL
+	// on crash-restart, streamed to hot standbys, shipped with migrating
+	// buckets on a split), and ambiguous failures — an RPC that timed out
+	// with its effect unknown — are retried with the same token instead
+	// of surfacing. Forces a shard.Router on the master and every worker
+	// (pass-through for one shard) so the retry machinery is in path.
+	ExactlyOnce bool
 	// Elastic enables the resharding machinery: every hosted node's
 	// journal chain carries a migration tap, the master publishes a ring
 	// topology record that workers watch, and SplitShard/MergeShards move
@@ -209,6 +219,10 @@ type Framework struct {
 	// Reshard carries the reshard:* counters (splits, merges, entries
 	// migrated/evicted, aborted migrations) when Config.Elastic is set.
 	Reshard *metrics.Counters
+	// Retries carries the retry:* / dedup:* counters when
+	// Config.ExactlyOnce is set (shared with Repl when replication is also
+	// on, so one snapshot shows failovers next to the retries they caused).
+	Retries *metrics.Counters
 	// MIB is the master's management information base when Config.Obs is
 	// set: the framework gauges exported as SNMP objects, served by an
 	// agent bound on the master's server (the same substrate the network
@@ -277,6 +291,10 @@ type Result struct {
 	// Resharding is the reshard:* counter snapshot when Config.Elastic was
 	// set: splits, merges, entries migrated and evicted, aborted forks.
 	Resharding map[string]uint64
+	// Retries is the retry:* / dedup:* counter snapshot when
+	// Config.ExactlyOnce was set: retry attempts, ambiguous outcomes
+	// replayed, budgets exhausted, memo dedup hits and evictions.
+	Retries map[string]uint64
 	// ObsSummary is the per-stage tail-latency table (p50/p90/p99/max of
 	// every non-empty histogram) when Config.Obs was set.
 	ObsSummary []metrics.StageSummary
@@ -355,6 +373,13 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		f.Reshard = metrics.NewCounters()
 		f.taps = make([]*rebalance.Tap, cfg.Shards)
 	}
+	if cfg.ExactlyOnce {
+		if f.Repl != nil {
+			f.Retries = f.Repl
+		} else {
+			f.Retries = metrics.NewCounters()
+		}
+	}
 	shards := make([]shard.Shard, cfg.Shards)
 	f.sweeper = &growSweeper{}
 	f.sweeps = make([]*swapSweeper, cfg.Shards)
@@ -412,6 +437,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 				}
 			}
 		}
+		l.TS.SetMemoCounters(f.Retries)
 		f.Shards = append(f.Shards, l)
 		f.sweeps[i] = &swapSweeper{s: l.Mgr}
 		f.sweeper.add(f.sweeps[i])
@@ -452,7 +478,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 	f.Local = f.Shards[0]
 	f.CodeServer.Bind(clus.MasterServer)
 
-	if cfg.Shards == 1 && cfg.DataDir == "" && cfg.Replicas == 0 && !cfg.Elastic {
+	if cfg.Shards == 1 && cfg.DataDir == "" && cfg.Replicas == 0 && !cfg.Elastic && !cfg.ExactlyOnce {
 		f.Space = shards[0].Space
 	} else {
 		// A router even for a single durable or replicated shard:
@@ -460,10 +486,13 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		// and a promotion retargets the ring position through
 		// Router.Retarget — both of which the master's captured handle then
 		// observes.
-		ropts := shard.Options{Clock: clock, Seed: "master"}
+		ropts := shard.Options{Clock: clock, Seed: "master", ExactlyOnce: cfg.ExactlyOnce}
 		if cfg.Replicas > 0 {
 			ropts.Counters = f.Repl
 			ropts.Failover = f.localResolver()
+		}
+		if ropts.Counters == nil {
+			ropts.Counters = f.Retries
 		}
 		router, err := shard.New(ropts, shards)
 		if err != nil {
@@ -638,6 +667,9 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 	if err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d recovery: %w", i, err)
 	}
+	// WAL replay rebuilt the memo table; rewire its counters so dedup hits
+	// against recovered memos are still visible.
+	l.TS.SetMemoCounters(f.Retries)
 	f.replMu.Lock()
 	if tap != nil {
 		f.taps[i] = tap
@@ -826,6 +858,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	if f.Reshard != nil {
 		res.Resharding = f.Reshard.Snapshot()
 	}
+	if f.Retries != nil {
+		res.Retries = f.Retries.Snapshot()
+	}
 	if f.cfg.Obs != nil {
 		res.ObsSummary = f.cfg.Obs.Reg().Summary()
 	}
@@ -862,12 +897,14 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 		return p.WithOpTimeout(f.Clock, f.cfg.OpTimeout), nil
 	}
 	var shards []shard.Shard
-	retry := transport.Backoff{
-		Clock:    f.Clock,
-		Attempts: 6,
-		Initial:  250 * time.Millisecond,
-		Max:      4 * time.Second,
-	}
+	// The shared default dial policy, widened for discovery: a lookup
+	// service inside a crash-restart window needs more headroom than a
+	// plain connection race.
+	retry := transport.DefaultPolicy()
+	retry.Clock = f.Clock
+	retry.Attempts = 6
+	retry.Initial = 250 * time.Millisecond
+	retry.Max = 4 * time.Second
 	err := retry.Do(func() error {
 		var derr error
 		shards, derr = shard.Discover(lc, tmpl, dial)
@@ -881,7 +918,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 	}
 	var sp space.Space
 	var ringWatcher *shard.Watcher
-	if len(shards) == 1 && f.cfg.Replicas == 0 && !f.cfg.Elastic {
+	if len(shards) == 1 && f.cfg.Replicas == 0 && !f.cfg.Elastic && !f.cfg.ExactlyOnce {
 		sp = shards[0].Space
 	} else {
 		// A router even for one replicated or elastic shard: failover needs
@@ -889,9 +926,12 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 		// and resharding needs a ring whose membership can change — both
 		// resolved through the lookup service (highest epoch claiming the
 		// ring position wins).
-		ropts := shard.Options{Clock: f.Clock, Seed: node.Name}
+		ropts := shard.Options{Clock: f.Clock, Seed: node.Name, ExactlyOnce: f.cfg.ExactlyOnce}
 		if f.cfg.Replicas > 0 {
 			ropts.Counters = f.Repl
+		}
+		if ropts.Counters == nil {
+			ropts.Counters = f.Retries
 		}
 		if f.cfg.Replicas > 0 || f.cfg.Elastic {
 			ropts.Failover = shard.Resolver(lc, tmpl, dial)

@@ -263,6 +263,7 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 			return nil, fmt.Errorf("core: split shard %d journal: %w", idx, err)
 		}
 	}
+	l.TS.SetMemoCounters(f.Retries)
 	space.NewService(l, srv)
 	var p *replica.Primary
 	if rs != nil {
@@ -443,6 +444,9 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	next.Members = append(next.Members, shard.TopoMember{ID: child.ring, Labels: give, Epoch: child.epoch})
 
 	pred := rebalance.KeyedTo(shard.OwnerFunc(next), child.ring)
+	// Memos for the migrating bucket ship with it, so a mutation retried
+	// after the cutover re-routes to the child and still dedups there.
+	memoPred := rebalance.KeyedMemosTo(shard.OwnerFunc(next), child.ring)
 	dst := tuplespace.NewApplier(child.local.TS)
 
 	// Phase 1 — fork. Before any eviction the split can be rolled back
@@ -452,7 +456,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	var m *rebalance.Migration
 	for attempt := 1; ; attempt++ {
 		src, tap, _, _ := f.servingChain(parentRing)
-		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
+		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard}
 		n, ferr := m.Fork()
 		if ferr == nil {
 			rep.Migrated = n
@@ -517,7 +521,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 
 	// Phase 4 — lame duck: sweep stragglers written by not-yet-converged
 	// routers until the drain window outlasts every watcher's poll.
-	drained, derr := f.lameDuck(m, serr == nil, parentRing, dst, pred)
+	drained, derr := f.lameDuck(m, serr == nil, parentRing, dst, pred, memoPred)
 	rep.Evicted += drained
 	f.reshard.setErr(derr)
 
@@ -547,7 +551,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 // loss). Without a mapping (an unreplicated source that was crash-
 // restarted) the rebind still fences the namespaces so no collision can
 // drop an entry.
-func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, dst *tuplespace.Applier, pred func(tuplespace.Entry) bool) (int, error) {
+func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, dst *tuplespace.Applier, pred func(tuplespace.Entry) bool, memoPred func(key string, keyed bool) bool) (int, error) {
 	total := 0
 	if healthy {
 		n, err := m.Drain(f.cfg.ReshardDrain)
@@ -572,7 +576,7 @@ func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, 
 			dst.Rebind(xlat)
 			curSrc = src.TS
 		}
-		m2 := &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
+		m2 := &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard}
 		tap.StartBuffer()
 		if err := tap.GoLive(dst.Apply); err != nil {
 			tap.Close()
@@ -681,7 +685,7 @@ func (f *Framework) MergeShards(childRing string) error {
 	}
 
 	// Lame duck, then retire the emptied child.
-	_, derr := f.lameDuck(m, serr == nil, childRing, dst, pred)
+	_, derr := f.lameDuck(m, serr == nil, childRing, dst, pred, nil)
 	f.reshard.setErr(derr)
 	f.retireChild(childRing, idx)
 	if parentPrim != nil {

@@ -53,6 +53,31 @@ func (g gatedSpace) TakeAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]tupl
 	return g.l.TakeAll(tmpl, t, max)
 }
 
+// Token methods delegate to the local space's memo-aware variants so the
+// master's exactly-once mutations dedup like a worker's RPCs would.
+
+func (g gatedSpace) WriteTok(e tuplespace.Entry, t space.Txn, ttl time.Duration, tok tuplespace.OpToken) (space.Lease, error) {
+	g.gate.Admit()
+	return g.l.WriteTok(e, t, ttl, tok)
+}
+
+func (g gatedSpace) TakeTok(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration, tok tuplespace.OpToken) (tuplespace.Entry, error) {
+	g.gate.Admit()
+	return g.l.TakeTok(tmpl, t, timeout, tok)
+}
+
+func (g gatedSpace) TakeIfExistsTok(tmpl tuplespace.Entry, t space.Txn, tok tuplespace.OpToken) (tuplespace.Entry, error) {
+	g.gate.Admit()
+	return g.l.TakeIfExistsTok(tmpl, t, tok)
+}
+
+func (g gatedSpace) TakeAllTok(tmpl tuplespace.Entry, t space.Txn, max int, tok tuplespace.OpToken) ([]tuplespace.Entry, error) {
+	g.gate.Admit()
+	return g.l.TakeAllTok(tmpl, t, max, tok)
+}
+
+var _ space.TokenMutator = gatedSpace{}
+
 func (g gatedSpace) Count(tmpl tuplespace.Entry) (int, error) {
 	g.gate.Admit()
 	return g.l.Count(tmpl)

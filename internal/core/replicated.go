@@ -148,6 +148,10 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 			panic(fmt.Sprintf("core: backup journal for shard %d: %v", i, err))
 		}
 	}
+	// The standby's applier rebuilds the primary's memo table from the
+	// record stream; wire its counters so dedup hits after a promotion are
+	// still visible.
+	bl.TS.SetMemoCounters(f.Retries)
 	rs.primaryNode = &replNode{addr: rs.ringID, srv: srv, local: l, sink: psw, durable: pdur, tap: ptap}
 	rs.backupNode = &replNode{addr: baddr, srv: bsrv, local: bl, sink: bsw, durable: bd, tap: btap}
 
@@ -423,6 +427,7 @@ func (f *Framework) RejoinShard(i int) error {
 	if err := fresh.TS.AttachJournal(tuplespace.NewJournalSink(tee)); err != nil {
 		return fmt.Errorf("core: shard %d rejoin journal: %w", i, err)
 	}
+	fresh.TS.SetMemoCounters(f.Retries)
 	// The replNode fields are read under rs.mu by healthReport and
 	// promote from other goroutines; swap them under the same lock.
 	rs.mu.Lock()
@@ -570,6 +575,7 @@ func (f *Framework) healthReport() obs.Health {
 		}
 		if serving != nil && !sh.Retired {
 			sh.Entries = serving.TS.Stats().EntriesLive
+			sh.MemoEntries, sh.DedupHits, _ = serving.TS.MemoStats()
 		}
 		h.Shards = append(h.Shards, sh)
 	}

@@ -43,6 +43,16 @@ const (
 	CounterReplResyncs    = "repl:resyncs"         // full snapshot re-syncs after divergence
 	CounterReplFailovers  = "repl:failovers"       // router retargets onto a promoted backup
 
+	// Exactly-once retry policy (internal/shard router, behind
+	// core.Config{ExactlyOnce}).
+	CounterRetryAttempts  = "retry:attempts"  // mutation retries issued after a failure
+	CounterRetryAmbiguous = "retry:ambiguous" // retries of ambiguous (reply-lost) outcomes
+	CounterRetryExhausted = "retry:exhausted" // mutations that ran out of retry budget
+
+	// Idempotency-token result memos (internal/tuplespace memo table).
+	CounterDedupHits        = "dedup:hits"         // retried ops answered from the memo table
+	CounterDedupMemoEvicted = "dedup:memo_evicted" // memos dropped by the FIFO bounds
+
 	// Elastic resharding (internal/rebalance).
 	CounterReshardSplits   = "reshard:splits"           // completed shard splits
 	CounterReshardMerges   = "reshard:merges"           // completed shard merges

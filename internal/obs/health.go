@@ -25,6 +25,12 @@ type ShardHealth struct {
 	// OpRate is the rebalancer's smoothed ops/sec estimate for the shard —
 	// the number the split/merge thresholds are judged against.
 	OpRate float64 `json:"op_rate,omitempty"`
+	// MemoEntries is the serving replica's exactly-once memo-table size —
+	// how many tokened mutation outcomes it currently holds for dedup.
+	MemoEntries int `json:"memo_entries,omitempty"`
+	// DedupHits counts retried mutations this replica answered from its
+	// memo table instead of re-executing.
+	DedupHits uint64 `json:"dedup_hits,omitempty"`
 	// SplitBorn marks shards created by an online split (merge candidates).
 	SplitBorn bool `json:"split_born,omitempty"`
 	// Retired marks shards merged away; they no longer serve the ring.

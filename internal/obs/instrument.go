@@ -131,7 +131,9 @@ func (ts *timedSpace) Notify(tmpl tuplespace.Entry, fn tuplespace.Listener, ttl 
 }
 
 func (ts *timedSpace) TypeCounts() (map[string]int, error) {
-	if c, ok := ts.inner.(interface{ TypeCounts() (map[string]int, error) }); ok {
+	if c, ok := ts.inner.(interface {
+		TypeCounts() (map[string]int, error)
+	}); ok {
 		return c.TypeCounts()
 	}
 	return nil, errors.New("obs: wrapped space does not support TypeCounts")

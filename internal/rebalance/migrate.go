@@ -29,6 +29,20 @@ func KeyedTo(owner func(key string) string, member string) func(tuplespace.Entry
 // entry, keyed or not.
 func Everything(tuplespace.Entry) bool { return true }
 
+// KeyedMemosTo is the memo-slice analogue of KeyedTo: it selects the
+// exactly-once memos whose key the member owns under the post-reshard
+// ring. Unkeyed memos ship too — their ops were placed round-robin, and
+// an over-shipped memo is harmless while a missing one re-executes a
+// retry (see Migration.MemoPred).
+func KeyedMemosTo(owner func(key string) string, member string) func(key string, keyed bool) bool {
+	return func(key string, keyed bool) bool {
+		if !keyed {
+			return true
+		}
+		return owner(key) == member
+	}
+}
+
 // Migration moves the entries matching Pred from a source shard's space
 // into a destination applier while the source keeps serving. One
 // Migration drives one direction of one reshard; a source failover
@@ -48,6 +62,15 @@ type Migration struct {
 	// Pred selects the migrating entries (KeyedTo for a split,
 	// Everything for a merge).
 	Pred func(tuplespace.Entry) bool
+	// MemoPred selects which exactly-once memo records (idempotency-token
+	// outcomes, see tuplespace memo.go) ship and forward with the
+	// migrating entries, by each memo's (key, keyed) pair — KeyedMemosTo
+	// for a split, nil for "all of them" (a merge, or when the caller
+	// cannot scope them). Over-shipping is safe: a duplicate memo on a
+	// non-owning shard is never consulted and ages out of the bounded
+	// table; under-shipping is not — a retried mutation that re-routes to
+	// the destination without its memo would re-execute.
+	MemoPred func(key string, keyed bool) bool
 	// SettleEvery is the pause between settle passes (default 25ms).
 	SettleEvery time.Duration
 	// Counters, when set, receives reshard:entries_migrated and
@@ -69,12 +92,22 @@ func (m *Migration) settleEvery() time.Duration {
 // acknowledges. Returns the snapshot size.
 func (m *Migration) Fork() (int, error) {
 	m.Dst.SetFilter(m.Pred)
+	m.Dst.SetMemoFilter(m.MemoPred)
 	m.Tap.StartBuffer()
 	snap, err := m.Src.EncodeStateWhere(m.Pred)
 	if err != nil {
 		m.Tap.Close()
 		return 0, fmt.Errorf("rebalance: snapshot source: %w", err)
 	}
+	// Memo slice after the entry snapshot: a write memo binds to its entry
+	// by sequence, so the entry must exist at the destination first. Live
+	// memo records then ride the tap like any journal record.
+	memos, err := m.Src.EncodeMemosWhere(m.MemoPred)
+	if err != nil {
+		m.Tap.Close()
+		return 0, fmt.Errorf("rebalance: snapshot memos: %w", err)
+	}
+	snap = append(snap, memos...)
 	for _, rec := range snap {
 		if err := m.Dst.Apply(rec); err != nil {
 			m.Tap.Close()
@@ -180,4 +213,5 @@ func (m *Migration) Abort() {
 	m.Tap.Close()
 	m.Dst.Reset()
 	m.Dst.SetFilter(nil)
+	m.Dst.SetMemoFilter(nil)
 }

@@ -484,6 +484,54 @@ func (w *primarySpace) TakeAll(tmpl tuplespace.Entry, t space.Txn, max int) ([]t
 	return es, err
 }
 
+// Token methods implement space.TokenMutator by forwarding the token to
+// the inner space through the same gate/confirm envelope. This matters
+// beyond pass-through: an op can execute locally and then fail confirm()
+// (backup unreachable) while its record stays queued — a later flush
+// ships the effect anyway, and a tokenless retry would duplicate it. With
+// the token recorded in the shard's memo table the retry collapses.
+
+func (w *primarySpace) WriteTok(e tuplespace.Entry, t space.Txn, ttl time.Duration, tok tuplespace.OpToken) (space.Lease, error) {
+	var l space.Lease
+	err := w.mutate(func() (err error) {
+		l, err = space.WriteTok(w.inner, e, unwrapTxn(t), ttl, tok)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &primaryLease{p: w.p, inner: l}, nil
+}
+
+func (w *primarySpace) TakeTok(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration, tok tuplespace.OpToken) (tuplespace.Entry, error) {
+	var e tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		e, err = space.TakeTok(w.inner, tmpl, unwrapTxn(t), timeout, tok)
+		return
+	})
+	return e, err
+}
+
+func (w *primarySpace) TakeIfExistsTok(tmpl tuplespace.Entry, t space.Txn, tok tuplespace.OpToken) (tuplespace.Entry, error) {
+	var e tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		e, err = space.TakeIfExistsTok(w.inner, tmpl, unwrapTxn(t), tok)
+		return
+	})
+	return e, err
+}
+
+func (w *primarySpace) TakeAllTok(tmpl tuplespace.Entry, t space.Txn, max int, tok tuplespace.OpToken) ([]tuplespace.Entry, error) {
+	var es []tuplespace.Entry
+	err := w.mutate(func() (err error) {
+		es, err = space.TakeAllTok(w.inner, tmpl, unwrapTxn(t), max, tok)
+		return
+	})
+	return es, err
+}
+
+var _ space.TokenMutator = (*primarySpace)(nil)
+
 func (w *primarySpace) Read(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration) (tuplespace.Entry, error) {
 	return w.inner.Read(tmpl, unwrapTxn(t), timeout)
 }

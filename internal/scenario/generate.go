@@ -50,6 +50,15 @@ func Generate(seed int64) Manifest {
 		m.Durable = true
 		m.Fsync = pick(r, []weighted{{"always", 5}, {"interval", 3}, {"never", 2}})
 	}
+	if r.Float64() < 0.4 {
+		// Exactly-once: every mutation carries an idempotency token, the
+		// shards memoize tokened outcomes, and ambiguous op timeouts are
+		// retried instead of surfaced. The deadline is far above the
+		// benign delay rules' latency, so only the ambiguous-timeout rule
+		// below can trip it.
+		m.ExactlyOnce = true
+		m.OpTimeout = 500 * time.Millisecond
+	}
 
 	exec := minExec + time.Duration(r.Int63n(int64(maxExec-minExec)))
 	m.App = genApp(r, m, exec)
@@ -192,10 +201,25 @@ func genFaults(r *rand.Rand, m *Manifest) {
 			Prob: 0.05 + 0.1*r.Float64(),
 		})
 	}
-	if m.Replicas == 0 {
-		// Hard drops and lookup outages stay off replicated runs: a
-		// dropped mutation through a replicated handle surfaces the
-		// documented at-most-once ambiguity rather than retrying.
+	if m.ExactlyOnce && r.Float64() < 0.7 {
+		// Ambiguous op timeouts on a mutation path: the injected delay
+		// exceeds OpTimeout, so the caller gives up while the shard still
+		// executes the call. The router's tokened retry must collapse
+		// against the memo table — exactness holds with zero lost AND
+		// zero duplicated results.
+		method := pick(r, []weighted{{"space.Write", 4}, {"space.Take*", 3}, {"space.TxnCommit", 2}})
+		*rules = append(*rules, faults.RuleSpec{
+			Kind: faults.RuleDelay, From: "node/*", To: "master*", Method: method,
+			Prob:  0.05 + 0.1*r.Float64(),
+			Delay: m.OpTimeout*3/2 + time.Duration(r.Int63n(int64(m.OpTimeout))),
+		})
+	}
+	if m.Replicas == 0 || m.ExactlyOnce {
+		// Hard drops and lookup outages need a retry story: unreplicated
+		// handles redial and replay transparently, and exactly-once runs
+		// retry with the original token. Only the plain replicated shape
+		// stays clear of them — there a dropped mutation surfaces the
+		// documented at-most-once ambiguity instead of retrying.
 		if r.Float64() < 0.4 {
 			*rules = append(*rules, faults.RuleSpec{
 				Kind: faults.RuleDrop, From: "node/*", To: "master*", Method: "space.Write",

@@ -86,6 +86,14 @@ type Manifest struct {
 	Fsync string `json:"fsync,omitempty"`
 	// TxnTTL leases each worker's per-task transaction (0 = 8s).
 	TxnTTL time.Duration `json:"txn_ttl,omitempty"`
+	// OpTimeout bounds each space RPC a worker issues (0 = unbounded).
+	// Timed-out calls surface space.ErrOpTimeout — the ambiguous "did it
+	// execute?" outcome the exactly-once machinery exists to resolve.
+	OpTimeout time.Duration `json:"op_timeout,omitempty"`
+	// ExactlyOnce routes every mutation through the token-minting router
+	// and memoizes outcomes shard-side, so ambiguous op timeouts are
+	// retried with the original token instead of surfacing.
+	ExactlyOnce bool `json:"exactly_once,omitempty"`
 	// App is the workload.
 	App AppSpec `json:"app"`
 	// Faults is the seeded fault schedule installed on the cluster's
@@ -121,6 +129,12 @@ func (m Manifest) Validate() error {
 	if !m.Durable && m.Fsync != "" {
 		return fmt.Errorf("scenario: fsync policy set on a non-durable manifest")
 	}
+	if m.OpTimeout < 0 {
+		return fmt.Errorf("scenario: op_timeout = %s, want >= 0", m.OpTimeout)
+	}
+	if m.AmbiguousTimeouts() && !m.ExactlyOnce {
+		return fmt.Errorf("scenario: ambiguous-timeout faults (delay > op_timeout) require exactly_once: at-most-once surfaces the ambiguity as an error, so exactness cannot hold")
+	}
 	last := time.Duration(-1)
 	for i, ev := range m.Events {
 		if ev.At < last {
@@ -155,6 +169,23 @@ func (m Manifest) Validate() error {
 		}
 	}
 	return nil
+}
+
+// AmbiguousTimeouts reports whether the fault plan can make a call
+// outlive the manifest's op deadline: a delay rule whose added latency
+// exceeds OpTimeout means the caller gives up while the shard still
+// executes the mutation — the "did it happen?" outcome only an
+// exactly-once retry can resolve.
+func (m Manifest) AmbiguousTimeouts() bool {
+	if m.OpTimeout <= 0 {
+		return false
+	}
+	for _, r := range m.Faults.Rules {
+		if r.Kind == faults.RuleDelay && r.Delay > m.OpTimeout {
+			return true
+		}
+	}
+	return false
 }
 
 // MarshalIndent renders the manifest as the JSON artifact CI uploads.

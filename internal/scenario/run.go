@@ -97,6 +97,8 @@ func Run(m Manifest) Report {
 			FsyncPolicy:   fsync,
 			DedupResults:  true,
 			TxnTTL:        ttl,
+			OpTimeout:     m.OpTimeout,
+			ExactlyOnce:   m.ExactlyOnce,
 			ResultTimeout: 10 * time.Minute,
 		},
 		Job:    app.job,

@@ -40,12 +40,22 @@ func TestGenerateValidAndCovering(t *testing.T) {
 		if len(m.Faults.Crashes) > 0 {
 			shapes["lookup-outage"]++
 		}
+		if m.ExactlyOnce {
+			shapes["exactly-once"]++
+		}
+		if m.AmbiguousTimeouts() {
+			shapes["ambiguous-timeout"]++
+		}
+		if m.ExactlyOnce && m.Replicas == 1 {
+			shapes["exactly-once-replicated"]++
+		}
 		for _, r := range m.Faults.Rules {
 			shapes[r.Kind]++
 		}
 	}
 	for _, shape := range []string{
 		"replicated", "elastic", "durable", "raytrace", "events", "lookup-outage",
+		"exactly-once", "ambiguous-timeout", "exactly-once-replicated",
 		faults.RuleCrashOnCall, faults.RuleDelay, faults.RuleDuplicate, faults.RuleDrop,
 	} {
 		if shapes[shape] == 0 {

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// ghostSpace executes tokened mutations for real, then reports the
+// ambiguous space.ErrOpTimeout for the first `ghosts` calls — the
+// reply-lost half of the at-most-once window: the op happened, only the
+// caller doesn't know it. onGhost (optional) runs just before each lost
+// reply, letting a test change topology inside the ambiguity window.
+type ghostSpace struct {
+	*space.Local
+	ghosts  int
+	onGhost func()
+}
+
+func (g *ghostSpace) lose() bool {
+	if g.ghosts > 0 {
+		g.ghosts--
+		if g.onGhost != nil {
+			g.onGhost()
+		}
+		return true
+	}
+	return false
+}
+
+func (g *ghostSpace) WriteTok(e tuplespace.Entry, t space.Txn, ttl time.Duration, tok tuplespace.OpToken) (space.Lease, error) {
+	l, err := g.Local.WriteTok(e, t, ttl, tok)
+	if err == nil && g.lose() {
+		return nil, fmt.Errorf("%w: space.Write after 50ms", space.ErrOpTimeout)
+	}
+	return l, err
+}
+
+func (g *ghostSpace) TakeTok(tmpl tuplespace.Entry, t space.Txn, timeout time.Duration, tok tuplespace.OpToken) (tuplespace.Entry, error) {
+	e, err := g.Local.TakeTok(tmpl, t, timeout, tok)
+	if err == nil && g.lose() {
+		return nil, fmt.Errorf("%w: space.Take after 50ms", space.ErrOpTimeout)
+	}
+	return e, err
+}
+
+func eoRouter(t *testing.T, clk vclock.Clock, sp space.Space, ctr *metrics.Counters) *Router {
+	t.Helper()
+	r, err := New(Options{
+		Clock:       clk,
+		Seed:        "eo-test",
+		ExactlyOnce: true,
+		Counters:    ctr,
+	}, []Shard{{ID: "shard-0", Space: sp, Epoch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExactlyOnceAmbiguousWriteRetriesAndDedups: in exactly-once mode an
+// ambiguous write is retried with the SAME token and the shard's memo
+// collapses the replay — success with exactly one stored entry, where
+// at-most-once mode (TestFailoverAmbiguousWriteNotReplayed) surfaces the
+// error.
+func TestExactlyOnceAmbiguousWriteRetriesAndDedups(t *testing.T) {
+	clk := vclock.NewReal()
+	ghost := &ghostSpace{Local: space.NewLocal(clk), ghosts: 1}
+	ctr := metrics.NewCounters()
+	r := eoRouter(t, clk, ghost, ctr)
+
+	if _, err := r.Write(kv{Key: "a", Val: 1}, nil, 0); err != nil {
+		t.Fatalf("ambiguous write under exactly-once: %v, want retried success", err)
+	}
+	if n, _ := ghost.Count(kv{}); n != 1 {
+		t.Fatalf("shard holds %d entries, want exactly 1 (no loss, no duplicate)", n)
+	}
+	snap := ctr.Snapshot()
+	if snap[metrics.CounterRetryAmbiguous] == 0 || snap[metrics.CounterRetryAttempts] == 0 {
+		t.Fatalf("retry counters not advanced: %v", snap)
+	}
+	if _, hits, _ := ghost.TS.MemoStats(); hits == 0 {
+		t.Fatal("memo table recorded no dedup hit: the retry re-executed")
+	}
+}
+
+// TestExactlyOnceAmbiguousTakeReturnsOriginal: a reply-lost take retried
+// with its token gets the originally consumed entry back — nothing extra
+// is consumed, nothing is lost.
+func TestExactlyOnceAmbiguousTakeReturnsOriginal(t *testing.T) {
+	clk := vclock.NewReal()
+	ghost := &ghostSpace{Local: space.NewLocal(clk)}
+	r := eoRouter(t, clk, ghost, metrics.NewCounters())
+
+	for _, v := range []int{1, 2} {
+		if _, err := r.Write(kv{Key: fmt.Sprintf("k%d", v), Val: v}, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ghost.ghosts = 1
+	got, err := r.Take(kv{Key: "k1"}, nil, time.Second)
+	if err != nil {
+		t.Fatalf("ambiguous take under exactly-once: %v, want retried success", err)
+	}
+	if got.(kv).Val != 1 {
+		t.Fatalf("take returned %+v, want the memoized k1", got)
+	}
+	if n, _ := ghost.Count(kv{}); n != 1 {
+		t.Fatalf("shard holds %d entries after take retry, want 1 (k2 untouched)", n)
+	}
+}
+
+// TestExactlyOnceUnkeyedPinnedShardRetired: an unkeyed mutation's token
+// is pinned to the shard that may already hold its effect; if that shard
+// left the ring mid-retry, the retry stops and the ambiguity surfaces —
+// the documented at-most-once residual.
+func TestExactlyOnceUnkeyedPinnedShardRetired(t *testing.T) {
+	clk := vclock.NewReal()
+	ghost := &ghostSpace{Local: space.NewLocal(clk), ghosts: 1}
+	r := eoRouter(t, clk, ghost, metrics.NewCounters())
+	// Inside the ambiguity window — after the op executed, before the
+	// retry — the pinned shard leaves the ring.
+	other := space.NewLocal(clk)
+	ghost.onGhost = func() {
+		if err := r.SetShards([]Shard{{ID: "shard-1", Space: other, Epoch: 1}}); err != nil {
+			t.Error(err)
+		}
+	}
+	_, err := r.Write(blob{Val: 7}, nil, 0)
+	if !errors.Is(err, space.ErrOpTimeout) {
+		t.Fatalf("unkeyed write with retired pinned shard: err = %v, want surfaced ErrOpTimeout", err)
+	}
+}
+
+// TestExactlyOncePolicySeededByToken: the per-op retry schedule is seeded
+// from the token, so two routers minting the same token replay the same
+// jittered backoff — the property that keeps virtual-clock scenario runs
+// reproducible.
+func TestExactlyOncePolicySeededByToken(t *testing.T) {
+	clk := vclock.NewReal()
+	r := eoRouter(t, clk, space.NewLocal(clk), metrics.NewCounters())
+	tok := tuplespace.OpToken{Client: "w1#1", Seq: 42}
+	a, b := r.policy(tok), r.policy(tok)
+	if a.Seed == 0 || a.Seed != b.Seed {
+		t.Fatalf("policy seeds %d and %d, want equal and non-zero", a.Seed, b.Seed)
+	}
+	if !a.Jitter {
+		t.Fatal("per-op retry policy must use full jitter")
+	}
+	if c := r.policy(tuplespace.OpToken{Client: "w1#1", Seq: 43}); c.Seed == a.Seed {
+		t.Fatal("distinct tokens share a jitter seed: retries would synchronize")
+	}
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/space"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+)
+
+// Exactly-once mutations (Options.ExactlyOnce). The router mints one
+// idempotency token per client-originated mutation — a stable client ID
+// plus a monotonic op sequence — and on failover-worthy failures retries
+// the SAME token under one jittered-backoff policy, ambiguous reply-lost
+// outcomes included: the server side memoizes each tokened outcome (see
+// tuplespace memo.go), so a replay returns the original result instead of
+// re-executing. Retries never move a token across ring IDs except by key:
+// a keyed op re-routes through the ring (reshard migration ships the
+// bucket's memo slice with the entries), an unkeyed op stays pinned to
+// the shard that may already hold its effect, and if that shard left the
+// ring the retry stops and the error surfaces as in at-most-once mode.
+
+// routerSeq distinguishes routers sharing a Seed within one process, so
+// their token namespaces never collide.
+var routerSeq atomic.Uint64
+
+// mint returns a fresh op token, or the zero token outside exactly-once
+// mode.
+func (r *Router) mint() tuplespace.OpToken {
+	if !r.opts.ExactlyOnce {
+		return tuplespace.OpToken{}
+	}
+	return tuplespace.OpToken{Client: r.clientID, Seq: r.tokSeq.Add(1)}
+}
+
+// tokOf mints a token for one client-originated mutation. Transactional
+// ops carry no per-op token: the transaction is the retry unit, and its
+// commit gets its own token in routerTxn.finish.
+func (r *Router) tokOf(t space.Txn) tuplespace.OpToken {
+	if t != nil {
+		return tuplespace.OpToken{}
+	}
+	return r.mint()
+}
+
+func (r *Router) countRetry(name string) {
+	if r.opts.Counters != nil {
+		r.opts.Counters.Inc(name)
+	}
+}
+
+// retryableMut reports whether a tokened mutation should re-issue after
+// err: any failover-curable hard failure, ambiguity included — the memo
+// table is what makes replaying an ambiguous op safe.
+func (r *Router) retryableMut(err error, tok tuplespace.OpToken) bool {
+	if tok.Zero() || !failoverWorthy(err) {
+		return false
+	}
+	if ambiguous(err) {
+		r.countRetry(metrics.CounterRetryAmbiguous)
+	}
+	return true
+}
+
+// policy is the unified per-op retry schedule, seeded from the token so
+// backoff jitter replays identically under the virtual clock.
+func (r *Router) policy(tok tuplespace.OpToken) transport.Backoff {
+	b := r.opts.Retry
+	b.Clock = r.opts.Clock
+	b.Jitter = true
+	b.Seed = int64(hash64(tok.String()) | 1)
+	return b
+}
+
+// rerouteMut re-resolves where a tokened mutation may retry (see the
+// package comment above on token/ring-ID affinity).
+func (r *Router) rerouteMut(key string, keyed bool, pinned string) (string, space.Space, bool) {
+	v := r.snapshot()
+	if keyed {
+		id := v.ring.get(key)
+		return id, v.shards[id], true
+	}
+	if sp, ok := v.shards[pinned]; ok {
+		return pinned, sp, true
+	}
+	return "", nil, false
+}
+
+// retryMut drives a tokened mutation to a definite outcome after its
+// first attempt failed: resolve failover, re-route, and re-issue the same
+// token under the policy's per-op attempt budget with full-jitter
+// backoff. It returns the last result, the ring ID of the last attempt
+// (for error wrapping), and the final error.
+func retryMut[T any](r *Router, key string, keyed bool, pinned string, tok tuplespace.OpToken, first error, attempt func(sp space.Space) (T, error)) (T, string, error) {
+	var out T
+	err := first
+	id := pinned
+	stopped := false
+	b := r.policy(tok)
+	_ = b.Do(func() error {
+		if stopped {
+			return nil
+		}
+		nid, _, ok := r.rerouteMut(key, keyed, pinned)
+		if !ok {
+			stopped = true
+			return nil
+		}
+		id = nid
+		r.tryFailover(id)
+		sp := r.fresh(id)
+		r.countRetry(metrics.CounterRetryAttempts)
+		res, e := attempt(sp)
+		err = e
+		if e == nil {
+			out = res
+			stopped = true
+			return nil
+		}
+		if !r.retryableMut(e, tok) {
+			stopped = true
+			return nil
+		}
+		return e
+	})
+	if err != nil && !stopped {
+		r.countRetry(metrics.CounterRetryExhausted)
+	}
+	return out, id, err
+}
+
+// healedOpTok is healedOp with a token attached: in exactly-once mode an
+// ambiguous mutation failure becomes retryable — the retry carries the
+// same token, so a duplicate execution collapses against the memo —
+// where healedMut would surface it. Reads and tokenless calls keep the
+// at-most-once behavior unchanged.
+func (r *Router) healedOpTok(id string, mutating bool, err error, tok tuplespace.OpToken) bool {
+	if !mutating || tok.Zero() {
+		return r.healedOp(id, mutating, err)
+	}
+	if !failoverWorthy(err) {
+		return false
+	}
+	if ambiguous(err) {
+		r.countRetry(metrics.CounterRetryAmbiguous)
+		r.tryFailover(id)
+		r.countRetry(metrics.CounterRetryAttempts)
+		return true
+	}
+	if r.tryFailover(id) {
+		r.countRetry(metrics.CounterRetryAttempts)
+		return true
+	}
+	return false
+}
+
+// retryFinish re-drives one sub-transaction's tokened commit/abort after
+// a failover-worthy failure. Each attempt resolves failover and rebinds
+// the transaction to the current handle: the promoted backup's memo
+// table answers a commit that already executed; a transaction that truly
+// died with the primary still surfaces ErrTxnInactive.
+func (t *routerTxn) retryFinish(id string, sub space.Txn, tok tuplespace.OpToken, commit bool, first error) error {
+	r := t.r
+	err := first
+	stopped := false
+	b := r.policy(tok)
+	_ = b.Do(func() error {
+		if stopped {
+			return nil
+		}
+		r.tryFailover(id)
+		nt := space.RebindTxn(r.fresh(id), sub)
+		if nt == nil {
+			// The handle cannot be re-addressed (a local or wrapped
+			// transaction): surface the original failure.
+			stopped = true
+			return nil
+		}
+		r.countRetry(metrics.CounterRetryAttempts)
+		var e error
+		if commit {
+			e = space.CommitTok(nt, tok)
+		} else {
+			e = space.AbortTok(nt, tok)
+		}
+		err = e
+		if e == nil || !r.retryableMut(e, tok) {
+			stopped = true
+			return nil
+		}
+		return e
+	})
+	if err != nil && !stopped {
+		r.countRetry(metrics.CounterRetryExhausted)
+	}
+	return err
+}
+
+// tokLease wraps a lease written in exactly-once mode so its Cancel
+// carries a token and retries reply-lost outcomes against the same
+// service connection. Service lease IDs do not survive failover, so a
+// cancel retried across a promotion still surfaces ErrLeaseExpired
+// (DESIGN §7).
+type tokLease struct {
+	r *Router
+	l space.Lease
+}
+
+// Renew implements space.Lease.
+func (tl *tokLease) Renew(ttl time.Duration) error { return tl.l.Renew(ttl) }
+
+// Cancel implements space.Lease.
+func (tl *tokLease) Cancel() error {
+	tok := tl.r.mint()
+	err := space.CancelTok(tl.l, tok)
+	if err == nil || !tl.r.retryableMut(err, tok) {
+		return err
+	}
+	stopped := false
+	b := tl.r.policy(tok)
+	_ = b.Do(func() error {
+		if stopped {
+			return nil
+		}
+		tl.r.countRetry(metrics.CounterRetryAttempts)
+		e := space.CancelTok(tl.l, tok)
+		err = e
+		if e == nil || !tl.r.retryableMut(e, tok) {
+			stopped = true
+			return nil
+		}
+		return e
+	})
+	if err != nil && !stopped {
+		tl.r.countRetry(metrics.CounterRetryExhausted)
+	}
+	return err
+}
+
+// wrapLease attaches the exactly-once cancel wrapper in exactly-once
+// mode; outside it (or with no lease to wrap) the lease passes through.
+func (r *Router) wrapLease(l space.Lease) space.Lease {
+	if l == nil || !r.opts.ExactlyOnce {
+		return l
+	}
+	return &tokLease{r: r, l: l}
+}

@@ -10,6 +10,7 @@ import (
 
 	"gospaces/internal/metrics"
 	"gospaces/internal/space"
+	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
 	"gospaces/internal/vclock"
 )
@@ -66,8 +67,21 @@ type Options struct {
 	// service while the backup is still counting down to promotion.
 	FailoverBackoff time.Duration
 	// Counters, when set, receives the failover count under
-	// metrics.CounterReplFailovers.
+	// metrics.CounterReplFailovers and, in exactly-once mode, the
+	// metrics.CounterRetry* / CounterDedup* families.
 	Counters *metrics.Counters
+	// ExactlyOnce mints an idempotency token for every client-originated
+	// mutation and retries failover-worthy failures — ambiguous reply-lost
+	// outcomes included — with the same token, relying on the shard-side
+	// memo table to collapse duplicate executions (see retry.go). Off by
+	// default: without it ambiguous mutations surface their error
+	// (at-most-once), exactly as before.
+	ExactlyOnce bool
+	// Retry is the unified per-mutation retry policy used in exactly-once
+	// mode (attempt budget and backoff envelope; full jitter is always
+	// applied, seeded per op so virtual-clock runs replay). Zero fields
+	// default to 4 attempts, 25ms doubling to 500ms.
+	Retry transport.Backoff
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +102,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FailoverBackoff <= 0 {
 		o.FailoverBackoff = 100 * time.Millisecond
+	}
+	if o.Retry.Attempts <= 0 {
+		o.Retry.Attempts = 4
+	}
+	if o.Retry.Initial <= 0 {
+		o.Retry.Initial = 25 * time.Millisecond
+	}
+	if o.Retry.Max <= 0 {
+		o.Retry.Max = 500 * time.Millisecond
 	}
 	return o
 }
@@ -120,6 +143,11 @@ type Router struct {
 
 	rot atomic.Uint64
 
+	// Exactly-once token namespace: clientID is unique per router
+	// instance, tokSeq is the monotonic op sequence (see retry.go).
+	clientID string
+	tokSeq   atomic.Uint64
+
 	// failover throttle state and retarget count (see failover.go).
 	foMu      sync.Mutex
 	foLast    map[string]time.Time
@@ -130,6 +158,7 @@ type Router struct {
 func New(opts Options, shards []Shard) (*Router, error) {
 	r := &Router{opts: opts.withDefaults()}
 	r.rot.Store(hash64(r.opts.Seed))
+	r.clientID = fmt.Sprintf("%s#%d", r.opts.Seed, routerSeq.Add(1))
 	if err := r.SetShards(shards); err != nil {
 		return nil, err
 	}
@@ -312,14 +341,21 @@ func (t *routerTxn) finish(commit bool) error {
 	sort.Strings(ids) // deterministic completion order
 	var firstErr error
 	for _, id := range ids {
+		// In exactly-once mode each sub-commit/abort carries its own token:
+		// the commit RPC is the op whose reply loss must not re-execute the
+		// transaction's effects.
+		tok := t.r.mint()
 		var err error
 		if commit {
-			err = subs[id].Commit()
+			err = space.CommitTok(subs[id], tok)
 		} else {
-			err = subs[id].Abort()
+			err = space.AbortTok(subs[id], tok)
+		}
+		if err != nil && t.r.retryableMut(err, tok) {
+			err = t.retryFinish(id, subs[id], tok, commit, err)
 		}
 		if err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = wrapShard(id, err)
 		}
 	}
 	return firstErr
@@ -351,6 +387,15 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 	tx, err := r.sub(t, id, sp)
 	if err != nil {
 		return nil, err
+	}
+	if tok := r.tokOf(t); !tok.Zero() {
+		l, err := space.WriteTok(sp, e, nil, ttl, tok)
+		if err != nil && r.retryableMut(err, tok) {
+			l, id, err = retryMut(r, key, keyed, id, tok, err, func(sp space.Space) (space.Lease, error) {
+				return space.WriteTok(sp, e, nil, ttl, tok)
+			})
+		}
+		return r.wrapLease(l), wrapShard(id, err)
 	}
 	l, err := sp.Write(e, tx, ttl)
 	if r.healedMut(id, err) && t == nil {
@@ -387,6 +432,10 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 	}
 	if keyed || len(v.order) == 1 {
 		// One shard can satisfy this: hand it the full timeout directly.
+		var tok tuplespace.OpToken
+		if take {
+			tok = r.tokOf(t)
+		}
 		if t == nil && block && r.opts.Failover != nil {
 			id := v.order[0]
 			if keyed {
@@ -395,7 +444,7 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 			// Replicated ring: a dead primary here is curable, so hard
 			// failures degrade to a failover-polling loop instead of
 			// surfacing (see singleBlocking).
-			return r.singleBlocking(id, take, tmpl, timeout)
+			return r.singleBlocking(id, take, tmpl, timeout, tok)
 		}
 		clk := r.opts.Clock
 		var deadline time.Time
@@ -413,9 +462,9 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 			if err != nil {
 				return nil, err
 			}
-			e, err := call(sp, take, tmpl, tx, wait, block)
-			if r.healedOp(id, take, err) && t == nil {
-				e, err = call(r.fresh(id), take, tmpl, nil, wait, block)
+			e, err := call(sp, take, tmpl, tx, wait, block, tok)
+			if r.healedOpTok(id, take, err, tok) && t == nil {
+				e, err = call(r.fresh(id), take, tmpl, nil, wait, block, tok)
 			}
 			if block && t == nil && errors.Is(err, tuplespace.ErrClosed) {
 				// The shard was closed under a parked call: a merge retired
@@ -434,6 +483,29 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 					}
 					continue
 				}
+			}
+			if err != nil && t == nil && !tok.Zero() && failoverWorthy(err) {
+				if block {
+					// Exactly-once blocking take: the token makes a replay
+					// safe, so instead of surfacing, poll and re-issue the
+					// same token until the deadline (the deadline is the
+					// per-op budget for blocking ops).
+					if deadline.IsZero() || clk.Now().Before(deadline) {
+						clk.Sleep(r.opts.PollInterval)
+						v = r.snapshot()
+						if !deadline.IsZero() {
+							if wait = deadline.Sub(clk.Now()); wait <= 0 {
+								return nil, timeoutErr(wrapShard(id, err))
+							}
+						}
+						continue
+					}
+					return nil, timeoutErr(wrapShard(id, err))
+				}
+				// Non-blocking exactly-once take: budgeted retry loop.
+				e, id, err = retryMut(r, key, keyed, id, tok, err, func(sp space.Space) (tuplespace.Entry, error) {
+					return call(sp, take, tmpl, nil, 0, false, tok)
+				})
 			}
 			return e, wrapShard(id, err)
 		}
@@ -488,7 +560,7 @@ func (r *Router) awaitReroute(key string, keyed bool, id string, sp space.Space,
 // so the window between a primary dying and its backup promoting looks
 // like a timeout (which retry loops such as the master's collect treat as
 // benign) instead of a fatal ShardError.
-func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, timeout time.Duration) (tuplespace.Entry, error) {
+func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, timeout time.Duration, tok tuplespace.OpToken) (tuplespace.Entry, error) {
 	clk := r.opts.Clock
 	var deadline time.Time
 	if timeout > 0 {
@@ -497,7 +569,7 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 	var lastHard error
 	wait := timeout
 	for {
-		e, err := call(r.fresh(id), take, tmpl, nil, wait, true)
+		e, err := call(r.fresh(id), take, tmpl, nil, wait, true, tok)
 		if err == nil {
 			return e, nil
 		}
@@ -508,13 +580,21 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 		}
 		lastHard = wrapShard(id, err)
 		if take && ambiguous(err) {
-			// The take may have executed with only the reply lost; heal
-			// the ring for the next op but surface the ambiguity instead
-			// of re-taking, which would silently discard the taken entry.
+			if tok.Zero() {
+				// The take may have executed with only the reply lost; heal
+				// the ring for the next op but surface the ambiguity instead
+				// of re-taking, which would silently discard the taken entry.
+				r.tryFailover(id)
+				return nil, lastHard
+			}
+			// Exactly-once: the retry carries the same token, so if the take
+			// did execute, the promoted (or recovered) shard's memo returns
+			// the original entry instead of re-taking. Resolve failover and
+			// go around.
+			r.countRetry(metrics.CounterRetryAmbiguous)
+			r.countRetry(metrics.CounterRetryAttempts)
 			r.tryFailover(id)
-			return nil, lastHard
-		}
-		if !r.healed(id, err) {
+		} else if !r.healed(id, err) {
 			// No replacement yet: poll until one promotes or time runs out.
 			wait = r.opts.PollInterval
 			if !deadline.IsZero() {
@@ -538,12 +618,20 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 	}
 }
 
-// call dispatches one concrete lookup variant on a single shard.
-func call(sp space.Space, take bool, tmpl tuplespace.Entry, tx space.Txn, timeout time.Duration, block bool) (tuplespace.Entry, error) {
+// call dispatches one concrete lookup variant on a single shard. A
+// non-zero tok rides non-transactional takes (reads never mutate, and a
+// transactional op's retry unit is its commit).
+func call(sp space.Space, take bool, tmpl tuplespace.Entry, tx space.Txn, timeout time.Duration, block bool, tok tuplespace.OpToken) (tuplespace.Entry, error) {
 	switch {
 	case take && block:
+		if tx == nil {
+			return space.TakeTok(sp, tmpl, nil, timeout, tok)
+		}
 		return sp.Take(tmpl, tx, timeout)
 	case take:
+		if tx == nil {
+			return space.TakeIfExistsTok(sp, tmpl, nil, tok)
+		}
 		return sp.TakeIfExists(tmpl, tx)
 	case block:
 		return sp.Read(tmpl, tx, timeout)
@@ -621,14 +709,20 @@ func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (
 			}
 			continue
 		}
-		e, err := call(sp, take, tmpl, tx, 0, false)
+		// Each shard probe is its own tokened attempt: a token must never
+		// retry across ring IDs (the effect it dedups lives on one shard).
+		var tok tuplespace.OpToken
+		if take {
+			tok = r.tokOf(t)
+		}
+		e, err := call(sp, take, tmpl, tx, 0, false, tok)
 		if err == nil {
 			return e, nil, 0
 		}
 		if hard(err) {
-			if r.healedOp(id, take, err) && t == nil {
+			if r.healedOpTok(id, take, err, tok) && t == nil {
 				// Retry immediately against the promoted replacement.
-				if e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false); err2 == nil {
+				if e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false, tok); err2 == nil {
 					return e, nil, 0
 				} else if !hard(err2) {
 					continue // healed; this shard just has no match yet
@@ -838,10 +932,14 @@ func (st *roundState) result(children int) (tuplespace.Entry, error, bool) {
 // returns the handle actually used, so a losing take is written back to
 // the shard that produced it.
 func (r *Router) probe(s Shard, take bool, tmpl tuplespace.Entry, timeout time.Duration, block bool) (space.Space, tuplespace.Entry, error) {
-	e, err := call(s.Space, take, tmpl, nil, timeout, block)
-	if r.healedOp(s.ID, take, err) {
+	var tok tuplespace.OpToken
+	if take {
+		tok = r.mint()
+	}
+	e, err := call(s.Space, take, tmpl, nil, timeout, block, tok)
+	if r.healedOpTok(s.ID, take, err, tok) {
 		sp := r.fresh(s.ID)
-		e, err = call(sp, take, tmpl, nil, timeout, block)
+		e, err = call(sp, take, tmpl, nil, timeout, block, tok)
 		return sp, e, err
 	}
 	return s.Space, e, err
@@ -940,13 +1038,21 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		if err != nil {
 			return nil, err
 		}
+		var tok tuplespace.OpToken
+		if take {
+			tok = r.tokOf(t)
+		}
 		var es []tuplespace.Entry
 		if take {
-			es, err = sp.TakeAll(tmpl, tx, max)
+			es, err = space.TakeAllTok(sp, tmpl, tx, max, tok)
 		} else {
 			es, err = sp.ReadAll(tmpl, tx, max)
 		}
-		if r.healedOp(id, take, err) && t == nil {
+		if take && !tok.Zero() && err != nil && r.retryableMut(err, tok) {
+			es, id, err = retryMut(r, key, keyed, id, tok, err, func(sp space.Space) ([]tuplespace.Entry, error) {
+				return space.TakeAllTok(sp, tmpl, nil, max, tok)
+			})
+		} else if r.healedOp(id, take, err) && t == nil {
 			sp = r.fresh(id)
 			if take {
 				es, err = sp.TakeAll(tmpl, nil, max)
@@ -981,16 +1087,22 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 					break
 				}
 			}
+			// Per-shard tokens: the walk visits each shard once, and a
+			// token's retry stays on the shard that may hold its effect.
+			var tok tuplespace.OpToken
+			if take {
+				tok = r.tokOf(t)
+			}
 			var es []tuplespace.Entry
 			if take {
-				es, err = sp.TakeAll(tmpl, tx, rem)
+				es, err = space.TakeAllTok(sp, tmpl, tx, rem, tok)
 			} else {
 				es, err = sp.ReadAll(tmpl, tx, rem)
 			}
-			if r.healedOp(id, take, err) && t == nil {
+			if r.healedOpTok(id, take, err, tok) && t == nil {
 				sp = r.fresh(id)
 				if take {
-					es, err = sp.TakeAll(tmpl, nil, rem)
+					es, err = space.TakeAllTok(sp, tmpl, nil, rem, tok)
 				} else {
 					es, err = sp.ReadAll(tmpl, nil, rem)
 				}

@@ -87,7 +87,7 @@ func (p *Proxy) call(method string, arg interface{}, extra time.Duration, unboun
 // timeout and retry, riding out the window between a service registering
 // its address and its listener accepting.
 func Dial(addr string) (*Proxy, error) {
-	c, err := transport.DialTCPRetry(addr, transport.Backoff{})
+	c, err := transport.DialTCPRetry(addr, transport.DefaultPolicy())
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package space
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gospaces/internal/transport"
@@ -16,6 +17,7 @@ type writeArgs struct {
 	Entry interface{}
 	TxnID uint64 // 0 = none
 	TTL   time.Duration
+	Tok   tuplespace.OpToken // zero = no idempotency token
 }
 
 type writeReply struct {
@@ -27,6 +29,7 @@ type lookupArgs struct {
 	TxnID   uint64
 	Timeout time.Duration
 	Max     int
+	Tok     tuplespace.OpToken // zero = no idempotency token (takes only)
 }
 
 type lookupReply struct {
@@ -40,6 +43,7 @@ type bulkReply struct {
 type txnArgs struct {
 	TxnID uint64
 	TTL   time.Duration
+	Tok   tuplespace.OpToken // commit/abort idempotency token
 }
 
 type txnReply struct {
@@ -49,6 +53,7 @@ type txnReply struct {
 type leaseArgs struct {
 	LeaseID uint64
 	TTL     time.Duration
+	Tok     tuplespace.OpToken // cancel idempotency token
 }
 
 type countReply struct {
@@ -59,11 +64,23 @@ type countsReply struct {
 	Counts map[string]int
 }
 
+// svcIncarnation numbers Service instances within a process so the wire
+// txn and lease IDs each instance mints live in disjoint namespaces. A
+// retried commit/abort/cancel that carries an ID minted by a dead
+// incarnation must surface unknown-txn / expired-lease at the promoted
+// replacement — never resolve an unrelated fresh handle that happens to
+// share the same small per-node sequence number (both managers count
+// from 1, so bare sequence numbers alias across a failover).
+var svcIncarnation atomic.Uint64
+
 // Service exposes a Local space over a transport.Server. The master module
 // runs one of these; workers and the network-management module reach it
 // through Proxy.
 type Service struct {
 	local *Local
+	// base is this incarnation's namespace tag, OR'd into the high bits
+	// of every wire txn and lease ID the service hands out.
+	base uint64
 
 	mu     sync.Mutex
 	txns   map[uint64]*txn.Txn
@@ -76,6 +93,7 @@ type Service struct {
 func NewService(local *Local, srv *transport.Server) *Service {
 	s := &Service{
 		local:  local,
+		base:   svcIncarnation.Add(1) << 32,
 		txns:   make(map[uint64]*txn.Txn),
 		leases: make(map[uint64]*tuplespace.EntryLease),
 		nextL:  1,
@@ -119,12 +137,12 @@ func (s *Service) write(arg interface{}) (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := s.local.TS.Write(a.Entry, t, a.TTL)
+	l, err := s.local.TS.WriteTok(a.Entry, t, a.TTL, a.Tok)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	id := s.nextL
+	id := s.base | s.nextL
 	s.nextL++
 	s.leases[id] = l
 	s.mu.Unlock()
@@ -144,9 +162,9 @@ func (s *Service) lookup(take, block bool) transport.Handler {
 		var e tuplespace.Entry
 		switch {
 		case take && block:
-			e, err = s.local.TS.Take(a.Tmpl, t, a.Timeout)
+			e, err = s.local.TS.TakeTok(a.Tmpl, t, a.Timeout, a.Tok)
 		case take:
-			e, err = s.local.TS.TakeIfExists(a.Tmpl, t)
+			e, err = s.local.TS.TakeIfExistsTok(a.Tmpl, t, a.Tok)
 		case block:
 			e, err = s.local.TS.Read(a.Tmpl, t, a.Timeout)
 		default:
@@ -171,7 +189,7 @@ func (s *Service) bulk(take bool) transport.Handler {
 		}
 		var es []tuplespace.Entry
 		if take {
-			es, err = s.local.TS.TakeAll(a.Tmpl, t, a.Max)
+			es, err = s.local.TS.TakeAllTok(a.Tmpl, t, a.Max, a.Tok)
 		} else {
 			es, err = s.local.TS.ReadAll(a.Tmpl, t, a.Max)
 		}
@@ -208,16 +226,25 @@ func (s *Service) txnBegin(arg interface{}) (interface{}, error) {
 		return nil, fmt.Errorf("space: bad txn args %T", arg)
 	}
 	t := s.local.Mgr.Begin(a.TTL)
+	wire := s.base | t.ID()
 	s.mu.Lock()
-	s.txns[t.ID()] = t
+	s.txns[wire] = t
 	s.mu.Unlock()
-	return txnReply{TxnID: t.ID()}, nil
+	return txnReply{TxnID: wire}, nil
 }
 
 func (s *Service) txnCommit(arg interface{}) (interface{}, error) {
 	a, ok := arg.(txnArgs)
 	if !ok {
 		return nil, fmt.Errorf("space: bad txn args %T", arg)
+	}
+	// Memo check before txn resolution: a retried commit whose original
+	// executed finds the txn gone from the table — the memo is what tells
+	// it apart from a transaction that died unresolved.
+	if !a.Tok.Zero() {
+		if res, hit := s.local.TS.MemoOutcome(a.Tok); hit && res.Op == tuplespace.MemoCommit {
+			return txnReply{TxnID: a.TxnID}, nil
+		}
 	}
 	t, err := s.resolveTxn(a.TxnID)
 	if err != nil {
@@ -227,6 +254,9 @@ func (s *Service) txnCommit(arg interface{}) (interface{}, error) {
 	if err := t.Commit(); err != nil {
 		return nil, err
 	}
+	// Committed but not yet memoized is the one crash window where a
+	// retry still surfaces ErrTxnInactive (DESIGN §7).
+	s.local.TS.CompleteMemo(a.Tok, tuplespace.MemoCommit)
 	return txnReply{TxnID: a.TxnID}, nil
 }
 
@@ -234,6 +264,11 @@ func (s *Service) txnAbort(arg interface{}) (interface{}, error) {
 	a, ok := arg.(txnArgs)
 	if !ok {
 		return nil, fmt.Errorf("space: bad txn args %T", arg)
+	}
+	if !a.Tok.Zero() {
+		if res, hit := s.local.TS.MemoOutcome(a.Tok); hit && res.Op == tuplespace.MemoAbort {
+			return txnReply{TxnID: a.TxnID}, nil
+		}
 	}
 	t, err := s.resolveTxn(a.TxnID)
 	if err != nil {
@@ -243,6 +278,7 @@ func (s *Service) txnAbort(arg interface{}) (interface{}, error) {
 	if err := t.Abort(); err != nil {
 		return nil, err
 	}
+	s.local.TS.CompleteMemo(a.Tok, tuplespace.MemoAbort)
 	return txnReply{TxnID: a.TxnID}, nil
 }
 
@@ -274,6 +310,13 @@ func (s *Service) leaseCancel(arg interface{}) (interface{}, error) {
 	if !ok {
 		return nil, fmt.Errorf("space: bad lease args %T", arg)
 	}
+	// Memo check before the table lookup: the original cancel already
+	// deleted the lease id, so a retry would otherwise see "expired".
+	if !a.Tok.Zero() {
+		if res, hit := s.local.TS.MemoOutcome(a.Tok); hit && res.Op == tuplespace.MemoCancel {
+			return writeReply{LeaseID: a.LeaseID}, nil
+		}
+	}
 	s.mu.Lock()
 	l := s.leases[a.LeaseID]
 	delete(s.leases, a.LeaseID)
@@ -281,7 +324,7 @@ func (s *Service) leaseCancel(arg interface{}) (interface{}, error) {
 	if l == nil {
 		return nil, tuplespace.ErrLeaseExpired
 	}
-	if err := l.Cancel(); err != nil {
+	if err := l.CancelTok(a.Tok); err != nil {
 		return nil, err
 	}
 	return writeReply{LeaseID: a.LeaseID}, nil

@@ -28,11 +28,12 @@ import (
 type Applier struct {
 	s *Space
 
-	mu     sync.Mutex
-	filter func(Entry) bool
-	leases map[seqKey]*EntryLease // source Seq (incarnation-qualified) → local entry lease
-	gen    int                    // current source incarnation
-	xlat   map[uint64]seqKey      // current-incarnation Seq → key the entry was first tracked under
+	mu         sync.Mutex
+	filter     func(Entry) bool
+	memoFilter func(key string, keyed bool) bool
+	leases     map[seqKey]*EntryLease // source Seq (incarnation-qualified) → local entry lease
+	gen        int                    // current source incarnation
+	xlat       map[uint64]seqKey      // current-incarnation Seq → key the entry was first tracked under
 }
 
 // seqKey qualifies a source Seq with the source incarnation that assigned
@@ -110,6 +111,18 @@ func (a *Applier) SetFilter(pred func(Entry) bool) *Applier {
 	return a
 }
 
+// SetMemoFilter restricts which memo records materialize, by the (key,
+// keyed) pair each memo carries — the migration analogue of SetFilter: a
+// forked child only installs memos for the bucket range it is receiving.
+// Without a filter (the replication default) every memo applies. Returns
+// a for chaining.
+func (a *Applier) SetMemoFilter(pred func(key string, keyed bool) bool) *Applier {
+	a.mu.Lock()
+	a.memoFilter = pred
+	a.mu.Unlock()
+	return a
+}
+
 // Apply applies one encoded journal record (the payload a RecordSink
 // receives on the primary).
 func (a *Applier) Apply(payload []byte) error {
@@ -168,6 +181,21 @@ func (a *Applier) Apply(payload []byte) error {
 		if err := l.Cancel(); err != nil && !errors.Is(err, ErrLeaseExpired) {
 			return fmt.Errorf("tuplespace: apply remove %d: %w", op.Seq, err)
 		}
+	case "memo":
+		a.mu.Lock()
+		memoFilter := a.memoFilter
+		var l *EntryLease
+		if op.MemoOp == MemoWrite {
+			// The write record precedes its memo in the stream, so the
+			// lease is already tracked; nil (consumed or filtered away)
+			// resolves to a detached expired lease on retry.
+			l = a.leases[a.keyFor(op.Seq)]
+		}
+		a.mu.Unlock()
+		if memoFilter != nil && !memoFilter(op.MemoKey, op.MemoKeyed) {
+			return nil
+		}
+		a.s.InstallMemo(op.Tok, op.MemoOp, op.MemoKey, op.MemoKeyed, op.MemoEntries, l)
 	default:
 		return fmt.Errorf("tuplespace: apply: unknown op %q", op.Kind)
 	}

@@ -63,6 +63,18 @@ type journalOp struct {
 	Entry interface{}
 	// Expiry is the entry's absolute lease expiry (zero = forever).
 	Expiry time.Time
+
+	// The remaining fields describe a "memo" record: a memoized mutation
+	// outcome for exactly-once retries (see memo.go). Memo records ride
+	// the same stream as entry records so recovery, replication and
+	// reshard migration rebuild the memo table alongside the entries. For
+	// write memos Seq references the written entry's record; take memos
+	// are self-contained via MemoEntries.
+	Tok         OpToken
+	MemoOp      string // one of the Memo* constants
+	MemoKey     string // index key the op touched ("" when unkeyed)
+	MemoKeyed   bool
+	MemoEntries []Entry // take/takeall memos: the originally returned entries
 }
 
 // encodeOp gob-encodes op as a self-contained record: a fresh encoder per
@@ -258,11 +270,20 @@ func (s *Space) journalEvictLocked(se *storedEntry) error {
 
 // EncodeState captures the space's journal-visible state — every public
 // (or take-locked: the take has not committed) unexpired entry — as
-// self-contained write records in id order. It is the capture function
-// behind WAL snapshots: replaying the returned records into an empty
-// space reproduces the live contents.
+// self-contained write records in id order, followed by the memo table's
+// records (entries first, so replay binds write memos to restored
+// entries). It is the capture function behind WAL snapshots: replaying
+// the returned records into an empty space reproduces the live contents.
 func (s *Space) EncodeState() ([][]byte, error) {
-	return s.EncodeStateWhere(nil)
+	records, err := s.EncodeStateWhere(nil)
+	if err != nil {
+		return nil, err
+	}
+	memos, err := s.EncodeMemos()
+	if err != nil {
+		return nil, err
+	}
+	return append(records, memos...), nil
 }
 
 // EncodeStateWhere is EncodeState restricted to entries matching pred
@@ -310,6 +331,7 @@ func (s *Space) EncodeStateWhere(pred func(Entry) bool) ([][]byte, error) {
 type replayState struct {
 	live  map[uint64]replayPending
 	order []uint64
+	memos []journalOp // memo records, installed after the entries
 }
 
 type replayPending struct {
@@ -331,6 +353,11 @@ func (st *replayState) apply(op journalOp) error {
 		st.order = append(st.order, op.Seq)
 	case "remove", "evict":
 		delete(st.live, op.Seq)
+	case "memo":
+		if op.Tok.Zero() {
+			return errors.New("memo record without token")
+		}
+		st.memos = append(st.memos, op)
 	default:
 		return fmt.Errorf("unknown op %q", op.Kind)
 	}
@@ -344,6 +371,12 @@ func (st *replayState) apply(op journalOp) error {
 func (st *replayState) materialize(s *Space) (int, error) {
 	now := s.clock.Now()
 	restored := 0
+	// Write memos reference their entry by the journal's (old) Seq; the
+	// re-written entries get fresh ids, so track the binding as we go.
+	var byOldSeq map[uint64]*EntryLease
+	if len(st.memos) > 0 {
+		byOldSeq = make(map[uint64]*EntryLease)
+	}
 	for _, seq := range st.order {
 		p, ok := st.live[seq]
 		if !ok {
@@ -357,10 +390,24 @@ func (st *replayState) materialize(s *Space) (int, error) {
 				continue // lease already expired
 			}
 		}
-		if _, err := s.Write(p.entry, nil, ttl); err != nil {
+		l, err := s.Write(p.entry, nil, ttl)
+		if err != nil {
 			return restored, fmt.Errorf("tuplespace: replay entry %d: %w", seq, err)
 		}
+		if byOldSeq != nil {
+			byOldSeq[seq] = l
+		}
 		restored++
+	}
+	for _, op := range st.memos {
+		var l *EntryLease
+		if op.MemoOp == MemoWrite {
+			// nil when the written entry was since consumed: the memo
+			// resolves to a detached expired lease on retry, which is the
+			// truth — the write happened and its entry is gone.
+			l = byOldSeq[op.Seq]
+		}
+		s.InstallMemo(op.Tok, op.MemoOp, op.MemoKey, op.MemoKeyed, op.MemoEntries, l)
 	}
 	return restored, nil
 }

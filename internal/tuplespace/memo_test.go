@@ -1,0 +1,260 @@
+package tuplespace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+func init() {
+	gob.Register(keyedDoc{})
+}
+
+// keyedDoc is the indexed entry type for memo-migration tests: its Key
+// drives ring placement, so its memos must travel with the bucket.
+type keyedDoc struct {
+	Key string `space:"index"`
+	Val int
+}
+
+func tok(client string, seq uint64) OpToken { return OpToken{Client: client, Seq: seq} }
+
+// TestMemoWriteDedup: a retried WriteTok carrying the original token must
+// return the original entry's lease, not store a second copy.
+func TestMemoWriteDedup(t *testing.T) {
+	s := newRealSpace()
+	l1, err := s.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1))
+	if err != nil {
+		t.Fatalf("retried write: %v", err)
+	}
+	if n, _ := s.Count(task{Job: "mc"}); n != 1 {
+		t.Fatalf("space holds %d entries after write retry, want 1 (duplicate execution)", n)
+	}
+	if l1.Seq() != l2.Seq() {
+		t.Fatalf("retry returned lease for entry %d, want the original %d", l2.Seq(), l1.Seq())
+	}
+	if size, hits, _ := s.MemoStats(); size != 1 || hits != 1 {
+		t.Fatalf("memo stats = (size %d, hits %d), want (1, 1)", size, hits)
+	}
+}
+
+// TestMemoTakeDedup: a retried TakeTok whose original executed (reply
+// lost) returns the originally consumed entry instead of eating another.
+func TestMemoTakeDedup(t *testing.T) {
+	s := newRealSpace()
+	for i := 1; i <= 2; i++ {
+		if _, err := s.Write(task{Job: "mc", ID: ip(i)}, nil, Forever); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got1, err := s.TakeTok(task{Job: "mc", ID: ip(1)}, nil, time.Second, tok("w1", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := s.TakeTok(task{Job: "mc", ID: ip(1)}, nil, time.Second, tok("w1", 7))
+	if err != nil {
+		t.Fatalf("retried take: %v", err)
+	}
+	if *got1.(task).ID != 1 || *got2.(task).ID != 1 {
+		t.Fatalf("takes returned IDs %d and %d, want 1 and 1", *got1.(task).ID, *got2.(task).ID)
+	}
+	if n, _ := s.Count(task{Job: "mc"}); n != 1 {
+		t.Fatalf("space holds %d entries after take retry, want 1 (second entry consumed)", n)
+	}
+}
+
+// TestMemoBoundsEviction: the table is FIFO-bounded per client and
+// globally, eviction is counted, and a token evicted past the bound
+// degrades that one op back to at-most-once (its retry re-executes).
+func TestMemoBoundsEviction(t *testing.T) {
+	s := newRealSpace()
+	s.SetMemoBounds(2, 0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := s.WriteTok(task{Job: "mc", ID: ip(int(seq))}, nil, Forever, tok("w1", seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, _, evicted := s.MemoStats()
+	if size != 2 || evicted != 1 {
+		t.Fatalf("memo stats after per-client overflow = (size %d, evicted %d), want (2, 1)", size, evicted)
+	}
+	// Token 1 was evicted: its retry re-executes — the documented
+	// residual once a client outruns the bound.
+	if _, err := s.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Count(task{Job: "mc", ID: ip(1)}); n != 2 {
+		t.Fatalf("evicted token's retry stored %d copies, want 2 (re-execution past the bound)", n)
+	}
+
+	// Global bound across clients.
+	g := newRealSpace()
+	g.SetMemoBounds(0, 2)
+	for i := 1; i <= 3; i++ {
+		if _, err := g.WriteTok(task{Job: "mc", ID: ip(i)}, nil, Forever, tok(fmt.Sprintf("w%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size, _, evicted := g.MemoStats(); size != 2 || evicted != 1 {
+		t.Fatalf("memo stats after global overflow = (size %d, evicted %d), want (2, 1)", size, evicted)
+	}
+}
+
+// TestMemoRebuildFromReplay: crash-restart. A space's journal stream
+// replayed into a fresh space (the WAL recovery path) must rebuild the
+// memo table, so retries arriving after the restart still deduplicate.
+func TestMemoRebuildFromReplay(t *testing.T) {
+	clk := vclock.NewReal()
+	src := New(clk)
+	sink := &captureSink{}
+	if err := src.AttachJournal(NewJournalSink(sink)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Write(task{Job: "mc", ID: ip(2)}, nil, Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.TakeTok(task{Job: "mc", ID: ip(2)}, nil, time.Second, tok("w1", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(clk)
+	if n, err := ReplayRecords(sink.recs, restored); err != nil || n != 1 {
+		t.Fatalf("replay: restored %d entries, err %v; want 1, nil", n, err)
+	}
+	// The write retry finds its memo: no second copy.
+	if _, err := restored.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := restored.Count(task{Job: "mc"}); n != 1 {
+		t.Fatalf("restored space holds %d entries after write retry, want 1", n)
+	}
+	// The take retry returns the consumed entry instead of blocking or
+	// consuming entry 1.
+	got, err := restored.TakeTok(task{Job: "mc", ID: ip(2)}, nil, 10*time.Millisecond, tok("w1", 2))
+	if err != nil {
+		t.Fatalf("take retry after restart: %v", err)
+	}
+	if *got.(task).ID != 2 {
+		t.Fatalf("take retry returned ID %d, want the memoized 2", *got.(task).ID)
+	}
+	if n, _ := restored.Count(task{Job: "mc"}); n != 1 {
+		t.Fatalf("take retry consumed a live entry: %d left, want 1", n)
+	}
+}
+
+// TestApplierMemoRebuildChainedFailovers: memos survive two hops of
+// incremental replication — primary → standby A → standby B — because
+// each applier re-journals what it installs. A retry landing on the
+// twice-promoted B still deduplicates.
+func TestApplierMemoRebuildChainedFailovers(t *testing.T) {
+	clk := vclock.NewReal()
+	src := New(clk)
+	srcSink := &captureSink{}
+	if err := src.AttachJournal(NewJournalSink(srcSink)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Write(task{Job: "mc", ID: ip(2)}, nil, Forever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.TakeTok(task{Job: "mc", ID: ip(2)}, nil, time.Second, tok("w1", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Standby A journals its own stream so a standby-of-standby (the
+	// post-promotion chain) receives memos too.
+	a := New(clk)
+	aSink := &captureSink{}
+	if err := a.AttachJournal(NewJournalSink(aSink)); err != nil {
+		t.Fatal(err)
+	}
+	aApp := NewApplier(a)
+	for i, rec := range srcSink.recs {
+		if err := aApp.Apply(rec); err != nil {
+			t.Fatalf("standby A: apply record %d: %v", i, err)
+		}
+	}
+
+	b := New(clk)
+	bApp := NewApplier(b)
+	for i, rec := range aSink.recs {
+		if err := bApp.Apply(rec); err != nil {
+			t.Fatalf("standby B: apply record %d: %v", i, err)
+		}
+	}
+
+	for _, sp := range []*Space{a, b} {
+		if _, err := sp.WriteTok(task{Job: "mc", ID: ip(1)}, nil, Forever, tok("w1", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := sp.Count(task{Job: "mc"}); n != 1 {
+			t.Fatalf("standby holds %d entries after write retry, want 1", n)
+		}
+		got, err := sp.TakeTok(task{Job: "mc", ID: ip(2)}, nil, 10*time.Millisecond, tok("w1", 2))
+		if err != nil {
+			t.Fatalf("take retry on standby: %v", err)
+		}
+		if *got.(task).ID != 2 {
+			t.Fatalf("take retry returned ID %d, want the memoized 2", *got.(task).ID)
+		}
+	}
+}
+
+// TestApplierMemoFilter: in migration mode only memos for the migrating
+// bucket range install; unkeyed memos always ship (over-shipping is safe,
+// under-shipping re-executes).
+func TestApplierMemoFilter(t *testing.T) {
+	clk := vclock.NewReal()
+	src := New(clk)
+	sink := &captureSink{}
+	if err := src.AttachJournal(NewJournalSink(sink)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteTok(keyedDoc{Key: "mine", Val: 1}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteTok(keyedDoc{Key: "other", Val: 2}, nil, Forever, tok("w1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.WriteTok(task{Job: "mc", ID: ip(3)}, nil, Forever, tok("w1", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(clk)
+	app := NewApplier(dst).SetMemoFilter(func(key string, keyed bool) bool {
+		return !keyed || key == "mine"
+	})
+	for i, rec := range sink.recs {
+		if err := app.Apply(rec); err != nil {
+			t.Fatalf("apply record %d: %v", i, err)
+		}
+	}
+	if size, _, _ := dst.MemoStats(); size != 2 {
+		t.Fatalf("filtered applier installed %d memos, want 2 (keyed 'mine' + unkeyed)", size)
+	}
+	// The filtered-out token re-executes; the shipped ones dedup.
+	if _, err := dst.WriteTok(keyedDoc{Key: "mine", Val: 1}, nil, Forever, tok("w1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(keyedDoc{Key: "mine"}); n != 1 {
+		t.Fatalf("shipped memo did not dedup: %d copies of 'mine'", n)
+	}
+	if _, err := dst.WriteTok(keyedDoc{Key: "other", Val: 2}, nil, Forever, tok("w1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := dst.Count(keyedDoc{Key: "other"}); n != 2 {
+		t.Fatalf("filtered-out memo unexpectedly deduped: %d copies of 'other', want 2", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gospaces/internal/metrics"
 	"gospaces/internal/txn"
 	"gospaces/internal/vclock"
 )
@@ -30,6 +31,9 @@ type Space struct {
 	closed  bool
 	journal *Journal
 	stats   Stats
+
+	memos        *memoTable // token → memoized outcome (see memo.go), lazily allocated
+	memoCounters *metrics.Counters
 }
 
 // Stats counts space operations; returned by Space.Stats.
@@ -80,6 +84,7 @@ type waiter struct {
 	w      vclock.Waiter
 	result *storedEntry
 	err    error
+	tok    OpToken // non-zero for exactly-once takes: memoize on satisfaction
 }
 
 // New returns an empty Space on the given clock.
@@ -121,6 +126,15 @@ func (s *Space) Close() {
 // with lease duration ttl (Forever for no expiry). It returns an EntryLease
 // for renewal or cancellation.
 func (s *Space) Write(e Entry, t *txn.Txn, ttl time.Duration) (*EntryLease, error) {
+	return s.write(e, t, ttl, OpToken{})
+}
+
+// write is the shared Write/WriteTok implementation. A non-zero token on
+// a non-transactional write makes the call idempotent: the memo check and
+// the write itself happen under one hold of s.mu, so however many
+// duplicate retries race in, exactly one executes and the rest return its
+// lease.
+func (s *Space) write(e Entry, t *txn.Txn, ttl time.Duration, tok OpToken) (*EntryLease, error) {
 	ti, v, err := infoFor(e)
 	if err != nil {
 		return nil, err
@@ -129,6 +143,13 @@ func (s *Space) Write(e Entry, t *txn.Txn, ttl time.Duration) (*EntryLease, erro
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if !tok.Zero() && t == nil {
+		if rec, ok := s.memoHitLocked(tok); ok {
+			l := rec.leaseOut(s)
+			s.mu.Unlock()
+			return l, nil
+		}
 	}
 	ts, err := s.joinLocked(t)
 	if err != nil {
@@ -161,6 +182,9 @@ func (s *Space) Write(e Entry, t *txn.Txn, ttl time.Duration) (*EntryLease, erro
 			se.removed = true
 			s.mu.Unlock()
 			return nil, jerr
+		}
+		if !tok.Zero() {
+			s.memoWriteLocked(tok, se)
 		}
 		fire = s.publishLocked(se)
 	}
@@ -377,12 +401,22 @@ func (s *Space) publishLocked(se *storedEntry) []notification {
 				out = append(out, w)
 				continue
 			}
+			// A token take's memo record precedes its remove record in
+			// the journal (ordering contract in memo.go).
+			var rec *memoRec
+			if w.kind == opTake && w.txn == nil && !w.tok.Zero() {
+				rec = s.takeMemoRecLocked(se)
+				s.journalMemoLocked(w.tok, rec)
+			}
 			if err := s.applyLocked(w.kind, se, w.txn); err != nil {
 				// Strict journal rejected the removal: fail this waiter
 				// loudly; the entry stays for others.
 				w.err = err
 				w.w.Wake()
 				continue
+			}
+			if rec != nil {
+				s.memoInsertLocked(w.tok, rec)
 			}
 			w.result = se
 			w.w.Wake()
@@ -442,7 +476,22 @@ func (s *Space) Commit(id uint64) {
 	// The transaction has already committed at the coordinator; journal
 	// failures here cannot unwind it. They are counted and retained by
 	// the journal (Journal.Err) even in strict mode.
+	// Writes are journaled before removes: replication ships the stream
+	// in batches, and a primary killed mid-commit leaves the standby with
+	// a prefix. Writes-first means a torn commit can only leave both the
+	// result and its consumed input live (re-execution collapses at the
+	// aggregator), never an input consumed with its output lost.
 	var fire []notification
+	for _, se := range ts.writes {
+		if se.removed || se.takenUnder != 0 {
+			// Taken under this same transaction: never became public,
+			// nothing to journal (the takes loop below logs the removal).
+			continue
+		}
+		se.writtenUnder = 0
+		_ = s.journalWriteLocked(se)
+		fire = append(fire, s.publishLocked(se)...)
+	}
 	for _, se := range ts.takes {
 		se.takenUnder = 0
 		se.removed = true
@@ -450,14 +499,6 @@ func (s *Space) Commit(id uint64) {
 	}
 	for _, se := range ts.reads {
 		s.unlockReadLocked(se, id)
-	}
-	for _, se := range ts.writes {
-		if se.removed {
-			continue
-		}
-		se.writtenUnder = 0
-		_ = s.journalWriteLocked(se)
-		fire = append(fire, s.publishLocked(se)...)
 	}
 	s.mu.Unlock()
 	deliver(fire)

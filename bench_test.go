@@ -13,6 +13,7 @@ package gospaces
 //	go test -bench=. -benchmem
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -495,6 +496,64 @@ func BenchmarkObsInstrumentationOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFlightRecorderOverhead prices the flight recorder on the data
+// path it must never slow down: a keyed write+take workload against a
+// local space, run bare and then with one control-plane event recorded
+// per 64 pairs — still far denser than any real control plane produces
+// (a whole failover emits a few dozen events against the tens of
+// thousands of space ops in flight around it). The two arms run
+// back-to-back inside each iteration, and the headline metric is the
+// recorder's additive cost over the bare runtime: Record is serial on
+// the recording path, so x-overhead = 1 + events×(measured ns/event) /
+// bare wall time. (Timing the two arms against each other instead would
+// bury the sub-percent delta under multi-percent scheduler noise.) CI's
+// BENCH_flight.json must show x-overhead ≤1.05 — the ≤5% acceptance bar
+// — and ns/event rides along so a regression in the recorder itself is
+// visible directly.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	const pairs, eventEvery = 50_000, 64
+	clk := vclock.NewReal()
+	ev := obs.FlightEvent{Node: "bench", Shard: "ring0", Kind: obs.EventRetryAttempt, Detail: "tok bench"}
+	run := func(fl *obs.FlightRecorder) time.Duration {
+		s := tuplespace.New(clk)
+		start := time.Now()
+		for i := 0; i < pairs; i++ {
+			if _, err := s.Write(indexedBenchEntry{Job: "fl", ID: i}, nil, tuplespace.Forever); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Take(indexedBenchEntry{Job: "fl"}, nil, time.Second); err != nil {
+				b.Fatal(err)
+			}
+			if i%eventEvery == 0 {
+				fl.Record(clk, ev)
+			}
+		}
+		return time.Since(start)
+	}
+	var overheads, perEvent []float64
+	for i := 0; i < b.N; i++ {
+		off := run(nil) // the nil recorder disabled observability leaves behind
+		fl := obs.NewFlightRecorder()
+		run(fl)
+		nEvents := fl.Clk()
+		if fl.Depth() == 0 || nEvents == 0 {
+			b.Fatal("recording arm retained no events")
+		}
+		start := time.Now()
+		const probes = 4096
+		for j := 0; j < probes; j++ {
+			fl.Record(clk, ev)
+		}
+		nsEvent := float64(time.Since(start).Nanoseconds()) / probes
+		perEvent = append(perEvent, nsEvent)
+		overheads = append(overheads, 1+float64(nEvents)*nsEvent/float64(off.Nanoseconds()))
+	}
+	sort.Float64s(overheads)
+	sort.Float64s(perEvent)
+	b.ReportMetric(perEvent[len(perEvent)/2], "ns/event")
+	b.ReportMetric(overheads[len(overheads)/2], "x-overhead")
 }
 
 // BenchmarkShardedKnee regenerates the sharded re-run of the Figure-6

@@ -23,6 +23,12 @@
 //
 //	expt scenario -seed 42 -count 10   # ten manifests from seed 42
 //	expt scenario -seed 1 -minutes 30  # soak for half an hour
+//
+// The timeline subcommand renders flight-recorder dumps (the
+// /debug/flight payload, or a scenario failure's timeline artifact) as
+// one merged causal cluster timeline:
+//
+//	expt timeline scenario-failure-42-timeline.json
 package main
 
 import (
@@ -43,6 +49,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		if err := runScenario(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "expt scenario:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		if err := runTimeline(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "expt timeline:", err)
 			os.Exit(1)
 		}
 		return

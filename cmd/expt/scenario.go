@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"gospaces/internal/obs"
 	"gospaces/internal/scenario"
 )
 
@@ -73,6 +75,21 @@ func runScenario(args []string) error {
 				fmt.Printf("  minimized manifest: %s\n", path)
 			} else {
 				fmt.Printf("  could not write artifact: %v\n", werr)
+			}
+		}
+		// The failing run's merged causal timeline rides along as a
+		// second artifact: `expt timeline <file>` renders the cluster's
+		// control-plane history without re-running the seed.
+		tl := filepath.Join(*out, fmt.Sprintf("scenario-failure-%d-timeline.json", s))
+		dump := obs.FlightDump{Depth: len(rep.Timeline), Events: rep.Timeline}
+		if len(rep.Timeline) > 0 {
+			dump.Clk = rep.Timeline[len(rep.Timeline)-1].Clk
+		}
+		if data, err := json.MarshalIndent(dump, "", "  "); err == nil {
+			if werr := os.WriteFile(tl, data, 0o644); werr == nil {
+				fmt.Printf("  flight timeline: %s\n", tl)
+			} else {
+				fmt.Printf("  could not write timeline: %v\n", werr)
 			}
 		}
 	}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"gospaces/internal/obs"
+)
+
+// runTimeline is the `expt timeline` subcommand: render one or more
+// flight-recorder dumps as a single merged causal cluster timeline.
+//
+//	expt timeline scenario-failure-42-timeline.json
+//	expt timeline master-flight.json worker-flight.json
+//
+// Each argument is either a FlightDump object (the /debug/flight payload
+// and the scenario failure artifact) or a bare JSON array of events (a
+// hand-extracted fragment). Multiple dumps — say, per-node rings fetched
+// from separate processes — merge by causal stamp, exactly as
+// obs.MergeTimelines orders them. After rendering, the merged order is
+// checked for causal consistency; an inconsistent dump exits non-zero.
+func runTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	check := fs.Bool("check", true, "verify the merged timeline is causally consistent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("usage: expt timeline [-check=false] <dump.json> [<dump.json>...]")
+	}
+	var dumps [][]obs.FlightEvent
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		evs, err := decodeFlightDump(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dumps = append(dumps, evs)
+	}
+	merged := obs.MergeTimelines(dumps...)
+	obs.WriteFlightText(os.Stdout, merged)
+	fmt.Printf("%d events from %d dump(s)\n", len(merged), len(dumps))
+	if *check {
+		if err := obs.CheckTimeline(merged); err != nil {
+			return fmt.Errorf("timeline causally inconsistent: %w", err)
+		}
+		fmt.Println("timeline causally consistent")
+	}
+	return nil
+}
+
+// decodeFlightDump accepts either a FlightDump object or a bare event
+// array.
+func decodeFlightDump(data []byte) ([]obs.FlightEvent, error) {
+	var dump obs.FlightDump
+	if err := json.Unmarshal(data, &dump); err == nil && dump.Events != nil {
+		return dump.Events, nil
+	}
+	var evs []obs.FlightEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return nil, fmt.Errorf("neither a flight dump nor an event array: %w", err)
+	}
+	return evs, nil
+}

@@ -114,10 +114,36 @@ type elasticHost struct {
 	loopMu sync.Mutex // serializes splits/merges with shutdown
 }
 
+// flight records one master-attributed control-plane event in the flight
+// recorder (no-op without -obs), returning the causal stamp.
+func (e *elasticHost) flight(ev obs.FlightEvent) uint64 {
+	if e.o == nil {
+		return 0
+	}
+	ev.Node = "master"
+	return e.o.Fl().Record(e.clk, ev)
+}
+
+// phaseSink maps a migration's phase boundaries onto flight events,
+// tagged with the operation and the ring position being resharded.
+func (e *elasticHost) phaseSink(op, ring string) func(kind, detail string) {
+	if e.o == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		e.flight(obs.FlightEvent{Kind: obs.EventSplitPhase, Shard: ring,
+			Detail: fmt.Sprintf("%s %s: %s", op, kind, detail)})
+	}
+}
+
 // publishTopology registers t as the ring's topology record and cancels
 // the previous record only after the new one is visible, so watchers
-// always find some topology.
+// always find some topology. The publication is flight-recorded first and
+// its causal stamp rides the record as t.Clk: a watcher's adoption event
+// then orders strictly after this publish in the merged cluster timeline.
 func (e *elasticHost) publishTopology(t shard.Topology) error {
+	t.Clk = e.flight(obs.FlightEvent{Kind: obs.EventTopoPublish, Shard: "ring", Epoch: t.Epoch,
+		Detail: fmt.Sprintf("%d members", len(t.Members))})
 	enc, err := shard.EncodeTopology(t)
 	if err != nil {
 		return err
@@ -319,6 +345,7 @@ func (e *elasticHost) split(parentAddr string) error {
 		Dst:      tuplespace.NewApplier(child.local.TS),
 		Pred:     rebalance.KeyedTo(shard.OwnerFunc(next), child.addr),
 		Counters: e.o.Ctr(),
+		OnEvent:  e.phaseSink("split", parentAddr),
 	}
 	moved, err := m.Fork()
 	if err != nil {
@@ -359,6 +386,8 @@ func (e *elasticHost) split(parentAddr string) error {
 	}
 	log.Printf("master: split shard %s → %s (moved %d entries, drained %d) at topology epoch %d",
 		parentAddr, child.addr, moved, evicted, next.Epoch)
+	e.flight(obs.FlightEvent{Kind: obs.EventSplitDone, Shard: parentAddr, Epoch: next.Epoch,
+		Detail: fmt.Sprintf("child %s: %d moved, %d drained", child.addr, moved, evicted)})
 	return nil
 }
 
@@ -398,6 +427,7 @@ func (e *elasticHost) merge(childAddr string) error {
 		Dst:      tuplespace.NewApplier(parent.local.TS),
 		Pred:     rebalance.Everything,
 		Counters: e.o.Ctr(),
+		OnEvent:  e.phaseSink("merge", childAddr),
 	}
 	if _, err := m.Fork(); err != nil {
 		m.Abort()
@@ -422,6 +452,8 @@ func (e *elasticHost) merge(childAddr string) error {
 	e.sweeper.remove(child.local.Mgr)
 	e.retire(child)
 	log.Printf("master: merged shard %s back into %s at topology epoch %d", childAddr, parent.addr, next.Epoch)
+	e.flight(obs.FlightEvent{Kind: obs.EventMergeDone, Shard: childAddr, Epoch: next.Epoch,
+		Detail: fmt.Sprintf("folded into %s", parent.addr)})
 	return nil
 }
 

@@ -232,6 +232,18 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 				AppendHist: o.Reg().Histogram(metrics.HistWALAppend),
 				SyncHist:   o.Reg().Histogram(metrics.HistWALFsync),
 			}
+			if o != nil {
+				// The listener (and so the ring ID) doesn't exist yet, so
+				// WAL events carry the stable per-process shard label.
+				node := fmt.Sprintf("shard%d", i)
+				dopts.OnWALEvent = func(kind, detail string) {
+					k := obs.EventWALRotate
+					if kind == "snapshot" {
+						k = obs.EventWALSnapshot
+					}
+					o.Fl().Record(clk, obs.FlightEvent{Node: node, Kind: k, Shard: node, Detail: detail})
+				}
+			}
 			if psw != nil {
 				dopts.Tee = psw
 			} else if tap != nil {
@@ -305,6 +317,12 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			pairs[i].ringID = l.Addr()
 			sh.Epoch = 1
 		}
+		if o != nil {
+			ringID := l.Addr()
+			local.TS.SetFlightSink(func(kind, detail string) {
+				o.Fl().Record(clk, obs.FlightEvent{Node: ringID, Shard: ringID, Kind: obs.EventDedupHit, Detail: detail})
+			})
+		}
 		hosted = append(hosted, sh)
 		locals = append(locals, local)
 		taps = append(taps, tap)
@@ -375,7 +393,7 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		// Elastic mode needs a router even for one shard: splits retarget
 		// its membership at runtime. Exactly-once needs one too: the token
 		// minting and retry machinery live in the router.
-		ropts := shard.Options{Clock: clk, Seed: "master", ExactlyOnce: exactlyOnce}
+		ropts := shard.Options{Clock: clk, Seed: "master", ExactlyOnce: exactlyOnce, Obs: o}
 		if pairs != nil {
 			// On a hard shard failure the router re-resolves the ring
 			// position through the lookup service, picking the registration
@@ -396,6 +414,11 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 	}
 	if o != nil {
 		setHealth(o, numShards, pairs, durables, locals)
+		setFederation(o, numShards, pairs, durables, locals, hosted)
+		o.Fl().Record(clk, obs.FlightEvent{
+			Node: "master", Kind: obs.EventNodeStart,
+			Detail: fmt.Sprintf("%d shards, %d replicas", numShards, replicas),
+		})
 	}
 	var sweepFor interface{ Sweep() int } = sweeper
 	var eh *elasticHost

@@ -98,15 +98,26 @@ func newReplicaPair(idx int, clk vclock.Clock, o *obs.Obs, local *space.Local, s
 	rp.bsrv = transport.NewServer()
 	rp.bsw = replica.NewSwitchSink()
 	if cfg.dataDir != "" {
-		var err error
-		rp.blocal, rp.bdur, err = space.NewLocalDurable(clk, space.DurableOptions{
+		dopts := space.DurableOptions{
 			Dir:        filepath.Join(cfg.dataDir, fmt.Sprintf("shard%d.backup", idx)),
 			Fsync:      cfg.fsync,
 			Tee:        rp.bsw,
 			Counters:   o.Ctr(),
 			AppendHist: o.Reg().Histogram(metrics.HistWALAppend),
 			SyncHist:   o.Reg().Histogram(metrics.HistWALFsync),
-		})
+		}
+		if o != nil {
+			bnode := fmt.Sprintf("shard%d.backup", idx)
+			dopts.OnWALEvent = func(kind, detail string) {
+				k := obs.EventWALRotate
+				if kind == "snapshot" {
+					k = obs.EventWALSnapshot
+				}
+				rp.flight(bnode, obs.FlightEvent{Kind: k, Shard: rp.ringID, Detail: detail})
+			}
+		}
+		var err error
+		rp.blocal, rp.bdur, err = space.NewLocalDurable(clk, dopts)
 		if err != nil {
 			return nil, fmt.Errorf("durable backup for shard %d: %w", idx, err)
 		}
@@ -131,6 +142,18 @@ func newReplicaPair(idx int, clk vclock.Clock, o *obs.Obs, local *space.Local, s
 		Renew:    rp.renew,
 		Counters: o.Ctr(),
 		ShipHist: o.Reg().Histogram(metrics.HistReplShip),
+		// The ring ID is assigned after the shard's listener comes up and
+		// before the pumps start, so reading it at fire time is safe.
+		OnFenced: func(epoch uint64) {
+			rp.flight(rp.ringID, obs.FlightEvent{Kind: obs.EventFenced, Shard: rp.ringID, Epoch: epoch})
+		},
+		OnEvent: func(kind, detail string) {
+			k := obs.EventResync
+			if kind == "degraded" {
+				k = obs.EventDegraded
+			}
+			rp.flight(rp.ringID, obs.FlightEvent{Kind: k, Shard: rp.ringID, Detail: detail})
+		},
 	})
 	psw.Set(p.Sink())
 	mc, err := transport.DialTCP(rp.baddr)
@@ -146,12 +169,30 @@ func newReplicaPair(idx int, clk vclock.Clock, o *obs.Obs, local *space.Local, s
 		LeaseExpired:    rp.leaseExpired,
 		OnPromote:       rp.promote,
 		Counters:        o.Ctr(),
+		OnEvent: func(kind, detail string) {
+			rp.flight(rp.baddr, obs.FlightEvent{Kind: obs.EventDetect, Shard: rp.ringID, Detail: detail})
+		},
 	})
+	if o != nil {
+		rp.blocal.TS.SetFlightSink(func(kind, detail string) {
+			rp.flight(rp.baddr, obs.FlightEvent{Kind: obs.EventDedupHit, Shard: rp.ringID, Detail: detail})
+		})
+	}
 	b.Bind(rp.bsrv)
 
 	rp.primary, rp.backup = p, b
 	rp.stops = append(rp.stops, p, b)
 	return rp, nil
+}
+
+// flight records one control-plane event for node in the deployment's
+// flight recorder, returning the causal stamp (no-op without -obs).
+func (rp *replicaPair) flight(node string, ev obs.FlightEvent) uint64 {
+	if rp.o == nil {
+		return 0
+	}
+	ev.Node = node
+	return rp.o.Fl().Record(rp.clk, ev)
 }
 
 // primaryHandle gates the master-side handle of the construction-time
@@ -271,12 +312,34 @@ func (rp *replicaPair) promote(epoch uint64) {
 		Renew:    rp.renew,
 		Counters: rp.o.Ctr(),
 		ShipHist: rp.o.Reg().Histogram(metrics.HistReplShip),
+		OnFenced: func(e uint64) {
+			rp.flight(rp.baddr, obs.FlightEvent{Kind: obs.EventFenced, Shard: rp.ringID, Epoch: e})
+		},
+		OnEvent: func(kind, detail string) {
+			k := obs.EventResync
+			if kind == "degraded" {
+				k = obs.EventDegraded
+			}
+			rp.flight(rp.baddr, obs.FlightEvent{Kind: k, Shard: rp.ringID, Detail: detail})
+		},
 	})
 	rp.bsw.Set(p.Sink())
 	rp.bsrv.WrapPrefix("space.", p.Middleware())
 	if reg := rp.o.Reg(); reg != nil {
 		rp.bsrv.WrapPrefix("space.", obs.ServerMiddleware(rp.clk, reg.Histogram(metrics.HistShardServe(rp.idx))))
 	}
+
+	// The promotion is the root of the failover span tree; its context and
+	// causal stamp ride the re-registration so every resolving router's
+	// retarget (and the retries it heals) parents under it and orders
+	// after it — across processes, via the lookup record alone.
+	sp := rp.o.T().StartRoot(rp.clk, "failover", rp.baddr)
+	pctx := sp.Context()
+	sp.End()
+	stamp := rp.flight(rp.baddr, obs.FlightEvent{
+		Kind: obs.EventPromote, Shard: rp.ringID, Epoch: epoch,
+		Trace: pctx.TraceID, Span: pctx.SpanID,
+	})
 
 	rp.mu.Lock()
 	client := rp.client
@@ -287,11 +350,13 @@ func (rp *replicaPair) promote(epoch uint64) {
 		if backupRegID != 0 {
 			_ = client.Cancel(backupRegID)
 		}
+		attrs := rp.ringAttrs(shard.RolePrimary, epoch)
+		shard.SetCtrlAttrs(attrs, pctx, stamp)
 		var err error
 		id, err = client.Register(discovery.ServiceItem{
 			Name:       "javaspace",
 			Address:    rp.baddr,
-			Attributes: rp.ringAttrs(shard.RolePrimary, epoch),
+			Attributes: attrs,
 		}, rp.ft)
 		if err != nil {
 			log.Printf("master: shard %d: re-register promoted standby: %v", rp.idx, err)
@@ -308,6 +373,62 @@ func (rp *replicaPair) promote(epoch uint64) {
 	rp.mu.Unlock()
 	go p.Run()
 	log.Printf("master: shard %d failover — standby on %s promoted at epoch %d", rp.idx, rp.baddr, epoch)
+}
+
+// setFederation exposes every hosted shard as a member of the federated
+// /metrics/cluster view, labeled by ring ID and following the serving
+// node (the promoted standby after a failover) like /healthz does.
+func setFederation(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable, locals []*space.Local, hosted []shard.Shard) {
+	fed := o.Fed()
+	if fed == nil {
+		return
+	}
+	reg := o.Reg()
+	fed.Add(func() []metrics.MemberSnapshot {
+		out := make([]metrics.MemberSnapshot, 0, numShards)
+		for i := 0; i < numShards && i < len(hosted); i++ {
+			m := metrics.MemberSnapshot{
+				Name:     hosted[i].ID,
+				Counters: make(map[string]uint64),
+				Gauges:   make(map[string]int64),
+				Hists:    make(map[string]metrics.HistogramSnapshot),
+			}
+			var d *space.Durable
+			if i < len(durables) {
+				d = durables[i]
+			}
+			var serving *space.Local
+			if i < len(locals) {
+				serving = locals[i]
+			}
+			if pairs != nil {
+				rp := pairs[i]
+				rp.mu.Lock()
+				m.Gauges[metrics.FedEpoch] = int64(rp.epoch)
+				if rp.promoted {
+					d = rp.bdur
+					serving = rp.blocal
+				}
+				rp.mu.Unlock()
+			}
+			if serving != nil {
+				m.Gauges[metrics.FedEntries] = int64(serving.TS.Stats().EntriesLive)
+				memoN, hits, _ := serving.TS.MemoStats()
+				m.Gauges[metrics.FedMemoEntries] = int64(memoN)
+				m.Counters[metrics.FedDedupHits] = hits
+			}
+			if d != nil {
+				m.Gauges[metrics.FedWALPosition] = int64(d.Log().Position())
+			}
+			if reg != nil {
+				h := reg.Histogram(metrics.HistShardServe(i))
+				m.Counters[metrics.FedOps] = h.Count()
+				m.Hists[metrics.FedServe] = h.Snapshot()
+			}
+			out = append(out, m)
+		}
+		return out
+	})
 }
 
 // setHealth installs the /healthz provider: one entry per hosted shard

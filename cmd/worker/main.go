@@ -75,6 +75,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		}
 		defer closer.Close()
 		log.Printf("worker %s: ops surface at %s (/metrics, /debug/pprof, /tracez)", name, url)
+		o.Fl().Record(clk, obs.FlightEvent{Node: name, Kind: obs.EventNodeStart, Detail: "worker"})
 	}
 	machine := sysmon.NewMachine(clk, name, speed)
 	if sim1 {
@@ -144,7 +145,7 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 	} else {
 		// Exactly-once also forces the router: the token minting and retry
 		// machinery live there.
-		ropts := shard.Options{Clock: clk, Seed: name, ExactlyOnce: exactlyOnce}
+		ropts := shard.Options{Clock: clk, Seed: name, ExactlyOnce: exactlyOnce, Obs: o}
 		if replicated {
 			ropts.Failover = shard.Resolver(client, spaceTmpl, dial)
 			ropts.Counters = o.Ctr()

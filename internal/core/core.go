@@ -438,6 +438,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			}
 		}
 		l.TS.SetMemoCounters(f.Retries)
+		l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
 		f.Shards = append(f.Shards, l)
 		f.sweeps[i] = &swapSweeper{s: l.Mgr}
 		f.sweeper.add(f.sweeps[i])
@@ -486,7 +487,7 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		// and a promotion retargets the ring position through
 		// Router.Retarget — both of which the master's captured handle then
 		// observes.
-		ropts := shard.Options{Clock: clock, Seed: "master", ExactlyOnce: cfg.ExactlyOnce}
+		ropts := shard.Options{Clock: clock, Seed: "master", ExactlyOnce: cfg.ExactlyOnce, Obs: cfg.Obs}
 		if cfg.Replicas > 0 {
 			ropts.Counters = f.Repl
 			ropts.Failover = f.localResolver()
@@ -555,6 +556,13 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		obs.ExportMIB(f.MIB, cfg.Obs, cfg.Shards)
 		snmp.NewAgent(clus.Community, f.MIB).Bind(clus.MasterServer)
 	}
+	if cfg.Obs != nil {
+		f.registerFederation()
+		f.flight("master", obs.FlightEvent{
+			Kind:   obs.EventNodeStart,
+			Detail: fmt.Sprintf("%d shards, %d workers", cfg.Shards, len(cfg.Workers)),
+		})
+	}
 	return f
 }
 
@@ -579,6 +587,7 @@ func (f *Framework) durableOptionsAt(i int, addr string) space.DurableOptions {
 		// shard, and the per-shard serve histograms already split load.
 		AppendHist: f.cfg.Obs.Reg().Histogram(metrics.HistWALAppend),
 		SyncHist:   f.cfg.Obs.Reg().Histogram(metrics.HistWALFsync),
+		OnWALEvent: f.walFlightSink(addr, addr),
 	}
 	if f.cfg.Faults != nil {
 		ep := faults.DiskEndpoint(addr)
@@ -667,9 +676,10 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 	if err != nil {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d recovery: %w", i, err)
 	}
-	// WAL replay rebuilt the memo table; rewire its counters so dedup hits
-	// against recovered memos are still visible.
+	// WAL replay rebuilt the memo table; rewire its counters and flight
+	// sink so dedup hits against recovered memos are still visible.
 	l.TS.SetMemoCounters(f.Retries)
+	l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
 	f.replMu.Lock()
 	if tap != nil {
 		f.taps[i] = tap
@@ -700,6 +710,10 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 		return space.RecoveryInfo{}, fmt.Errorf("core: shard %d re-admission: %w", i, err)
 	}
 	f.registerShard(i, d, true)
+	f.flight(addr, obs.FlightEvent{
+		Kind: obs.EventShardRestart, Shard: addr,
+		Detail: fmt.Sprintf("%d entries restored", d.Info().Restored),
+	})
 	return d.Info(), nil
 }
 
@@ -926,7 +940,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 		// and resharding needs a ring whose membership can change — both
 		// resolved through the lookup service (highest epoch claiming the
 		// ring position wins).
-		ropts := shard.Options{Clock: f.Clock, Seed: node.Name, ExactlyOnce: f.cfg.ExactlyOnce}
+		ropts := shard.Options{Clock: f.Clock, Seed: node.Name, ExactlyOnce: f.cfg.ExactlyOnce, Obs: f.cfg.Obs}
 		if f.cfg.Replicas > 0 {
 			ropts.Counters = f.Repl
 		}
@@ -982,6 +996,7 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 	node.MIB.Register(snmp.OIDWorkerState, func() snmp.Value {
 		return snmp.Integer(int64(w.State()))
 	})
+	f.flight(node.Name, obs.FlightEvent{Kind: obs.EventNodeStart, Detail: "worker"})
 	return w, ringWatcher, nil
 }
 

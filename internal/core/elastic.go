@@ -142,16 +142,23 @@ func (f *Framework) initElastic(shards []shard.Shard) {
 	if _, err := f.router.ApplyTopology(t, nil); err != nil {
 		panic(fmt.Sprintf("core: initial topology: %v", err)) // unreachable: all members known
 	}
-	if err := f.publishTopology(t); err != nil {
+	if err := f.publishTopology(&t); err != nil {
 		panic(fmt.Sprintf("core: initial topology: %v", err)) // unreachable: plain JSON struct
 	}
 }
 
 // publishTopology registers t in the lookup service (new record before the
 // old one is cancelled, so a watcher's lookup always finds at least one)
-// and records the registration for the next rotation.
-func (f *Framework) publishTopology(t shard.Topology) error {
-	enc, err := shard.EncodeTopology(t)
+// and records the registration for the next rotation. The publication is
+// flight-recorded first and its causal stamp rides the record as t.Clk, so
+// every adopting router's subsequent events order strictly after the
+// publish — the property CheckTimeline holds reshard dumps to.
+func (f *Framework) publishTopology(t *shard.Topology) error {
+	t.Clk = f.flight("master", obs.FlightEvent{
+		Kind: obs.EventTopoPublish, Shard: "ring", Epoch: t.Epoch,
+		Detail: fmt.Sprintf("%d members", len(t.Members)),
+	})
+	enc, err := shard.EncodeTopology(*t)
 	if err != nil {
 		return err
 	}
@@ -264,6 +271,7 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 		}
 	}
 	l.TS.SetMemoCounters(f.Retries)
+	l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
 	space.NewService(l, srv)
 	var p *replica.Primary
 	if rs != nil {
@@ -315,6 +323,7 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 		rs.mu.Unlock()
 		f.spawnRepl(b.Run)
 	}
+	f.flight(addr, obs.FlightEvent{Kind: obs.EventNodeStart, Shard: addr, Detail: "split child"})
 	return &childShard{idx: idx, ring: addr, local: l, durable: d, tap: tap, rs: rs, handle: handle, epoch: epoch}, nil
 }
 
@@ -434,6 +443,16 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	}
 	rep.Parent, rep.Child = parentRing, child.ring
 
+	// The split is one control-plane operation: a root span whose context
+	// tags every phase event, so `expt timeline` groups the whole reshard.
+	var tc obs.TraceContext
+	if f.cfg.Obs != nil {
+		sp := f.cfg.Obs.T().StartRoot(f.Clock, "reshard:split", "master")
+		tc = sp.Context()
+		sp.End()
+	}
+	phases := f.reshardPhaseSink("split", parentRing, tc)
+
 	next := shard.Topology{Epoch: cur.Epoch + 1}
 	for _, m := range cur.Members {
 		if m.ID == parentRing {
@@ -456,7 +475,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	var m *rebalance.Migration
 	for attempt := 1; ; attempt++ {
 		src, tap, _, _ := f.servingChain(parentRing)
-		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard}
+		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard, OnEvent: phases}
 		n, ferr := m.Fork()
 		if ferr == nil {
 			rep.Migrated = n
@@ -498,7 +517,7 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 	// the child's registration then also sees the ring that places it),
 	// master retargets in-process, child registers last.
 	cutStart := f.Clock.Now()
-	if perr := f.publishTopology(next); perr != nil {
+	if perr := f.publishTopology(&next); perr != nil {
 		return rep, perr // unreachable: plain JSON struct
 	}
 	resolve := func(ring string) (shard.Shard, error) {
@@ -532,6 +551,11 @@ func (f *Framework) SplitShard(parentRing string) (SplitReport, error) {
 		_ = cp.Flush()
 	}
 	f.Reshard.Inc(metrics.CounterReshardSplits)
+	f.flight("master", obs.FlightEvent{
+		Kind: obs.EventSplitDone, Shard: parentRing, Epoch: next.Epoch,
+		Detail: fmt.Sprintf("child %s: %d migrated, %d evicted", child.ring, rep.Migrated, rep.Evicted),
+		Trace:  tc.TraceID, Span: tc.SpanID,
+	})
 	return rep, nil
 }
 
@@ -576,7 +600,7 @@ func (f *Framework) lameDuck(m *rebalance.Migration, healthy bool, ring string, 
 			dst.Rebind(xlat)
 			curSrc = src.TS
 		}
-		m2 := &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard}
+		m2 := &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, MemoPred: memoPred, Counters: f.Reshard, OnEvent: m.OnEvent}
 		tap.StartBuffer()
 		if err := tap.GoLive(dst.Apply); err != nil {
 			tap.Close()
@@ -648,12 +672,20 @@ func (f *Framework) MergeShards(childRing string) error {
 	dst := tuplespace.NewApplier(parentLocal.TS)
 	pred := rebalance.Everything
 
+	var tc obs.TraceContext
+	if f.cfg.Obs != nil {
+		sp := f.cfg.Obs.T().StartRoot(f.Clock, "reshard:merge", "master")
+		tc = sp.Context()
+		sp.End()
+	}
+	phases := f.reshardPhaseSink("merge", childRing, tc)
+
 	// Fork with retries — abort is safe until the first eviction (the
 	// child keeps everything; the parent just resets the copies).
 	var m *rebalance.Migration
 	for attempt := 1; ; attempt++ {
 		src, tap, _, _ := f.servingChain(childRing)
-		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard}
+		m = &rebalance.Migration{Clock: f.Clock, Src: src.TS, Tap: tap, Dst: dst, Pred: pred, Counters: f.Reshard, OnEvent: phases}
 		_, ferr := m.Fork()
 		if ferr == nil {
 			break
@@ -677,7 +709,7 @@ func (f *Framework) MergeShards(childRing string) error {
 
 	// Cutover: the child's arc returns to the parent at a newer epoch; no
 	// new members, so the master applies without a resolver.
-	if perr := f.publishTopology(next); perr != nil {
+	if perr := f.publishTopology(&next); perr != nil {
 		return perr // unreachable: plain JSON struct
 	}
 	if _, aerr := f.router.ApplyTopology(next, nil); aerr != nil {
@@ -692,6 +724,11 @@ func (f *Framework) MergeShards(childRing string) error {
 		_ = parentPrim.Flush()
 	}
 	f.Reshard.Inc(metrics.CounterReshardMerges)
+	f.flight("master", obs.FlightEvent{
+		Kind: obs.EventMergeDone, Shard: childRing, Epoch: next.Epoch,
+		Detail: fmt.Sprintf("folded into %s", parentRing),
+		Trace:  tc.TraceID, Span: tc.SpanID,
+	})
 	return nil
 }
 

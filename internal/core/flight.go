@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
+	"gospaces/internal/space"
+)
+
+// Flight-recorder glue: the framework attributes every hosted node's
+// control-plane events (promotions, WAL churn, dedup hits, reshard
+// phases) to that node's address in the shared recorder, and exposes each
+// hosted shard as a member of the federated /metrics/cluster view.
+
+// flight records one control-plane event attributed to node, returning
+// the causal stamp (0 without Config.Obs).
+func (f *Framework) flight(node string, ev obs.FlightEvent) uint64 {
+	if f.cfg.Obs == nil {
+		return 0
+	}
+	ev.Node = node
+	return f.cfg.Obs.Fl().Record(f.Clock, ev)
+}
+
+// memoFlightSink builds the dedup-hit sink for a shard space served at
+// addr under ring position ringID (nil without Config.Obs, which keeps
+// the space's hot path unhooked).
+func (f *Framework) memoFlightSink(addr, ringID string) func(kind, detail string) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		f.flight(addr, obs.FlightEvent{Kind: obs.EventDedupHit, Shard: ringID, Detail: detail})
+	}
+}
+
+// walFlightSink builds the WAL lifecycle sink ("rotate"/"snapshot") for
+// the durable shard at addr under ring position ringID.
+func (f *Framework) walFlightSink(addr, ringID string) func(kind, detail string) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		k := obs.EventWALRotate
+		if kind == "snapshot" {
+			k = obs.EventWALSnapshot
+		}
+		f.flight(addr, obs.FlightEvent{Kind: k, Shard: ringID, Detail: detail})
+	}
+}
+
+// fencedHook builds a primary controller's OnFenced hook: the deposed
+// node at addr records that it rejected (or learned of) a higher epoch.
+func (f *Framework) fencedHook(addr, ringID string) func(epoch uint64) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(epoch uint64) {
+		f.flight(addr, obs.FlightEvent{Kind: obs.EventFenced, Shard: ringID, Epoch: epoch})
+	}
+}
+
+// replFlightSink maps a primary controller's OnEvent transitions
+// ("resync"/"degraded") onto flight events for the node at addr.
+func (f *Framework) replFlightSink(addr, ringID string) func(kind, detail string) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		k := obs.EventResync
+		if kind == "degraded" {
+			k = obs.EventDegraded
+		}
+		f.flight(addr, obs.FlightEvent{Kind: k, Shard: ringID, Detail: detail})
+	}
+}
+
+// reshardPhaseSink maps a migration's phase boundaries ("fork"/"settle"/
+// "drain") onto flight events attributed to the master, tagged with the
+// operation, the ring position being resharded, and the reshard's root
+// span context.
+func (f *Framework) reshardPhaseSink(op, ring string, tc obs.TraceContext) func(kind, detail string) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		f.flight("master", obs.FlightEvent{
+			Kind: obs.EventSplitPhase, Shard: ring,
+			Detail: fmt.Sprintf("%s %s: %s", op, kind, detail),
+			Trace:  tc.TraceID, Span: tc.SpanID,
+		})
+	}
+}
+
+// detectFlightSink maps a backup monitor's failure-detection decision
+// onto a flight event for the standby at addr.
+func (f *Framework) detectFlightSink(addr, ringID string) func(kind, detail string) {
+	if f.cfg.Obs == nil {
+		return nil
+	}
+	return func(kind, detail string) {
+		f.flight(addr, obs.FlightEvent{Kind: obs.EventDetect, Shard: ringID, Detail: detail})
+	}
+}
+
+// registerFederation adds the hosted shards as members of the federated
+// cluster metrics view: one MemberSnapshot per shard, labeled by ring
+// position, carrying the serving node's live state — so /metrics/cluster
+// follows failovers and restarts the same way /healthz does.
+func (f *Framework) registerFederation() {
+	fed := f.cfg.Obs.Fed()
+	if fed == nil {
+		return
+	}
+	reg := f.cfg.Obs.Reg()
+	fed.Add(func() []metrics.MemberSnapshot {
+		f.replMu.Lock()
+		locals := append([]*space.Local(nil), f.Shards...)
+		durables := append([]*space.Durable(nil), f.Durables...)
+		addrs := append([]string(nil), f.shardAddrs...)
+		f.replMu.Unlock()
+		out := make([]metrics.MemberSnapshot, 0, len(locals))
+		for i := range locals {
+			m := metrics.MemberSnapshot{
+				Name:     addrs[i],
+				Counters: make(map[string]uint64),
+				Gauges:   make(map[string]int64),
+				Hists:    make(map[string]metrics.HistogramSnapshot),
+			}
+			serving := locals[i]
+			var durable *space.Durable
+			if i < len(durables) {
+				durable = durables[i]
+			}
+			if rs := f.repl(i); rs != nil {
+				rs.mu.Lock()
+				m.Gauges[metrics.FedEpoch] = int64(rs.epoch)
+				if rs.primaryNode != nil {
+					// The serving node moved on promotion; report it, not
+					// the construction-time primary.
+					serving = rs.primaryNode.local
+					durable = rs.primaryNode.durable
+				}
+				rs.mu.Unlock()
+			}
+			if serving != nil {
+				m.Gauges[metrics.FedEntries] = int64(serving.TS.Stats().EntriesLive)
+				memoN, hits, _ := serving.TS.MemoStats()
+				m.Gauges[metrics.FedMemoEntries] = int64(memoN)
+				m.Counters[metrics.FedDedupHits] = hits
+			}
+			if durable != nil {
+				m.Gauges[metrics.FedWALPosition] = int64(durable.Log().Position())
+			}
+			if reg != nil {
+				h := reg.Histogram(metrics.HistShardServe(i))
+				m.Counters[metrics.FedOps] = h.Count()
+				m.Hists[metrics.FedServe] = h.Snapshot()
+			}
+			out = append(out, m)
+		}
+		return out
+	})
+}

@@ -67,6 +67,11 @@ type replShard struct {
 	regID       uint64           // primary registration lease
 	backupRegID uint64
 	stops       []interface{ Stop() }
+	// trace and clk are the last promotion's root span context and causal
+	// stamp — what localResolver hands the master's router so its retarget
+	// span parents under the promotion and its flight events order after it.
+	trace obs.TraceContext
+	clk   uint64
 }
 
 func (rs *replShard) setRegID(id uint64) {
@@ -137,6 +142,7 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		dopts := f.durableOptionsAt(i, baddr)
 		dopts.Dir = filepath.Join(f.cfg.DataDir, fmt.Sprintf("shard%d.backup", i))
 		dopts.Tee = btee
+		dopts.OnWALEvent = f.walFlightSink(baddr, rs.ringID)
 		var err error
 		bl, bd, err = space.NewLocalDurable(f.Clock, dopts)
 		if err != nil {
@@ -149,9 +155,10 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		}
 	}
 	// The standby's applier rebuilds the primary's memo table from the
-	// record stream; wire its counters so dedup hits after a promotion are
-	// still visible.
+	// record stream; wire its counters and flight sink so dedup hits after
+	// a promotion are still visible.
 	bl.TS.SetMemoCounters(f.Retries)
+	bl.TS.SetFlightSink(f.memoFlightSink(baddr, rs.ringID))
 	rs.primaryNode = &replNode{addr: rs.ringID, srv: srv, local: l, sink: psw, durable: pdur, tap: ptap}
 	rs.backupNode = &replNode{addr: baddr, srv: bsrv, local: bl, sink: bsw, durable: bd, tap: btap}
 
@@ -159,6 +166,8 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		Clock:    f.Clock,
 		Ack:      f.cfg.ReplAck,
 		Renew:    func() { rs.renewRegistration(f) },
+		OnFenced: f.fencedHook(rs.ringID, rs.ringID),
+		OnEvent:  f.replFlightSink(rs.ringID, rs.ringID),
 		Counters: f.Repl,
 		ShipHist: f.cfg.Obs.Reg().Histogram(metrics.HistReplShip),
 	})
@@ -173,6 +182,7 @@ func (f *Framework) setupReplica(rs *replShard, l *space.Local, srv *transport.S
 		FailoverTimeout: f.cfg.FailoverTimeout,
 		LeaseExpired:    func() bool { return !f.ringRegistered(rs.ringID) },
 		OnPromote:       func(epoch uint64) { f.promote(rs, epoch) },
+		OnEvent:         f.detectFlightSink(baddr, rs.ringID),
 		Counters:        f.Repl,
 	})
 	b.Bind(bsrv)
@@ -241,6 +251,8 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 		Epoch:    epoch,
 		Ack:      f.cfg.ReplAck,
 		Renew:    func() { rs.renewRegistration(f) },
+		OnFenced: f.fencedHook(node.addr, rs.ringID),
+		OnEvent:  f.replFlightSink(node.addr, rs.ringID),
 		Counters: f.Repl,
 		ShipHist: f.cfg.Obs.Reg().Histogram(metrics.HistReplShip),
 	})
@@ -260,23 +272,42 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 	}
 	handle = p.Wrap(handle)
 
+	// The promotion is the root of the failover span tree: its context and
+	// causal stamp ride the new registration (and the local resolver), so
+	// every router that retargets onto this node — in-process or across
+	// the lookup service — parents its retarget span under this one and
+	// orders its flight events after it.
+	var pctx obs.TraceContext
+	var stamp uint64
+	if f.cfg.Obs != nil {
+		sp := f.cfg.Obs.T().StartRoot(f.Clock, "failover", node.addr)
+		pctx = sp.Context()
+		sp.End()
+		stamp = f.flight(node.addr, obs.FlightEvent{
+			Kind: obs.EventPromote, Shard: rs.ringID, Epoch: epoch,
+			Trace: pctx.TraceID, Span: pctx.SpanID,
+		})
+	}
+
 	// Re-register under the ring position at the new epoch. The deposed
 	// registration is left to lapse (its owner may be partitioned, not
 	// dead); every resolver picks the highest epoch meanwhile.
 	if backupRegID != 0 {
 		_ = f.Lookup.Cancel(backupRegID)
 	}
+	attrs := map[string]string{
+		"type":           "javaspace",
+		shard.AttrShard:  strconv.Itoa(rs.idx),
+		shard.AttrShards: strconv.Itoa(f.cfg.Shards),
+		shard.AttrRing:   rs.ringID,
+		shard.AttrRole:   shard.RolePrimary,
+		shard.AttrEpoch:  strconv.FormatUint(epoch, 10),
+	}
+	shard.SetCtrlAttrs(attrs, pctx, stamp)
 	id := f.Lookup.Register(discovery.ServiceItem{
-		Name:    "javaspace",
-		Address: node.addr,
-		Attributes: map[string]string{
-			"type":           "javaspace",
-			shard.AttrShard:  strconv.Itoa(rs.idx),
-			shard.AttrShards: strconv.Itoa(f.cfg.Shards),
-			shard.AttrRing:   rs.ringID,
-			shard.AttrRole:   shard.RolePrimary,
-			shard.AttrEpoch:  strconv.FormatUint(epoch, 10),
-		},
+		Name:       "javaspace",
+		Address:    node.addr,
+		Attributes: attrs,
 	}, f.replLeaseTTL())
 
 	rs.mu.Lock()
@@ -286,6 +317,7 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 	rs.regID = id
 	rs.backupRegID = 0
 	rs.stops = append(rs.stops, p)
+	rs.trace, rs.clk = pctx, stamp
 	rs.mu.Unlock()
 
 	// Expired-entry bookkeeping moves with the serving space, and the
@@ -296,7 +328,9 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 	// the new registration through their Failover resolver on the next
 	// hard failure.
 	if f.router != nil {
-		_ = f.router.Retarget(rs.ringID, handle, epoch)
+		_ = f.router.RetargetTraced(shard.Shard{
+			ID: rs.ringID, Space: handle, Epoch: epoch, Trace: pctx, Clk: stamp,
+		})
 	}
 	f.spawnRepl(p.Run)
 }
@@ -353,11 +387,12 @@ func (f *Framework) localResolver() func(string) (shard.Shard, error) {
 			}
 			rs.mu.Lock()
 			h, e := rs.handle, rs.epoch
+			tc, clk := rs.trace, rs.clk
 			rs.mu.Unlock()
 			if h == nil {
 				return shard.Shard{}, fmt.Errorf("core: ring %q has not failed over", ringID)
 			}
-			return shard.Shard{ID: ringID, Space: h, Epoch: e}, nil
+			return shard.Shard{ID: ringID, Space: h, Epoch: e, Trace: tc, Clk: clk}, nil
 		}
 		return shard.Shard{}, fmt.Errorf("core: unknown ring %q", ringID)
 	}
@@ -390,6 +425,9 @@ func (f *Framework) KillShardPrimary(i int) error {
 	if node.durable != nil {
 		_ = node.durable.Close()
 	}
+	f.flight(node.addr, obs.FlightEvent{
+		Kind: obs.EventKill, Shard: rs.ringID, Epoch: p.Epoch(),
+	})
 	return nil
 }
 
@@ -428,6 +466,7 @@ func (f *Framework) RejoinShard(i int) error {
 		return fmt.Errorf("core: shard %d rejoin journal: %w", i, err)
 	}
 	fresh.TS.SetMemoCounters(f.Retries)
+	fresh.TS.SetFlightSink(f.memoFlightSink(node.addr, rs.ringID))
 	// The replNode fields are read under rs.mu by healthReport and
 	// promote from other goroutines; swap them under the same lock.
 	rs.mu.Lock()
@@ -441,6 +480,7 @@ func (f *Framework) RejoinShard(i int) error {
 		FailoverTimeout: f.cfg.FailoverTimeout,
 		LeaseExpired:    func() bool { return !f.ringRegistered(rs.ringID) },
 		OnPromote:       func(e uint64) { f.promote(rs, e) },
+		OnEvent:         f.detectFlightSink(node.addr, rs.ringID),
 		Counters:        f.Repl,
 	})
 	b2.Bind(node.srv) // replaces the deposed node's replica handlers
@@ -454,6 +494,22 @@ func (f *Framework) RejoinShard(i int) error {
 	rs.stops = append(rs.stops, b2)
 	rs.backupRegID = id
 	rs.mu.Unlock()
+
+	// The rejoin belongs to the failover's span tree: the deposed node
+	// returning as standby is a consequence of the promotion, so its span
+	// parents under the promotion's root.
+	rs.mu.Lock()
+	tc := rs.trace
+	rs.mu.Unlock()
+	if f.cfg.Obs != nil {
+		sp := f.cfg.Obs.T().StartChild(f.Clock, tc, "rejoin", node.addr)
+		ctx := sp.Context()
+		sp.End()
+		f.flight(node.addr, obs.FlightEvent{
+			Kind: obs.EventRejoin, Shard: rs.ringID, Epoch: epoch,
+			Trace: ctx.TraceID, Span: ctx.SpanID,
+		})
+	}
 
 	// Attach the standby: the promoted primary pushes its full state and
 	// the incremental stream resumes behind it.

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemberSnapshot is one federation member's point-in-time metric view —
+// typically one shard's, read off whichever replica currently serves its
+// ring position. Keys follow the same "<subsystem>:<metric>" convention
+// as the canonical names (see the Fed* constants in names.go); exporters
+// attach the member name as a per-shard label.
+type MemberSnapshot struct {
+	Name     string
+	Counters map[string]uint64
+	Gauges   map[string]int64
+	Hists    map[string]HistogramSnapshot
+}
+
+// Federation aggregates per-member metric snapshots into one cluster
+// view. Providers are registered once (the framework adds one producing a
+// snapshot per hosted shard) and polled at render time, so the federated
+// /metrics page always reflects live state — including shards born from a
+// split after registration. All methods are safe on a nil *Federation.
+type Federation struct {
+	mu        sync.Mutex
+	providers []func() []MemberSnapshot
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation { return &Federation{} }
+
+// Add registers a snapshot provider.
+func (f *Federation) Add(fn func() []MemberSnapshot) {
+	if f == nil || fn == nil {
+		return
+	}
+	f.mu.Lock()
+	f.providers = append(f.providers, fn)
+	f.mu.Unlock()
+}
+
+// Snapshot polls every provider and returns the members sorted by name.
+func (f *Federation) Snapshot() []MemberSnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	providers := append([]func() []MemberSnapshot(nil), f.providers...)
+	f.mu.Unlock()
+	var out []MemberSnapshot
+	for _, fn := range providers {
+		out = append(out, fn()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

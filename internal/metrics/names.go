@@ -61,6 +61,18 @@ const (
 	CounterReshardAborted  = "reshard:aborted"          // migrations abandoned (source failover, errors)
 )
 
+// Federated per-shard metric keys (metrics.MemberSnapshot). Rendered by
+// obs.WriteClusterMetrics with a {shard="<ring>"} label per member.
+const (
+	FedEntries     = "cluster:entries"      // gauge: live tuple count on the serving replica
+	FedMemoEntries = "cluster:memo_entries" // gauge: exactly-once memo table size
+	FedEpoch       = "cluster:epoch"        // gauge: serving replication epoch
+	FedOps         = "cluster:ops"          // gauge: cumulative served space operations
+	FedWALPosition = "cluster:wal_position" // gauge: write-ahead log position
+	FedDedupHits   = "cluster:dedup_hits"   // counter: memo-table dedup answers
+	FedServe       = "cluster:serve"        // histogram: server-side space-op service time
+)
+
 // Histogram names (metrics.Registry).
 const (
 	// HistSpacePrefix prefixes the master-side per-operation space
@@ -93,6 +105,12 @@ const (
 	GaugeResultsCollected = "master:results_collected" // results aggregated since start
 	GaugeWorkersRunning   = "cluster:workers_running"  // workers currently in the Running state
 	GaugeTopologyEpoch    = "reshard:topology_epoch"   // ring topology epoch (0 until first reshard)
+
+	// Flight recorder (internal/obs). Depth/dropped mirror what /healthz
+	// reports; clk is the causal clock's latest Lamport stamp.
+	GaugeFlightDepth   = "flight:depth"
+	GaugeFlightDropped = "flight:dropped"
+	GaugeFlightClk     = "flight:clk"
 )
 
 // HistShardServe names shard i's server-side space-op service time

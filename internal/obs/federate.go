@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteClusterMetrics renders the federated per-shard view in Prometheus
+// text exposition format: every member's counters, gauges and histograms
+// with a {shard="<name>"} label, so one scrape of the master shows the
+// whole ring side by side. Metric keys come from the members' snapshots
+// (the metrics.Fed* constants); spelling follows WriteMetrics — counters
+// get a _total suffix, histograms _seconds with cumulative le buckets.
+func WriteClusterMetrics(w io.Writer, o *Obs) {
+	if o == nil {
+		return
+	}
+	members := o.Fed().Snapshot()
+	for _, m := range members {
+		label := fmt.Sprintf("{shard=%q}", m.Name)
+		for _, k := range sortedKeys(m.Counters) {
+			name := "gospaces_" + sanitize(k) + "_total"
+			fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, label, m.Counters[k])
+		}
+		for _, k := range sortedKeysI64(m.Gauges) {
+			name := "gospaces_" + sanitize(k)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, label, m.Gauges[k])
+		}
+		hkeys := make([]string, 0, len(m.Hists))
+		for k := range m.Hists {
+			hkeys = append(hkeys, k)
+		}
+		sort.Strings(hkeys)
+		for _, k := range hkeys {
+			s := m.Hists[k]
+			if s.Count == 0 {
+				continue
+			}
+			name := "gospaces_" + sanitize(k) + "_seconds"
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum uint64
+			top := s.NumBuckets() - 1
+			for top > 0 && s.Counts[top] == 0 {
+				top--
+			}
+			for i := 0; i <= top; i++ {
+				cum += s.Counts[i]
+				le := float64(s.BucketUpper(i)) / float64(time.Second)
+				fmt.Fprintf(w, "%s_bucket{shard=%q,le=%q} %d\n", name, m.Name, trimFloat(le), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{shard=%q,le=\"+Inf\"} %d\n", name, m.Name, s.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", name, label, trimFloat(float64(s.Sum)/float64(time.Second)))
+			fmt.Fprintf(w, "%s_count%s %d\n", name, label, s.Count)
+		}
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysI64(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// Flight-recorder event kinds. Control-plane producers use these
+// constants so dumps and the `expt timeline` renderer agree on spelling.
+const (
+	EventNodeStart    = "node:start"        // a node (master, worker, shard server) came up
+	EventDetect       = "repl:detect"       // a backup's monitor decided its primary is gone
+	EventPromote      = "repl:promote"      // a backup promoted itself over a silent primary
+	EventFenced       = "repl:fenced"       // a deposed primary rejected a stale-epoch request
+	EventResync       = "repl:resync"       // a primary pushed a full snapshot re-sync
+	EventDegraded     = "repl:degraded"     // a primary gave up shipping (backup unreachable)
+	EventRejoin       = "repl:rejoin"       // a deposed node rejoined as the hot standby
+	EventKill         = "repl:kill"         // a chaos kill of a serving primary
+	EventRetarget     = "failover:retarget" // a router swapped a ring position onto a newer epoch
+	EventRetryAttempt = "retry:attempt"     // an exactly-once mutation re-issued its token
+	EventRetryAmbig   = "retry:ambiguous"   // a reply-lost outcome entered the retry path
+	EventDedupHit     = "dedup:hit"         // a shard answered a retried op from its memo table
+	EventWALRotate    = "wal:rotate"        // a shard's write-ahead log rotated segments
+	EventWALSnapshot  = "wal:snapshot"      // a shard wrote a compaction snapshot
+	EventShardRestart = "shard:restart"     // a durable shard crash-restarted from its log
+	EventSplitPhase   = "reshard:phase"     // a split/merge crossed a phase boundary
+	EventSplitDone    = "reshard:split"     // a shard split completed
+	EventMergeDone    = "reshard:merge"     // a shard merge completed
+	EventTopoPublish  = "topo:publish"      // the master published a new ring topology
+	EventTopoAdopt    = "topo:adopt"        // a router adopted a published topology
+)
+
+// FlightEvent is one structured control-plane event in a node's flight
+// ring: what happened (Kind/Detail), where (Node/Shard/Epoch), and when —
+// both on the wall/virtual clock and on the cluster's causal clock. Trace
+// and Span optionally link the event into the control-plane span tree.
+type FlightEvent struct {
+	Seq    uint64    `json:"seq"` // per-node record sequence, 1-based
+	Clk    uint64    `json:"clk"` // Lamport stamp from the shared causal clock
+	Wall   time.Time `json:"wall,omitempty"`
+	Node   string    `json:"node"`
+	Shard  string    `json:"shard,omitempty"` // ring ID (or "shard<i>") when shard-scoped
+	Epoch  uint64    `json:"epoch,omitempty"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+	Trace  uint64    `json:"trace,omitempty"`
+	Span   uint64    `json:"span,omitempty"`
+}
+
+// flightKeep bounds each node's ring buffer.
+const flightKeep = 1024
+
+// flightRing is one node's bounded event buffer.
+type flightRing struct {
+	buf     []FlightEvent
+	next    int // ring write position once full
+	seq     uint64
+	dropped uint64
+}
+
+// FlightRecorder keeps a bounded per-node ring buffer of control-plane
+// events, each stamped from one shared vclock.Causal — so per-node dumps
+// merge into a single totally-ordered cluster timeline (MergeTimelines).
+// Recording is a mutex acquire plus a slice store: safe to call under
+// space or controller locks, and safe on a nil *FlightRecorder.
+type FlightRecorder struct {
+	causal *vclock.Causal
+
+	mu    sync.Mutex
+	nodes map[string]*flightRing
+}
+
+// NewFlightRecorder returns an empty recorder with its own causal clock.
+func NewFlightRecorder() *FlightRecorder {
+	return &FlightRecorder{causal: &vclock.Causal{}, nodes: make(map[string]*flightRing)}
+}
+
+// Record stamps ev (Seq from the node's ring, Clk from the causal clock,
+// Wall from clk when non-nil) and appends it to ev.Node's ring, returning
+// the causal stamp. A nil recorder records nothing and returns 0.
+func (r *FlightRecorder) Record(clk vclock.Clock, ev FlightEvent) uint64 {
+	if r == nil {
+		return 0
+	}
+	if ev.Node == "" {
+		ev.Node = "?"
+	}
+	if clk != nil {
+		ev.Wall = clk.Now()
+	}
+	ev.Clk = r.causal.Tick()
+	r.mu.Lock()
+	ring := r.nodes[ev.Node]
+	if ring == nil {
+		ring = &flightRing{}
+		r.nodes[ev.Node] = ring
+	}
+	ring.seq++
+	ev.Seq = ring.seq
+	if len(ring.buf) < flightKeep {
+		ring.buf = append(ring.buf, ev)
+	} else {
+		ring.buf[ring.next] = ev
+		ring.next = (ring.next + 1) % flightKeep
+		ring.dropped++
+	}
+	r.mu.Unlock()
+	return ev.Clk
+}
+
+// Observe merges a causal stamp carried by a remote message (a topology
+// record, a promoted registration) into the recorder's clock, so events
+// recorded after the receipt order strictly after the sender's.
+func (r *FlightRecorder) Observe(stamp uint64) {
+	if r == nil || stamp == 0 {
+		return
+	}
+	r.causal.Observe(stamp)
+}
+
+// Clk returns the causal clock's current stamp — the last event's stamp
+// (or the last observed remote stamp, whichever is later).
+func (r *FlightRecorder) Clk() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.causal.Now()
+}
+
+// Depth is the total number of events currently retained across all
+// node rings.
+func (r *FlightRecorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ring := range r.nodes {
+		n += len(ring.buf)
+	}
+	return n
+}
+
+// Dropped is the total number of events evicted by the bounded rings.
+func (r *FlightRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n uint64
+	for _, ring := range r.nodes {
+		n += ring.dropped
+	}
+	return n
+}
+
+// Nodes lists the node names with a ring, sorted.
+func (r *FlightRecorder) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns node's retained events in record order.
+func (r *FlightRecorder) Events(node string) []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring := r.nodes[node]
+	if ring == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(ring.buf))
+	out = append(out, ring.buf[ring.next:]...)
+	out = append(out, ring.buf[:ring.next]...)
+	return out
+}
+
+// Timeline merges every node's retained events into one causal cluster
+// timeline.
+func (r *FlightRecorder) Timeline() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	dumps := make([][]FlightEvent, 0, 4)
+	for _, n := range r.Nodes() {
+		dumps = append(dumps, r.Events(n))
+	}
+	return MergeTimelines(dumps...)
+}
+
+// FlightDump is the serialized recorder state: the /debug/flight payload
+// and the scenario harness's failure artifact.
+type FlightDump struct {
+	Depth   int           `json:"depth"`
+	Dropped uint64        `json:"dropped"`
+	Clk     uint64        `json:"clk"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// Dump snapshots the recorder as a merged-timeline dump.
+func (r *FlightRecorder) Dump() FlightDump {
+	return FlightDump{
+		Depth:   r.Depth(),
+		Dropped: r.Dropped(),
+		Clk:     r.Clk(),
+		Events:  r.Timeline(),
+	}
+}
+
+// MergeTimelines merges per-node event dumps into one total order
+// consistent with the causal stamps: sorted by (Clk, Node, Seq). Stamps
+// from one shared causal clock are unique, so the merged order is exactly
+// the cluster-wide happened-before order; stamps from per-process clocks
+// (a TCP deployment's nodes dumped separately) tie-break by node name,
+// which is still consistent with every per-node order.
+func MergeTimelines(dumps ...[]FlightEvent) []FlightEvent {
+	var out []FlightEvent
+	for _, d := range dumps {
+		out = append(out, d...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Clk != b.Clk {
+			return a.Clk < b.Clk
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// CheckTimeline verifies a merged timeline is causally consistent: within
+// every node the causal stamps must increase with the record sequence, and
+// within every shard the recorded epochs must never regress along the
+// merged order. A violation means the dump cannot be trusted as a cluster
+// history — the scenario harness reports it as an invariant failure.
+func CheckTimeline(events []FlightEvent) error {
+	type nodeLast struct {
+		seq, clk uint64
+	}
+	lastByNode := make(map[string]nodeLast)
+	epochByShard := make(map[string]uint64)
+	merged := MergeTimelines(events)
+	for _, ev := range merged {
+		if last, ok := lastByNode[ev.Node]; ok {
+			if ev.Seq > last.seq && ev.Clk <= last.clk {
+				return fmt.Errorf("node %s: event seq %d (clk %d) not after seq %d (clk %d)",
+					ev.Node, ev.Seq, ev.Clk, last.seq, last.clk)
+			}
+		}
+		if cur := lastByNode[ev.Node]; ev.Seq > cur.seq {
+			lastByNode[ev.Node] = nodeLast{seq: ev.Seq, clk: ev.Clk}
+		}
+		if ev.Epoch != 0 && ev.Shard != "" && epochKinds[ev.Kind] {
+			if prev := epochByShard[ev.Shard]; ev.Epoch < prev {
+				return fmt.Errorf("shard %s: epoch %d (%s, clk %d) after epoch %d in causal order",
+					ev.Shard, ev.Epoch, ev.Kind, ev.Clk, prev)
+			}
+			epochByShard[ev.Shard] = ev.Epoch
+		}
+	}
+	return nil
+}
+
+// epochKinds are the event kinds whose Epoch field is a per-shard (or,
+// for topology events, per-ring) monotone counter that CheckTimeline can
+// hold to the vclock order. Retry/fence events carry the epoch an attempt
+// *saw*, which legitimately lags.
+var epochKinds = map[string]bool{
+	EventPromote:     true,
+	EventRetarget:    true,
+	EventTopoPublish: true,
+	EventTopoAdopt:   true,
+}
+
+// WriteFlightText renders a merged timeline human-readably, one event per
+// line in causal order — the `expt timeline` output.
+func WriteFlightText(w io.Writer, events []FlightEvent) {
+	merged := MergeTimelines(events)
+	fmt.Fprintf(w, "%6s  %-18s %-22s %5s  %-18s %s\n", "CLK", "NODE", "SHARD", "EPOCH", "KIND", "DETAIL")
+	for _, ev := range merged {
+		epoch := ""
+		if ev.Epoch != 0 {
+			epoch = fmt.Sprintf("%d", ev.Epoch)
+		}
+		detail := ev.Detail
+		if ev.Trace != 0 {
+			if detail != "" {
+				detail += " "
+			}
+			detail += fmt.Sprintf("[trace %016x]", ev.Trace)
+		}
+		fmt.Fprintf(w, "%6d  %-18s %-22s %5s  %-18s %s\n", ev.Clk, ev.Node, ev.Shard, epoch, ev.Kind, detail)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlightRingBounds: a node's ring retains at most flightKeep events,
+// evicting the oldest, and the drop count matches what was evicted.
+func TestFlightRingBounds(t *testing.T) {
+	fl := NewFlightRecorder()
+	const extra = 10
+	for i := 0; i < flightKeep+extra; i++ {
+		fl.Record(nil, FlightEvent{Node: "a", Kind: EventRetryAttempt})
+	}
+	if d := fl.Depth(); d != flightKeep {
+		t.Fatalf("depth = %d, want %d", d, flightKeep)
+	}
+	if d := fl.Dropped(); d != extra {
+		t.Fatalf("dropped = %d, want %d", d, extra)
+	}
+	evs := fl.Events("a")
+	if len(evs) != flightKeep {
+		t.Fatalf("retained %d events, want %d", len(evs), flightKeep)
+	}
+	// Oldest survivor is the (extra+1)th record; order is record order.
+	if evs[0].Seq != extra+1 || evs[len(evs)-1].Seq != flightKeep+extra {
+		t.Fatalf("retained seqs [%d, %d], want [%d, %d]",
+			evs[0].Seq, evs[len(evs)-1].Seq, extra+1, flightKeep+extra)
+	}
+}
+
+// TestFlightMergeTotalOrder: per-node dumps merge by (clk, node, seq)
+// into one order consistent with every per-node order, and a dump from
+// one shared clock checks clean.
+func TestFlightMergeTotalOrder(t *testing.T) {
+	fl := NewFlightRecorder()
+	fl.Record(nil, FlightEvent{Node: "b", Kind: EventNodeStart})
+	fl.Record(nil, FlightEvent{Node: "a", Kind: EventNodeStart})
+	fl.Record(nil, FlightEvent{Node: "b", Kind: EventDetect})
+	merged := MergeTimelines(fl.Events("a"), fl.Events("b"))
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Clk <= merged[i-1].Clk {
+			t.Fatalf("merged clks not strictly increasing: %+v", merged)
+		}
+	}
+	if merged[0].Node != "b" || merged[1].Node != "a" || merged[2].Node != "b" {
+		t.Fatalf("merged node order %s,%s,%s, want b,a,b",
+			merged[0].Node, merged[1].Node, merged[2].Node)
+	}
+	if err := CheckTimeline(merged); err != nil {
+		t.Fatalf("clean timeline rejected: %v", err)
+	}
+}
+
+// TestFlightObserveOrdersAcrossRecorders: threading a stamp through
+// Observe (the Topology.Clk / promoted-registration path) orders the
+// receiver's later events strictly after the sender's.
+func TestFlightObserveOrdersAcrossRecorders(t *testing.T) {
+	sender, receiver := NewFlightRecorder(), NewFlightRecorder()
+	stamp := sender.Record(nil, FlightEvent{Node: "master", Shard: "ring", Epoch: 1, Kind: EventTopoPublish})
+	receiver.Observe(stamp)
+	receiver.Record(nil, FlightEvent{Node: "node01", Shard: "ring", Epoch: 1, Kind: EventTopoAdopt})
+	merged := MergeTimelines(sender.Events("master"), receiver.Events("node01"))
+	if merged[0].Kind != EventTopoPublish || merged[1].Kind != EventTopoAdopt {
+		t.Fatalf("publish not ordered before adoption: %+v", merged)
+	}
+	if merged[1].Clk <= stamp {
+		t.Fatalf("adoption clk %d not after publish stamp %d", merged[1].Clk, stamp)
+	}
+}
+
+// TestFlightCheckTimelineViolations: CheckTimeline rejects per-node clk
+// regressions and per-shard epoch regressions, and ignores epoch lag on
+// kinds outside epochKinds (a fence legitimately reports a stale epoch).
+func TestFlightCheckTimelineViolations(t *testing.T) {
+	clkRegress := []FlightEvent{
+		{Node: "a", Seq: 1, Clk: 5, Kind: EventNodeStart},
+		{Node: "a", Seq: 2, Clk: 5, Kind: EventDetect},
+	}
+	if err := CheckTimeline(clkRegress); err == nil || !strings.Contains(err.Error(), "node a") {
+		t.Fatalf("clk regression not caught: %v", err)
+	}
+	epochRegress := []FlightEvent{
+		{Node: "a", Seq: 1, Clk: 1, Shard: "s0", Epoch: 3, Kind: EventPromote},
+		{Node: "b", Seq: 1, Clk: 2, Shard: "s0", Epoch: 2, Kind: EventRetarget},
+	}
+	if err := CheckTimeline(epochRegress); err == nil || !strings.Contains(err.Error(), "shard s0") {
+		t.Fatalf("epoch regression not caught: %v", err)
+	}
+	fencedLag := []FlightEvent{
+		{Node: "a", Seq: 1, Clk: 1, Shard: "s0", Epoch: 3, Kind: EventPromote},
+		{Node: "b", Seq: 1, Clk: 2, Shard: "s0", Epoch: 1, Kind: EventFenced},
+	}
+	if err := CheckTimeline(fencedLag); err != nil {
+		t.Fatalf("fence with a lagging epoch wrongly rejected: %v", err)
+	}
+	if err := CheckTimeline(nil); err != nil {
+		t.Fatalf("empty timeline rejected: %v", err)
+	}
+}
+
+// TestFlightNilSafe: every recorder method is a no-op on nil.
+func TestFlightNilSafe(t *testing.T) {
+	var fl *FlightRecorder
+	if got := fl.Record(nil, FlightEvent{Node: "a"}); got != 0 {
+		t.Fatalf("nil Record = %d, want 0", got)
+	}
+	fl.Observe(7)
+	if fl.Depth() != 0 || fl.Dropped() != 0 || fl.Clk() != 0 ||
+		fl.Nodes() != nil || fl.Events("a") != nil || fl.Timeline() != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}

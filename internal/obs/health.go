@@ -44,6 +44,13 @@ type Health struct {
 	// first reshard).
 	TopologyEpoch uint64        `json:"topology_epoch,omitempty"`
 	Shards        []ShardHealth `json:"shards,omitempty"`
+	// Flight recorder vitals (filled by the /healthz handler from the
+	// Obs's recorder, not by health providers): retained event count,
+	// ring evictions, and the causal clock's latest Lamport stamp. Not
+	// omitempty — a zeroed recorder is itself a liveness signal.
+	FlightDepth   int    `json:"flight_depth"`
+	FlightDropped uint64 `json:"flight_dropped"`
+	FlightClk     uint64 `json:"flight_clk"`
 }
 
 var healthMu sync.Mutex

@@ -28,7 +28,27 @@ func Handler(o *Obs) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(o.HealthReport())
+		h := o.HealthReport()
+		if fl := o.Fl(); fl != nil {
+			h.FlightDepth = fl.Depth()
+			h.FlightDropped = fl.Dropped()
+			h.FlightClk = fl.Clk()
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/metrics/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteClusterMetrics(w, o)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		var dump FlightDump
+		if fl := o.Fl(); fl != nil {
+			dump = fl.Dump()
+		}
+		_ = enc.Encode(dump)
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -44,7 +64,7 @@ func Handler(o *Obs) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "gospaces ops surface: /metrics /healthz /tracez /debug/pprof/")
+		fmt.Fprintln(w, "gospaces ops surface: /metrics /metrics/cluster /healthz /tracez /debug/flight /debug/pprof/")
 	})
 	return mux
 }

@@ -12,6 +12,12 @@ type Obs struct {
 	Tracer   *Tracer
 	Registry *metrics.Registry
 	Counters *metrics.Counters
+	// Flight is the control-plane flight recorder: bounded per-node rings
+	// of causally-stamped events, served at /debug/flight.
+	Flight *FlightRecorder
+	// Federation aggregates per-shard metric snapshots into the
+	// cluster-level /metrics/cluster view.
+	Federation *metrics.Federation
 
 	// health, when set via SetHealth, backs the /healthz endpoint
 	// (guarded by the package healthMu — Obs predates having any mutable
@@ -22,11 +28,21 @@ type Obs struct {
 // New returns a fully-enabled Obs whose tracer IDs are seeded for
 // reproducible traces.
 func New(seed int64) *Obs {
-	return &Obs{
-		Tracer:   NewTracer(seed),
-		Registry: metrics.NewRegistry(),
-		Counters: metrics.NewCounters(),
+	o := &Obs{
+		Tracer:     NewTracer(seed),
+		Registry:   metrics.NewRegistry(),
+		Counters:   metrics.NewCounters(),
+		Flight:     NewFlightRecorder(),
+		Federation: metrics.NewFederation(),
 	}
+	// The recorder's own vitals are ordinary gauges, so every exporter
+	// (and scripts/obs_smoke.sh) sees flight-ring health beside the data
+	// it guards.
+	fl := o.Flight
+	o.Registry.RegisterGauge(metrics.GaugeFlightDepth, func() int64 { return int64(fl.Depth()) })
+	o.Registry.RegisterGauge(metrics.GaugeFlightDropped, func() int64 { return int64(fl.Dropped()) })
+	o.Registry.RegisterGauge(metrics.GaugeFlightClk, func() int64 { return int64(fl.Clk()) })
+	return o
 }
 
 // T returns the tracer (nil when o is nil).
@@ -61,4 +77,21 @@ func (o *Obs) Ctr() *metrics.Counters {
 		return nil
 	}
 	return o.Counters
+}
+
+// Fl returns the flight recorder (nil when o is nil; a nil recorder
+// swallows Record calls).
+func (o *Obs) Fl() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// Fed returns the metrics federation (nil when o is nil).
+func (o *Obs) Fed() *metrics.Federation {
+	if o == nil {
+		return nil
+	}
+	return o.Federation
 }

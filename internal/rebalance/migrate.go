@@ -76,6 +76,17 @@ type Migration struct {
 	// Counters, when set, receives reshard:entries_migrated and
 	// reshard:entries_evicted.
 	Counters *metrics.Counters
+	// OnEvent, when set, receives phase-boundary notifications for the
+	// cluster flight recorder: "fork" after the destination goes live,
+	// "settle" after the cutover barrier clears, "drain" after the
+	// lame-duck sweep. Called outside any space mutex.
+	OnEvent func(kind, detail string)
+}
+
+func (m *Migration) event(kind, detail string) {
+	if m.OnEvent != nil {
+		m.OnEvent(kind, detail)
+	}
 }
 
 func (m *Migration) settleEvery() time.Duration {
@@ -120,6 +131,7 @@ func (m *Migration) Fork() (int, error) {
 	if m.Counters != nil {
 		m.Counters.AddN(metrics.CounterReshardMigrated, uint64(len(snap)))
 	}
+	m.event("fork", fmt.Sprintf("%d records snapshotted", len(snap)))
 	return len(snap), nil
 }
 
@@ -168,6 +180,7 @@ func (m *Migration) SettleUntilClear(maxWait time.Duration) (int, error) {
 			return total, err
 		}
 		if locked == 0 {
+			m.event("settle", fmt.Sprintf("%d evicted", total))
 			return total, nil
 		}
 		if m.Clock.Now().After(deadline) {
@@ -200,6 +213,7 @@ func (m *Migration) Drain(window time.Duration) (int, error) {
 		// or aborts and the next pass evicts it); abandoning it would
 		// strand it on the old owner where the new ring never looks.
 		if locked == 0 && !m.Clock.Now().Before(deadline) {
+			m.event("drain", fmt.Sprintf("%d evicted", total))
 			return total, nil
 		}
 		m.Clock.Sleep(m.settleEvery())

@@ -32,6 +32,11 @@ type BackupOptions struct {
 	// layer uses it to bind the space service, re-register under the ring
 	// position, and swap sweepers.
 	OnPromote func(epoch uint64)
+	// OnEvent, when set, receives failure-detection transitions for the
+	// cluster flight recorder: kind "detect" fires when the monitor decides
+	// to promote, with the trigger ("heartbeat silent" or "lease expired")
+	// as detail. Called from the monitor process, outside b.mu.
+	OnEvent func(kind, detail string)
 
 	Counters *metrics.Counters
 }
@@ -230,6 +235,13 @@ func (b *Backup) Run() {
 		}
 		leaseGone := b.opts.LeaseExpired != nil && b.opts.LeaseExpired()
 		if silent || leaseGone {
+			if b.opts.OnEvent != nil {
+				reason := "heartbeat silent"
+				if leaseGone {
+					reason = "lease expired"
+				}
+				b.opts.OnEvent("detect", reason)
+			}
 			b.Promote()
 			return
 		}

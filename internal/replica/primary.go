@@ -33,6 +33,11 @@ type PrimaryOptions struct {
 	// OnFenced, when set, is called once when the primary learns it has
 	// been deposed (a replication RPC came back ErrFenced).
 	OnFenced func(epoch uint64)
+	// OnEvent, when set, receives control-plane state transitions for the
+	// cluster flight recorder: kind "resync" after a successful snapshot
+	// push, "degraded" when the backup first becomes unreachable. Called
+	// outside the controller's mutex, never from under the space mutex.
+	OnEvent func(kind, detail string)
 
 	Counters *metrics.Counters
 	ShipHist *metrics.Histogram
@@ -276,6 +281,9 @@ func (p *Primary) resyncLocked(mirror transport.Client) error {
 		return err
 	}
 	p.count(metrics.CounterReplResyncs, 1)
+	if p.opts.OnEvent != nil {
+		p.opts.OnEvent("resync", fmt.Sprintf("epoch %d seq %d", epoch, seqMark))
+	}
 	return nil
 }
 
@@ -329,9 +337,13 @@ func (p *Primary) shipResult(err error) error {
 		return p.flushLocked() // shipMu already held by the caller
 	default:
 		p.mu.Lock()
+		already := p.degraded
 		p.degraded = true
 		p.mu.Unlock()
 		p.count(metrics.CounterReplShipErrors, 1)
+		if !already && p.opts.OnEvent != nil {
+			p.opts.OnEvent("degraded", err.Error())
+		}
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"gospaces/internal/apps/raytrace"
 	"gospaces/internal/core"
 	"gospaces/internal/e2e/harness"
+	"gospaces/internal/obs"
 	"gospaces/internal/tuplespace"
 	"gospaces/internal/wal"
 )
@@ -34,6 +35,11 @@ type Report struct {
 	FaultEvents map[string]uint64 `json:"fault_events,omitempty"`
 	// VirtualElapsed is the run's span on the virtual clock.
 	VirtualElapsed time.Duration `json:"virtual_elapsed"`
+	// Timeline is the run's merged causal flight-recorder timeline — the
+	// forensic record a failing seed's artifact carries so the control-
+	// plane history (promotions, retargets, reshard phases, topology
+	// adoptions) can be read without re-running the manifest.
+	Timeline []obs.FlightEvent `json:"timeline,omitempty"`
 	// Result is the full framework result for post-hoc inspection.
 	Result core.Result `json:"-"`
 }
@@ -86,6 +92,10 @@ func Run(m Manifest) Report {
 		ttl = 8 * time.Second
 	}
 	st := &runState{m: m, kills: make([]int, m.Shards)}
+	// The flight recorder is seeded like everything else: two same-seed
+	// runs produce byte-identical timelines (modulo wall stamps, which
+	// come off the virtual clock and so are identical too).
+	o := obs.New(m.Seed)
 	out, runErr := harness.Run(harness.RunSpec{
 		Workers: m.Workers,
 		Plan:    plan,
@@ -100,6 +110,7 @@ func Run(m Manifest) Report {
 			OpTimeout:     m.OpTimeout,
 			ExactlyOnce:   m.ExactlyOnce,
 			ResultTimeout: 10 * time.Minute,
+			Obs:           o,
 		},
 		Job:    app.job,
 		Script: st.script,
@@ -112,6 +123,14 @@ func Run(m Manifest) Report {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("run failed: %v", runErr))
 	}
 	rep.Violations = append(rep.Violations, checkInvariants(m, out, st, app)...)
+
+	// Capture the merged causal timeline before anything closes the
+	// framework, then hold it to the vclock consistency rules: per-node
+	// stamps monotone, per-shard epochs non-regressing in causal order.
+	rep.Timeline = o.Fl().Timeline()
+	if err := obs.CheckTimeline(rep.Timeline); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("flight timeline: %v", err))
+	}
 
 	// The WAL-recovery check closes the framework and reopens each
 	// shard's log; everything else must be read before it runs.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 	"gospaces/internal/tuplespace"
 )
@@ -85,7 +86,71 @@ func (r *Router) tryFailover(id string) bool {
 	if r.opts.Counters != nil {
 		r.opts.Counters.Inc(metrics.CounterReplFailovers)
 	}
+	r.noteRetarget(id, s)
 	return true
+}
+
+// noteRetarget threads a resolved shard's control-plane context into the
+// router after a successful retarget: the resolved registration carried
+// the promotion's span context and causal stamp. Observing the stamp
+// orders this router's subsequent flight events after the promotion; the
+// retarget span (a child of the promotion) becomes the parent for every
+// retry this failover heals.
+func (r *Router) noteRetarget(id string, s Shard) {
+	r.opts.Obs.Fl().Observe(s.Clk)
+	sp := r.opts.Obs.T().StartChild(r.opts.Clock, s.Trace, "failover:retarget", r.opts.Seed)
+	ctx := sp.Context()
+	sp.End()
+	r.setCtrl(id, ctx)
+	r.flight(obs.FlightEvent{
+		Kind: obs.EventRetarget, Shard: id, Epoch: s.Epoch,
+		Trace: ctx.TraceID, Span: ctx.SpanID,
+	})
+}
+
+// RetargetTraced is Retarget plus control-plane trace adoption, for
+// callers that resolved the promoted shard out of band (the in-process
+// promotion glue): the retarget span parents under s.Trace and the
+// router's causal clock observes s.Clk, exactly as a resolver-driven
+// failover would.
+func (r *Router) RetargetTraced(s Shard) error {
+	if err := r.Retarget(s.ID, s.Space, s.Epoch); err != nil {
+		return err
+	}
+	r.noteRetarget(s.ID, s)
+	return nil
+}
+
+// setCtrl remembers the retarget span for ring ID id (valid contexts
+// only), so retry spans can parent to it.
+func (r *Router) setCtrl(id string, tc obs.TraceContext) {
+	if !tc.Valid() {
+		return
+	}
+	r.ctrlMu.Lock()
+	if r.ctrlCtx == nil {
+		r.ctrlCtx = make(map[string]obs.TraceContext)
+	}
+	r.ctrlCtx[id] = tc
+	r.ctrlMu.Unlock()
+}
+
+// ctrl returns the last retarget span context for ring ID id (zero when
+// no traced failover has retargeted it).
+func (r *Router) ctrl(id string) obs.TraceContext {
+	r.ctrlMu.Lock()
+	defer r.ctrlMu.Unlock()
+	return r.ctrlCtx[id]
+}
+
+// flight records one control-plane event attributed to this router's
+// node (its Seed). A router without Obs records nothing.
+func (r *Router) flight(ev obs.FlightEvent) {
+	if r.opts.Obs == nil {
+		return
+	}
+	ev.Node = r.opts.Seed
+	r.opts.Obs.Fl().Record(r.opts.Clock, ev)
 }
 
 // failoverWorthy reports whether err is the kind of hard failure a

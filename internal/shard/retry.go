@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
@@ -97,6 +98,9 @@ func retryMut[T any](r *Router, key string, keyed bool, pinned string, tok tuple
 	var out T
 	err := first
 	id := pinned
+	if ambiguous(first) {
+		r.flight(obs.FlightEvent{Kind: obs.EventRetryAmbig, Shard: id, Detail: "tok " + tok.String()})
+	}
 	stopped := false
 	b := r.policy(tok)
 	_ = b.Do(func() error {
@@ -112,7 +116,9 @@ func retryMut[T any](r *Router, key string, keyed bool, pinned string, tok tuple
 		r.tryFailover(id)
 		sp := r.fresh(id)
 		r.countRetry(metrics.CounterRetryAttempts)
+		start := r.opts.Clock.Now()
 		res, e := attempt(sp)
+		r.retrySpan(id, tok, start, e)
 		err = e
 		if e == nil {
 			out = res
@@ -131,6 +137,26 @@ func retryMut[T any](r *Router, key string, keyed bool, pinned string, tok tuple
 	return out, id, err
 }
 
+// retrySpan records one retry attempt against ring ID id: a flight event
+// always, plus a span parented to the ring position's last retarget span
+// (when a traced failover supplied one) — which is what stitches the
+// exactly-once retry chain into the failover's span tree.
+func (r *Router) retrySpan(id string, tok tuplespace.OpToken, start time.Time, e error) {
+	if r.opts.Obs == nil {
+		return
+	}
+	detail := "tok " + tok.String()
+	if e != nil {
+		detail += ": " + e.Error()
+	}
+	parent := r.ctrl(id)
+	r.opts.Obs.T().RecordSince(r.opts.Clock, parent, "retry:attempt", r.opts.Seed, start)
+	r.flight(obs.FlightEvent{
+		Kind: obs.EventRetryAttempt, Shard: id, Detail: detail,
+		Trace: parent.TraceID, Span: parent.SpanID,
+	})
+}
+
 // healedOpTok is healedOp with a token attached: in exactly-once mode an
 // ambiguous mutation failure becomes retryable — the retry carries the
 // same token, so a duplicate execution collapses against the memo —
@@ -145,6 +171,7 @@ func (r *Router) healedOpTok(id string, mutating bool, err error, tok tuplespace
 	}
 	if ambiguous(err) {
 		r.countRetry(metrics.CounterRetryAmbiguous)
+		r.flight(obs.FlightEvent{Kind: obs.EventRetryAmbig, Shard: id, Detail: "tok " + tok.String()})
 		r.tryFailover(id)
 		r.countRetry(metrics.CounterRetryAttempts)
 		return true
@@ -179,12 +206,14 @@ func (t *routerTxn) retryFinish(id string, sub space.Txn, tok tuplespace.OpToken
 			return nil
 		}
 		r.countRetry(metrics.CounterRetryAttempts)
+		start := r.opts.Clock.Now()
 		var e error
 		if commit {
 			e = space.CommitTok(nt, tok)
 		} else {
 			e = space.AbortTok(nt, tok)
 		}
+		r.retrySpan(id, tok, start, e)
 		err = e
 		if e == nil || !r.retryableMut(e, tok) {
 			stopped = true

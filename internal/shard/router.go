@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 	"gospaces/internal/transport"
 	"gospaces/internal/tuplespace"
@@ -28,6 +29,15 @@ type Shard struct {
 	// same ring ID with a higher epoch; the router only ever retargets a
 	// ring position onto a strictly newer epoch.
 	Epoch uint64
+	// Trace is the control-plane span context the registration carried
+	// (the promotion's span for a promoted backup; zero otherwise). A
+	// router that retargets onto this shard parents its failover and
+	// retry spans here, so the whole failover reads as one span tree.
+	Trace obs.TraceContext
+	// Clk is the causal-clock stamp the registration carried; observing
+	// it orders the resolver's subsequent flight events after the
+	// promotion that published it.
+	Clk uint64
 }
 
 // Options tunes a Router. The zero value of each field selects the
@@ -82,6 +92,12 @@ type Options struct {
 	// applied, seeded per op so virtual-clock runs replay). Zero fields
 	// default to 4 attempts, 25ms doubling to 500ms.
 	Retry transport.Backoff
+	// Obs, when set, records the router's control-plane activity: flight
+	// events (failover retargets, topology adoptions, exactly-once
+	// retries) in the flight recorder and retry/retarget spans in the
+	// tracer, parented into the promotion span the resolved registration
+	// carried. Nil keeps all of it a cheap branch.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +168,12 @@ type Router struct {
 	foMu      sync.Mutex
 	foLast    map[string]time.Time
 	failovers atomic.Uint64
+
+	// Control-plane trace linkage: per ring ID, the span context of the
+	// last successful retarget. Retry spans parent to it, so a failover
+	// plus the retries it heals form one connected span tree.
+	ctrlMu  sync.Mutex
+	ctrlCtx map[string]obs.TraceContext
 }
 
 // New builds a router over shards (at least one, distinct IDs).

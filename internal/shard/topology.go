@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"gospaces/internal/discovery"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 )
 
@@ -23,6 +24,13 @@ import (
 type Topology struct {
 	Epoch   uint64       `json:"epoch"`
 	Members []TopoMember `json:"members"`
+	// Clk is the publisher's causal-clock stamp at publication. A router
+	// adopting the topology observes it (obs.FlightRecorder.Observe), so
+	// every adopter's subsequent flight events order after the publish —
+	// which is what lets per-node dumps merge into one consistent
+	// cluster timeline across the reshard. Zero when the publisher runs
+	// without observability.
+	Clk uint64 `json:"clk,omitempty"`
 }
 
 // TopoMember is one ring member in a Topology.
@@ -162,8 +170,8 @@ func (r *Router) ApplyTopology(t Topology, resolve func(ringID string) (Shard, e
 		resolved[m.ID] = s
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if t.Epoch <= r.v.topoEpoch {
+		r.mu.Unlock()
 		return false, nil // lost the race to a newer topology
 	}
 	v := &view{
@@ -187,5 +195,11 @@ func (r *Router) ApplyTopology(t Topology, resolve func(ringID string) (Shard, e
 	sort.Strings(v.order)
 	v.ring = newRingLabels(v.order, v.labels)
 	r.v = v
+	r.mu.Unlock()
+	// Record the adoption outside the view lock: flight recording takes
+	// the recorder's own mutex and must never nest inside r.mu.
+	r.opts.Obs.Fl().Observe(t.Clk)
+	r.flight(obs.FlightEvent{Kind: obs.EventTopoAdopt, Shard: "ring", Epoch: t.Epoch,
+		Detail: fmt.Sprintf("%d members", len(t.Members))})
 	return true, nil
 }

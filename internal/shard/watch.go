@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gospaces/internal/discovery"
+	"gospaces/internal/obs"
 	"gospaces/internal/space"
 	"gospaces/internal/vclock"
 )
@@ -31,6 +32,16 @@ const (
 	AttrRole  = "role"  // "primary" or "backup"
 	AttrEpoch = "epoch" // replication epoch, "1", "2", ...
 
+	// Control-plane trace propagation. A promoted backup's registration
+	// carries the promotion's span context (hex trace/span IDs) and the
+	// promoting node's causal-clock stamp, so every router that resolves
+	// the registration parents its retarget span under the promotion and
+	// orders its flight events after it — cross-node causality carried by
+	// the discovery plane itself.
+	AttrTraceID = "trace" // promotion span's trace ID, hex
+	AttrSpanID  = "span"  // promotion span's span ID, hex
+	AttrClk     = "clk"   // promoting node's causal stamp, decimal
+
 	RolePrimary = "primary"
 	RoleBackup  = "backup"
 )
@@ -48,6 +59,29 @@ func RingID(item discovery.ServiceItem) string {
 func ItemEpoch(item discovery.ServiceItem) uint64 {
 	e, _ := strconv.ParseUint(item.Attributes[AttrEpoch], 10, 64)
 	return e
+}
+
+// SetCtrlAttrs stamps attrs with the control-plane span context and
+// causal stamp a registration carries (see AttrTraceID above). Invalid
+// contexts and zero stamps leave the attributes unset.
+func SetCtrlAttrs(attrs map[string]string, tc obs.TraceContext, clk uint64) {
+	if tc.Valid() {
+		attrs[AttrTraceID] = strconv.FormatUint(tc.TraceID, 16)
+		attrs[AttrSpanID] = strconv.FormatUint(tc.SpanID, 16)
+	}
+	if clk != 0 {
+		attrs[AttrClk] = strconv.FormatUint(clk, 10)
+	}
+}
+
+// itemCtrl parses a registration's control-plane trace attributes back
+// out (zero values when absent or malformed).
+func itemCtrl(item discovery.ServiceItem) (obs.TraceContext, uint64) {
+	var tc obs.TraceContext
+	tc.TraceID, _ = strconv.ParseUint(item.Attributes[AttrTraceID], 16, 64)
+	tc.SpanID, _ = strconv.ParseUint(item.Attributes[AttrSpanID], 16, 64)
+	clk, _ := strconv.ParseUint(item.Attributes[AttrClk], 10, 64)
+	return tc, clk
 }
 
 // Dialer turns a discovered address into a Space handle.
@@ -95,15 +129,16 @@ func dialItems(items []discovery.ServiceItem, dial Dialer, known map[string]spac
 	var shards []Shard
 	for _, id := range order {
 		item := best[id]
+		tc, clk := itemCtrl(item)
 		if sp, ok := known[id]; ok && ItemEpoch(item) <= knownEpochs[id] {
-			shards = append(shards, Shard{ID: id, Space: sp, Epoch: knownEpochs[id]})
+			shards = append(shards, Shard{ID: id, Space: sp, Epoch: knownEpochs[id], Trace: tc, Clk: clk})
 			continue
 		}
 		sp, err := dial(item.Address)
 		if err != nil {
 			return nil, fmt.Errorf("shard: dial %s: %w", item.Address, err)
 		}
-		shards = append(shards, Shard{ID: id, Space: sp, Epoch: ItemEpoch(item)})
+		shards = append(shards, Shard{ID: id, Space: sp, Epoch: ItemEpoch(item), Trace: tc, Clk: clk})
 	}
 	return shards, nil
 }
@@ -136,7 +171,8 @@ func Resolver(c *discovery.Client, tmpl map[string]string, dial Dialer) func(rin
 		if err != nil {
 			return Shard{}, fmt.Errorf("shard: dial %s: %w", best.Address, err)
 		}
-		return Shard{ID: ringID, Space: sp, Epoch: ItemEpoch(best)}, nil
+		tc, clk := itemCtrl(best)
+		return Shard{ID: ringID, Space: sp, Epoch: ItemEpoch(best), Trace: tc, Clk: clk}, nil
 	}
 }
 

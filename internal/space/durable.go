@@ -48,6 +48,10 @@ type DurableOptions struct {
 	// Like the journal itself it is invoked under the space mutex, so it
 	// must not block.
 	Tee tuplespace.RecordSink
+	// OnWALEvent forwards the log's lifecycle notifications ("rotate",
+	// "snapshot" — see wal.Options.OnEvent) to the cluster flight
+	// recorder. Must not block.
+	OnWALEvent func(kind, detail string)
 }
 
 // RecoveryInfo describes what a durable space reconstructed on open.
@@ -100,6 +104,7 @@ func NewLocalDurable(clock vclock.Clock, opts DurableOptions) (*Local, *Durable,
 		WrapWriter:  opts.WrapWriter,
 		AppendHist:  opts.AppendHist,
 		SyncHist:    opts.SyncHist,
+		OnEvent:     opts.OnWALEvent,
 	}
 	log, rec, err := wal.Open(opts.Dir, wopts)
 	if err != nil {

@@ -111,6 +111,9 @@ func (s *Space) memoHitLocked(tok OpToken) (*memoRec, bool) {
 		if s.memoCounters != nil {
 			s.memoCounters.Inc(metrics.CounterDedupHits)
 		}
+		if s.flightSink != nil {
+			s.flightSink("dedup", fmt.Sprintf("tok %s op %s", tok, rec.op))
+		}
 	}
 	return rec, ok
 }
@@ -324,6 +327,16 @@ func (s *Space) SetMemoBounds(perClient, total int) {
 func (s *Space) SetMemoCounters(c *metrics.Counters) {
 	s.mu.Lock()
 	s.memoCounters = c
+	s.mu.Unlock()
+}
+
+// SetFlightSink directs memo dedup hits to fn (kind "dedup", detail the
+// token and op). Like a journal sink, fn is invoked under the space
+// mutex: it must not block, wait on the clock, or re-enter the space —
+// the flight recorder's enqueue-only Record satisfies this.
+func (s *Space) SetFlightSink(fn func(kind, detail string)) {
+	s.mu.Lock()
+	s.flightSink = fn
 	s.mu.Unlock()
 }
 

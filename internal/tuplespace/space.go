@@ -34,6 +34,7 @@ type Space struct {
 
 	memos        *memoTable // token → memoized outcome (see memo.go), lazily allocated
 	memoCounters *metrics.Counters
+	flightSink   func(kind, detail string) // dedup-hit sink (see SetFlightSink)
 }
 
 // Stats counts space operations; returned by Space.Stats.

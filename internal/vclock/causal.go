@@ -1,0 +1,55 @@
+package vclock
+
+import "sync/atomic"
+
+// Causal is a Lamport logical clock: a monotone counter advanced on every
+// local event and merged forward on every observed remote stamp. Unlike
+// the package's time clocks it measures causality, not duration — if event
+// A could have influenced event B (same process, or a message from A's
+// process reached B's first), A's stamp is strictly smaller. Per-node
+// event logs stamped from a Causal therefore merge into one total order
+// consistent with every per-node order (see obs.MergeTimelines).
+//
+// All methods are safe for concurrent use and safe on a nil *Causal
+// (reads return 0, advances are no-ops), matching the observability
+// layer's nil-is-off convention.
+type Causal struct {
+	v atomic.Uint64
+}
+
+// Tick advances the clock for one local event and returns the event's
+// stamp.
+func (c *Causal) Tick() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(1)
+}
+
+// Observe merges a stamp received from another clock: the local clock
+// jumps past it, so every subsequent local event is ordered after the
+// remote event that carried the stamp. It returns the stamp of the
+// receipt itself (max(local, remote)+1).
+func (c *Causal) Observe(remote uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	for {
+		cur := c.v.Load()
+		next := cur + 1
+		if remote >= cur {
+			next = remote + 1
+		}
+		if c.v.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Now reads the current stamp without advancing the clock.
+func (c *Causal) Now() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}

@@ -1,0 +1,73 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCausalTickMonotone(t *testing.T) {
+	var c Causal
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		s := c.Tick()
+		if s <= prev {
+			t.Fatalf("tick %d: stamp %d not after %d", i, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestCausalObserveJumpsForward(t *testing.T) {
+	var c Causal
+	c.Tick()
+	got := c.Observe(50)
+	if got != 51 {
+		t.Fatalf("Observe(50) = %d, want 51", got)
+	}
+	// A stale remote stamp must still advance the clock.
+	if got := c.Observe(3); got != 52 {
+		t.Fatalf("Observe(3) = %d, want 52", got)
+	}
+	if c.Now() != 52 {
+		t.Fatalf("Now() = %d, want 52", c.Now())
+	}
+}
+
+func TestCausalNilSafe(t *testing.T) {
+	var c *Causal
+	if c.Tick() != 0 || c.Observe(7) != 0 || c.Now() != 0 {
+		t.Fatal("nil Causal must be inert")
+	}
+}
+
+func TestCausalConcurrentUnique(t *testing.T) {
+	var c Causal
+	const workers, each = 8, 500
+	stamps := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				stamps[w] = append(stamps[w], c.Tick())
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*each)
+	for _, list := range stamps {
+		prev := uint64(0)
+		for _, s := range list {
+			if s <= prev {
+				t.Fatalf("per-goroutine stamps not increasing: %d after %d", s, prev)
+			}
+			prev = s
+			if seen[s] {
+				t.Fatalf("duplicate stamp %d", s)
+			}
+			seen[s] = true
+		}
+	}
+}

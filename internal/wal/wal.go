@@ -129,6 +129,11 @@ type Options struct {
 	// I/O regardless of how the cluster's time is modeled.
 	AppendHist *metrics.Histogram
 	SyncHist   *metrics.Histogram
+	// OnEvent, when non-nil, receives log lifecycle notifications for the
+	// cluster flight recorder: kind "rotate" after a segment rotation,
+	// "snapshot" after a snapshot lands. May be invoked with the log's
+	// mutex held — it must not block or call back into the log.
+	OnEvent func(kind, detail string)
 }
 
 func (o Options) withDefaults() Options {
@@ -457,7 +462,13 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	return l.openSegment(l.idx+1, false)
+	if err := l.openSegment(l.idx+1, false); err != nil {
+		return err
+	}
+	if l.opts.OnEvent != nil {
+		l.opts.OnEvent("rotate", fmt.Sprintf("segment %d", l.idx))
+	}
+	return nil
 }
 
 // Sync forces buffered appends to stable storage regardless of policy.
@@ -575,6 +586,9 @@ func (l *Log) Snapshot(capture func() ([][]byte, error)) error {
 	if c := l.opts.Counters; c != nil {
 		c.Inc(CounterSnapshots)
 		c.AddN(CounterSegmentsCompacted, compacted)
+	}
+	if l.opts.OnEvent != nil {
+		l.opts.OnEvent("snapshot", fmt.Sprintf("boundary %d, %d segments compacted", boundary, compacted))
 	}
 	return nil
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# metriclint.sh — metric-name drift check.
+#
+# The contract (internal/metrics/names.go): every metric key is declared
+# there exactly once, and every producer and exporter references the
+# named constant — so the Prometheus page, the SNMP MIB, the federation
+# snapshot and Result snapshots can never disagree on spelling. Two ways
+# to drift, both checked here:
+#
+#   1. an inline "<subsystem>:<metric>" key string at a metrics call
+#      site (Inc/AddN/Get/Histogram/Gauge/RegisterGauge) instead of the
+#      constant — the spelling then lives in two places
+#   2. a constant declared in names.go that nothing references — the key
+#      was renamed or removed at the call sites but left in the table
+#
+# Tests are exempt from check 1: they legitimately assert on rendered
+# exporter output. Exits non-zero listing each violation. Run locally
+# with: ./scripts/metriclint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+names=internal/metrics/names.go
+fail=0
+
+inline=$(grep -rnE '\.(Inc|AddN|Get|Histogram|Gauge|RegisterGauge)\(\s*"[a-z0-9_]+:[a-z0-9_:.%-]*"' \
+    --include='*.go' --exclude='*_test.go' . \
+    | grep -v "^\./$names" || true)
+if [ -n "$inline" ]; then
+    echo "metriclint: FAIL — inline metric keys (use the constants in $names):" >&2
+    echo "$inline" >&2
+    fail=1
+fi
+
+# Declared identifiers: the const names plus the dynamic-name helper
+# functions (HistShardServe and friends).
+idents=$( { grep -oE '^\s+(Counter|Fed|Hist|Gauge)[A-Za-z0-9]+' "$names" | sed 's/^[[:space:]]*//'
+            grep -oE '^func (Counter|Fed|Hist|Gauge)[A-Za-z0-9]+' "$names" | sed 's/^func //'; } )
+for id in $idents; do
+    [ -n "$id" ] || continue
+    if ! grep -rqE --include='*.go' "metrics\.$id\b" . ; then
+        echo "metriclint: FAIL — $names declares $id but nothing references metrics.$id" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" != 0 ]; then
+    exit 1
+fi
+echo "metriclint: PASS ($(grep -cE '^\s+(Counter|Fed|Hist|Gauge)[A-Za-z0-9]+\s+=' "$names") declared keys, no inline call-site keys)"

@@ -7,8 +7,13 @@
 #
 #   /metrics          must serve Prometheus text with framework gauges
 #                     and at least one latency histogram
+#   /metrics/cluster  must serve the federated per-shard view with
+#                     {shard="..."} labels
 #   /healthz          must serve the JSON health report with per-shard
-#                     role, replication lag and WAL position
+#                     role, replication lag, WAL position, and the
+#                     flight-recorder vitals (depth/dropped/clk)
+#   /debug/flight     must serve the flight-recorder dump with at least
+#                     the master's node:start event
 #   /debug/pprof/heap must serve a heap profile
 #   /tracez           must serve the slow-span listing
 #
@@ -66,6 +71,8 @@ for want in \
     'gospaces_master_tasks_planned' \
     'gospaces_master_tasks_pending' \
     'gospaces_shard0_ops' \
+    'gospaces_flight_depth' \
+    'gospaces_flight_clk' \
     'gospaces_master_plan_seconds histogram' \
     'gospaces_space_write_seconds histogram'; do
     if ! grep -q "$want" <<<"$metrics"; then
@@ -77,13 +84,39 @@ done
 echo "obs_smoke: /metrics OK ($(grep -c ' histogram' <<<"$metrics") histograms)"
 
 healthz=$(curl -fsS "$OBS_URL/healthz")
-for want in '"status":"ok"' '"role":"primary"' '"replication_lag"' '"wal_position"'; do
+for want in '"status":"ok"' '"role":"primary"' '"replication_lag"' '"wal_position"' \
+    '"flight_depth"' '"flight_dropped"' '"flight_clk"'; do
     if ! grep -q "$want" <<<"$healthz"; then
         echo "obs_smoke: FAIL — /healthz lacks $want: $healthz" >&2
         exit 1
     fi
 done
+# The master records node:start at boot, so an empty recorder here means
+# the control plane never reached it.
+depth=$(grep -oE '"flight_depth":[0-9]+' <<<"$healthz" | cut -d: -f2)
+clk=$(grep -oE '"flight_clk":[0-9]+' <<<"$healthz" | cut -d: -f2)
+if [ "${depth:-0}" -lt 1 ] || [ "${clk:-0}" -lt 1 ]; then
+    echo "obs_smoke: FAIL — /healthz flight vitals empty (depth=$depth clk=$clk): $healthz" >&2
+    exit 1
+fi
 echo "obs_smoke: /healthz OK ($healthz)"
+
+flight=$(curl -fsS "$OBS_URL/debug/flight")
+if ! grep -q '"kind": "node:start"' <<<"$flight"; then
+    echo "obs_smoke: FAIL — /debug/flight lacks the master's node:start event: $flight" >&2
+    exit 1
+fi
+echo "obs_smoke: /debug/flight OK ($(grep -c '"kind"' <<<"$flight") events)"
+
+cluster=$(curl -fsS "$OBS_URL/metrics/cluster")
+for want in 'gospaces_cluster_entries{shard=' 'gospaces_cluster_ops_total{shard='; do
+    if ! grep -q "$want" <<<"$cluster"; then
+        echo "obs_smoke: FAIL — /metrics/cluster lacks \"$want\":" >&2
+        echo "$cluster" >&2
+        exit 1
+    fi
+done
+echo "obs_smoke: /metrics/cluster OK"
 
 heap=$(curl -fsS -o "$workdir/heap.pprof" -w '%{size_download}' "$OBS_URL/debug/pprof/heap")
 if [ "$heap" -le 0 ]; then

@@ -14,6 +14,7 @@ package gospaces
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -554,6 +555,105 @@ func BenchmarkFlightRecorderOverhead(b *testing.B) {
 	sort.Float64s(perEvent)
 	b.ReportMetric(perEvent[len(perEvent)/2], "ns/event")
 	b.ReportMetric(overheads[len(overheads)/2], "x-overhead")
+}
+
+// overloadGoodput drives an open-loop 5× overload at one shard server for
+// a one-virtual-second window and measures what survives. Capacity is
+// 1/opCost = 1000 ops/vsec; the generators offer 5000 ops spaced 200 µs
+// apart, every client abandoning its call after a 100 ms deadline. The
+// protected arm runs the admission controller (inflight bound + deadline-
+// aware gate, deadlines propagated on the RPC frame); the unprotected arm
+// is the seed configuration — the same gate as plain middleware, blind to
+// deadlines. Returns goodput (calls that succeeded within their deadline,
+// per virtual second) and the p99 latency of those successes.
+func overloadGoodput(b *testing.B, protected bool) (float64, time.Duration) {
+	b.Helper()
+	const (
+		opCost  = time.Millisecond
+		window  = time.Second
+		offered = 5000
+		spacing = window / offered
+		// 100 µs off the service-slot grid: arrivals and slot ends are all
+		// multiples of 200 µs, so a round deadline would put the last
+		// admissible slot's reply exactly AT the client's abandonment
+		// instant and the measurement would race itself. Off-grid, a reply
+		// the gate promised strictly precedes the client giving up.
+		deadline = 100*time.Millisecond + 100*time.Microsecond
+	)
+	clk := vclock.NewVirtual(time.Date(2001, 10, 8, 9, 0, 0, 0, time.UTC))
+	net := transport.NewNetwork(clk, transport.Loopback())
+	l := space.NewLocal(clk)
+	srv := transport.NewServer()
+	svc := space.NewService(l, srv)
+	gate := transport.NewServiceGate(clk, opCost)
+	if protected {
+		svc.Admission().Configure(space.AdmissionConfig{Clock: clk, MaxInflight: 128, Gate: gate})
+	} else {
+		srv.Wrap(gate.Middleware())
+	}
+	net.Listen("space", srv)
+
+	var mu sync.Mutex
+	var latencies []time.Duration
+	clk.Run(func() {
+		g := vclock.NewGroup(clk)
+		for i := 0; i < offered; i++ {
+			i := i
+			g.Go(func() {
+				p := space.NewProxy(net.Dial("space")).WithOpTimeout(clk, deadline)
+				start := clk.Now()
+				_, err := p.Write(indexedBenchEntry{Job: jobName(i), ID: i}, nil, tuplespace.Forever)
+				if err == nil {
+					lat := clk.Since(start)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				}
+			})
+			clk.Sleep(spacing)
+		}
+		g.Wait()
+	})
+	if len(latencies) == 0 {
+		return 0, 0
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	return float64(len(latencies)) / window.Seconds(), p99
+}
+
+// BenchmarkOverloadGoodput is the overload-protection acceptance pair
+// (CI's BENCH_overload.json): at 5× sustained offered load the seed
+// configuration collapses — the gate executes every queued op in arrival
+// order, so almost every reply lands after its client gave up — while the
+// admission-controlled arm keeps goodput within 20% of the server's
+// capacity and the p99 of admitted ops inside the client deadline,
+// because expired and unmeetable ops are rejected before execution.
+func BenchmarkOverloadGoodput(b *testing.B) {
+	const capacity = 1000.0 // 1 ms/op server
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			goodput, p99 := overloadGoodput(b, false)
+			b.ReportMetric(goodput, "goodput-ops/vsec")
+			b.ReportMetric(float64(p99.Microseconds())/1000, "ms-p99-admitted")
+			if goodput > capacity/2 {
+				b.Fatalf("unprotected goodput %.0f ops/vsec did not collapse (capacity %.0f)", goodput, capacity)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			goodput, p99 := overloadGoodput(b, true)
+			b.ReportMetric(goodput, "goodput-ops/vsec")
+			b.ReportMetric(float64(p99.Microseconds())/1000, "ms-p99-admitted")
+			if goodput < 0.8*capacity {
+				b.Fatalf("protected goodput %.0f ops/vsec under 80%% of capacity %.0f", goodput, capacity)
+			}
+			if p99 > 100*time.Millisecond {
+				b.Fatalf("p99 of admitted ops %v exceeds the 100ms client deadline", p99)
+			}
+		}
+	})
 }
 
 // BenchmarkShardedKnee regenerates the sharded re-run of the Figure-6

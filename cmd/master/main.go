@@ -78,12 +78,15 @@ func main() {
 	mergeThreshold := flag.Float64("merge-threshold", 10, "with -autoshard: smoothed ops/sec below which a split-born shard merges back")
 	reshardInterval := flag.Duration("reshard-interval", 5*time.Second, "with -autoshard: rebalancer sampling interval")
 	exactlyOnce := flag.Bool("exactly-once", false, "deduplicate retried mutations server-side: clients mint idempotency tokens, shards memoize tokened outcomes, and ambiguous op timeouts are retried instead of surfaced")
+	maxInflight := flag.Int("max-inflight", 0, "per-shard admission bound: ops admitted but unfinished beyond this fast-fail with 'overloaded' instead of queueing; also arms the brownout controller that sheds low-priority ops under sustained saturation (0 = unlimited)")
+	retryBudget := flag.Int("retry-budget", 0, "token-bucket cap on the master router's total retry volume, refilled by successes; an empty bucket surfaces the last error instead of retrying (0 = unlimited)")
 	flag.Parse()
 	ecfg := elasticFlags{
 		on: *autoshard, splitThreshold: *splitThreshold,
 		mergeThreshold: *mergeThreshold, interval: *reshardInterval,
 	}
-	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout, ecfg, *exactlyOnce); err != nil {
+	ocfg := overloadFlags{maxInflight: *maxInflight, retryBudget: *retryBudget}
+	if err := run(*addr, *lookupAddr, *jobName, *timeout, *journal, *datadir, *fsync, *sims, *shards, *spread, *obsAddr, *replicas, *replack, *failoverTimeout, ecfg, *exactlyOnce, ocfg); err != nil {
 		log.Fatalf("master: %v", err)
 	}
 }
@@ -133,7 +136,12 @@ type elasticFlags struct {
 	interval                       time.Duration
 }
 
-func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration, ecfg elasticFlags, exactlyOnce bool) error {
+// overloadFlags carries the overload-protection flag group into run.
+type overloadFlags struct {
+	maxInflight, retryBudget int
+}
+
+func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalPath, dataDir, fsync string, sims, numShards int, spread bool, obsAddr string, replicas int, replack string, failoverTimeout time.Duration, ecfg elasticFlags, exactlyOnce bool, ocfg overloadFlags) error {
 	clk := vclock.NewReal()
 	job, report, err := buildJob(jobName, sims, spread)
 	if err != nil {
@@ -200,6 +208,7 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		shard0Srv *transport.Server
 		locals    []*space.Local
 		taps      []*rebalance.Tap
+		services  []*space.Service
 	)
 	if replicas > 0 {
 		pairs = make([]*replicaPair, numShards)
@@ -282,7 +291,19 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 			local.TS.SetMemoCounters(o.Ctr())
 		}
 		srv := transport.NewServer()
-		space.NewService(local, srv)
+		svc := space.NewService(local, srv)
+		// Arm admission: the propagated-deadline check always (a worker's
+		// -optimeout rides each RPC frame, so queued work the client gave up
+		// on is dropped, not executed), the inflight bound when configured.
+		acfg := space.AdmissionConfig{Clock: clk, MaxInflight: ocfg.maxInflight, Counters: o.Ctr()}
+		if o != nil {
+			shardLabel := fmt.Sprintf("shard%d", i)
+			acfg.FlightSink = func(detail string) {
+				o.Fl().Record(clk, obs.FlightEvent{Node: shardLabel, Kind: obs.EventBrownout, Shard: shardLabel, Detail: detail})
+			}
+		}
+		svc.Admission().Configure(acfg)
+		services = append(services, svc)
 		handle := space.Space(local)
 		if replicas > 0 {
 			// Built directly after NewService so the replication middleware
@@ -406,6 +427,12 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		if ropts.Counters == nil && exactlyOnce {
 			ropts.Counters = o.Ctr()
 		}
+		if ocfg.retryBudget > 0 {
+			ropts.Budget = shard.NewRetryBudget(ocfg.retryBudget, 0)
+			if ropts.Counters == nil {
+				ropts.Counters = o.Ctr()
+			}
+		}
 		router, err = shard.New(ropts, hosted)
 		if err != nil {
 			return err
@@ -413,7 +440,7 @@ func run(addr, lookupAddr, jobName string, resultTimeout time.Duration, journalP
 		sp = router
 	}
 	if o != nil {
-		setHealth(o, numShards, pairs, durables, locals)
+		setHealth(o, numShards, pairs, durables, locals, services, ocfg.maxInflight)
 		setFederation(o, numShards, pairs, durables, locals, hosted)
 		o.Fl().Record(clk, obs.FlightEvent{
 			Node: "master", Kind: obs.EventNodeStart,

@@ -433,13 +433,16 @@ func setFederation(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*
 
 // setHealth installs the /healthz provider: one entry per hosted shard
 // with the serving node's role, the ring epoch, the primary-observed
-// replication lag, the serving node's WAL position, and — with
-// -exactly-once — the serving node's memo-table size and dedup hits.
-// pairs is nil when -replicas is 0; durables[i] is nil for non-durable
-// shards.
-func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable, locals []*space.Local) {
+// replication lag, the serving node's WAL position, the shard's
+// admission-control vitals, and — with -exactly-once — the serving
+// node's memo-table size and dedup hits. The Overload block aggregates
+// the admission vitals across hosted shards; Status degrades to
+// "browned-out" while any shard is shedding. pairs is nil when
+// -replicas is 0; durables[i] is nil for non-durable shards.
+func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*space.Durable, locals []*space.Local, services []*space.Service, maxInflight int) {
 	o.SetHealth(func() obs.Health {
 		h := obs.Health{Status: "ok"}
+		h.Overload.MaxInflight = maxInflight
 		for i := 0; i < numShards; i++ {
 			sh := obs.ShardHealth{Shard: i, Role: shard.RolePrimary}
 			var d *space.Durable
@@ -473,7 +476,24 @@ func setHealth(o *obs.Obs, numShards int, pairs []*replicaPair, durables []*spac
 				sh.Entries = serving.TS.Stats().EntriesLive
 				sh.MemoEntries, sh.DedupHits, _ = serving.TS.MemoStats()
 			}
+			if i < len(services) && services[i] != nil {
+				v := services[i].Admission().Vitals()
+				sh.BrownoutLevel = v.BrownoutLevel
+				sh.Inflight = v.Inflight
+				sh.AdmitRejected = v.Rejected
+				sh.Shed = v.Shed
+				if v.BrownoutLevel > h.Overload.BrownoutLevel {
+					h.Overload.BrownoutLevel = v.BrownoutLevel
+				}
+				h.Overload.Inflight += v.Inflight
+				h.Overload.Rejected += v.Rejected
+				h.Overload.Shed += v.Shed
+				h.Overload.DeadlineExpired += v.DeadlineExpired
+			}
 			h.Shards = append(h.Shards, sh)
+		}
+		if h.Overload.BrownoutLevel > 0 {
+			h.Status = "browned-out"
 		}
 		return h
 	})

@@ -54,13 +54,14 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve the live ops surface (Prometheus /metrics, /debug/pprof, /tracez) on this address, e.g. :6061")
 	opTimeout := flag.Duration("optimeout", 0, "per-operation deadline on space RPCs (0 = unbounded); timed-out calls fail with space.ErrOpTimeout and, against a dead shard, trigger failover resolution")
 	exactlyOnce := flag.Bool("exactly-once", false, "mint an idempotency token per mutation and retry ambiguous op timeouts with it; the master must run with -exactly-once too so shards memoize tokened outcomes")
+	retryBudget := flag.Int("retry-budget", 0, "token-bucket cap on this worker's total retry volume, refilled by successes; an empty bucket surfaces the last error instead of retrying (0 = unlimited)")
 	flag.Parse()
-	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr, *opTimeout, *exactlyOnce); err != nil {
+	if err := run(*name, *lookupAddr, *jobName, *sigAddr, *snmpAddr, *speed, *autostart, *sim1, *sim2, *obsAddr, *opTimeout, *exactlyOnce, *retryBudget); err != nil {
 		log.Fatalf("worker: %v", err)
 	}
 }
 
-func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string, opTimeout time.Duration, exactlyOnce bool) error {
+func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, autostart, sim1, sim2 bool, obsAddr string, opTimeout time.Duration, exactlyOnce bool, retryBudget int) error {
 	tmpl, err := taskTemplate(jobName, false)
 	if err != nil {
 		return err
@@ -152,6 +153,12 @@ func run(name, lookupAddr, jobName, sigAddr, snmpAddr string, speed float64, aut
 		}
 		if ropts.Counters == nil && exactlyOnce {
 			ropts.Counters = o.Ctr()
+		}
+		if retryBudget > 0 {
+			ropts.Budget = shard.NewRetryBudget(retryBudget, 0)
+			if ropts.Counters == nil {
+				ropts.Counters = o.Ctr()
+			}
 		}
 		router, err := shard.New(ropts, shards)
 		if err != nil {

@@ -138,8 +138,34 @@ type Config struct {
 	// blocking time excluded — a Take with a 5 s wait gets OpTimeout on
 	// top of it). A stuck server then surfaces as space.ErrOpTimeout,
 	// which the shard router treats as failover-worthy. Zero disables the
-	// deadline.
+	// deadline. With OpTimeout set the proxy also stamps each RPC frame
+	// with its absolute deadline, so shard servers drop queued work the
+	// client has already abandoned (admission control's expired check).
 	OpTimeout time.Duration
+	// MaxInflight bounds each hosted shard's admitted-but-unfinished ops:
+	// past the bound new calls fast-fail with tuplespace.ErrOverloaded
+	// instead of queueing without limit. It also arms the shard's brownout
+	// controller, which sheds the lowest-priority op classes first under
+	// sustained saturation. 0 = unlimited (no admission bound).
+	MaxInflight int
+	// MaxWaiters bounds each hosted shard's blocked Take/Read waiters —
+	// the parked-caller table behind blocking lookups. Past the bound a
+	// blocking call fast-fails with tuplespace.ErrOverloaded instead of
+	// parking. 0 = unlimited.
+	MaxWaiters int
+	// RetryBudget caps the total retry volume of the master's and each
+	// worker's router with a token bucket of this size, refilled by a
+	// fraction of observed successes: when a widespread failure empties
+	// the bucket, retries are denied and the last error surfaces, so
+	// failure recovery cannot amplify offered load into a retry storm.
+	// 0 = unlimited retries (the old behavior).
+	RetryBudget int
+	// Breakers arms a per-shard circuit breaker in the master's and every
+	// worker's router: consecutive hard failures at one ring position trip
+	// it open and calls there fast-fail (shard.ErrBreakerOpen) until a
+	// half-open probe succeeds — one dead or hung shard then costs a
+	// scatter round one fast error instead of a full timeout.
+	Breakers bool
 	// ExactlyOnce upgrades every client-originated mutation from
 	// at-most-once to exactly-once: the master's and each worker's router
 	// mints an idempotency token per mutation, the shard servers memoize
@@ -223,6 +249,11 @@ type Framework struct {
 	// Config.ExactlyOnce is set (shared with Repl when replication is also
 	// on, so one snapshot shows failovers next to the retries they caused).
 	Retries *metrics.Counters
+	// Overload carries the admit:* / shed:* counters (and, when no repl or
+	// retry counter set exists, the breaker:* and retry budget counters of
+	// the master's router) when any overload-protection knob — MaxInflight,
+	// MaxWaiters, RetryBudget, Breakers — is set.
+	Overload *metrics.Counters
 	// MIB is the master's management information base when Config.Obs is
 	// set: the framework gauges exported as SNMP objects, served by an
 	// agent bound on the master's server (the same substrate the network
@@ -234,13 +265,17 @@ type Framework struct {
 	shardSrvs  []*transport.Server
 	shardAddrs []string
 	gates      []*transport.ServiceGate
-	sweeps     []*swapSweeper
-	taps       []*rebalance.Tap // per seed shard, elastic only
-	repls      []*replShard
-	replMu     sync.Mutex
-	runGroup   *vclock.Group
-	sweeper    *growSweeper
-	reshard    *reshardState // elastic only (see elastic.go)
+	// services holds each hosted shard's serving space.Service — the
+	// admission controller owner. Promotions and restarts swap entries so
+	// healthReport always reads the serving node's vitals.
+	services []*space.Service
+	sweeps   []*swapSweeper
+	taps     []*rebalance.Tap // per seed shard, elastic only
+	repls    []*replShard
+	replMu   sync.Mutex
+	runGroup *vclock.Group
+	sweeper  *growSweeper
+	reshard  *reshardState // elastic only (see elastic.go)
 }
 
 // swapSweeper lets the master's sweeper (captured once at master.New)
@@ -295,6 +330,10 @@ type Result struct {
 	// Config.ExactlyOnce was set: retry attempts, ambiguous outcomes
 	// replayed, budgets exhausted, memo dedup hits and evictions.
 	Retries map[string]uint64
+	// Overload is the admit:* / shed:* (plus, without repl or retry
+	// counters, breaker:* and retry budget) counter snapshot when any
+	// overload-protection knob was set.
+	Overload map[string]uint64
 	// ObsSummary is the per-stage tail-latency table (p50/p90/p99/max of
 	// every non-empty histogram) when Config.Obs was set.
 	ObsSummary []metrics.StageSummary
@@ -380,12 +419,16 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			f.Retries = metrics.NewCounters()
 		}
 	}
+	if cfg.MaxInflight > 0 || cfg.MaxWaiters > 0 || cfg.RetryBudget > 0 || cfg.Breakers {
+		f.Overload = metrics.NewCounters()
+	}
 	shards := make([]shard.Shard, cfg.Shards)
 	f.sweeper = &growSweeper{}
 	f.sweeps = make([]*swapSweeper, cfg.Shards)
 	f.shardSrvs = make([]*transport.Server, cfg.Shards)
 	f.shardAddrs = make([]string, cfg.Shards)
 	f.gates = make([]*transport.ServiceGate, cfg.Shards)
+	f.services = make([]*space.Service, cfg.Shards)
 	f.Durables = make([]*space.Durable, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		srv, addr := clus.MasterServer, clus.MasterAddr
@@ -439,10 +482,14 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		}
 		l.TS.SetMemoCounters(f.Retries)
 		l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
+		if cfg.MaxWaiters > 0 {
+			l.TS.SetMaxWaiters(cfg.MaxWaiters)
+		}
 		f.Shards = append(f.Shards, l)
 		f.sweeps[i] = &swapSweeper{s: l.Mgr}
 		f.sweeper.add(f.sweeps[i])
-		space.NewService(l, srv)
+		svc := space.NewService(l, srv)
+		f.services[i] = svc
 		var p *replica.Primary
 		if rs != nil {
 			// Directly after the service handlers so the replication
@@ -451,16 +498,17 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 			p = f.setupReplica(rs, l, srv, psw, tap, f.Durables[i])
 		}
 		var handle space.Space = l
+		var gate *transport.ServiceGate
 		if cfg.SpaceOpCost > 0 {
-			// Remote callers pay the gate in the server middleware; the
-			// master pays it through the gatedSpace wrapper, so both
-			// compete for the same modeled server CPU. The code server
-			// binds after Wrap and stays ungated.
-			gate := transport.NewServiceGate(clock, cfg.SpaceOpCost)
-			srv.Wrap(gate.Middleware())
+			// Remote callers pay the gate inside the admission controller
+			// (configured below); the master pays it through the gatedSpace
+			// wrapper, so both compete for the same modeled server CPU. The
+			// code server bypasses the space handlers and stays ungated.
+			gate = transport.NewServiceGate(clock, cfg.SpaceOpCost)
 			handle = gatedSpace{l: l, gate: gate}
 			f.gates[i] = gate
 		}
+		f.configureAdmission(svc, addr, gate)
 		if reg := cfg.Obs.Reg(); reg != nil {
 			// Outermost wrap (after the gate), so the shard's serve
 			// histogram sees gate queueing plus service time — what remote
@@ -494,6 +542,15 @@ func New(clock vclock.Clock, cfg Config) *Framework {
 		}
 		if ropts.Counters == nil {
 			ropts.Counters = f.Retries
+		}
+		if ropts.Counters == nil {
+			ropts.Counters = f.Overload
+		}
+		if cfg.RetryBudget > 0 {
+			ropts.Budget = shard.NewRetryBudget(cfg.RetryBudget, 0)
+		}
+		if cfg.Breakers {
+			ropts.Breaker = &shard.BreakerConfig{}
 		}
 		router, err := shard.New(ropts, shards)
 		if err != nil {
@@ -597,6 +654,26 @@ func (f *Framework) durableOptionsAt(i int, addr string) space.DurableOptions {
 	return opts
 }
 
+// configureAdmission arms the admission controller of a shard's service:
+// the propagated-deadline check always, the inflight bound and brownout
+// controller when Config.MaxInflight is set, and the deadline-aware
+// service gate in place of the old gate middleware — AdmitBy charges the
+// same modeled CPU as Admit did, and additionally drops a queued op whose
+// service slot would end past the client's deadline. Every serving node
+// (seed shards, split children, promoted standbys, restarted shards) goes
+// through here so overload protection survives topology changes.
+func (f *Framework) configureAdmission(svc *space.Service, addr string, gate *transport.ServiceGate) {
+	svc.Admission().Configure(space.AdmissionConfig{
+		Clock:       f.Clock,
+		MaxInflight: f.cfg.MaxInflight,
+		Gate:        gate,
+		Counters:    f.Overload,
+		FlightSink: func(detail string) {
+			f.flight(addr, obs.FlightEvent{Kind: obs.EventBrownout, Shard: addr, Detail: detail})
+		},
+	})
+}
+
 // registerShard (re-)announces shard i in the lookup service, returning
 // the registration ID. Durable shards carry recovery metadata: clients and
 // operators can see that a service came back from its log and how much it
@@ -680,6 +757,9 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 	// sink so dedup hits against recovered memos are still visible.
 	l.TS.SetMemoCounters(f.Retries)
 	l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
+	if f.cfg.MaxWaiters > 0 {
+		l.TS.SetMaxWaiters(f.cfg.MaxWaiters)
+	}
 	f.replMu.Lock()
 	if tap != nil {
 		f.taps[i] = tap
@@ -695,10 +775,18 @@ func (f *Framework) RestartShard(i int) (space.RecoveryInfo, error) {
 
 	// Rebind the service on the shard's existing server so clients'
 	// proxies (dialed to the same address) reach the recovered space.
-	space.NewService(l, srv)
+	// The recovered service gets a fresh admission controller, configured
+	// like the seed's (the crash dropped the old inflight accounting with
+	// the old service — exactly right, those ops died with the process).
+	svc := space.NewService(l, srv)
+	f.configureAdmission(svc, addr, gate)
+	f.replMu.Lock()
+	if i < len(f.services) {
+		f.services[i] = svc
+	}
+	f.replMu.Unlock()
 	var handle space.Space = l
 	if gate != nil {
-		srv.WrapPrefix("space.", gate.Middleware())
 		handle = gatedSpace{l: l, gate: gate}
 	}
 	if reg := f.cfg.Obs.Reg(); reg != nil {
@@ -875,6 +963,9 @@ func (f *Framework) Run(job Job, script func(*Framework)) (Result, error) {
 	if f.Retries != nil {
 		res.Retries = f.Retries.Snapshot()
 	}
+	if f.Overload != nil {
+		res.Overload = f.Overload.Snapshot()
+	}
 	if f.cfg.Obs != nil {
 		res.ObsSummary = f.cfg.Obs.Reg().Summary()
 	}
@@ -946,6 +1037,17 @@ func (f *Framework) buildWorker(node *cluster.Node, job Job) (*worker.Worker, *s
 		}
 		if ropts.Counters == nil {
 			ropts.Counters = f.Retries
+		}
+		if ropts.Counters == nil {
+			ropts.Counters = f.Overload
+		}
+		if f.cfg.RetryBudget > 0 {
+			// Each worker gets its own bucket: the budget bounds what one
+			// client process can amplify, and workers fail independently.
+			ropts.Budget = shard.NewRetryBudget(f.cfg.RetryBudget, 0)
+		}
+		if f.cfg.Breakers {
+			ropts.Breaker = &shard.BreakerConfig{}
 		}
 		if f.cfg.Replicas > 0 || f.cfg.Elastic {
 			ropts.Failover = shard.Resolver(lc, tmpl, dial)

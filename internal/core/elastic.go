@@ -272,7 +272,10 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 	}
 	l.TS.SetMemoCounters(f.Retries)
 	l.TS.SetFlightSink(f.memoFlightSink(addr, addr))
-	space.NewService(l, srv)
+	if f.cfg.MaxWaiters > 0 {
+		l.TS.SetMaxWaiters(f.cfg.MaxWaiters)
+	}
+	svc := space.NewService(l, srv)
 	var p *replica.Primary
 	if rs != nil {
 		p = f.setupReplica(rs, l, srv, psw, tap, d)
@@ -283,9 +286,9 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 		// The child pays for server CPU like every seed shard — the whole
 		// point of splitting a saturated shard is a second gate.
 		gate = transport.NewServiceGate(f.Clock, f.cfg.SpaceOpCost)
-		srv.Wrap(gate.Middleware())
 		handle = gatedSpace{l: l, gate: gate}
 	}
+	f.configureAdmission(svc, addr, gate)
 	if reg := f.cfg.Obs.Reg(); reg != nil {
 		srv.WrapPrefix("space.", obs.ServerMiddleware(f.Clock, reg.Histogram(metrics.HistShardServe(idx))))
 		h := reg.Histogram(metrics.HistShardServe(idx))
@@ -306,6 +309,7 @@ func (f *Framework) buildChildShard() (*childShard, error) {
 	f.sweeps = append(f.sweeps, sweep)
 	f.taps = append(f.taps, tap)
 	f.gates = append(f.gates, gate)
+	f.services = append(f.services, svc)
 	if rs != nil {
 		f.repls = append(f.repls, rs)
 	}

@@ -240,8 +240,11 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 
 	// Serve: bind the space service on the standby's server with the same
 	// layering as the original primary — replication confirm innermost,
-	// then the service gate, then obs outermost.
-	space.NewService(node.local, node.srv)
+	// then the admission controller (gate included), then obs outermost.
+	svc := space.NewService(node.local, node.srv)
+	if f.cfg.MaxWaiters > 0 {
+		node.local.TS.SetMaxWaiters(f.cfg.MaxWaiters)
+	}
 
 	// A fresh primary controller gates the promoted node from now on: it
 	// renews the new registration, fences nothing (it IS the newest
@@ -260,11 +263,20 @@ func (f *Framework) promote(rs *replShard, epoch uint64) {
 	node.srv.WrapPrefix("space.", p.Middleware())
 
 	var handle space.Space = node.local
+	var gate *transport.ServiceGate
 	if f.cfg.SpaceOpCost > 0 {
-		gate := transport.NewServiceGate(f.Clock, f.cfg.SpaceOpCost)
-		node.srv.Wrap(gate.Middleware())
+		gate = transport.NewServiceGate(f.Clock, f.cfg.SpaceOpCost)
 		handle = gatedSpace{l: node.local, gate: gate}
 	}
+	// The ring position's overload protection follows the serving node:
+	// the promoted service gets a freshly configured admission controller
+	// and healthReport reads its vitals from now on.
+	f.configureAdmission(svc, node.addr, gate)
+	f.replMu.Lock()
+	if rs.idx < len(f.services) {
+		f.services[rs.idx] = svc
+	}
+	f.replMu.Unlock()
 	if reg := f.cfg.Obs.Reg(); reg != nil {
 		// Same serve histogram as before the failover: the ring position
 		// keeps one latency record across role flips.
@@ -560,15 +572,20 @@ func (f *Framework) DeposedHandle(i int) space.Space {
 // healthReport backs the obs surface's /healthz endpoint: one entry per
 // hosted shard with the serving node's role, the ring position's epoch,
 // the primary-observed replication lag, the serving node's WAL position
-// (0 for a non-durable shard), and — in elastic mode — the shard's ring
-// ownership fraction, live entry count, and the rebalancer's smoothed
-// op rate.
+// (0 for a non-durable shard), the shard's admission-control vitals
+// (brownout level, inflight, rejects, sheds), and — in elastic mode —
+// the shard's ring ownership fraction, live entry count, and the
+// rebalancer's smoothed op rate. The Overload block aggregates the
+// admission vitals cluster-wide; Status degrades to "browned-out" while
+// any shard is shedding.
 func (f *Framework) healthReport() obs.Health {
 	h := obs.Health{Status: "ok"}
+	h.Overload.MaxInflight = f.cfg.MaxInflight
 	f.replMu.Lock()
 	locals := append([]*space.Local(nil), f.Shards...)
 	durables := append([]*space.Durable(nil), f.Durables...)
 	addrs := append([]string(nil), f.shardAddrs...)
+	services := append([]*space.Service(nil), f.services...)
 	f.replMu.Unlock()
 	var owned map[string]float64
 	if f.router != nil {
@@ -633,7 +650,24 @@ func (f *Framework) healthReport() obs.Health {
 			sh.Entries = serving.TS.Stats().EntriesLive
 			sh.MemoEntries, sh.DedupHits, _ = serving.TS.MemoStats()
 		}
+		if i < len(services) && services[i] != nil {
+			v := services[i].Admission().Vitals()
+			sh.BrownoutLevel = v.BrownoutLevel
+			sh.Inflight = v.Inflight
+			sh.AdmitRejected = v.Rejected
+			sh.Shed = v.Shed
+			if v.BrownoutLevel > h.Overload.BrownoutLevel {
+				h.Overload.BrownoutLevel = v.BrownoutLevel
+			}
+			h.Overload.Inflight += v.Inflight
+			h.Overload.Rejected += v.Rejected
+			h.Overload.Shed += v.Shed
+			h.Overload.DeadlineExpired += v.DeadlineExpired
+		}
 		h.Shards = append(h.Shards, sh)
+	}
+	if h.Overload.BrownoutLevel > 0 {
+		h.Status = "browned-out"
 	}
 	return h
 }

@@ -47,7 +47,23 @@ const (
 	// core.Config{ExactlyOnce}).
 	CounterRetryAttempts  = "retry:attempts"  // mutation retries issued after a failure
 	CounterRetryAmbiguous = "retry:ambiguous" // retries of ambiguous (reply-lost) outcomes
-	CounterRetryExhausted = "retry:exhausted" // mutations that ran out of retry budget
+	CounterRetryExhausted = "retry:exhausted" // mutations that ran out of retry attempts
+
+	// Retry budget (internal/shard, token bucket shared across the
+	// router's retry paths): retries denied because the budget — refilled
+	// by successful traffic — was empty.
+	CounterRetryBudgetDenied = "retry:budget_denied"
+
+	// Server-side admission control (internal/space Admission).
+	CounterAdmitRejected = "admit:rejected" // ops fast-failed by the inflight bound
+	CounterAdmitExpired  = "admit:expired"  // ops dropped because their deadline had passed
+	CounterShedLow       = "shed:low"       // PriLow ops shed under brownout level >= 1
+	CounterShedNormal    = "shed:normal"    // PriNormal ops shed under brownout level 2
+
+	// Per-shard circuit breakers (internal/shard router).
+	CounterBreakerOpen     = "breaker:open"     // breaker trips (closed -> open)
+	CounterBreakerClose    = "breaker:close"    // half-open probes that healed the shard
+	CounterBreakerFastFail = "breaker:fastfail" // calls fast-failed while a breaker was open
 
 	// Idempotency-token result memos (internal/tuplespace memo table).
 	CounterDedupHits        = "dedup:hits"         // retried ops answered from the memo table

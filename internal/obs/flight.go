@@ -33,6 +33,9 @@ const (
 	EventMergeDone    = "reshard:merge"     // a shard merge completed
 	EventTopoPublish  = "topo:publish"      // the master published a new ring topology
 	EventTopoAdopt    = "topo:adopt"        // a router adopted a published topology
+	EventBrownout     = "admit:brownout"    // a shard's admission controller changed brownout level
+	EventBreakerOpen  = "breaker:open"      // a router's per-shard circuit breaker tripped open
+	EventBreakerClose = "breaker:close"     // a half-open probe succeeded and the breaker closed
 )
 
 // FlightEvent is one structured control-plane event in a node's flight

@@ -35,6 +35,33 @@ type ShardHealth struct {
 	SplitBorn bool `json:"split_born,omitempty"`
 	// Retired marks shards merged away; they no longer serve the ring.
 	Retired bool `json:"retired,omitempty"`
+	// BrownoutLevel is the shard's admission-controller brownout level
+	// (0 = full service, 1 = shedding diagnostics, 2 = shedding reads).
+	BrownoutLevel int `json:"brownout_level,omitempty"`
+	// Inflight is the shard's admitted-but-unfinished op count.
+	Inflight int `json:"inflight,omitempty"`
+	// AdmitRejected counts ops fast-failed by the shard's inflight bound.
+	AdmitRejected uint64 `json:"admit_rejected,omitempty"`
+	// Shed counts ops dropped by the shard's brownout controller.
+	Shed uint64 `json:"shed,omitempty"`
+}
+
+// OverloadHealth aggregates the cluster's admission-control state for
+// /healthz: the worst brownout level across shards plus the summed
+// admission counters. Not omitempty — "no overload" is itself a vital.
+type OverloadHealth struct {
+	// BrownoutLevel is the maximum level across hosted shards.
+	BrownoutLevel int `json:"brownout_level"`
+	// MaxInflight is the per-shard pending-op bound (0 = unlimited).
+	MaxInflight int `json:"max_inflight"`
+	// Inflight sums admitted-but-unfinished ops across shards.
+	Inflight int `json:"inflight"`
+	// Rejected, Shed and DeadlineExpired sum the shards' admission
+	// counters: inflight-bound fast-fails, brownout drops, and ops
+	// dropped because their propagated deadline had passed.
+	Rejected        uint64 `json:"rejected"`
+	Shed            uint64 `json:"shed"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
 }
 
 // Health is the point-in-time report served at /healthz.
@@ -44,6 +71,9 @@ type Health struct {
 	// first reshard).
 	TopologyEpoch uint64        `json:"topology_epoch,omitempty"`
 	Shards        []ShardHealth `json:"shards,omitempty"`
+	// Overload is the cluster's admission-control state. Status degrades
+	// to "browned-out" while any shard sheds.
+	Overload OverloadHealth `json:"overload"`
 	// Flight recorder vitals (filled by the /healthz handler from the
 	// Obs's recorder, not by health providers): retained event count,
 	// ring evictions, and the causal clock's latest Lamport stamp. Not

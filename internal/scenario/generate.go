@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"gospaces/internal/discovery"
@@ -64,6 +66,7 @@ func Generate(seed int64) Manifest {
 	m.App = genApp(r, m, exec)
 	m.Events = genEvents(r, m)
 	genFaults(r, &m)
+	genOverload(r, &m)
 	return m
 }
 
@@ -233,4 +236,57 @@ func genFaults(r *rand.Rand, m *Manifest) {
 			})
 		}
 	}
+}
+
+// genOverload arms the overload-protection plane on ~30% of manifests and
+// fires one mid-run burst against it. The knobs are deliberately generous
+// — MaxInflight well above what the workers alone generate — so the burst
+// generators absorb the sheds and rejections while the workers' high-
+// priority mutations keep flowing; the invariants then prove overload
+// protection never loses or duplicates a result. A slow shard sometimes
+// rides along (extra latency on one shard's address) so the burst also
+// exercises the retry budget and, when armed, the breakers.
+func genOverload(r *rand.Rand, m *Manifest) {
+	if r.Float64() >= 0.3 {
+		return
+	}
+	m.OpCost = time.Millisecond + time.Duration(r.Int63n(int64(2*time.Millisecond)))
+	// Small enough that a large burst saturates a shard (the generators
+	// hold inflight slots through the gate queue), large enough that the
+	// workers alone never graze it.
+	m.MaxInflight = 8 + r.Intn(17)
+	if r.Float64() < 0.5 {
+		m.RetryBudget = 20 + r.Intn(30)
+	}
+	if r.Float64() < 0.5 {
+		m.Breakers = true
+	}
+	// The burst lands mid-run (4.5–5.5s): after genEvents' early slot and
+	// before its late one, so sorting keeps both plans' spacing intact.
+	m.Events = append(m.Events, Event{
+		At:     4500*time.Millisecond + time.Duration(r.Int63n(int64(time.Second))),
+		Kind:   OverloadBurst,
+		Factor: 3 + r.Intn(4),
+		Window: time.Second + time.Duration(r.Int63n(int64(1500*time.Millisecond))),
+	})
+	sort.SliceStable(m.Events, func(i, j int) bool { return m.Events[i].At < m.Events[j].At })
+	if m.Shards > 1 && m.Replicas == 0 && r.Float64() < 0.5 {
+		// Slow shard: extra latency on one non-root shard's address, small
+		// enough to stay under any op deadline (no accidental ambiguity).
+		m.Faults.Rules = append(m.Faults.Rules, faults.RuleSpec{
+			Kind: faults.RuleDelay, From: "node/*", To: shardAddr(1 + r.Intn(m.Shards-1)),
+			Method: "space.*",
+			Prob:   0.5 + 0.3*r.Float64(),
+			Delay:  10*time.Millisecond + time.Duration(r.Int63n(int64(30*time.Millisecond))),
+		})
+	}
+}
+
+// shardAddr is base shard i's simulated-cluster listener address (shard 0
+// shares the master's own listener).
+func shardAddr(i int) string {
+	if i == 0 {
+		return "master"
+	}
+	return fmt.Sprintf("master.shard%d", i)
 }

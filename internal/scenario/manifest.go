@@ -49,6 +49,16 @@ const (
 	Split         = "split"
 	Merge         = "merge"
 	CorruptResult = "corrupt-result"
+	// OverloadBurst multiplies the offered load: Factor extra read
+	// generators per worker hammer the space for Window. With the
+	// manifest's overload knobs armed (OpCost, MaxInflight) the burst
+	// saturates the shard gates and exercises admission control, brownout
+	// shedding and retry budgets while the invariants must still hold —
+	// shed ops are the burst's own and the workers', and a worker
+	// absorbs a rejection by aborting its transaction and repolling. An
+	// optional slow-shard fault rides the fault plan (the generator pairs
+	// a delay rule on one shard's address with the burst).
+	OverloadBurst = "overload-burst"
 )
 
 // Event is one timed control-plane action. Events run sequentially in
@@ -60,8 +70,14 @@ type Event struct {
 	// Shard targets kill-primary/rejoin/restart-shard/split by base-shard
 	// index. Merge resolves its target at runtime (the first live
 	// split-born ring, sorted) because split-born ring IDs exist only
-	// once the split has happened.
+	// once the split has happened. Overload-burst offers load to the
+	// whole ring and ignores it.
 	Shard int `json:"shard,omitempty"`
+	// Factor is overload-burst's load multiplier: Factor extra read
+	// generators per worker (0 = 4).
+	Factor int `json:"factor,omitempty"`
+	// Window is how long an overload-burst sustains (0 = 2s).
+	Window time.Duration `json:"window,omitempty"`
 }
 
 // Manifest is a complete, replayable deployment + event plan. Everything
@@ -94,6 +110,17 @@ type Manifest struct {
 	// and memoizes outcomes shard-side, so ambiguous op timeouts are
 	// retried with the original token instead of surfacing.
 	ExactlyOnce bool `json:"exactly_once,omitempty"`
+	// OpCost models each shard server's per-op CPU (core.Config.
+	// SpaceOpCost): with it set an overload-burst actually saturates the
+	// shard gates instead of being absorbed by an infinitely fast server.
+	OpCost time.Duration `json:"op_cost,omitempty"`
+	// MaxInflight bounds each shard's admitted-but-unfinished ops and arms
+	// its brownout controller (core.Config.MaxInflight; 0 = unlimited).
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// RetryBudget caps each router's retry volume (core.Config.RetryBudget).
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// Breakers arms per-shard circuit breakers in every router.
+	Breakers bool `json:"breakers,omitempty"`
 	// App is the workload.
 	App AppSpec `json:"app"`
 	// Faults is the seeded fault schedule installed on the cluster's
@@ -132,6 +159,10 @@ func (m Manifest) Validate() error {
 	if m.OpTimeout < 0 {
 		return fmt.Errorf("scenario: op_timeout = %s, want >= 0", m.OpTimeout)
 	}
+	if m.OpCost < 0 || m.MaxInflight < 0 || m.RetryBudget < 0 {
+		return fmt.Errorf("scenario: overload knobs must be >= 0 (op_cost %s, max_inflight %d, retry_budget %d)",
+			m.OpCost, m.MaxInflight, m.RetryBudget)
+	}
 	if m.AmbiguousTimeouts() && !m.ExactlyOnce {
 		return fmt.Errorf("scenario: ambiguous-timeout faults (delay > op_timeout) require exactly_once: at-most-once surfaces the ambiguity as an error, so exactness cannot hold")
 	}
@@ -161,11 +192,18 @@ func (m Manifest) Validate() error {
 			if m.App.Name != AppMonteCarlo {
 				return fmt.Errorf("scenario: event %d: corrupt-result supports only montecarlo", i)
 			}
+		case OverloadBurst:
+			if ev.Factor < 0 || ev.Window < 0 {
+				return fmt.Errorf("scenario: event %d: overload-burst factor/window must be >= 0", i)
+			}
 		default:
 			return fmt.Errorf("scenario: event %d: unknown kind %q", i, ev.Kind)
 		}
-		if ev.Kind != Merge && (ev.Shard < 0 || ev.Shard >= m.Shards) {
+		if ev.Kind != Merge && ev.Kind != OverloadBurst && (ev.Shard < 0 || ev.Shard >= m.Shards) {
 			return fmt.Errorf("scenario: event %d (%s) targets shard %d of %d", i, ev.Kind, ev.Shard, m.Shards)
+		}
+		if ev.Kind != OverloadBurst && (ev.Factor != 0 || ev.Window != 0) {
+			return fmt.Errorf("scenario: event %d (%s): factor/window apply only to overload-burst", i, ev.Kind)
 		}
 	}
 	return nil

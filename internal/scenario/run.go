@@ -11,7 +11,9 @@ import (
 	"gospaces/internal/core"
 	"gospaces/internal/e2e/harness"
 	"gospaces/internal/obs"
+	"gospaces/internal/space"
 	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
 	"gospaces/internal/wal"
 )
 
@@ -109,6 +111,10 @@ func Run(m Manifest) Report {
 			TxnTTL:        ttl,
 			OpTimeout:     m.OpTimeout,
 			ExactlyOnce:   m.ExactlyOnce,
+			SpaceOpCost:   m.OpCost,
+			MaxInflight:   m.MaxInflight,
+			RetryBudget:   m.RetryBudget,
+			Breakers:      m.Breakers,
 			ResultTimeout: 10 * time.Minute,
 			Obs:           o,
 		},
@@ -288,8 +294,54 @@ func (st *runState) apply(f *core.Framework, ev Event) {
 		} else {
 			st.forged++
 		}
+	case OverloadBurst:
+		st.burst(f, ev)
 	}
 	st.outcomes = append(st.outcomes, out)
+}
+
+// burst multiplies the offered load for the event's window: Factor read
+// generators per worker hammer the base shards over RPC, so the traffic
+// rides through each shard's admission controller exactly like a worker's
+// — inflight rises, the gates queue, and with the manifest's knobs armed
+// the brownout shedder engages. The generators' errors are discarded:
+// shed and rejected ops are exactly what the burst exists to provoke, and
+// the invariants only care that the *workers'* results survive the storm.
+func (st *runState) burst(f *core.Framework, ev Event) {
+	factor, window := ev.Factor, ev.Window
+	if factor <= 0 {
+		factor = 4
+	}
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+	tmpl := burstTemplate(st.m)
+	end := f.Clock.Now().Add(window)
+	g := vclock.NewGroup(f.Clock)
+	for k := 0; k < factor*st.m.Workers; k++ {
+		from := fmt.Sprintf("burst/%d", k)
+		addr := shardAddr(k % st.m.Shards)
+		g.Go(func() {
+			// A generator dies with the endpoint it targets (a killed
+			// primary, a mid-restart shard): errors are part of the storm.
+			sp := space.NewProxy(f.Cluster.Net.DialAs(from, addr))
+			for f.Clock.Now().Before(end) {
+				_, _ = sp.ReadIfExists(tmpl, nil) // PriNormal: shed at level 2
+				_, _ = sp.Count(tmpl)             // PriLow: shed at level 1
+				f.Clock.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	g.Wait()
+}
+
+// burstTemplate is the unkeyed task template the burst generators scan
+// for — unkeyed so every read scatters across the whole ring.
+func burstTemplate(m Manifest) tuplespace.Entry {
+	if m.App.Name == AppRayTrace {
+		return raytrace.Task{}
+	}
+	return montecarlo.Task{}
 }
 
 // waitFor polls cond on the virtual clock, bounded by d.

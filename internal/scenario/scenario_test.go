@@ -49,6 +49,24 @@ func TestGenerateValidAndCovering(t *testing.T) {
 		if m.ExactlyOnce && m.Replicas == 1 {
 			shapes["exactly-once-replicated"]++
 		}
+		if m.MaxInflight > 0 {
+			shapes["overload"]++
+			burst := false
+			for _, ev := range m.Events {
+				if ev.Kind == OverloadBurst {
+					burst = true
+				}
+			}
+			if !burst {
+				t.Errorf("seed %d: overload knobs armed without an overload-burst event", seed)
+			}
+		}
+		if m.RetryBudget > 0 {
+			shapes["retry-budget"]++
+		}
+		if m.Breakers {
+			shapes["breakers"]++
+		}
 		for _, r := range m.Faults.Rules {
 			shapes[r.Kind]++
 		}
@@ -56,6 +74,7 @@ func TestGenerateValidAndCovering(t *testing.T) {
 	for _, shape := range []string{
 		"replicated", "elastic", "durable", "raytrace", "events", "lookup-outage",
 		"exactly-once", "ambiguous-timeout", "exactly-once-replicated",
+		"overload", "retry-budget", "breakers",
 		faults.RuleCrashOnCall, faults.RuleDelay, faults.RuleDuplicate, faults.RuleDrop,
 	} {
 		if shapes[shape] == 0 {

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"errors"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/obs"
+)
+
+// Per-shard circuit breakers (Options.Breaker). Every routed call feeds
+// its outcome into the target ring position's breaker; Threshold
+// consecutive hard failures trip it open, and while open the router
+// fast-fails calls at that position with ErrBreakerOpen instead of
+// paying the failure latency — which is what keeps one dead or hung
+// shard from stalling every scatter round for a full slice. After
+// Cooldown one call is admitted as the half-open probe; its success
+// closes the breaker, its failure re-opens it for another cooldown.
+// Tripping also nudges failover resolution once, so a breaker opening
+// on a dead primary usually heals by retargeting rather than waiting
+// out the cooldown.
+
+// ErrBreakerOpen fast-fails a call routed at a ring position whose
+// circuit breaker is open. It is a hard failure (the shard did not
+// serve the op) but never failover-worthy or ambiguous: the call was
+// not sent, so it provably did not execute.
+var ErrBreakerOpen = errors.New("shard: circuit breaker open, call fast-failed")
+
+// BreakerConfig tunes the per-shard circuit breakers. The zero value of
+// each field selects the documented default; a nil Options.Breaker
+// disables breakers entirely.
+type BreakerConfig struct {
+	// Threshold is the consecutive hard-failure count that trips a
+	// closed breaker open (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before admitting a
+	// single half-open probe (default 500ms). A half-open probe that
+	// never reports (its caller died) is replaced after another
+	// Cooldown, so a lost probe cannot wedge the breaker.
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) withDefaults() *BreakerConfig {
+	out := *c
+	if out.Threshold <= 0 {
+		out.Threshold = 5
+	}
+	if out.Cooldown <= 0 {
+		out.Cooldown = 500 * time.Millisecond
+	}
+	return &out
+}
+
+const (
+	bkClosed = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is one ring position's failure accountant. Guarded by the
+// router's bkMu.
+type breaker struct {
+	state int
+	// fails counts consecutive hard failures while closed.
+	fails int
+	// openedAt is when the breaker last opened, or — in the half-open
+	// state — when the current probe was admitted.
+	openedAt time.Time
+}
+
+// breakerWorthy reports whether err should count against a shard's
+// breaker: hard failures that indicate the shard is dead, hung or
+// unreachable. Admission fast-fails (overload, expired deadline) are
+// proof the shard is alive and answering, and caller-side transaction
+// misuse says nothing about the shard at all.
+func breakerWorthy(err error) bool {
+	return failoverWorthy(err)
+}
+
+// allow reports whether a call routed at ring ID id may proceed. It
+// returns nil while the breaker is closed, admits exactly one probe per
+// cooldown while it is open or half-open, and fast-fails everything
+// else with ErrBreakerOpen. With no Options.Breaker it always allows.
+func (r *Router) allow(id string) error {
+	cfg := r.opts.Breaker
+	if cfg == nil {
+		return nil
+	}
+	now := r.opts.Clock.Now()
+	r.bkMu.Lock()
+	b := r.bks[id]
+	if b == nil {
+		b = &breaker{}
+		if r.bks == nil {
+			r.bks = make(map[string]*breaker)
+		}
+		r.bks[id] = b
+	}
+	var denied bool
+	switch b.state {
+	case bkClosed:
+		// fall through: allowed
+	case bkOpen:
+		if now.Sub(b.openedAt) < cfg.Cooldown {
+			denied = true
+			break
+		}
+		b.state = bkHalfOpen
+		b.openedAt = now
+	default: // bkHalfOpen
+		if now.Sub(b.openedAt) < cfg.Cooldown {
+			denied = true // a probe is in flight; keep fast-failing
+			break
+		}
+		b.openedAt = now // the probe never reported: admit a replacement
+	}
+	r.bkMu.Unlock()
+	if denied {
+		r.countRetry(metrics.CounterBreakerFastFail)
+		return ErrBreakerOpen
+	}
+	return nil
+}
+
+// observe feeds one call outcome for ring ID id into its breaker and,
+// on success (soft no-match conditions included — the shard answered),
+// deposits into the shared retry budget. ErrBreakerOpen outcomes are
+// the breaker's own fast-fails and are ignored.
+func (r *Router) observe(id string, err error) {
+	if errors.Is(err, ErrBreakerOpen) {
+		return
+	}
+	ok := err == nil || !hard(err)
+	if ok {
+		r.noteSuccess()
+	}
+	cfg := r.opts.Breaker
+	if cfg == nil {
+		return
+	}
+	if !ok && !breakerWorthy(err) {
+		return // alive-but-refusing (overload, txn misuse): not a breaker signal
+	}
+	now := r.opts.Clock.Now()
+	r.bkMu.Lock()
+	b := r.bks[id]
+	if b == nil {
+		b = &breaker{}
+		if r.bks == nil {
+			r.bks = make(map[string]*breaker)
+		}
+		r.bks[id] = b
+	}
+	tripped, closed := false, false
+	if ok {
+		if b.state != bkClosed {
+			closed = true
+		}
+		b.state = bkClosed
+		b.fails = 0
+	} else {
+		switch b.state {
+		case bkClosed:
+			b.fails++
+			if b.fails >= cfg.Threshold {
+				b.state = bkOpen
+				b.openedAt = now
+				tripped = true
+			}
+		case bkHalfOpen:
+			// The probe failed: re-open for another cooldown.
+			b.state = bkOpen
+			b.openedAt = now
+		case bkOpen:
+			// A straggler admitted before the trip failed late; restart
+			// the cooldown so the probe waits out a full quiet period.
+			b.openedAt = now
+		}
+	}
+	r.bkMu.Unlock()
+	if tripped {
+		r.countRetry(metrics.CounterBreakerOpen)
+		r.flight(obs.FlightEvent{Kind: obs.EventBreakerOpen, Shard: id, Detail: err.Error()})
+		// A trip is strong evidence the primary is gone: resolve failover
+		// now instead of waiting for the cooldown probe to discover it.
+		r.tryFailover(id)
+	}
+	if closed {
+		r.countRetry(metrics.CounterBreakerClose)
+		r.flight(obs.FlightEvent{Kind: obs.EventBreakerClose, Shard: id})
+	}
+}
+
+// BreakerState reports ring ID id's breaker state as a string for
+// diagnostics ("closed", "open", "half-open"; "closed" with no breaker
+// configured or no recorded outcome).
+func (r *Router) BreakerState(id string) string {
+	r.bkMu.Lock()
+	defer r.bkMu.Unlock()
+	b := r.bks[id]
+	if b == nil {
+		return "closed"
+	}
+	switch b.state {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}

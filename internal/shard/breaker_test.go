@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/space"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// TestRetryBudgetTokenBucket: the bucket starts full, denies when dry,
+// refills by the success ratio capped at max, and a nil budget never
+// denies.
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("fresh bucket denied a retry")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	b.Success() // +0.5: still under one token
+	if b.Allow() {
+		t.Fatal("half a token allowed a retry")
+	}
+	b.Success() // 1.0: one retry's worth
+	if !b.Allow() || b.Allow() {
+		t.Fatal("refilled bucket did not allow exactly one retry")
+	}
+	for i := 0; i < 100; i++ {
+		b.Success()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v after heavy refill, want capped at 2", got)
+	}
+	var nilBudget *RetryBudget
+	if !nilBudget.Allow() {
+		t.Fatal("nil budget denied")
+	}
+	nilBudget.Success() // must not panic
+}
+
+// TestRetryBudgetExhaustedSurfacesAmbiguity: when the retry budget runs
+// dry, an ambiguous exactly-once mutation must SURFACE its reply-lost
+// error with the ambiguity counted — never be silently dropped or
+// silently re-driven outside the budget.
+func TestRetryBudgetExhaustedSurfacesAmbiguity(t *testing.T) {
+	clk := vclock.NewReal()
+	ghost := &ghostSpace{Local: space.NewLocal(clk), ghosts: 1}
+	ctr := metrics.NewCounters()
+	budget := NewRetryBudget(1, 0.001)
+	if !budget.Allow() {
+		t.Fatal("draining the budget")
+	}
+	r, err := New(Options{
+		Clock:       clk,
+		Seed:        "budget-test",
+		ExactlyOnce: true,
+		Counters:    ctr,
+		Budget:      budget,
+	}, []Shard{{ID: "shard-0", Space: ghost, Epoch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, werr := r.Write(kv{Key: "a", Val: 1}, nil, 0)
+	if !errors.Is(werr, space.ErrOpTimeout) {
+		t.Fatalf("err = %v, want the ambiguous ErrOpTimeout surfaced", werr)
+	}
+	snap := ctr.Snapshot()
+	if snap[metrics.CounterRetryAmbiguous] == 0 {
+		t.Fatalf("ambiguity not counted: %v", snap)
+	}
+	if snap[metrics.CounterRetryBudgetDenied] == 0 {
+		t.Fatalf("budget denial not counted: %v", snap)
+	}
+	if snap[metrics.CounterRetryAttempts] != 0 {
+		t.Fatalf("a retry ran outside the budget: %v", snap)
+	}
+	// The op executed server-side (only the reply was lost): the entry is
+	// there, the caller knows its fate is unresolved, and nothing re-drove
+	// the token into a duplicate.
+	if n, _ := ghost.Count(kv{}); n != 1 {
+		t.Fatalf("shard holds %d entries, want 1", n)
+	}
+}
+
+// TestBreakerTripsHalfOpensAndCloses walks a single shard's breaker
+// through its whole lifecycle: consecutive hard failures trip it, open
+// fast-fails without touching the shard, a cooldown admits one half-open
+// probe, a failed probe re-opens, and a successful probe closes.
+func TestBreakerTripsHalfOpensAndCloses(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	flaky := &flakySpace{Local: space.NewLocal(clk), err: errors.New("connection refused"), left: 4}
+	ctr := metrics.NewCounters()
+	r, err := New(Options{
+		Clock:    clk,
+		Seed:     "breaker-test",
+		Counters: ctr,
+		Breaker:  &BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond},
+	}, []Shard{{ID: "shard-0", Space: flaky, Epoch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Run(func() {
+		read := func() error {
+			_, e := r.ReadIfExists(kv{Key: "a"}, nil)
+			return e
+		}
+		// Three consecutive hard failures trip the breaker.
+		for i := 0; i < 3; i++ {
+			if e := read(); e == nil || errors.Is(e, ErrBreakerOpen) {
+				t.Fatalf("failure %d: err = %v, want the shard's own error", i, e)
+			}
+		}
+		if got := r.BreakerState("shard-0"); got != "open" {
+			t.Fatalf("state after %d failures = %q, want open", 3, got)
+		}
+		// Open: fast-fail without consuming the shard's scripted failures.
+		before := flaky.left
+		if e := read(); !errors.Is(e, ErrBreakerOpen) {
+			t.Fatalf("open breaker: err = %v, want ErrBreakerOpen", e)
+		}
+		if flaky.left != before {
+			t.Fatal("fast-failed call reached the shard")
+		}
+		// Cooldown elapses: one probe is admitted, fails, re-opens.
+		clk.Sleep(150 * time.Millisecond)
+		if e := read(); e == nil || errors.Is(e, ErrBreakerOpen) {
+			t.Fatalf("half-open probe: err = %v, want the shard's own error", e)
+		}
+		if got := r.BreakerState("shard-0"); got != "open" {
+			t.Fatalf("state after failed probe = %q, want open", got)
+		}
+		if e := read(); !errors.Is(e, ErrBreakerOpen) {
+			t.Fatalf("re-opened breaker: err = %v, want ErrBreakerOpen", e)
+		}
+		// Next cooldown: the shard has healed (scripted failures consumed);
+		// the probe's soft no-match reply closes the breaker.
+		clk.Sleep(150 * time.Millisecond)
+		if e := read(); !errors.Is(e, tuplespace.ErrNoMatch) {
+			t.Fatalf("healed probe: err = %v, want ErrNoMatch", e)
+		}
+		if got := r.BreakerState("shard-0"); got != "closed" {
+			t.Fatalf("state after healed probe = %q, want closed", got)
+		}
+	})
+	snap := ctr.Snapshot()
+	if snap[metrics.CounterBreakerOpen] != 1 || snap[metrics.CounterBreakerClose] != 1 {
+		t.Fatalf("breaker transition counters: %v", snap)
+	}
+	if snap[metrics.CounterBreakerFastFail] != 2 {
+		t.Fatalf("fastfail count = %d, want 2: %v", snap[metrics.CounterBreakerFastFail], snap)
+	}
+}
+
+// TestBreakerIgnoresAdmissionFastFails: ErrOverloaded means the shard is
+// alive and protecting itself — it must not count toward the breaker, or
+// overload would cascade into a spurious trip (and, with a resolver, a
+// failover storm).
+func TestBreakerIgnoresAdmissionFastFails(t *testing.T) {
+	clk := vclock.NewReal()
+	flaky := &flakySpace{Local: space.NewLocal(clk), err: tuplespace.ErrOverloaded, left: 10}
+	r, err := New(Options{
+		Clock:   clk,
+		Seed:    "breaker-overload-test",
+		Breaker: &BreakerConfig{Threshold: 2, Cooldown: time.Millisecond},
+	}, []Shard{{ID: "shard-0", Space: flaky, Epoch: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, e := r.ReadIfExists(kv{Key: "a"}, nil); !errors.Is(e, tuplespace.ErrOverloaded) {
+			t.Fatalf("call %d: err = %v, want ErrOverloaded passed through", i, e)
+		}
+	}
+	if got := r.BreakerState("shard-0"); got != "closed" {
+		t.Fatalf("state after 10 overload rejections = %q, want closed", got)
+	}
+}

@@ -154,10 +154,16 @@ func (r *Router) flight(ev obs.FlightEvent) {
 }
 
 // failoverWorthy reports whether err is the kind of hard failure a
-// promoted backup could cure. Caller-side transaction misuse is not.
+// promoted backup could cure. Caller-side transaction misuse is not,
+// and neither are admission fast-fails: an overloaded or
+// deadline-expiring shard is alive and answering — promoting its backup
+// would amplify the overload into a failover storm — and a breaker-open
+// fast-fail never left the router at all.
 func failoverWorthy(err error) bool {
 	return err != nil && hard(err) &&
-		!errors.Is(err, space.ErrBadTxn) && !errors.Is(err, tuplespace.ErrTxnInactive)
+		!errors.Is(err, space.ErrBadTxn) && !errors.Is(err, tuplespace.ErrTxnInactive) &&
+		!errors.Is(err, tuplespace.ErrOverloaded) && !errors.Is(err, tuplespace.ErrDeadlineExpired) &&
+		!errors.Is(err, ErrBreakerOpen)
 }
 
 // ambiguous reports whether err leaves the remote operation's fate
@@ -170,12 +176,13 @@ func ambiguous(err error) bool { return errors.Is(err, space.ErrOpTimeout) }
 
 // healed attempts failover for ring ID id after err and reports whether
 // the ring position was actually retargeted — the caller may then retry
-// once against the fresh handle. Errors that failover cannot cure (soft
-// conditions, caller-side transaction misuse) never trigger resolution.
+// once against the fresh handle, a retry charged to the shared budget.
+// Errors that failover cannot cure (soft conditions, caller-side
+// transaction misuse, admission fast-fails) never trigger resolution.
 // Use for idempotent operations (reads, counts); mutations go through
 // healedMut.
 func (r *Router) healed(id string, err error) bool {
-	return failoverWorthy(err) && r.tryFailover(id)
+	return failoverWorthy(err) && r.tryFailover(id) && r.spendRetry()
 }
 
 // healedMut is healed for mutating operations (Write, the Take variants,
@@ -193,7 +200,7 @@ func (r *Router) healedMut(id string, err error) bool {
 		r.tryFailover(id)
 		return false
 	}
-	return r.tryFailover(id)
+	return r.tryFailover(id) && r.spendRetry()
 }
 
 // healedOp dispatches between healed and healedMut on whether the

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +27,90 @@ import (
 // routerSeq distinguishes routers sharing a Seed within one process, so
 // their token namespaces never collide.
 var routerSeq atomic.Uint64
+
+// RetryBudget is a token bucket bounding the router's total retry
+// volume (Options.Budget). Every successful call — soft no-match
+// replies included, the shard answered — deposits Ratio tokens, capped
+// at Max; every retry attempt withdraws one. When the bucket runs dry
+// retries are denied (metrics.CounterRetryBudgetDenied) and the last
+// error surfaces instead, so a cluster-wide failure cannot amplify
+// offered load into a retry storm: sustained retry throughput is capped
+// at Ratio times the success throughput. One budget is typically shared
+// by everything a process routes through. A nil *RetryBudget never
+// denies — the zero-configuration behavior is exactly the old one.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewRetryBudget returns a budget holding at most max tokens (default
+// 10 when <= 0) that refills ratio tokens per observed success (default
+// 0.1 when <= 0, i.e. one retry per ten successes). The bucket starts
+// full so cold-start failures can still retry.
+func NewRetryBudget(max int, ratio float64) *RetryBudget {
+	if max <= 0 {
+		max = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &RetryBudget{tokens: float64(max), max: float64(max), ratio: ratio}
+}
+
+// Allow withdraws one retry token, reporting false when the bucket is
+// empty. A nil budget always allows.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Success deposits one success's worth of refill. A nil budget ignores
+// it.
+func (b *RetryBudget) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Tokens reports the current balance (diagnostics; nil-safe).
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// spendRetry withdraws one retry from the shared budget, counting the
+// denial when the bucket is dry. Every router retry path — exactly-once
+// token replays and the at-most-once single retry after a failover —
+// spends here before re-issuing.
+func (r *Router) spendRetry() bool {
+	if r.opts.Budget.Allow() {
+		return true
+	}
+	r.countRetry(metrics.CounterRetryBudgetDenied)
+	return false
+}
+
+// noteSuccess deposits one observed success into the shared budget.
+func (r *Router) noteSuccess() { r.opts.Budget.Success() }
 
 // mint returns a fresh op token, or the zero token outside exactly-once
 // mode.
@@ -113,12 +198,17 @@ func retryMut[T any](r *Router, key string, keyed bool, pinned string, tok tuple
 			return nil
 		}
 		id = nid
+		if !r.spendRetry() {
+			stopped = true
+			return nil
+		}
 		r.tryFailover(id)
 		sp := r.fresh(id)
 		r.countRetry(metrics.CounterRetryAttempts)
 		start := r.opts.Clock.Now()
 		res, e := attempt(sp)
 		r.retrySpan(id, tok, start, e)
+		r.observe(id, e)
 		err = e
 		if e == nil {
 			out = res
@@ -173,10 +263,15 @@ func (r *Router) healedOpTok(id string, mutating bool, err error, tok tuplespace
 		r.countRetry(metrics.CounterRetryAmbiguous)
 		r.flight(obs.FlightEvent{Kind: obs.EventRetryAmbig, Shard: id, Detail: "tok " + tok.String()})
 		r.tryFailover(id)
+		if !r.spendRetry() {
+			// Budget dry: the ambiguity stays counted and the reply-lost
+			// error surfaces instead of being silently re-driven.
+			return false
+		}
 		r.countRetry(metrics.CounterRetryAttempts)
 		return true
 	}
-	if r.tryFailover(id) {
+	if r.tryFailover(id) && r.spendRetry() {
 		r.countRetry(metrics.CounterRetryAttempts)
 		return true
 	}
@@ -197,6 +292,10 @@ func (t *routerTxn) retryFinish(id string, sub space.Txn, tok tuplespace.OpToken
 		if stopped {
 			return nil
 		}
+		if !r.spendRetry() {
+			stopped = true
+			return nil
+		}
 		r.tryFailover(id)
 		nt := space.RebindTxn(r.fresh(id), sub)
 		if nt == nil {
@@ -214,6 +313,7 @@ func (t *routerTxn) retryFinish(id string, sub space.Txn, tok tuplespace.OpToken
 			e = space.AbortTok(nt, tok)
 		}
 		r.retrySpan(id, tok, start, e)
+		r.observe(id, e)
 		err = e
 		if e == nil || !r.retryableMut(e, tok) {
 			stopped = true
@@ -251,6 +351,10 @@ func (tl *tokLease) Cancel() error {
 	b := tl.r.policy(tok)
 	_ = b.Do(func() error {
 		if stopped {
+			return nil
+		}
+		if !tl.r.spendRetry() {
+			stopped = true
 			return nil
 		}
 		tl.r.countRetry(metrics.CounterRetryAttempts)

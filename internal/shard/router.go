@@ -98,6 +98,16 @@ type Options struct {
 	// tracer, parented into the promotion span the resolved registration
 	// carried. Nil keeps all of it a cheap branch.
 	Obs *obs.Obs
+	// Budget, when set, is the token-bucket retry budget every retry
+	// path shares — exactly-once token replays and the at-most-once
+	// single retry after a failover alike (see RetryBudget in retry.go).
+	// Nil never denies a retry, exactly the old behavior.
+	Budget *RetryBudget
+	// Breaker, when set, enables per-ring-ID circuit breakers with
+	// half-open probing (see breaker.go): a shard whose calls hard-fail
+	// Threshold times in a row fast-fails with ErrBreakerOpen instead of
+	// stalling scatter rounds. Nil disables breakers.
+	Breaker *BreakerConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retry.Max <= 0 {
 		o.Retry.Max = 500 * time.Millisecond
+	}
+	if o.Breaker != nil {
+		o.Breaker = o.Breaker.withDefaults()
 	}
 	return o
 }
@@ -174,6 +187,11 @@ type Router struct {
 	// plus the retries it heals form one connected span tree.
 	ctrlMu  sync.Mutex
 	ctrlCtx map[string]obs.TraceContext
+
+	// Per-ring-ID circuit breakers (see breaker.go; nil Options.Breaker
+	// leaves the map unused).
+	bkMu sync.Mutex
+	bks  map[string]*breaker
 }
 
 // New builds a router over shards (at least one, distinct IDs).
@@ -405,6 +423,19 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 	} else {
 		id = v.order[r.nextRot(len(v.order))]
 	}
+	aerr := r.allow(id)
+	if aerr != nil && !keyed {
+		// An unkeyed write may land anywhere: route around open breakers
+		// instead of fast-failing, falling through only when every shard
+		// is open.
+		for i := 1; i < len(v.order) && aerr != nil; i++ {
+			id = v.order[r.nextRot(len(v.order))]
+			aerr = r.allow(id)
+		}
+	}
+	if aerr != nil {
+		return nil, wrapShard(id, aerr)
+	}
 	sp := v.shards[id]
 	tx, err := r.sub(t, id, sp)
 	if err != nil {
@@ -412,6 +443,7 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 	}
 	if tok := r.tokOf(t); !tok.Zero() {
 		l, err := space.WriteTok(sp, e, nil, ttl, tok)
+		r.observe(id, err)
 		if err != nil && r.retryableMut(err, tok) {
 			l, id, err = retryMut(r, key, keyed, id, tok, err, func(sp space.Space) (space.Lease, error) {
 				return space.WriteTok(sp, e, nil, ttl, tok)
@@ -420,8 +452,10 @@ func (r *Router) Write(e tuplespace.Entry, t space.Txn, ttl time.Duration) (spac
 		return r.wrapLease(l), wrapShard(id, err)
 	}
 	l, err := sp.Write(e, tx, ttl)
+	r.observe(id, err)
 	if r.healedMut(id, err) && t == nil {
 		l, err = r.fresh(id).Write(e, nil, ttl)
+		r.observe(id, err)
 	}
 	return l, wrapShard(id, err)
 }
@@ -479,14 +513,19 @@ func (r *Router) lookup(take bool, tmpl tuplespace.Entry, t space.Txn, timeout t
 			if keyed {
 				id = v.ring.get(key)
 			}
+			if aerr := r.allow(id); aerr != nil {
+				return nil, wrapShard(id, aerr)
+			}
 			sp := v.shards[id]
 			tx, err := r.sub(t, id, sp)
 			if err != nil {
 				return nil, err
 			}
 			e, err := call(sp, take, tmpl, tx, wait, block, tok)
+			r.observe(id, err)
 			if r.healedOpTok(id, take, err, tok) && t == nil {
 				e, err = call(r.fresh(id), take, tmpl, nil, wait, block, tok)
+				r.observe(id, err)
 			}
 			if block && t == nil && errors.Is(err, tuplespace.ErrClosed) {
 				// The shard was closed under a parked call: a merge retired
@@ -591,7 +630,12 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 	var lastHard error
 	wait := timeout
 	for {
-		e, err := call(r.fresh(id), take, tmpl, nil, wait, true, tok)
+		var e tuplespace.Entry
+		err := r.allow(id)
+		if err == nil {
+			e, err = call(r.fresh(id), take, tmpl, nil, wait, true, tok)
+			r.observe(id, err)
+		}
 		if err == nil {
 			return e, nil
 		}
@@ -612,8 +656,12 @@ func (r *Router) singleBlocking(id string, take bool, tmpl tuplespace.Entry, tim
 			// Exactly-once: the retry carries the same token, so if the take
 			// did execute, the promoted (or recovered) shard's memo returns
 			// the original entry instead of re-taking. Resolve failover and
-			// go around.
+			// go around — unless the retry budget is dry, in which case the
+			// ambiguity surfaces (still counted) instead of being re-driven.
 			r.countRetry(metrics.CounterRetryAmbiguous)
+			if !r.spendRetry() {
+				return nil, lastHard
+			}
 			r.countRetry(metrics.CounterRetryAttempts)
 			r.tryFailover(id)
 		} else if !r.healed(id, err) {
@@ -715,6 +763,15 @@ func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (
 	for i := 0; i < n; i++ {
 		id := v.order[(start+i)%n]
 		sp := v.shards[id]
+		if aerr := r.allow(id); aerr != nil {
+			// The breaker fast-fails this shard's probe; the sweep keeps
+			// serving from the rest, exactly as with a slow hard failure.
+			hards++
+			if firstErr == nil {
+				firstErr = wrapShard(id, aerr)
+			}
+			continue
+		}
 		tx, err := r.sub(t, id, sp)
 		if err != nil {
 			var se *ShardError
@@ -738,13 +795,16 @@ func (r *Router) sweep(v *view, take bool, tmpl tuplespace.Entry, t space.Txn) (
 			tok = r.tokOf(t)
 		}
 		e, err := call(sp, take, tmpl, tx, 0, false, tok)
+		r.observe(id, err)
 		if err == nil {
 			return e, nil, 0
 		}
 		if hard(err) {
 			if r.healedOpTok(id, take, err, tok) && t == nil {
 				// Retry immediately against the promoted replacement.
-				if e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false, tok); err2 == nil {
+				e, err2 := call(r.fresh(id), take, tmpl, nil, 0, false, tok)
+				r.observe(id, err2)
+				if err2 == nil {
 					return e, nil, 0
 				} else if !hard(err2) {
 					continue // healed; this shard just has no match yet
@@ -954,14 +1014,19 @@ func (st *roundState) result(children int) (tuplespace.Entry, error, bool) {
 // returns the handle actually used, so a losing take is written back to
 // the shard that produced it.
 func (r *Router) probe(s Shard, take bool, tmpl tuplespace.Entry, timeout time.Duration, block bool) (space.Space, tuplespace.Entry, error) {
+	if aerr := r.allow(s.ID); aerr != nil {
+		return s.Space, nil, aerr
+	}
 	var tok tuplespace.OpToken
 	if take {
 		tok = r.mint()
 	}
 	e, err := call(s.Space, take, tmpl, nil, timeout, block, tok)
+	r.observe(s.ID, err)
 	if r.healedOpTok(s.ID, take, err, tok) {
 		sp := r.fresh(s.ID)
 		e, err = call(sp, take, tmpl, nil, timeout, block, tok)
+		r.observe(s.ID, err)
 		return sp, e, err
 	}
 	return s.Space, e, err
@@ -1055,6 +1120,9 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		return nil, err
 	}
 	one := func(id string) ([]tuplespace.Entry, error) {
+		if aerr := r.allow(id); aerr != nil {
+			return nil, wrapShard(id, aerr)
+		}
 		sp := v.shards[id]
 		tx, err := r.sub(t, id, sp)
 		if err != nil {
@@ -1070,6 +1138,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 		} else {
 			es, err = sp.ReadAll(tmpl, tx, max)
 		}
+		r.observe(id, err)
 		if take && !tok.Zero() && err != nil && r.retryableMut(err, tok) {
 			es, id, err = retryMut(r, key, keyed, id, tok, err, func(sp space.Space) ([]tuplespace.Entry, error) {
 				return space.TakeAllTok(sp, tmpl, nil, max, tok)
@@ -1081,6 +1150,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			} else {
 				es, err = sp.ReadAll(tmpl, nil, max)
 			}
+			r.observe(id, err)
 		}
 		return es, wrapShard(id, err)
 	}
@@ -1115,12 +1185,16 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			if take {
 				tok = r.tokOf(t)
 			}
+			if aerr := r.allow(id); aerr != nil {
+				return out, wrapShard(id, aerr)
+			}
 			var es []tuplespace.Entry
 			if take {
 				es, err = space.TakeAllTok(sp, tmpl, tx, rem, tok)
 			} else {
 				es, err = sp.ReadAll(tmpl, tx, rem)
 			}
+			r.observe(id, err)
 			if r.healedOpTok(id, take, err, tok) && t == nil {
 				sp = r.fresh(id)
 				if take {
@@ -1128,6 +1202,7 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 				} else {
 					es, err = sp.ReadAll(tmpl, nil, rem)
 				}
+				r.observe(id, err)
 			}
 			if err != nil {
 				return out, wrapShard(id, err)
@@ -1140,6 +1215,10 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 	results := make([][]tuplespace.Entry, len(v.order))
 	errs := make([]error, len(v.order))
 	r.strided(v, func(i int, id string) {
+		if aerr := r.allow(id); aerr != nil {
+			errs[i] = wrapShard(id, aerr)
+			return
+		}
 		sp := v.shards[id]
 		tx, err := r.sub(t, id, sp)
 		if err != nil {
@@ -1147,8 +1226,10 @@ func (r *Router) bulk(take bool, tmpl tuplespace.Entry, t space.Txn, max int) ([
 			return
 		}
 		es, err := sp.ReadAll(tmpl, tx, 0)
+		r.observe(id, err)
 		if r.healed(id, err) && t == nil {
 			es, err = r.fresh(id).ReadAll(tmpl, nil, 0)
+			r.observe(id, err)
 		}
 		results[i], errs[i] = es, wrapShard(id, err)
 	})
@@ -1172,18 +1253,29 @@ func (r *Router) Count(tmpl tuplespace.Entry) (int, error) {
 	}
 	if keyed {
 		id := v.ring.get(key)
+		if aerr := r.allow(id); aerr != nil {
+			return 0, wrapShard(id, aerr)
+		}
 		c, err := v.shards[id].Count(tmpl)
+		r.observe(id, err)
 		if r.healed(id, err) {
 			c, err = r.fresh(id).Count(tmpl)
+			r.observe(id, err)
 		}
 		return c, wrapShard(id, err)
 	}
 	counts := make([]int, len(v.order))
 	errs := make([]error, len(v.order))
 	r.strided(v, func(i int, id string) {
+		if aerr := r.allow(id); aerr != nil {
+			errs[i] = wrapShard(id, aerr)
+			return
+		}
 		c, err := v.shards[id].Count(tmpl)
+		r.observe(id, err)
 		if r.healed(id, err) {
 			c, err = r.fresh(id).Count(tmpl)
+			r.observe(id, err)
 		}
 		counts[i], errs[i] = c, wrapShard(id, err)
 	})

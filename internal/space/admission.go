@@ -1,0 +1,267 @@
+package space
+
+import (
+	"sync"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/transport"
+	"gospaces/internal/tuplespace"
+	"gospaces/internal/vclock"
+)
+
+// AdmissionConfig tunes a Service's server-side overload protection. The
+// zero value (an unconfigured Service) admits everything and only unwraps
+// the transport frame, so token-oblivious deployments behave as before.
+type AdmissionConfig struct {
+	// Clock evaluates deadlines and brownout windows. Required for any
+	// check to run.
+	Clock vclock.Clock
+	// MaxInflight bounds the ops between admission and completion —
+	// the pending-op queue, gate wait included. 0 = unlimited.
+	MaxInflight int
+	// Gate, when set, charges the modeled per-op CPU inside admission so
+	// a queued op whose service slot would end past its propagated
+	// deadline is dropped instead of executed into the void.
+	Gate *transport.ServiceGate
+	// Counters receives admit:*/shed:* increments (nil-safe).
+	Counters *metrics.Counters
+	// FlightSink receives brownout level transitions for the flight
+	// recorder (nil = none).
+	FlightSink func(detail string)
+
+	// Brownout tuning: when inflight utilization stays at or above
+	// BrownoutEnter (default 0.9) for BrownoutAfter (default 250ms) the
+	// controller enters level 1 and sheds PriLow ops; after another
+	// BrownoutAfter of sustained saturation, level 2 sheds PriNormal too.
+	// Utilization at or below BrownoutExit (default 0.5) leaves brownout.
+	// Brownout needs MaxInflight > 0 — without a capacity bound there is
+	// no utilization to react to.
+	BrownoutEnter float64
+	BrownoutExit  float64
+	BrownoutAfter time.Duration
+}
+
+// Admission is a Service's admission controller: the expired-deadline
+// check, the inflight bound, the brownout shedder and the deadline-aware
+// gate, applied in that order before any handler runs. Every Service has
+// one; Configure arms it.
+type Admission struct {
+	mu  sync.Mutex
+	cfg AdmissionConfig
+
+	inflight int
+	level    int       // brownout level: 0 none, 1 shed PriLow, 2 shed PriNormal too
+	satSince time.Time // start of the current sustained-saturation window
+
+	admitted uint64
+	rejected uint64
+	shed     uint64
+	expired  uint64
+}
+
+// AdmissionVitals is the /healthz snapshot of an admission controller.
+type AdmissionVitals struct {
+	Inflight        int    `json:"inflight"`
+	MaxInflight     int    `json:"max_inflight"`
+	BrownoutLevel   int    `json:"brownout_level"`
+	Admitted        uint64 `json:"admitted"`
+	Rejected        uint64 `json:"rejected"`
+	Shed            uint64 `json:"shed"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
+}
+
+// Configure arms the controller. Call once at service assembly, before
+// traffic; reconfiguring a live controller is safe but resets brownout.
+func (a *Admission) Configure(cfg AdmissionConfig) {
+	if cfg.BrownoutEnter <= 0 {
+		cfg.BrownoutEnter = 0.9
+	}
+	if cfg.BrownoutExit <= 0 {
+		cfg.BrownoutExit = 0.5
+	}
+	if cfg.BrownoutAfter <= 0 {
+		cfg.BrownoutAfter = 250 * time.Millisecond
+	}
+	a.mu.Lock()
+	a.cfg = cfg
+	a.level = 0
+	a.satSince = time.Time{}
+	a.mu.Unlock()
+}
+
+// Vitals snapshots the controller for /healthz.
+func (a *Admission) Vitals() AdmissionVitals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionVitals{
+		Inflight:        a.inflight,
+		MaxInflight:     a.cfg.MaxInflight,
+		BrownoutLevel:   a.level,
+		Admitted:        a.admitted,
+		Rejected:        a.rejected,
+		Shed:            a.shed,
+		DeadlineExpired: a.expired,
+	}
+}
+
+// Level returns the current brownout level.
+func (a *Admission) Level() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.level
+}
+
+// admit runs every pre-execution check for one op and, on success,
+// reserves an inflight slot and pays the gate. The returned release frees
+// the slot after the handler finishes.
+func (a *Admission) admit(deadline time.Time, pri int) (func(), error) {
+	a.mu.Lock()
+	cfg := a.cfg
+	if cfg.Clock == nil {
+		a.mu.Unlock()
+		return func() {}, nil
+	}
+	now := cfg.Clock.Now()
+	// Expired deadline: the client has already given up on this op.
+	if !deadline.IsZero() && now.After(deadline) {
+		a.expired++
+		a.mu.Unlock()
+		inc(cfg.Counters, metrics.CounterAdmitExpired)
+		return nil, tuplespace.ErrDeadlineExpired
+	}
+	// Hard pending-op bound.
+	if cfg.MaxInflight > 0 && a.inflight >= cfg.MaxInflight {
+		a.rejected++
+		a.mu.Unlock()
+		inc(cfg.Counters, metrics.CounterAdmitRejected)
+		return nil, tuplespace.ErrOverloaded
+	}
+	// Brownout: sustained saturation sheds the lowest classes first.
+	transition := a.brownoutLocked(cfg, now)
+	if a.level >= 1 && pri <= transport.PriLow || a.level >= 2 && pri <= transport.PriNormal {
+		a.shed++
+		key := metrics.CounterShedLow
+		if pri > transport.PriLow {
+			key = metrics.CounterShedNormal
+		}
+		a.mu.Unlock()
+		if transition != "" && cfg.FlightSink != nil {
+			cfg.FlightSink(transition)
+		}
+		inc(cfg.Counters, key)
+		return nil, tuplespace.ErrOverloaded
+	}
+	a.inflight++
+	a.admitted++
+	a.mu.Unlock()
+	if transition != "" && cfg.FlightSink != nil {
+		cfg.FlightSink(transition)
+	}
+	release := func() {
+		a.mu.Lock()
+		a.inflight--
+		a.mu.Unlock()
+	}
+	// The gate sleeps through queue wait + service time; an op whose slot
+	// would complete after the client's deadline is dropped unexecuted.
+	if !cfg.Gate.AdmitBy(deadline) {
+		release()
+		a.mu.Lock()
+		a.expired++
+		a.mu.Unlock()
+		inc(cfg.Counters, metrics.CounterAdmitExpired)
+		return nil, tuplespace.ErrDeadlineExpired
+	}
+	return release, nil
+}
+
+// inc is a nil-safe counter increment.
+func inc(c *metrics.Counters, key string) {
+	if c != nil {
+		c.Inc(key)
+	}
+}
+
+// brownoutLocked advances the brownout state machine and returns a
+// non-empty transition description when the level changed.
+func (a *Admission) brownoutLocked(cfg AdmissionConfig, now time.Time) string {
+	if cfg.MaxInflight <= 0 {
+		return ""
+	}
+	util := float64(a.inflight) / float64(cfg.MaxInflight)
+	switch {
+	case util >= cfg.BrownoutEnter:
+		if a.satSince.IsZero() {
+			a.satSince = now
+		}
+		sustained := now.Sub(a.satSince)
+		want := a.level + 1
+		if want <= 2 && sustained >= time.Duration(want)*cfg.BrownoutAfter {
+			a.level = want
+			return brownoutDetail(a.level)
+		}
+	case util <= cfg.BrownoutExit:
+		a.satSince = time.Time{}
+		if a.level != 0 {
+			a.level = 0
+			return brownoutDetail(0)
+		}
+	}
+	return ""
+}
+
+func brownoutDetail(level int) string {
+	switch level {
+	case 0:
+		return "exit"
+	case 1:
+		return "level 1: shedding diagnostics"
+	default:
+		return "level 2: shedding reads"
+	}
+}
+
+// wrap is the admission middleware a Service installs around every
+// handler at registration: unwrap the transport frame, run the checks,
+// clamp a blocking lookup's park to the propagated deadline, then run the
+// handler.
+func (a *Admission) wrap(next transport.Handler) transport.Handler {
+	return func(arg interface{}) (interface{}, error) {
+		inner, deadline, pri := transport.Unframe(arg)
+		release, err := a.admit(deadline, pri)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if !deadline.IsZero() {
+			inner = a.clampDeadline(inner, deadline)
+		}
+		return next(inner)
+	}
+}
+
+// clampDeadline bounds a blocking lookup's server-side park at the
+// client's propagated deadline: once the client has abandoned the call,
+// the waiter slot frees instead of leaking until the semantic timeout.
+func (a *Admission) clampDeadline(inner interface{}, deadline time.Time) interface{} {
+	a.mu.Lock()
+	clock := a.cfg.Clock
+	a.mu.Unlock()
+	if clock == nil {
+		return inner
+	}
+	la, ok := inner.(lookupArgs)
+	if !ok {
+		return inner
+	}
+	rem := deadline.Sub(clock.Now())
+	if rem <= 0 {
+		rem = time.Nanosecond
+	}
+	if la.Timeout <= 0 || la.Timeout > rem {
+		la.Timeout = rem
+		return la
+	}
+	return inner
+}

@@ -54,11 +54,14 @@ func (p *Proxy) WithOpTimeout(clock vclock.Clock, d time.Duration) *Proxy {
 // own semantic wait (a blocking lookup's timeout); unbounded skips the
 // deadline entirely (block-forever lookups). The RPC itself cannot be
 // cancelled mid-flight — like a TCP client abandoning a socket, the
-// caller stops waiting and the reply, if it ever comes, is discarded.
+// caller stops waiting and the reply, if it ever comes, is discarded —
+// but the deadline rides the RPC frame, so the server rejects the op
+// unexecuted (and frees any parked waiter) once the client is gone.
 func (p *Proxy) call(method string, arg interface{}, extra time.Duration, unbounded bool) (interface{}, error) {
 	if p.opTimeout <= 0 || unbounded {
-		return p.c.Call(method, arg)
+		return p.c.Call(method, transport.Frame(arg, time.Time{}, priFor(method)))
 	}
+	arg = transport.Frame(arg, p.clock.Now().Add(p.opTimeout+extra), priFor(method))
 	type outcome struct {
 		res interface{}
 		err error
@@ -81,6 +84,20 @@ func (p *Proxy) call(method string, arg interface{}, extra time.Duration, unboun
 		return nil, fmt.Errorf("%w: %s after %v", ErrOpTimeout, method, p.opTimeout+extra)
 	}
 	return done.res, done.err
+}
+
+// priFor classifies a space method for brownout shedding: mutations and
+// txn/lease control are PriHigh (the job stalls without them), reads are
+// PriNormal, and diagnostics — counts, censuses, bulk scans — are PriLow,
+// the first traffic a saturated server sheds.
+func priFor(method string) int {
+	switch method {
+	case "space.Read", "space.ReadIfExists":
+		return transport.PriNormal
+	case "space.ReadAll", "space.Count", "space.TypeCounts":
+		return transport.PriLow
+	}
+	return transport.PriHigh
 }
 
 // Dial connects to a space Service at a TCP address with connection
@@ -260,6 +277,8 @@ func mapRemote(err error) error {
 		tuplespace.ErrLeaseExpired,
 		tuplespace.ErrClosed,
 		tuplespace.ErrNotStruct,
+		tuplespace.ErrOverloaded,
+		tuplespace.ErrDeadlineExpired,
 	} {
 		if strings.Contains(re.Msg, sentinel.Error()) {
 			return sentinel

@@ -81,6 +81,10 @@ type Service struct {
 	// base is this incarnation's namespace tag, OR'd into the high bits
 	// of every wire txn and lease ID the service hands out.
 	base uint64
+	// adm gates every handler: it unwraps the transport frame (deadline +
+	// priority) and, once configured, enforces admission control. Always
+	// installed so a framed argument never reaches a raw handler.
+	adm Admission
 
 	mu     sync.Mutex
 	txns   map[uint64]*txn.Txn
@@ -89,7 +93,9 @@ type Service struct {
 }
 
 // NewService wraps local and registers its methods on srv under the
-// "space." prefix.
+// "space." prefix. Every handler runs behind the service's admission
+// controller (see Admission); an unconfigured controller just unwraps the
+// RPC frame.
 func NewService(local *Local, srv *transport.Server) *Service {
 	s := &Service{
 		local:  local,
@@ -98,22 +104,26 @@ func NewService(local *Local, srv *transport.Server) *Service {
 		leases: make(map[uint64]*tuplespace.EntryLease),
 		nextL:  1,
 	}
-	srv.Handle("space.Write", s.write)
-	srv.Handle("space.Read", s.lookup(false, true))
-	srv.Handle("space.Take", s.lookup(true, true))
-	srv.Handle("space.ReadIfExists", s.lookup(false, false))
-	srv.Handle("space.TakeIfExists", s.lookup(true, false))
-	srv.Handle("space.ReadAll", s.bulk(false))
-	srv.Handle("space.TakeAll", s.bulk(true))
-	srv.Handle("space.Count", s.count)
-	srv.Handle("space.TypeCounts", s.typeCounts)
-	srv.Handle("space.TxnBegin", s.txnBegin)
-	srv.Handle("space.TxnCommit", s.txnCommit)
-	srv.Handle("space.TxnAbort", s.txnAbort)
-	srv.Handle("space.LeaseRenew", s.leaseRenew)
-	srv.Handle("space.LeaseCancel", s.leaseCancel)
+	srv.Handle("space.Write", s.adm.wrap(s.write))
+	srv.Handle("space.Read", s.adm.wrap(s.lookup(false, true)))
+	srv.Handle("space.Take", s.adm.wrap(s.lookup(true, true)))
+	srv.Handle("space.ReadIfExists", s.adm.wrap(s.lookup(false, false)))
+	srv.Handle("space.TakeIfExists", s.adm.wrap(s.lookup(true, false)))
+	srv.Handle("space.ReadAll", s.adm.wrap(s.bulk(false)))
+	srv.Handle("space.TakeAll", s.adm.wrap(s.bulk(true)))
+	srv.Handle("space.Count", s.adm.wrap(s.count))
+	srv.Handle("space.TypeCounts", s.adm.wrap(s.typeCounts))
+	srv.Handle("space.TxnBegin", s.adm.wrap(s.txnBegin))
+	srv.Handle("space.TxnCommit", s.adm.wrap(s.txnCommit))
+	srv.Handle("space.TxnAbort", s.adm.wrap(s.txnAbort))
+	srv.Handle("space.LeaseRenew", s.adm.wrap(s.leaseRenew))
+	srv.Handle("space.LeaseCancel", s.adm.wrap(s.leaseCancel))
 	return s
 }
+
+// Admission returns the service's admission controller for configuration
+// and /healthz vitals.
+func (s *Service) Admission() *Admission { return &s.adm }
 
 func (s *Service) resolveTxn(id uint64) (*txn.Txn, error) {
 	if id == 0 {

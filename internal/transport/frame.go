@@ -1,0 +1,55 @@
+package transport
+
+import "time"
+
+// Op priority classes carried on the RPC frame. Under brownout the server
+// sheds the lowest class first, so diagnostics degrade before reads and
+// reads before the mutations that carry the actual work.
+const (
+	// PriLow marks diagnostic traffic: counts, type censuses, bulk scans.
+	PriLow = 0
+	// PriNormal marks read-path traffic.
+	PriNormal = 1
+	// PriHigh marks mutations and transaction/lease control — the ops the
+	// job cannot make progress without. Never shed by brownout (only the
+	// hard admission cap rejects them).
+	PriHigh = 2
+)
+
+// Framed is the optional RPC frame an overload-aware client wraps around
+// its argument: the absolute deadline after which the client abandons the
+// call (zero = none) and the op's priority class. Servers unwrap it at
+// admission — an op whose deadline has already passed is rejected before
+// execution, and a queued op whose service slot would start past the
+// deadline is dropped instead of executed into the void. Both transport
+// bindings carry the frame transparently; servers without an admission
+// layer never see one because space.NewService always installs the
+// unwrapping middleware.
+type Framed struct {
+	Deadline time.Time
+	Pri      int
+	Arg      interface{}
+}
+
+func init() {
+	RegisterType(Framed{})
+}
+
+// Frame wraps arg for the wire. A zero deadline with PriNormal yields the
+// arg unchanged — no frame overhead for clients that carry nothing.
+func Frame(arg interface{}, deadline time.Time, pri int) interface{} {
+	if deadline.IsZero() && pri == PriNormal {
+		return arg
+	}
+	return Framed{Deadline: deadline, Pri: pri, Arg: arg}
+}
+
+// Unframe splits a possibly-framed argument into the inner argument, the
+// propagated deadline (zero if none) and the priority class (PriNormal if
+// unframed).
+func Unframe(arg interface{}) (interface{}, time.Time, int) {
+	if f, ok := arg.(Framed); ok {
+		return f.Arg, f.Deadline, f.Pri
+	}
+	return arg, time.Time{}, PriNormal
+}

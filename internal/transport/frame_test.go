@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/vclock"
+)
+
+// TestFrameRoundTrip: Frame/Unframe carry the deadline and priority, and
+// the no-information case (zero deadline, PriNormal) adds no frame at all —
+// an overload-oblivious server sees the bare argument.
+func TestFrameRoundTrip(t *testing.T) {
+	type payload struct{ N int }
+	dl := time.Unix(100, 0)
+
+	framed := Frame(payload{N: 7}, dl, PriHigh)
+	inner, gotDl, gotPri := Unframe(framed)
+	if inner.(payload).N != 7 || !gotDl.Equal(dl) || gotPri != PriHigh {
+		t.Fatalf("round trip: got (%v, %v, %d)", inner, gotDl, gotPri)
+	}
+
+	bare := Frame(payload{N: 9}, time.Time{}, PriNormal)
+	if _, ok := bare.(Framed); ok {
+		t.Fatal("zero deadline + PriNormal must not allocate a frame")
+	}
+	inner, gotDl, gotPri = Unframe(bare)
+	if inner.(payload).N != 9 || !gotDl.IsZero() || gotPri != PriNormal {
+		t.Fatalf("bare unframe: got (%v, %v, %d)", inner, gotDl, gotPri)
+	}
+}
+
+// TestServiceGateAdmitBy: a deadline the next service slot can meet admits
+// and charges the full slot; one it cannot meet refuses WITHOUT reserving,
+// so the abandoned op costs the server nothing. Zero deadlines admit
+// unconditionally.
+func TestServiceGateAdmitBy(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	const cost = 10 * time.Millisecond
+	gate := NewServiceGate(clk, cost)
+	clk.Run(func() {
+		start := clk.Now()
+		if !gate.AdmitBy(start.Add(cost)) {
+			t.Fatal("idle gate refused a deadline exactly one slot away")
+		}
+		if got := clk.Since(start); got != cost {
+			t.Fatalf("admitted op charged %v, want %v", got, cost)
+		}
+
+		// The gate is idle again; book a slot with a no-deadline op run in
+		// the background so the next AdmitBy sees a busy server.
+		g := vclock.NewGroup(clk)
+		g.Go(func() { gate.Admit() })
+		clk.Sleep(time.Millisecond)
+		before := gate.Admitted()
+		if gate.AdmitBy(clk.Now().Add(5 * time.Millisecond)) {
+			t.Fatal("busy gate admitted an op whose slot ends past its deadline")
+		}
+		if gate.Admitted() != before {
+			t.Fatal("refused op reserved a slot anyway")
+		}
+		if !gate.AdmitBy(time.Time{}) {
+			t.Fatal("zero deadline must admit unconditionally")
+		}
+		g.Wait()
+	})
+	// Nil and zero-cost gates never refuse.
+	var nilGate *ServiceGate
+	if !nilGate.AdmitBy(time.Unix(1, 0)) || !NewServiceGate(clk, 0).AdmitBy(time.Unix(1, 0)) {
+		t.Fatal("nil/zero-cost gate refused")
+	}
+}
+
+// TestServiceGateBacklog: the backlog is the reserved work extending past
+// now — zero when idle, the queued ops' total service time when saturated.
+func TestServiceGateBacklog(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	const cost = 10 * time.Millisecond
+	gate := NewServiceGate(clk, cost)
+	if gate.Backlog() != 0 {
+		t.Fatalf("idle backlog = %v, want 0", gate.Backlog())
+	}
+	clk.Run(func() {
+		g := vclock.NewGroup(clk)
+		for i := 0; i < 3; i++ {
+			g.Go(func() { gate.Admit() })
+		}
+		clk.Sleep(time.Millisecond)
+		if got := gate.Backlog(); got != 3*cost-time.Millisecond {
+			t.Errorf("backlog = %v, want %v", got, 3*cost-time.Millisecond)
+		}
+		g.Wait()
+		if got := gate.Backlog(); got != 0 {
+			t.Errorf("drained backlog = %v, want 0", got)
+		}
+	})
+}

@@ -56,6 +56,50 @@ func (g *ServiceGate) Admit() {
 	}
 }
 
+// AdmitBy is Admit with a deadline: when the next service slot would not
+// complete by deadline the op is refused without reserving the slot, so
+// queued work the client will already have abandoned is never executed.
+// A zero deadline admits unconditionally. Reports whether the op was
+// admitted (and, if so, served).
+func (g *ServiceGate) AdmitBy(deadline time.Time) bool {
+	if g == nil || g.cost <= 0 {
+		return true
+	}
+	g.mu.Lock()
+	now := g.clock.Now()
+	start := now
+	if g.busyUntil.After(start) {
+		start = g.busyUntil
+	}
+	end := start.Add(g.cost)
+	if !deadline.IsZero() && end.After(deadline) {
+		g.mu.Unlock()
+		return false
+	}
+	g.busyUntil = end
+	g.admitted++
+	g.mu.Unlock()
+	if wait := end.Sub(now); wait > 0 {
+		g.clock.Sleep(wait)
+	}
+	return true
+}
+
+// Backlog returns the queueing delay a newly arriving op would see — how
+// far the reserved work extends past now. It is the gate's queue depth in
+// clock time, the quantity overload protection must keep bounded.
+func (g *ServiceGate) Backlog() time.Duration {
+	if g == nil || g.cost <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d := g.busyUntil.Sub(g.clock.Now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // Admitted returns the number of operations admitted so far.
 func (g *ServiceGate) Admitted() uint64 {
 	g.mu.Lock()

@@ -21,4 +21,15 @@ var (
 	ErrLeaseExpired = errors.New("tuplespace: lease expired")
 	// ErrClosed is returned by operations on a closed space.
 	ErrClosed = errors.New("tuplespace: space closed")
+	// ErrOverloaded is the typed fast-fail for admission control: the
+	// server's pending-op or blocked-waiter queue is full (or the brownout
+	// controller shed the op), so the call was rejected before execution.
+	// It is retryable — nothing executed — but callers must retry within
+	// their budget, never through failover resolution.
+	ErrOverloaded = errors.New("tuplespace: overloaded, call rejected before execution")
+	// ErrDeadlineExpired is returned when an op arrives (or would start)
+	// after the deadline its client propagated: the client has already
+	// given up, so executing would be work into the void. Like
+	// ErrOverloaded the op did not execute.
+	ErrDeadlineExpired = errors.New("tuplespace: op deadline expired before execution")
 )

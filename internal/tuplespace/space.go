@@ -35,6 +35,9 @@ type Space struct {
 	memos        *memoTable // token → memoized outcome (see memo.go), lazily allocated
 	memoCounters *metrics.Counters
 	flightSink   func(kind, detail string) // dedup-hit sink (see SetFlightSink)
+
+	maxWaiters int // bound on parked Read/Take waiters, 0 = unlimited
+	waiting    int // parked waiters, maintained at park/unpark
 }
 
 // Stats counts space operations; returned by Space.Stats.
@@ -48,6 +51,7 @@ type Stats struct {
 	Expired     uint64 // entries reaped after lease expiry
 	TxnCommits  uint64 // transactions committed at this space
 	TxnAborts   uint64 // transactions aborted at this space
+	Overloaded  uint64 // blocking calls rejected by the waiter bound
 	EntriesLive int    // entries currently stored (including txn-held)
 	Waiting     int    // Read/Take calls currently parked waiting for a match
 }
@@ -102,6 +106,16 @@ func New(clock vclock.Clock) *Space {
 	}
 }
 
+// SetMaxWaiters bounds the number of blocked Read/Take waiters the space
+// will park at once (0 = unlimited, the default). A blocking lookup that
+// would exceed the bound fails fast with ErrOverloaded instead of
+// queueing — the blocked-waiter half of server-side admission control.
+func (s *Space) SetMaxWaiters(n int) {
+	s.mu.Lock()
+	s.maxWaiters = n
+	s.mu.Unlock()
+}
+
 // Close shuts the space down: every blocked operation is woken with
 // ErrClosed and subsequent operations fail.
 func (s *Space) Close() {
@@ -116,6 +130,7 @@ func (s *Space) Close() {
 		all = append(all, ws...)
 	}
 	s.waiters = make(map[string][]*waiter)
+	s.waiting = 0
 	for _, w := range all {
 		w.err = ErrClosed
 		w.w.Wake()
@@ -247,9 +262,15 @@ func (s *Space) lookup(kind opKind, tmpl Entry, t *txn.Txn, timeout time.Duratio
 		s.mu.Unlock()
 		return nil, ErrNoMatch
 	}
+	if s.maxWaiters > 0 && s.waiting >= s.maxWaiters {
+		s.stats.Overloaded++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
 	w := &waiter{kind: kind, ti: ti, tmpl: tv, txn: t, w: s.clock.NewWaiter()}
 	s.waiters[ti.name] = append(s.waiters[ti.name], w)
 	s.stats.Blocked++
+	s.waiting++
 	s.mu.Unlock()
 
 	w.w.Wait(timeout)
@@ -425,6 +446,7 @@ func (s *Space) publishLocked(se *storedEntry) []notification {
 				taken = true
 			}
 		}
+		s.waiting -= len(ws) - len(out)
 		s.waiters[se.ti.name] = out
 	}
 	return s.matchNotifsLocked(se)
@@ -435,6 +457,7 @@ func (s *Space) removeWaiterLocked(w *waiter) {
 	for i, x := range ws {
 		if x == w {
 			s.waiters[w.ti.name] = append(ws[:i], ws[i+1:]...)
+			s.waiting--
 			return
 		}
 	}

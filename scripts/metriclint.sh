@@ -43,6 +43,17 @@ for id in $idents; do
     fi
 done
 
+# 3. the overload-protection families must stay declared: dashboards and
+#    the CI overload bench grep for these keys, so deleting one from the
+#    table silently blinds them.
+for key in 'admit:rejected' 'admit:expired' 'shed:low' 'shed:normal' \
+    'breaker:open' 'breaker:close' 'breaker:fastfail' 'retry:budget_denied'; do
+    if ! grep -q "\"$key\"" "$names"; then
+        echo "metriclint: FAIL — required overload key \"$key\" missing from $names" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" != 0 ]; then
     exit 1
 fi

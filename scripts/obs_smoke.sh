@@ -45,6 +45,21 @@ go build -o "$workdir/master" ./cmd/master
 "$workdir/lookup" -addr "$LOOKUP_ADDR" >"$workdir/lookup.log" 2>&1 &
 pids+=($!)
 
+# The master dials the lookup exactly once at boot: wait for the lookup
+# to actually listen or the whole smoke races process startup.
+for i in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/${LOOKUP_ADDR%:*}/${LOOKUP_ADDR#*:}") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    if [ "$i" = 50 ]; then
+        echo "obs_smoke: FAIL — lookup never listened on $LOOKUP_ADDR" >&2
+        cat "$workdir/lookup.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
 "$workdir/master" -addr "$MASTER_ADDR" -lookup "$LOOKUP_ADDR" \
     -job montecarlo -obs "$OBS_ADDR" >"$workdir/master.log" 2>&1 &
 pids+=($!)
@@ -85,6 +100,7 @@ echo "obs_smoke: /metrics OK ($(grep -c ' histogram' <<<"$metrics") histograms)"
 
 healthz=$(curl -fsS "$OBS_URL/healthz")
 for want in '"status":"ok"' '"role":"primary"' '"replication_lag"' '"wal_position"' \
+    '"brownout_level"' '"max_inflight"' \
     '"flight_depth"' '"flight_dropped"' '"flight_clk"'; do
     if ! grep -q "$want" <<<"$healthz"; then
         echo "obs_smoke: FAIL — /healthz lacks $want: $healthz" >&2
